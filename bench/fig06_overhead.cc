@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Figure 6: execution-time overhead of PEP instrumentation alone and
+ * with the sampling configurations, measured on the second iteration
+ * of replay compilation and normalized to Base (no PEP).
+ *
+ * Paper headline numbers: instrumentation alone 1.1% average / 5.4%
+ * max; PEP(1,1) adds nothing detectable; PEP(64,17) adds 0.1% for
+ * 1.2% average / 4.3% max total; the remaining configurations add
+ * 0.8-2.3% on average.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common/harness.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace pep;
+
+namespace {
+
+struct Config
+{
+    std::string label;
+    std::uint32_t samples; // 0 = instrumentation only
+    std::uint32_t stride;
+};
+
+std::unique_ptr<core::SamplingController>
+makeController(const Config &config)
+{
+    if (config.samples == 0)
+        return std::make_unique<core::NeverSample>();
+    return std::make_unique<core::SimplifiedArnoldGrove>(config.samples,
+                                                         config.stride);
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<Config> configs = {
+        {"instr", 0, 0},        {"PEP(1,1)", 1, 1},
+        {"PEP(16,17)", 16, 17}, {"PEP(64,17)", 64, 17},
+        {"PEP(256,17)", 256, 17}, {"PEP(1024,17)", 1024, 17},
+    };
+
+    const vm::SimParams params = bench::defaultParams();
+
+    support::Table table;
+    {
+        std::vector<std::string> header = {"benchmark", "base(Mcyc)"};
+        for (const Config &config : configs)
+            header.push_back(config.label);
+        table.header(std::move(header));
+    }
+
+    std::vector<std::vector<double>> ratios(configs.size());
+
+    for (const workload::WorkloadSpec &spec : bench::benchSuite()) {
+        const bench::Prepared prepared = bench::prepare(spec, params);
+
+        bench::ReplayRun base_run(prepared, params);
+        const double base =
+            static_cast<double>(base_run.runStandard());
+
+        std::vector<std::string> row = {
+            spec.name,
+            support::formatFixed(base / 1e6, 1),
+        };
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            bench::ReplayRun run(prepared, params);
+            run.attachPep(makeController(configs[c]));
+            const double cycles =
+                static_cast<double>(run.runStandard());
+            const double ratio = cycles / base;
+            ratios[c].push_back(ratio);
+            row.push_back(support::formatFixed(ratio, 4));
+        }
+        table.row(std::move(row));
+    }
+
+    table.separator();
+    {
+        std::vector<std::string> avg_row = {"average", ""};
+        std::vector<std::string> max_row = {"max", ""};
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            avg_row.push_back(
+                bench::overheadPct(support::mean(ratios[c])));
+            max_row.push_back(
+                bench::overheadPct(support::maxOf(ratios[c])));
+        }
+        table.row(std::move(avg_row));
+        table.row(std::move(max_row));
+    }
+
+    std::printf("Figure 6: PEP execution overhead "
+                "(normalized to Base, replay iteration 2)\n\n");
+    std::printf("%s\n", table.str().c_str());
+
+    const double instr_avg = support::mean(ratios[0]);
+    const double instr_max = support::maxOf(ratios[0]);
+    const double pep64_avg = support::mean(ratios[3]);
+    const double pep64_max = support::maxOf(ratios[3]);
+    std::printf("paper:    instr alone 1.1%% avg / 5.4%% max; "
+                "PEP(64,17) total 1.2%% avg / 4.3%% max\n");
+    std::printf("measured: instr alone %s avg / %s max; "
+                "PEP(64,17) total %s avg / %s max\n",
+                bench::overheadPct(instr_avg).c_str(),
+                bench::overheadPct(instr_max).c_str(),
+                bench::overheadPct(pep64_avg).c_str(),
+                bench::overheadPct(pep64_max).c_str());
+    return 0;
+}

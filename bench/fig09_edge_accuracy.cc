@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 9: edge-profile accuracy (relative overlap — branch bias
+ * agreement weighted by actual branch frequency) per sampling
+ * configuration, against the perfect edge profile derived from
+ * instrumentation-based *path* profiling. The "vs edge-instr" column
+ * reproduces the paper's note that comparing against
+ * instrumentation-based edge profiling instead lowers accuracy
+ * slightly (2% in the paper, due to uninterruptible loop headers; our
+ * VM has no uninterruptible methods, so the gap here is ~0).
+ *
+ * Paper headline: PEP(64,17) 96% average.
+ */
+
+#include <cstdio>
+
+#include "common/harness.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace pep;
+
+namespace {
+
+struct Config
+{
+    std::string label;
+    std::uint32_t samples;
+    std::uint32_t stride;
+    bool fullAg;
+};
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<Config> configs = {
+        {"PEP(1,1)", 1, 1, false},     {"PEP(16,17)", 16, 17, false},
+        {"PEP(64,17)", 64, 17, false}, {"PEP(256,17)", 256, 17, false},
+        {"PEP(1024,17)", 1024, 17, false},
+        {"AG(64,17)", 64, 17, true},
+    };
+    const vm::SimParams params = bench::defaultParams();
+
+    support::Table table;
+    {
+        std::vector<std::string> header = {"benchmark"};
+        for (const Config &config : configs)
+            header.push_back(config.label);
+        header.push_back("(64,17) vs edge-instr");
+        table.header(std::move(header));
+    }
+
+    std::vector<std::vector<double>> accuracy(configs.size());
+    std::vector<double> vs_edge_instr;
+
+    for (const workload::WorkloadSpec &spec : bench::benchSuite()) {
+        const bench::Prepared prepared = bench::prepare(spec, params);
+        std::vector<std::string> row = {spec.name};
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            const bench::AccuracyResult result = bench::runAccuracy(
+                prepared, params, configs[c].samples,
+                configs[c].stride, configs[c].fullAg);
+            const double overlap = metrics::relativeOverlap(
+                result.cfgs, result.perfectEdges, result.pepEdges);
+            accuracy[c].push_back(overlap);
+            row.push_back(bench::pct(overlap));
+            if (configs[c].label == "PEP(64,17)") {
+                vs_edge_instr.push_back(metrics::relativeOverlap(
+                    result.cfgs, result.instrEdges, result.pepEdges));
+            }
+        }
+        row.push_back(bench::pct(vs_edge_instr.back()));
+        table.row(std::move(row));
+    }
+
+    table.separator();
+    {
+        std::vector<std::string> avg = {"average"};
+        std::vector<std::string> min = {"min"};
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            avg.push_back(bench::pct(support::mean(accuracy[c])));
+            min.push_back(bench::pct(support::minOf(accuracy[c])));
+        }
+        avg.push_back(bench::pct(support::mean(vs_edge_instr)));
+        min.push_back(bench::pct(support::minOf(vs_edge_instr)));
+        table.row(std::move(avg));
+        table.row(std::move(min));
+    }
+
+    std::printf("Figure 9: edge-profile accuracy "
+                "(relative overlap vs perfect path-derived edges)\n\n");
+    std::printf("%s\n", table.str().c_str());
+    std::printf("paper:    PEP(64,17) 96%% avg\n");
+    std::printf("measured: PEP(64,17) %s avg\n",
+                bench::pct(support::mean(accuracy[2])).c_str());
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 11: end-to-end cost/benefit of PEP under the *adaptive*
+ * methodology. Base is a normal adaptive run whose optimizing
+ * compilations are guided by the one-time baseline edge profile; the
+ * PEP configuration additionally runs PEP(64,17) and lets its
+ * continuous edge profile drive every (re)compilation's layout.
+ *
+ * Paper headline: PEP costs 1.3% average / 3.2% max net — the costs
+ * (instrumentation, sampling, compile passes) outweigh the benefit on
+ * these predictable programs, because Jikes RVM's optimizations do not
+ * speculate aggressively on runtime information.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common/harness.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace pep;
+
+int
+main()
+{
+    const vm::SimParams params = bench::defaultParams();
+
+    support::Table table;
+    table.header({"benchmark", "base(Mcyc)", "PEP(64,17)+drive"});
+
+    std::vector<double> ratios;
+
+    // Adaptive runs are sensitive to tick timing (the paper reports
+    // high variability and takes the median of 25 trials); we take the
+    // median over several trials with varied input seeds.
+    constexpr int kTrials = 7;
+
+    for (const workload::WorkloadSpec &spec : bench::benchSuite()) {
+        const bytecode::Program program =
+            workload::generateWorkload(spec);
+
+        std::vector<double> trial_ratios;
+        double base_mcycles = 0;
+        for (int trial = 0; trial < kTrials; ++trial) {
+            vm::SimParams trial_params = params;
+            trial_params.rngSeed =
+                params.rngSeed + static_cast<std::uint64_t>(trial);
+
+            // Base: plain adaptive run.
+            double base_cycles = 0;
+            {
+                vm::Machine machine(program, trial_params);
+                base_cycles =
+                    static_cast<double>(machine.runIteration());
+            }
+
+            // PEP collects profiles *and* drives optimization.
+            double pep_cycles = 0;
+            {
+                vm::Machine machine(program, trial_params);
+                core::SimplifiedArnoldGrove controller(64, 17);
+                core::PepProfiler pep(machine, controller);
+                machine.addHooks(&pep);
+                machine.addCompileObserver(&pep);
+                machine.setLayoutSource(&pep);
+                pep_cycles =
+                    static_cast<double>(machine.runIteration());
+            }
+
+            trial_ratios.push_back(pep_cycles / base_cycles);
+            base_mcycles = base_cycles / 1e6;
+        }
+
+        const double ratio = support::median(trial_ratios);
+        ratios.push_back(ratio);
+        table.row({spec.name,
+                   support::formatFixed(base_mcycles, 1),
+                   support::formatFixed(ratio, 4)});
+    }
+
+    table.separator();
+    table.row({"average", "",
+               bench::overheadPct(support::mean(ratios))});
+    table.row({"max", "",
+               bench::overheadPct(support::maxOf(ratios))});
+
+    std::printf("Figure 11: PEP collecting profiles and driving "
+                "optimization (adaptive methodology)\n\n");
+    std::printf("%s\n", table.str().c_str());
+    std::printf("paper:    +1.3%% avg / +3.2%% max\n");
+    std::printf("measured: %s avg / %s max\n",
+                bench::overheadPct(support::mean(ratios)).c_str(),
+                bench::overheadPct(support::maxOf(ratios)).c_str());
+    return 0;
+}

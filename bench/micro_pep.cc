@@ -1,0 +1,196 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for PEP's building blocks: P-DAG
+ * construction, path numbering, greedy reconstruction (first-sample
+ * slow path vs the cached common case), sampling controllers, and raw
+ * interpreter throughput. These quantify design choices the paper
+ * relies on qualitatively (e.g., caching a path's edge expansion after
+ * its first sample, Section 4.3).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bytecode/cfg_builder.hh"
+#include "core/sampling.hh"
+#include "profile/instr_plan.hh"
+#include "profile/numbering.hh"
+#include "profile/path_profile.hh"
+#include "profile/pdag.hh"
+#include "profile/reconstruct.hh"
+#include "support/rng.hh"
+#include "vm/machine.hh"
+#include "workload/suite.hh"
+#include "workload/synthetic.hh"
+
+using namespace pep;
+
+namespace {
+
+/** A reasonably branchy method to exercise the algorithms. */
+const bytecode::Method &
+sampleMethod()
+{
+    static const bytecode::Program program = [] {
+        workload::WorkloadSpec spec = workload::standardSuite()[4];
+        return workload::generateWorkload(spec);
+    }();
+    bytecode::MethodId id = 0;
+    program.findMethod("hot_0", id);
+    return program.methods[id];
+}
+
+struct PreparedMethod
+{
+    bytecode::MethodCfg cfg;
+    profile::PDag pdag;
+    profile::Numbering numbering;
+    std::unique_ptr<profile::PathReconstructor> reconstructor;
+};
+
+const PreparedMethod &
+preparedMethod()
+{
+    static const PreparedMethod prepared = [] {
+        PreparedMethod p;
+        p.cfg = bytecode::buildCfg(sampleMethod());
+        p.pdag =
+            profile::buildPDag(p.cfg, profile::DagMode::HeaderSplit);
+        p.numbering = profile::numberPaths(
+            p.pdag, profile::NumberingScheme::BallLarus);
+        p.reconstructor = std::make_unique<profile::PathReconstructor>(
+            p.cfg, p.pdag, p.numbering);
+        return p;
+    }();
+    return prepared;
+}
+
+void
+BM_BuildCfg(benchmark::State &state)
+{
+    const bytecode::Method &method = sampleMethod();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bytecode::buildCfg(method));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(method.code.size()));
+}
+BENCHMARK(BM_BuildCfg);
+
+void
+BM_BuildPDag(benchmark::State &state)
+{
+    const auto mode = state.range(0) == 0
+                          ? profile::DagMode::HeaderSplit
+                          : profile::DagMode::BackEdgeTruncate;
+    const bytecode::MethodCfg cfg = bytecode::buildCfg(sampleMethod());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(profile::buildPDag(cfg, mode));
+}
+BENCHMARK(BM_BuildPDag)->Arg(0)->Arg(1);
+
+void
+BM_NumberPaths(benchmark::State &state)
+{
+    const bytecode::MethodCfg cfg = bytecode::buildCfg(sampleMethod());
+    const profile::PDag pdag =
+        profile::buildPDag(cfg, profile::DagMode::HeaderSplit);
+    if (state.range(0) == 0) {
+        for (auto _ : state) {
+            benchmark::DoNotOptimize(profile::numberPaths(
+                pdag, profile::NumberingScheme::BallLarus));
+        }
+    } else {
+        // Smart numbering with uniform frequencies.
+        profile::DagEdgeFreqs freqs(pdag.dag.numBlocks());
+        for (cfg::BlockId v = 0; v < pdag.dag.numBlocks(); ++v)
+            freqs[v].assign(pdag.dag.succs(v).size(), 1.0);
+        for (auto _ : state) {
+            benchmark::DoNotOptimize(profile::numberPaths(
+                pdag, profile::NumberingScheme::Smart, &freqs));
+        }
+    }
+}
+BENCHMARK(BM_NumberPaths)->Arg(0)->Arg(1);
+
+void
+BM_ReconstructPath(benchmark::State &state)
+{
+    const PreparedMethod &p = preparedMethod();
+    support::Rng rng(7);
+    const std::uint64_t total = p.numbering.totalPaths;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            p.reconstructor->reconstruct(rng.nextBounded(total)));
+    }
+}
+BENCHMARK(BM_ReconstructPath);
+
+/** The paper's first-sample vs cached-sample asymmetry (Section 4.3):
+ *  arg 0 = expand every time; arg 1 = cache in the path record. */
+void
+BM_SampleRecording(benchmark::State &state)
+{
+    const PreparedMethod &p = preparedMethod();
+    const bool cached = state.range(0) == 1;
+    support::Rng rng(7);
+    const std::uint64_t total = p.numbering.totalPaths;
+    // Pre-draw a sample stream with realistic repetition (few hot
+    // paths dominate).
+    std::vector<std::uint64_t> stream;
+    std::vector<std::uint64_t> hot;
+    for (int i = 0; i < 8; ++i)
+        hot.push_back(rng.nextBounded(total));
+    for (int i = 0; i < 4096; ++i) {
+        stream.push_back(rng.nextBool(0.9)
+                             ? hot[rng.nextBounded(hot.size())]
+                             : rng.nextBounded(total));
+    }
+
+    profile::MethodPathProfile paths;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const std::uint64_t number = stream[i++ & 4095];
+        profile::PathRecord &record = paths.addSample(number);
+        if (!record.expanded || !cached) {
+            profile::expandRecord(record, *p.reconstructor, number);
+        }
+        benchmark::DoNotOptimize(record.count);
+    }
+}
+BENCHMARK(BM_SampleRecording)->Arg(0)->Arg(1);
+
+void
+BM_SamplingControllers(benchmark::State &state)
+{
+    core::SimplifiedArnoldGrove simplified(64, 17);
+    core::FullArnoldGrove full(64, 17);
+    core::SamplingController &controller =
+        state.range(0) == 0
+            ? static_cast<core::SamplingController &>(simplified)
+            : static_cast<core::SamplingController &>(full);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            controller.onOpportunity((i++ & 1023) == 0));
+    }
+}
+BENCHMARK(BM_SamplingControllers)->Arg(0)->Arg(1);
+
+void
+BM_InterpreterThroughput(benchmark::State &state)
+{
+    workload::WorkloadSpec spec = workload::standardSuite()[0];
+    spec.outerIterations = 20;
+    const bytecode::Program program = workload::generateWorkload(spec);
+    for (auto _ : state) {
+        vm::Machine machine(program, vm::SimParams{});
+        machine.runIteration();
+        state.SetIterationTime(0); // measured by wall time below
+        benchmark::DoNotOptimize(machine.stats().instructionsExecuted);
+    }
+}
+BENCHMARK(BM_InterpreterThroughput)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Sections 2.2 / 3.1 / 3.2: classic Ball-Larus profiling costs and the
+ * decomposition claim PEP is built on — that computing the path number
+ * (register additions) is cheap while storing the path (count[r]++) is
+ * what costs.
+ *
+ * Columns:
+ *   blpp-path  — classic BLPP: paths end at back edges, array
+ *                count[r]++ at every path end (paper: 31% average on
+ *                SPEC95, up to 97%)
+ *   bl-edge    — instrumentation-based edge profiling (paper: 16% on
+ *                SPEC95 / 10% in the paper's own VM)
+ *   pep-instr  — PEP's register-only instrumentation (paper: 1.1%)
+ *   store-frac — fraction of blpp-path's overhead attributable to the
+ *                store step (Section 3.2's "bulk of the overhead")
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common/harness.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace pep;
+
+int
+main()
+{
+    const vm::SimParams params = bench::defaultParams();
+
+    support::Table table;
+    table.header({"benchmark", "blpp-path", "bl-edge", "pep-instr",
+                  "store-frac"});
+
+    std::vector<double> blpp_ratios;
+    std::vector<double> edge_ratios;
+    std::vector<double> instr_ratios;
+    std::vector<double> store_fracs;
+
+    for (const workload::WorkloadSpec &spec : bench::benchSuite()) {
+        const bench::Prepared prepared = bench::prepare(spec, params);
+
+        bench::ReplayRun base_run(prepared, params);
+        const double base =
+            static_cast<double>(base_run.runStandard());
+
+        // Classic BLPP: back-edge truncation, Ball-Larus numbering,
+        // array store at every path end.
+        bench::ReplayRun blpp_run(prepared, params);
+        blpp_run.attachFullPath(profile::DagMode::BackEdgeTruncate,
+                                /*charge_costs=*/true,
+                                core::PathStoreKind::Array);
+        const double blpp =
+            static_cast<double>(blpp_run.runStandard());
+
+        bench::ReplayRun edge_run(prepared, params);
+        edge_run.attachInstrEdge(/*charge_costs=*/true);
+        const double edge =
+            static_cast<double>(edge_run.runStandard());
+
+        // Register ops only: the same BLPP instrumentation with the
+        // store suppressed — i.e., PEP's instrumentation.
+        bench::ReplayRun instr_run(prepared, params);
+        instr_run.attachPep(std::make_unique<core::NeverSample>());
+        const double instr =
+            static_cast<double>(instr_run.runStandard());
+
+        const double blpp_overhead = blpp - base;
+        const double instr_overhead = instr - base;
+        const double store_frac =
+            blpp_overhead > 0.0
+                ? (blpp_overhead - instr_overhead) / blpp_overhead
+                : 0.0;
+
+        blpp_ratios.push_back(blpp / base);
+        edge_ratios.push_back(edge / base);
+        instr_ratios.push_back(instr / base);
+        store_fracs.push_back(store_frac);
+        table.row({spec.name, bench::overheadPct(blpp / base),
+                   bench::overheadPct(edge / base),
+                   bench::overheadPct(instr / base),
+                   bench::pct(store_frac)});
+    }
+
+    table.separator();
+    table.row({"average", bench::overheadPct(support::mean(blpp_ratios)),
+               bench::overheadPct(support::mean(edge_ratios)),
+               bench::overheadPct(support::mean(instr_ratios)),
+               bench::pct(support::mean(store_fracs))});
+    table.row({"max", bench::overheadPct(support::maxOf(blpp_ratios)),
+               bench::overheadPct(support::maxOf(edge_ratios)),
+               bench::overheadPct(support::maxOf(instr_ratios)),
+               bench::pct(support::maxOf(store_fracs))});
+
+    std::printf("Sections 2.2/3.2: Ball-Larus profiling costs and the "
+                "compute/store split\n\n");
+    std::printf("%s\n", table.str().c_str());
+    std::printf("paper:    BLPP path 31%% avg (max 97%%); BL edge "
+                "16%%; PEP instr 1.1%%; store dominates\n");
+    std::printf("measured: BLPP path %s avg (max %s); BL edge %s; "
+                "PEP instr %s; store-frac %s\n",
+                bench::overheadPct(support::mean(blpp_ratios)).c_str(),
+                bench::overheadPct(support::maxOf(blpp_ratios)).c_str(),
+                bench::overheadPct(support::mean(edge_ratios)).c_str(),
+                bench::overheadPct(support::mean(instr_ratios)).c_str(),
+                bench::pct(support::mean(store_fracs)).c_str());
+    return 0;
+}

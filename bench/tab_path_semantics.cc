@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Section 3.2 ablation: PEP ends paths at loop *headers* (where the
+ * yieldpoints are) instead of loop *back edges* as classic BLPP does.
+ * The paper argues the difference is minor — it only affects the first
+ * path through a loop. This bench quantifies that: for each benchmark
+ * it collects ground-truth path profiles under both truncation schemes
+ * and compares (a) distinct/hot path counts, (b) total path
+ * completions, and (c) the edge profiles derived from each (which
+ * should agree almost exactly, since both expansions cover the same
+ * executed edges).
+ */
+
+#include <cstdio>
+
+#include "common/harness.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace pep;
+
+int
+main()
+{
+    const vm::SimParams params = bench::defaultParams();
+
+    support::Table table;
+    table.header({"benchmark", "paths(hdr)", "paths(back)",
+                  "hot(hdr)", "hot(back)", "edge-agreement",
+                  "pep-acc(hdr)", "pep-acc(back)"});
+
+    std::vector<double> agreements;
+    std::vector<double> path_ratio;
+    std::vector<double> pep_header_acc;
+    std::vector<double> pep_back_acc;
+
+    // PEP(64,17) accuracy with the matching yieldpoint placement: the
+    // default header placement vs the Section 3.2 back-edge
+    // alternative (yieldpoints on back edges + BLPP truncation).
+    auto sampled_accuracy = [&](const bench::Prepared &prepared,
+                                bool back_edges) {
+        vm::SimParams run_params = params;
+        run_params.yieldpointsOnBackEdges = back_edges;
+        bench::ReplayRun run(prepared, run_params);
+        core::PepOptions options;
+        options.mode = back_edges ? profile::DagMode::BackEdgeTruncate
+                                  : profile::DagMode::HeaderSplit;
+        core::PepProfiler &pep = run.attachPep(
+            std::make_unique<core::SimplifiedArnoldGrove>(64, 17),
+            options);
+        core::FullPathProfiler &truth =
+            run.attachFullPath(options.mode, /*charge_costs=*/false);
+        run.runCompileIteration();
+        run.clearCollectedProfiles();
+        run.runMeasuredIteration();
+        metrics::CanonicalPathProfile truth_paths =
+            metrics::canonicalize(truth);
+        metrics::CanonicalPathProfile pep_paths =
+            metrics::canonicalize(pep);
+        return metrics::wallPathAccuracy(truth_paths, pep_paths)
+            .accuracy;
+    };
+
+    for (const workload::WorkloadSpec &spec : bench::benchSuite()) {
+        const bench::Prepared prepared = bench::prepare(spec, params);
+
+        bench::ReplayRun run(prepared, params);
+        core::FullPathProfiler &header_truth = run.attachFullPath(
+            profile::DagMode::HeaderSplit, /*charge_costs=*/false);
+        core::FullPathProfiler &back_truth = run.attachFullPath(
+            profile::DagMode::BackEdgeTruncate, /*charge_costs=*/false);
+        run.runCompileIteration();
+        run.clearCollectedProfiles();
+        run.runMeasuredIteration();
+
+        metrics::CanonicalPathProfile header_paths =
+            metrics::canonicalize(header_truth);
+        metrics::CanonicalPathProfile back_paths =
+            metrics::canonicalize(back_truth);
+
+        const metrics::WallAccuracy hot_header =
+            metrics::wallPathAccuracy(header_paths, header_paths);
+        const metrics::WallAccuracy hot_back =
+            metrics::wallPathAccuracy(back_paths, back_paths);
+
+        const profile::EdgeProfileSet header_edges =
+            core::edgeProfileFromPaths(run.machine(), header_truth);
+        const profile::EdgeProfileSet back_edges =
+            core::edgeProfileFromPaths(run.machine(), back_truth);
+        const auto cfgs = bench::allCfgs(run.machine());
+        const double agreement =
+            metrics::relativeOverlap(cfgs, header_edges, back_edges);
+
+        agreements.push_back(agreement);
+        path_ratio.push_back(
+            static_cast<double>(header_paths.paths.size()) /
+            static_cast<double>(back_paths.paths.size()));
+        pep_header_acc.push_back(sampled_accuracy(prepared, false));
+        pep_back_acc.push_back(sampled_accuracy(prepared, true));
+
+        table.row({spec.name,
+                   std::to_string(header_paths.paths.size()),
+                   std::to_string(back_paths.paths.size()),
+                   std::to_string(hot_header.numHotPaths),
+                   std::to_string(hot_back.numHotPaths),
+                   bench::pct(agreement, 2),
+                   bench::pct(pep_header_acc.back()),
+                   bench::pct(pep_back_acc.back())});
+    }
+
+    table.separator();
+    table.row({"average", "", "", "", "",
+               bench::pct(support::mean(agreements), 2),
+               bench::pct(support::mean(pep_header_acc)),
+               bench::pct(support::mean(pep_back_acc))});
+
+    std::printf("Section 3.2 ablation: paths end at headers (PEP) vs "
+                "back edges (BLPP)\n\n");
+    std::printf("%s\n", table.str().c_str());
+    std::printf("paper:    the difference is minor (affects only the "
+                "first path through a loop)\n");
+    std::printf("measured: derived edge profiles agree to %s on "
+                "average; distinct-path counts differ by %.2fx; "
+                "PEP(64,17) accuracy %s (headers) vs %s (back "
+                "edges)\n",
+                bench::pct(support::mean(agreements), 2).c_str(),
+                support::mean(path_ratio),
+                bench::pct(support::mean(pep_header_acc)).c_str(),
+                bench::pct(support::mean(pep_back_acc)).c_str());
+    return 0;
+}

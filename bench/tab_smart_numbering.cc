@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Section 3.4 ablation: the effect of instrumentation placement on
+ * PEP's execution overhead. Smart path numbering zeroes the hottest
+ * outgoing edge of every block (no instrumentation there); plain
+ * Ball-Larus numbering ignores frequency; inverted smart numbering
+ * deliberately zeroes the *coldest* edge, putting instrumentation on
+ * hot edges.
+ *
+ * Paper headline: hot-edge placement raises instrumentation overhead
+ * from 1.1% to 2.5% (a modest 1.4% — PEP's low overhead comes mainly
+ * from the instrumentation/sampling split, not placement).
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common/harness.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+using namespace pep;
+
+int
+main()
+{
+    struct Config
+    {
+        std::string label;
+        profile::NumberingScheme scheme;
+        profile::PlacementKind placement =
+            profile::PlacementKind::Direct;
+    };
+    const std::vector<Config> configs = {
+        {"smart(cold)", profile::NumberingScheme::Smart},
+        {"ball-larus", profile::NumberingScheme::BallLarus},
+        {"inverted(hot)", profile::NumberingScheme::SmartInverted},
+        // Ball-Larus event counting: increments only on the chords of
+        // a max-frequency spanning tree (the classic alternative to
+        // smart numbering's zero-on-hot-edges placement).
+        {"spanning-tree", profile::NumberingScheme::BallLarus,
+         profile::PlacementKind::SpanningTree},
+    };
+    const vm::SimParams params = bench::defaultParams();
+
+    support::Table table;
+    {
+        std::vector<std::string> header = {"benchmark"};
+        for (const Config &config : configs)
+            header.push_back(config.label);
+        table.header(std::move(header));
+    }
+
+    std::vector<std::vector<double>> ratios(configs.size());
+
+    for (const workload::WorkloadSpec &spec : bench::benchSuite()) {
+        const bench::Prepared prepared = bench::prepare(spec, params);
+
+        bench::ReplayRun base_run(prepared, params);
+        const double base =
+            static_cast<double>(base_run.runStandard());
+
+        std::vector<std::string> row = {spec.name};
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            bench::ReplayRun run(prepared, params);
+            core::PepOptions options;
+            options.scheme = configs[c].scheme;
+            options.placement = configs[c].placement;
+            run.attachPep(std::make_unique<core::NeverSample>(),
+                          options);
+            const double cycles =
+                static_cast<double>(run.runStandard());
+            ratios[c].push_back(cycles / base);
+            row.push_back(bench::overheadPct(cycles / base));
+        }
+        table.row(std::move(row));
+    }
+
+    table.separator();
+    {
+        std::vector<std::string> avg = {"average"};
+        for (auto &r : ratios)
+            avg.push_back(bench::overheadPct(support::mean(r)));
+        table.row(std::move(avg));
+    }
+
+    std::printf("Section 3.4: instrumentation placement ablation "
+                "(PEP instrumentation only, no sampling)\n\n");
+    std::printf("%s\n", table.str().c_str());
+    std::printf("paper:    smart 1.1%% -> hot-edge placement 2.5%%\n");
+    std::printf("measured: smart %s -> hot-edge placement %s "
+                "(ball-larus %s)\n",
+                bench::overheadPct(support::mean(ratios[0])).c_str(),
+                bench::overheadPct(support::mean(ratios[2])).c_str(),
+                bench::overheadPct(support::mean(ratios[1])).c_str());
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Quickstart: the smallest complete PEP session.
+ *
+ * 1. Assemble a little bytecode program (a loop with a biased branch
+ *    and a helper call).
+ * 2. Load it into the VM, attach PEP(64,17), and run it twice (the
+ *    first iteration warms up the adaptive compiler).
+ * 3. Print the sampled hot paths, the continuous edge profile's
+ *    branch biases, and what the profiling cost.
+ *
+ * Build and run:  ./build/examples/quickstart
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bytecode/assembler.hh"
+#include "core/pep_profiler.hh"
+#include "core/sampling.hh"
+#include "metrics/path_accuracy.hh"
+#include "support/stats.hh"
+#include "vm/machine.hh"
+
+namespace {
+
+const char *kProgram = R"(
+.globals 4
+.method weigh 1 2 returns
+    iload 0
+    iconst 255
+    iand
+    ireturn
+.end
+.method main 0 3
+    iconst 20000
+    istore 0
+loop:
+    iload 0
+    ifle done
+    ; draw a pseudo-random value and branch with ~75% bias
+    irnd
+    iconst 65535
+    iand
+    iconst 49152
+    if_icmplt hot_arm
+    ; cold arm: call the helper
+    irnd
+    invoke weigh
+    istore 1
+    goto next
+hot_arm:
+    iinc 2 1
+next:
+    iinc 0 -1
+    goto loop
+done:
+    return
+.end
+.main main
+)";
+
+} // namespace
+
+int
+main()
+{
+    using namespace pep;
+
+    // --- Load ---------------------------------------------------------
+    const bytecode::Program program =
+        bytecode::assembleOrDie(kProgram);
+    vm::SimParams params;
+    params.tickCycles = 200'000; // a fast timer for this short demo
+    vm::Machine machine(program, params);
+
+    // --- Attach PEP(64,17) --------------------------------------------
+    core::SimplifiedArnoldGrove controller(64, 17);
+    core::PepProfiler pep(machine, controller);
+    machine.addHooks(&pep);
+    machine.addCompileObserver(&pep);
+
+    // --- Run (two application iterations, like a warmed-up server) ----
+    const std::uint64_t iter1 = machine.runIteration();
+    const std::uint64_t iter2 = machine.runIteration();
+    std::printf("ran 2 iterations: %.2f + %.2f Mcycles, %llu timer "
+                "ticks\n\n",
+                iter1 / 1e6, iter2 / 1e6,
+                static_cast<unsigned long long>(
+                    machine.stats().timerTicks));
+
+    // --- Hot paths ------------------------------------------------------
+    metrics::CanonicalPathProfile paths = metrics::canonicalize(pep);
+    std::printf("sampled %llu paths (%zu distinct):\n",
+                static_cast<unsigned long long>(
+                    pep.pepStats().samplesRecorded),
+                paths.paths.size());
+    // Rank by flow = freq x branches.
+    const auto ranked = metrics::rankByFlow(paths, 5);
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+        const auto &key = *ranked[i].key;
+        std::printf("  #%zu: method %s, %zu edges, %.1f%% of flow\n",
+                    i + 1,
+                    program.methods[key.method].name.c_str(),
+                    key.edges.size(), 100.0 * ranked[i].flowShare);
+    }
+
+    // --- Branch biases from the continuous edge profile ----------------
+    std::printf("\ncontinuous edge profile (conditional branches):\n");
+    for (std::size_t m = 0; m < machine.numMethods(); ++m) {
+        const auto id = static_cast<bytecode::MethodId>(m);
+        const auto &cfg = machine.info(id).cfg;
+        const auto &edges = pep.edgeProfile().perMethod[m];
+        for (cfg::BlockId b = 0; b < cfg.graph.numBlocks(); ++b) {
+            if (cfg.terminator[b] != bytecode::TerminatorKind::Cond)
+                continue;
+            const profile::BranchCounts counts = edges.branch(b);
+            if (counts.total() == 0)
+                continue;
+            std::printf("  %s@pc%u: taken %5.1f%%  (%llu samples)\n",
+                        program.methods[m].name.c_str(),
+                        cfg.branchPc(b),
+                        100.0 * counts.takenBias(),
+                        static_cast<unsigned long long>(
+                            counts.total()));
+        }
+    }
+
+    // --- What did it cost? ----------------------------------------------
+    std::printf("\nprofiling activity: %llu paths computed, %llu "
+                "sampled, %llu strides, %llu first-time expansions\n",
+                static_cast<unsigned long long>(
+                    pep.pepStats().pathsCompleted),
+                static_cast<unsigned long long>(
+                    pep.pepStats().samplesTaken),
+                static_cast<unsigned long long>(
+                    pep.pepStats().strides),
+                static_cast<unsigned long long>(
+                    pep.pepStats().firstTimeExpansions));
+    return 0;
+}

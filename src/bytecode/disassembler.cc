@@ -1,0 +1,98 @@
+#include "bytecode/disassembler.hh"
+
+#include <set>
+#include <sstream>
+
+namespace pep::bytecode {
+
+std::string
+disassembleInstr(const Program &program, const Instr &instr)
+{
+    std::ostringstream os;
+    os << mnemonic(instr.op);
+    switch (instr.op) {
+      case Opcode::Iconst:
+      case Opcode::Iload:
+      case Opcode::Istore:
+        os << ' ' << instr.a;
+        break;
+      case Opcode::Iinc:
+        os << ' ' << instr.a << ' ' << instr.b;
+        break;
+      case Opcode::Goto:
+        os << " L" << instr.a;
+        break;
+      case Opcode::Tableswitch:
+        os << ' ' << instr.a << " L" << instr.b;
+        for (std::int32_t target : instr.table)
+            os << " L" << target;
+        break;
+      case Opcode::Invoke: {
+        const auto callee = static_cast<std::size_t>(instr.a);
+        if (callee < program.methods.size())
+            os << ' ' << program.methods[callee].name;
+        else
+            os << " <bad:" << instr.a << '>';
+        break;
+      }
+      default:
+        if (isCondBranch(instr.op))
+            os << " L" << instr.a;
+        break;
+    }
+    return os.str();
+}
+
+std::string
+disassembleMethod(const Program &program, const Method &method)
+{
+    // Collect branch targets so we can emit labels.
+    std::set<Pc> targets;
+    for (const Instr &instr : method.code) {
+        if (instr.op == Opcode::Goto || isCondBranch(instr.op)) {
+            targets.insert(static_cast<Pc>(instr.a));
+        } else if (instr.op == Opcode::Tableswitch) {
+            targets.insert(static_cast<Pc>(instr.b));
+            for (std::int32_t t : instr.table)
+                targets.insert(static_cast<Pc>(t));
+        }
+    }
+
+    std::ostringstream os;
+    os << ".method " << method.name << ' ' << method.numArgs << ' '
+       << method.numLocals;
+    if (method.returnsValue)
+        os << " returns";
+    os << '\n';
+    for (Pc pc = 0; pc < method.code.size(); ++pc) {
+        if (targets.count(pc))
+            os << "L" << pc << ":\n";
+        os << "    " << disassembleInstr(program, method.code[pc])
+           << '\n';
+    }
+    os << ".end\n";
+    return os.str();
+}
+
+std::string
+disassembleProgram(const Program &program)
+{
+    std::ostringstream os;
+    os << ".globals " << program.globalSize << '\n';
+    if (!program.initialGlobals.empty()) {
+        os << ".data";
+        for (std::int32_t v : program.initialGlobals)
+            os << ' ' << v;
+        os << '\n';
+    }
+    for (const Method &method : program.methods) {
+        os << disassembleMethod(program, method);
+    }
+    if (program.mainMethod < program.methods.size()) {
+        os << ".main " << program.methods[program.mainMethod].name
+           << '\n';
+    }
+    return os.str();
+}
+
+} // namespace pep::bytecode

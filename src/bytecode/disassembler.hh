@@ -1,0 +1,28 @@
+#ifndef PEP_BYTECODE_DISASSEMBLER_HH
+#define PEP_BYTECODE_DISASSEMBLER_HH
+
+/**
+ * @file
+ * Disassembler: renders methods and programs back to assembler syntax.
+ * Output round-trips through the assembler (modulo label names).
+ */
+
+#include <string>
+
+#include "bytecode/method.hh"
+
+namespace pep::bytecode {
+
+/** Render one instruction (no label resolution; raw pc targets). */
+std::string disassembleInstr(const Program &program, const Instr &instr);
+
+/** Render one method with generated labels (L<pc>). */
+std::string disassembleMethod(const Program &program,
+                              const Method &method);
+
+/** Render the whole program in assembler syntax. */
+std::string disassembleProgram(const Program &program);
+
+} // namespace pep::bytecode
+
+#endif // PEP_BYTECODE_DISASSEMBLER_HH

@@ -1,0 +1,139 @@
+#include "bytecode/instr.hh"
+
+#include <unordered_map>
+
+namespace pep::bytecode {
+
+bool
+isTerminator(Opcode op)
+{
+    switch (op) {
+      case Opcode::Goto:
+      case Opcode::Tableswitch:
+      case Opcode::Return:
+      case Opcode::Ireturn:
+        return true;
+      default:
+        return isCondBranch(op);
+    }
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ifeq:
+      case Opcode::Ifne:
+      case Opcode::Iflt:
+      case Opcode::Ifge:
+      case Opcode::Ifgt:
+      case Opcode::Ifle:
+      case Opcode::IfIcmpeq:
+      case Opcode::IfIcmpne:
+      case Opcode::IfIcmplt:
+      case Opcode::IfIcmpge:
+      case Opcode::IfIcmpgt:
+      case Opcode::IfIcmple:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCmpBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::IfIcmpeq:
+      case Opcode::IfIcmpne:
+      case Opcode::IfIcmplt:
+      case Opcode::IfIcmpge:
+      case Opcode::IfIcmpgt:
+      case Opcode::IfIcmple:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isReturn(Opcode op)
+{
+    return op == Opcode::Return || op == Opcode::Ireturn;
+}
+
+namespace {
+
+const std::unordered_map<Opcode, const char *> &
+mnemonicTable()
+{
+    static const std::unordered_map<Opcode, const char *> table = {
+        {Opcode::Iconst, "iconst"},
+        {Opcode::Iload, "iload"},
+        {Opcode::Istore, "istore"},
+        {Opcode::Iinc, "iinc"},
+        {Opcode::Dup, "dup"},
+        {Opcode::Pop, "pop"},
+        {Opcode::Swap, "swap"},
+        {Opcode::Iadd, "iadd"},
+        {Opcode::Isub, "isub"},
+        {Opcode::Imul, "imul"},
+        {Opcode::Idiv, "idiv"},
+        {Opcode::Irem, "irem"},
+        {Opcode::Iand, "iand"},
+        {Opcode::Ior, "ior"},
+        {Opcode::Ixor, "ixor"},
+        {Opcode::Ishl, "ishl"},
+        {Opcode::Ishr, "ishr"},
+        {Opcode::Ineg, "ineg"},
+        {Opcode::Gload, "gload"},
+        {Opcode::Gstore, "gstore"},
+        {Opcode::Irnd, "irnd"},
+        {Opcode::Goto, "goto"},
+        {Opcode::Ifeq, "ifeq"},
+        {Opcode::Ifne, "ifne"},
+        {Opcode::Iflt, "iflt"},
+        {Opcode::Ifge, "ifge"},
+        {Opcode::Ifgt, "ifgt"},
+        {Opcode::Ifle, "ifle"},
+        {Opcode::IfIcmpeq, "if_icmpeq"},
+        {Opcode::IfIcmpne, "if_icmpne"},
+        {Opcode::IfIcmplt, "if_icmplt"},
+        {Opcode::IfIcmpge, "if_icmpge"},
+        {Opcode::IfIcmpgt, "if_icmpgt"},
+        {Opcode::IfIcmple, "if_icmple"},
+        {Opcode::Tableswitch, "tableswitch"},
+        {Opcode::Invoke, "invoke"},
+        {Opcode::Return, "return"},
+        {Opcode::Ireturn, "ireturn"},
+    };
+    return table;
+}
+
+} // namespace
+
+const char *
+mnemonic(Opcode op)
+{
+    const auto &table = mnemonicTable();
+    const auto it = table.find(op);
+    return it == table.end() ? "<unknown>" : it->second;
+}
+
+bool
+opcodeFromMnemonic(const std::string &name, Opcode &out)
+{
+    static const auto reverse = [] {
+        std::unordered_map<std::string, Opcode> r;
+        for (const auto &[op, text] : mnemonicTable())
+            r.emplace(text, op);
+        return r;
+    }();
+    const auto it = reverse.find(name);
+    if (it == reverse.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+} // namespace pep::bytecode

@@ -1,0 +1,110 @@
+#ifndef PEP_BYTECODE_INSTR_HH
+#define PEP_BYTECODE_INSTR_HH
+
+/**
+ * @file
+ * The bytecode instruction set: a small integer stack machine modelled on
+ * Java bytecode, which is what PEP's host VM (Jikes RVM) consumes. The
+ * subset is chosen so that benchmarks exercise the control-flow shapes
+ * that matter for path profiling: two-way conditional branches, gotos,
+ * multiway switches, calls, and returns.
+ *
+ * Instructions are stored pre-decoded (one Instr per "pc"); branch
+ * targets are instruction indices within the method.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pep::bytecode {
+
+/** Instruction index within a method's code vector. */
+using Pc = std::uint32_t;
+
+/** Index of a method within its Program. */
+using MethodId = std::uint32_t;
+
+/** Operation codes. */
+enum class Opcode : std::uint8_t
+{
+    // Constants and locals.
+    Iconst,     ///< push a
+    Iload,      ///< push locals[a]
+    Istore,     ///< locals[a] = pop
+    Iinc,       ///< locals[a] += b
+
+    // Stack manipulation.
+    Dup,        ///< duplicate top of stack
+    Pop,        ///< discard top of stack
+    Swap,       ///< swap top two stack values
+
+    // Arithmetic / logic (pop two, push one) unless noted.
+    Iadd, Isub, Imul,
+    Idiv,       ///< divide; division by zero yields 0 (defined semantics)
+    Irem,       ///< remainder; by zero yields 0
+    Iand, Ior, Ixor,
+    Ishl,       ///< shift left by (rhs & 31)
+    Ishr,       ///< arithmetic shift right by (rhs & 31)
+    Ineg,       ///< pop one, push negation
+
+    // Global integer array (the program's mutable data segment).
+    Gload,      ///< pop index, push globals[index]
+    Gstore,     ///< pop index, pop value, globals[index] = value
+
+    // Deterministic pseudo-random source (stands in for data-dependent
+    // behaviour the paper's benchmarks get from their inputs).
+    Irnd,       ///< push next value from the VM's per-run random stream
+
+    // Control flow. Conditional branches compare against zero (IfXX,
+    // pop one) or compare two values (IfIcmpXX, pop two; lhs pushed
+    // first). `a` is the taken target pc.
+    Goto,       ///< unconditional jump to a
+    Ifeq, Ifne, Iflt, Ifge, Ifgt, Ifle,
+    IfIcmpeq, IfIcmpne, IfIcmplt, IfIcmpge, IfIcmpgt, IfIcmple,
+    Tableswitch, ///< pop v; jump table[v - a] if in range else b (default);
+                 ///< `table` holds the case targets for [a, a+len)
+
+    // Calls. `a` is the callee MethodId; the callee's numArgs values are
+    // popped (last argument on top) into the callee's first locals.
+    Invoke,
+    Return,     ///< return void
+    Ireturn,    ///< pop result, push into caller
+};
+
+/** Number of opcodes (Ireturn is last); sizes dispatch tables. */
+constexpr std::size_t kNumOpcodes =
+    static_cast<std::size_t>(Opcode::Ireturn) + 1;
+
+/** One pre-decoded instruction. */
+struct Instr
+{
+    Opcode op = Opcode::Return;
+    std::int32_t a = 0;
+    std::int32_t b = 0;
+
+    /** Case targets; used by Tableswitch only. */
+    std::vector<std::int32_t> table;
+};
+
+/** True for instructions that end a basic block. */
+bool isTerminator(Opcode op);
+
+/** True for two-way conditional branches (IfXX / IfIcmpXX). */
+bool isCondBranch(Opcode op);
+
+/** True for IfIcmpXX (two-operand compares). */
+bool isCmpBranch(Opcode op);
+
+/** True for Return / Ireturn. */
+bool isReturn(Opcode op);
+
+/** Mnemonic text for an opcode. */
+const char *mnemonic(Opcode op);
+
+/** Parse a mnemonic; returns false if unknown. */
+bool opcodeFromMnemonic(const std::string &name, Opcode &out);
+
+} // namespace pep::bytecode
+
+#endif // PEP_BYTECODE_INSTR_HH

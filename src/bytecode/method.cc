@@ -1,0 +1,26 @@
+#include "bytecode/method.hh"
+
+namespace pep::bytecode {
+
+bool
+Program::findMethod(const std::string &name, MethodId &out) const
+{
+    for (std::size_t i = 0; i < methods.size(); ++i) {
+        if (methods[i].name == name) {
+            out = static_cast<MethodId>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::size_t
+Program::totalCodeSize() const
+{
+    std::size_t total = 0;
+    for (const Method &m : methods)
+        total += m.code.size();
+    return total;
+}
+
+} // namespace pep::bytecode

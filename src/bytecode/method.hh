@@ -1,0 +1,65 @@
+#ifndef PEP_BYTECODE_METHOD_HH
+#define PEP_BYTECODE_METHOD_HH
+
+/**
+ * @file
+ * Method and Program containers. A Program is the unit the VM loads and
+ * runs: a set of methods, a designated main method, and a global integer
+ * array that serves as the program's mutable data segment (workload
+ * generators initialize it to give branches data-dependent behaviour).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bytecode/instr.hh"
+
+namespace pep::bytecode {
+
+/** One method: name, signature, and pre-decoded code. */
+struct Method
+{
+    std::string name;
+
+    /** Number of integer arguments (stored in the first locals). */
+    std::uint32_t numArgs = 0;
+
+    /** Total local slots, including arguments. */
+    std::uint32_t numLocals = 0;
+
+    /** True if the method pushes a result (ends with ireturn). */
+    bool returnsValue = false;
+
+    /**
+     * Operand-stack bound computed by the verifier; 0 until verified.
+     */
+    std::uint32_t maxStack = 0;
+
+    std::vector<Instr> code;
+};
+
+/** A complete loadable program. */
+struct Program
+{
+    std::vector<Method> methods;
+
+    /** Index of the main method (entry point; must take no arguments). */
+    MethodId mainMethod = 0;
+
+    /** Size of the global integer array. */
+    std::uint32_t globalSize = 0;
+
+    /** Initial values for globals[0..initialGlobals.size()). */
+    std::vector<std::int32_t> initialGlobals;
+
+    /** Find a method by name; returns false if absent. */
+    bool findMethod(const std::string &name, MethodId &out) const;
+
+    /** Total instruction count across all methods. */
+    std::size_t totalCodeSize() const;
+};
+
+} // namespace pep::bytecode
+
+#endif // PEP_BYTECODE_METHOD_HH

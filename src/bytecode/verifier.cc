@@ -1,0 +1,263 @@
+#include "bytecode/verifier.hh"
+
+#include <deque>
+#include <sstream>
+#include <vector>
+
+namespace pep::bytecode {
+
+namespace {
+
+/** Stack effect bookkeeping for one instruction. */
+struct StackEffect
+{
+    int pops = 0;
+    int pushes = 0;
+};
+
+bool
+stackEffect(const Program &program, const Instr &instr, StackEffect &out,
+            std::string &error)
+{
+    switch (instr.op) {
+      case Opcode::Iconst:
+      case Opcode::Iload:
+      case Opcode::Irnd:
+        out = {0, 1};
+        return true;
+      case Opcode::Istore:
+      case Opcode::Pop:
+        out = {1, 0};
+        return true;
+      case Opcode::Iinc:
+        out = {0, 0};
+        return true;
+      case Opcode::Dup:
+        out = {1, 2};
+        return true;
+      case Opcode::Swap:
+        out = {2, 2};
+        return true;
+      case Opcode::Iadd:
+      case Opcode::Isub:
+      case Opcode::Imul:
+      case Opcode::Idiv:
+      case Opcode::Irem:
+      case Opcode::Iand:
+      case Opcode::Ior:
+      case Opcode::Ixor:
+      case Opcode::Ishl:
+      case Opcode::Ishr:
+        out = {2, 1};
+        return true;
+      case Opcode::Ineg:
+        out = {1, 1};
+        return true;
+      case Opcode::Gload:
+        out = {1, 1};
+        return true;
+      case Opcode::Gstore:
+        out = {2, 0};
+        return true;
+      case Opcode::Goto:
+        out = {0, 0};
+        return true;
+      case Opcode::Tableswitch:
+        out = {1, 0};
+        return true;
+      case Opcode::Invoke: {
+        const auto callee = static_cast<std::size_t>(instr.a);
+        if (instr.a < 0 || callee >= program.methods.size()) {
+            error = "invoke of invalid method index";
+            return false;
+        }
+        const Method &m = program.methods[callee];
+        out = {static_cast<int>(m.numArgs), m.returnsValue ? 1 : 0};
+        return true;
+      }
+      case Opcode::Return:
+        out = {0, 0};
+        return true;
+      case Opcode::Ireturn:
+        out = {1, 0};
+        return true;
+      default:
+        if (isCmpBranch(instr.op)) {
+            out = {2, 0};
+            return true;
+        }
+        if (isCondBranch(instr.op)) {
+            out = {1, 0};
+            return true;
+        }
+        error = "unknown opcode";
+        return false;
+    }
+}
+
+VerifyResult
+fail(const Method &method, Pc pc, const std::string &message)
+{
+    std::ostringstream os;
+    os << "method '" << method.name << "' pc " << pc << ": " << message;
+    return VerifyResult{false, os.str()};
+}
+
+} // namespace
+
+VerifyResult
+verifyMethod(const Program &program, Method &method)
+{
+    const auto &code = method.code;
+    const std::size_t n = code.size();
+
+    if (n == 0)
+        return fail(method, 0, "empty code");
+    if (method.numArgs > method.numLocals)
+        return fail(method, 0, "numArgs exceeds numLocals");
+
+    auto check_target = [&](Pc pc, std::int32_t target) -> bool {
+        return target >= 0 && static_cast<std::size_t>(target) < n &&
+               static_cast<Pc>(target) != pc;
+    };
+
+    // Structural checks.
+    for (Pc pc = 0; pc < n; ++pc) {
+        const Instr &instr = code[pc];
+        switch (instr.op) {
+          case Opcode::Iload:
+          case Opcode::Istore:
+          case Opcode::Iinc:
+            if (instr.a < 0 ||
+                static_cast<std::uint32_t>(instr.a) >= method.numLocals) {
+                return fail(method, pc, "local slot out of range");
+            }
+            break;
+          case Opcode::Goto:
+            if (!check_target(pc, instr.a))
+                return fail(method, pc, "bad goto target");
+            break;
+          case Opcode::Tableswitch:
+            for (std::int32_t target : instr.table) {
+                if (!check_target(pc, target))
+                    return fail(method, pc, "bad switch case target");
+            }
+            if (!check_target(pc, instr.b))
+                return fail(method, pc, "bad switch default target");
+            break;
+          case Opcode::Return:
+            if (method.returnsValue) {
+                return fail(method, pc,
+                            "void return in value-returning method");
+            }
+            break;
+          case Opcode::Ireturn:
+            if (!method.returnsValue) {
+                return fail(method, pc,
+                            "ireturn in void method");
+            }
+            break;
+          default:
+            if (isCondBranch(instr.op) && !check_target(pc, instr.a))
+                return fail(method, pc, "bad branch target");
+            break;
+        }
+        // Fall-through off the end: any instruction that can fall
+        // through must have a successor pc.
+        const bool falls_through =
+            !(instr.op == Opcode::Goto ||
+              instr.op == Opcode::Tableswitch || isReturn(instr.op));
+        if (falls_through && pc + 1 >= n)
+            return fail(method, pc, "code falls off the end");
+    }
+
+    // Stack discipline: breadth-first propagation of stack depth.
+    constexpr int kUnknown = -1;
+    std::vector<int> depth_at(n, kUnknown);
+    std::deque<Pc> worklist;
+    depth_at[0] = 0;
+    worklist.push_back(0);
+
+    int max_depth = 0;
+    while (!worklist.empty()) {
+        const Pc pc = worklist.front();
+        worklist.pop_front();
+        const Instr &instr = code[pc];
+        const int depth_in = depth_at[pc];
+
+        StackEffect effect;
+        std::string effect_error;
+        if (!stackEffect(program, instr, effect, effect_error))
+            return fail(method, pc, effect_error);
+
+        if (depth_in < effect.pops)
+            return fail(method, pc, "operand stack underflow");
+        const int depth_out = depth_in - effect.pops + effect.pushes;
+        max_depth = std::max(max_depth, depth_out);
+
+        if (instr.op == Opcode::Return && depth_in != 0)
+            return fail(method, pc, "return with non-empty stack");
+        if (instr.op == Opcode::Ireturn && depth_in != 1)
+            return fail(method, pc, "ireturn with extra stack values");
+
+        auto propagate = [&](std::int32_t target) -> bool {
+            const Pc t = static_cast<Pc>(target);
+            if (depth_at[t] == kUnknown) {
+                depth_at[t] = depth_out;
+                worklist.push_back(t);
+                return true;
+            }
+            return depth_at[t] == depth_out;
+        };
+
+        bool merged_ok = true;
+        switch (instr.op) {
+          case Opcode::Goto:
+            merged_ok = propagate(instr.a);
+            break;
+          case Opcode::Tableswitch:
+            for (std::int32_t target : instr.table)
+                merged_ok = merged_ok && propagate(target);
+            merged_ok = merged_ok && propagate(instr.b);
+            break;
+          case Opcode::Return:
+          case Opcode::Ireturn:
+            break;
+          default:
+            if (isCondBranch(instr.op))
+                merged_ok = propagate(instr.a);
+            merged_ok = merged_ok &&
+                        propagate(static_cast<std::int32_t>(pc + 1));
+            break;
+        }
+        if (!merged_ok) {
+            return fail(method, pc,
+                        "inconsistent stack depth at merge point");
+        }
+    }
+
+    method.maxStack = static_cast<std::uint32_t>(max_depth);
+    return VerifyResult{};
+}
+
+VerifyResult
+verifyProgram(Program &program)
+{
+    if (program.methods.empty())
+        return VerifyResult{false, "program has no methods"};
+    if (program.mainMethod >= program.methods.size())
+        return VerifyResult{false, "invalid main method index"};
+    if (program.methods[program.mainMethod].numArgs != 0)
+        return VerifyResult{false, "main method must take no arguments"};
+    if (program.initialGlobals.size() > program.globalSize)
+        return VerifyResult{false, "globals initializer exceeds size"};
+
+    for (Method &method : program.methods) {
+        VerifyResult r = verifyMethod(program, method);
+        if (!r.ok)
+            return r;
+    }
+    return VerifyResult{};
+}
+
+} // namespace pep::bytecode

@@ -1,0 +1,44 @@
+#ifndef PEP_BYTECODE_VERIFIER_HH
+#define PEP_BYTECODE_VERIFIER_HH
+
+/**
+ * @file
+ * Bytecode verifier. Checks structural well-formedness (branch targets,
+ * falling off the end), local-slot bounds, call targets, and operand
+ * stack discipline (consistent depth at every pc, exact depth at
+ * returns). Computes each method's maxStack as a side effect.
+ *
+ * The VM refuses to load unverified programs, so the interpreter and the
+ * profilers may assume well-formed code.
+ */
+
+#include <string>
+
+#include "bytecode/method.hh"
+
+namespace pep::bytecode {
+
+/** Outcome of verification. */
+struct VerifyResult
+{
+    bool ok = true;
+
+    /** Human-readable description of the first problem found. */
+    std::string error;
+};
+
+/**
+ * Verify one method against its program (needed to resolve call
+ * signatures). On success, fills in method.maxStack.
+ */
+VerifyResult verifyMethod(const Program &program, Method &method);
+
+/**
+ * Verify a whole program: every method, plus program-level rules (valid
+ * main taking no arguments, globals initializer fits).
+ */
+VerifyResult verifyProgram(Program &program);
+
+} // namespace pep::bytecode
+
+#endif // PEP_BYTECODE_VERIFIER_HH

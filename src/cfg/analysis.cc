@@ -1,0 +1,159 @@
+#include "cfg/analysis.hh"
+
+#include <algorithm>
+
+#include "support/panic.hh"
+
+namespace pep::cfg {
+
+DfsResult
+depthFirstSearch(const Graph &graph)
+{
+    const std::size_t n = graph.numBlocks();
+    DfsResult result;
+    result.rpoIndex.assign(n, -1);
+    result.reachable.assign(n, false);
+
+    // Iterative DFS computing postorder and retreating edges. A block is
+    // "on stack" from discovery until its postorder number is assigned.
+    enum class Color : std::uint8_t { White, OnStack, Done };
+    std::vector<Color> color(n, Color::White);
+
+    struct Frame
+    {
+        BlockId block;
+        std::uint32_t nextSucc;
+    };
+    std::vector<Frame> stack;
+    std::vector<BlockId> postorder;
+    postorder.reserve(n);
+
+    color[graph.entry()] = Color::OnStack;
+    result.reachable[graph.entry()] = true;
+    stack.push_back(Frame{graph.entry(), 0});
+
+    while (!stack.empty()) {
+        Frame &frame = stack.back();
+        const auto &succs = graph.succs(frame.block);
+        if (frame.nextSucc < succs.size()) {
+            const std::uint32_t idx = frame.nextSucc++;
+            const BlockId succ = succs[idx];
+            if (color[succ] == Color::White) {
+                color[succ] = Color::OnStack;
+                result.reachable[succ] = true;
+                stack.push_back(Frame{succ, 0});
+            } else if (color[succ] == Color::OnStack) {
+                result.retreatingEdges.push_back(
+                    EdgeRef{frame.block, idx});
+            }
+        } else {
+            postorder.push_back(frame.block);
+            color[frame.block] = Color::Done;
+            stack.pop_back();
+        }
+    }
+
+    result.reversePostorder.assign(postorder.rbegin(), postorder.rend());
+    for (std::size_t i = 0; i < result.reversePostorder.size(); ++i)
+        result.rpoIndex[result.reversePostorder[i]] =
+            static_cast<std::int32_t>(i);
+    return result;
+}
+
+LoopInfo
+findLoops(const Graph &graph, const DfsResult &dfs)
+{
+    LoopInfo info;
+    info.loopHeader.assign(graph.numBlocks(), false);
+    info.backEdges = dfs.retreatingEdges;
+    for (const EdgeRef &e : info.backEdges) {
+        const BlockId header = graph.edgeDst(e);
+        if (!info.loopHeader[header]) {
+            info.loopHeader[header] = true;
+            ++info.numHeaders;
+        }
+    }
+    return info;
+}
+
+std::vector<BlockId>
+immediateDominators(const Graph &graph, const DfsResult &dfs)
+{
+    const std::size_t n = graph.numBlocks();
+    std::vector<BlockId> idom(n, kInvalidBlock);
+    idom[graph.entry()] = graph.entry();
+
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (dfs.rpoIndex[a] > dfs.rpoIndex[b])
+                a = idom[a];
+            while (dfs.rpoIndex[b] > dfs.rpoIndex[a])
+                b = idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b : dfs.reversePostorder) {
+            if (b == graph.entry())
+                continue;
+            BlockId new_idom = kInvalidBlock;
+            for (BlockId p : graph.preds(b)) {
+                if (!dfs.reachable[p] || idom[p] == kInvalidBlock)
+                    continue;
+                if (new_idom == kInvalidBlock)
+                    new_idom = p;
+                else
+                    new_idom = intersect(new_idom, p);
+            }
+            if (new_idom != kInvalidBlock && idom[b] != new_idom) {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+bool
+dominates(const std::vector<BlockId> &idom, BlockId a, BlockId b)
+{
+    PEP_ASSERT(b < idom.size());
+    if (idom[b] == kInvalidBlock)
+        return false; // b unreachable
+    BlockId cur = b;
+    for (;;) {
+        if (cur == a)
+            return true;
+        const BlockId up = idom[cur];
+        if (up == cur)
+            return false; // reached entry
+        cur = up;
+    }
+}
+
+bool
+isReducible(const Graph &graph)
+{
+    const DfsResult dfs = depthFirstSearch(graph);
+    const std::vector<BlockId> idom = immediateDominators(graph, dfs);
+    for (const EdgeRef &e : dfs.retreatingEdges) {
+        if (!dominates(idom, graph.edgeDst(e), e.src))
+            return false;
+    }
+    return true;
+}
+
+std::vector<BlockId>
+topologicalOrder(const Graph &graph)
+{
+    const DfsResult dfs = depthFirstSearch(graph);
+    PEP_ASSERT_MSG(dfs.retreatingEdges.empty(),
+                   "topologicalOrder called on a cyclic graph");
+    // For an acyclic graph, reverse postorder is a topological order.
+    return dfs.reversePostorder;
+}
+
+} // namespace pep::cfg

@@ -1,0 +1,82 @@
+#ifndef PEP_CFG_ANALYSIS_HH
+#define PEP_CFG_ANALYSIS_HH
+
+/**
+ * @file
+ * CFG analyses needed by path profiling: depth-first orders, retreating
+ * (loop back) edges and loop headers, dominators, reducibility, and
+ * topological order for acyclic graphs.
+ *
+ * PEP truncates paths at loop headers. For reducible CFGs the headers are
+ * the targets of back edges (edges whose target dominates their source);
+ * for irreducible CFGs we conservatively treat the target of every
+ * DFS-retreating edge as a header, which still guarantees the truncated
+ * graph is acyclic (every cycle contains a retreating edge).
+ */
+
+#include <vector>
+
+#include "cfg/graph.hh"
+
+namespace pep::cfg {
+
+/** Result of a depth-first traversal from the entry block. */
+struct DfsResult
+{
+    /** Blocks in reverse postorder (entry first). Unreachable omitted. */
+    std::vector<BlockId> reversePostorder;
+
+    /** Position of each block in reversePostorder; -1 if unreachable. */
+    std::vector<std::int32_t> rpoIndex;
+
+    /** Edges whose target was on the DFS stack when traversed. */
+    std::vector<EdgeRef> retreatingEdges;
+
+    /** True if the block is reachable from entry. */
+    std::vector<bool> reachable;
+};
+
+/** Run an iterative DFS from entry, with deterministic successor order. */
+DfsResult depthFirstSearch(const Graph &graph);
+
+/** Loop structure derived from a DFS. */
+struct LoopInfo
+{
+    /** loopHeader[b] is true if some retreating edge targets b. */
+    std::vector<bool> loopHeader;
+
+    /** The retreating edges ("back edges" when the graph is reducible). */
+    std::vector<EdgeRef> backEdges;
+
+    /** Number of distinct headers. */
+    std::size_t numHeaders = 0;
+};
+
+/** Identify loop headers and back edges. */
+LoopInfo findLoops(const Graph &graph, const DfsResult &dfs);
+
+/**
+ * Immediate dominators (Cooper-Harvey-Kennedy iterative algorithm).
+ * idom[entry] == entry; idom[b] == kInvalidBlock for unreachable b.
+ */
+std::vector<BlockId> immediateDominators(const Graph &graph,
+                                         const DfsResult &dfs);
+
+/** True if `a` dominates `b` under the given idom tree. */
+bool dominates(const std::vector<BlockId> &idom, BlockId a, BlockId b);
+
+/**
+ * True if the CFG is reducible: every retreating edge's target dominates
+ * its source.
+ */
+bool isReducible(const Graph &graph);
+
+/**
+ * Topological order of an acyclic graph (reachable blocks only, entry
+ * first). Panics if a cycle exists among reachable blocks.
+ */
+std::vector<BlockId> topologicalOrder(const Graph &graph);
+
+} // namespace pep::cfg
+
+#endif // PEP_CFG_ANALYSIS_HH

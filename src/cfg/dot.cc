@@ -1,0 +1,64 @@
+#include "cfg/dot.hh"
+
+#include <sstream>
+
+namespace pep::cfg {
+
+namespace {
+
+std::string
+escapeLabel(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+toDot(const Graph &graph, const DotOptions &options)
+{
+    std::ostringstream os;
+    os << "digraph " << options.name << " {\n";
+    os << "  node [shape=box, fontname=\"monospace\"];\n";
+
+    for (BlockId b = 0; b < graph.numBlocks(); ++b) {
+        std::string label;
+        if (options.blockLabel) {
+            label = options.blockLabel(b);
+        } else if (b == graph.entry()) {
+            label = "ENTRY";
+        } else if (b == graph.exit()) {
+            label = "EXIT";
+        } else {
+            label = "B" + std::to_string(b);
+        }
+        os << "  n" << b << " [label=\"" << escapeLabel(label)
+           << "\"];\n";
+    }
+
+    for (const EdgeRef &e : graph.allEdges()) {
+        os << "  n" << e.src << " -> n" << graph.edgeDst(e);
+        if (options.edgeLabel) {
+            const std::string label = options.edgeLabel(e);
+            if (!label.empty())
+                os << " [label=\"" << escapeLabel(label) << "\"]";
+        }
+        os << ";\n";
+    }
+
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace pep::cfg

@@ -1,0 +1,36 @@
+#ifndef PEP_CFG_DOT_HH
+#define PEP_CFG_DOT_HH
+
+/**
+ * @file
+ * Graphviz dot output for CFGs, used by the profile-explorer example and
+ * for debugging. Labels are supplied by callbacks so any client-side
+ * annotation (bytecode ranges, edge values) can be rendered.
+ */
+
+#include <functional>
+#include <string>
+
+#include "cfg/graph.hh"
+
+namespace pep::cfg {
+
+/** Options controlling dot rendering. */
+struct DotOptions
+{
+    /** Graph name emitted in the digraph header. */
+    std::string name = "cfg";
+
+    /** Label for each block; defaults to the block id. */
+    std::function<std::string(BlockId)> blockLabel;
+
+    /** Label for each edge; empty string omits the label. */
+    std::function<std::string(EdgeRef)> edgeLabel;
+};
+
+/** Render the graph in Graphviz dot syntax. */
+std::string toDot(const Graph &graph, const DotOptions &options = {});
+
+} // namespace pep::cfg
+
+#endif // PEP_CFG_DOT_HH

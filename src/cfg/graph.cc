@@ -1,0 +1,86 @@
+#include "cfg/graph.hh"
+
+#include <sstream>
+
+#include "support/panic.hh"
+
+namespace pep::cfg {
+
+Graph::Graph()
+{
+    addBlock(); // entry, id 0
+    addBlock(); // exit, id 1
+}
+
+BlockId
+Graph::addBlock()
+{
+    const BlockId id = static_cast<BlockId>(succs_.size());
+    succs_.emplace_back();
+    preds_.emplace_back();
+    return id;
+}
+
+EdgeRef
+Graph::addEdge(BlockId src, BlockId dst)
+{
+    PEP_ASSERT(src < succs_.size() && dst < succs_.size());
+    EdgeRef e{src, static_cast<std::uint32_t>(succs_[src].size())};
+    succs_[src].push_back(dst);
+    preds_[dst].push_back(src);
+    ++num_edges_;
+    return e;
+}
+
+const std::vector<BlockId> &
+Graph::succs(BlockId b) const
+{
+    PEP_ASSERT(b < succs_.size());
+    return succs_[b];
+}
+
+const std::vector<BlockId> &
+Graph::preds(BlockId b) const
+{
+    PEP_ASSERT(b < preds_.size());
+    return preds_[b];
+}
+
+BlockId
+Graph::edgeDst(EdgeRef e) const
+{
+    PEP_ASSERT(e.src < succs_.size());
+    PEP_ASSERT(e.index < succs_[e.src].size());
+    return succs_[e.src][e.index];
+}
+
+std::vector<EdgeRef>
+Graph::allEdges() const
+{
+    std::vector<EdgeRef> edges;
+    edges.reserve(num_edges_);
+    for (BlockId b = 0; b < succs_.size(); ++b) {
+        for (std::uint32_t i = 0; i < succs_[b].size(); ++i)
+            edges.push_back(EdgeRef{b, i});
+    }
+    return edges;
+}
+
+std::string
+Graph::validate() const
+{
+    std::ostringstream os;
+    if (!preds_[entry()].empty()) {
+        os << "entry block has " << preds_[entry()].size()
+           << " predecessor(s)";
+        return os.str();
+    }
+    if (!succs_[exit()].empty()) {
+        os << "exit block has " << succs_[exit()].size()
+           << " successor(s)";
+        return os.str();
+    }
+    return {};
+}
+
+} // namespace pep::cfg

@@ -1,0 +1,111 @@
+#ifndef PEP_CFG_GRAPH_HH
+#define PEP_CFG_GRAPH_HH
+
+/**
+ * @file
+ * Control-flow graph structure. A Graph owns a set of basic blocks
+ * (identified by dense BlockId indices) and ordered successor lists.
+ * Successor order is semantically meaningful for clients (e.g., the
+ * bytecode CFG builder puts the taken target first for conditional
+ * branches), and edges are identified as (source block, successor index)
+ * so that parallel edges — which occur with switches and are significant
+ * for path profiling — remain distinct.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pep::cfg {
+
+/** Dense index of a basic block within its Graph. */
+using BlockId = std::uint32_t;
+
+/** Sentinel for "no block". */
+constexpr BlockId kInvalidBlock = static_cast<BlockId>(-1);
+
+/**
+ * Identity of one CFG edge: the `index`-th successor of block `src`.
+ * Parallel edges (same src/dst) get distinct indices.
+ */
+struct EdgeRef
+{
+    BlockId src = kInvalidBlock;
+    std::uint32_t index = 0;
+
+    bool
+    operator==(const EdgeRef &other) const
+    {
+        return src == other.src && index == other.index;
+    }
+
+    bool
+    operator<(const EdgeRef &other) const
+    {
+        if (src != other.src)
+            return src < other.src;
+        return index < other.index;
+    }
+};
+
+/**
+ * A directed graph over basic blocks with a designated entry and exit.
+ * Entry and exit are ordinary blocks created by the constructor; clients
+ * add further blocks and edges. Predecessor lists are maintained
+ * incrementally.
+ */
+class Graph
+{
+  public:
+    /** Create a graph containing only the synthetic entry and exit. */
+    Graph();
+
+    /** Add a block and return its id. */
+    BlockId addBlock();
+
+    /**
+     * Add an edge from src's successor list tail to dst; returns the edge.
+     * Parallel edges are allowed.
+     */
+    EdgeRef addEdge(BlockId src, BlockId dst);
+
+    /** The synthetic entry block (always id 0). */
+    BlockId entry() const { return 0; }
+
+    /** The synthetic exit block (always id 1). */
+    BlockId exit() const { return 1; }
+
+    /** Number of blocks, including entry and exit. */
+    std::size_t numBlocks() const { return succs_.size(); }
+
+    /** Total number of edges. */
+    std::size_t numEdges() const { return num_edges_; }
+
+    /** Ordered successor list of a block. */
+    const std::vector<BlockId> &succs(BlockId b) const;
+
+    /** Predecessor list of a block (insertion order). */
+    const std::vector<BlockId> &preds(BlockId b) const;
+
+    /** Destination block of an edge. */
+    BlockId edgeDst(EdgeRef e) const;
+
+    /** All edges, in (src, index) order. */
+    std::vector<EdgeRef> allEdges() const;
+
+    /**
+     * Check structural sanity: entry has no predecessors, exit has no
+     * successors, every edge endpoint is a valid block. Returns an empty
+     * string if OK, else a description of the first problem.
+     */
+    std::string validate() const;
+
+  private:
+    std::vector<std::vector<BlockId>> succs_;
+    std::vector<std::vector<BlockId>> preds_;
+    std::size_t num_edges_ = 0;
+};
+
+} // namespace pep::cfg
+
+#endif // PEP_CFG_GRAPH_HH

@@ -1,0 +1,233 @@
+#include "core/path_engine.hh"
+
+#include "profile/spanning_placement.hh"
+#include "vm/inliner.hh"
+#include "support/panic.hh"
+
+namespace pep::core {
+
+std::unique_ptr<MethodProfilingState>
+buildProfilingState(const bytecode::MethodCfg &method_cfg,
+                    bytecode::MethodId method, std::uint32_t version,
+                    profile::DagMode mode,
+                    profile::NumberingScheme scheme,
+                    const profile::MethodEdgeProfile *freq_profile,
+                    profile::PlacementKind placement)
+{
+    auto state = std::make_unique<MethodProfilingState>();
+    state->method = method;
+    state->version = version;
+    state->pdag = profile::buildPDag(method_cfg, mode);
+
+    // Edge frequency estimates (used by Smart numbering and by the
+    // spanning-tree placement); all-zero when no profile exists, which
+    // reduces both to deterministic structural choices.
+    profile::DagEdgeFreqs freqs;
+    if (freq_profile) {
+        freqs = profile::estimateDagEdgeFrequencies(
+            method_cfg, state->pdag, freq_profile->counts());
+    } else {
+        freqs.resize(state->pdag.dag.numBlocks());
+        for (cfg::BlockId v = 0; v < state->pdag.dag.numBlocks(); ++v)
+            freqs[v].assign(state->pdag.dag.succs(v).size(), 0.0);
+    }
+
+    if (scheme == profile::NumberingScheme::BallLarus) {
+        state->numbering =
+            profile::numberPaths(state->pdag, scheme, nullptr);
+    } else {
+        state->numbering = profile::numberPaths(state->pdag, scheme,
+                                                &freqs);
+    }
+
+    state->plan = profile::buildInstrumentationPlan(
+        method_cfg, state->pdag, state->numbering);
+    if (state->plan.enabled &&
+        placement == profile::PlacementKind::SpanningTree) {
+        const profile::SpanningPlacement spanning =
+            profile::computeSpanningPlacement(state->pdag,
+                                              state->numbering, &freqs);
+        profile::applySpanningPlacement(method_cfg, state->pdag,
+                                        spanning, state->plan);
+    }
+    if (state->plan.enabled) {
+        state->reconstructor =
+            std::make_unique<profile::PathReconstructor>(
+                method_cfg, state->pdag, state->numbering);
+    }
+    return state;
+}
+
+PathEngine::PathEngine(vm::Machine &machine, profile::DagMode mode,
+                       profile::NumberingScheme scheme,
+                       bool charge_costs,
+                       profile::PlacementKind placement)
+    : vm_(machine), mode_(mode), scheme_(scheme),
+      chargeCosts_(charge_costs), placement_(placement)
+{
+}
+
+const profile::MethodEdgeProfile *
+PathEngine::freqProfileFor(bytecode::MethodId method)
+{
+    const profile::MethodEdgeProfile &one_time =
+        vm_.oneTimeEdges().perMethod[method];
+    return one_time.totalCount() > 0 ? &one_time : nullptr;
+}
+
+void
+PathEngine::onCompile(bytecode::MethodId method,
+                      const vm::CompiledMethod &version)
+{
+    // Instrument the code the version actually runs: the inlined body
+    // when inlining produced one, otherwise the method's own CFG.
+    const bytecode::MethodCfg &version_cfg =
+        version.inlinedBody ? version.inlinedBody->info.cfg
+                            : vm_.info(method).cfg;
+    auto state = buildProfilingState(
+        version_cfg, method, version.version, mode_, scheme_,
+        version.inlinedBody ? nullptr : freqProfileFor(method),
+        placement_);
+    state->compiled = &version;
+    if (!state->plan.enabled)
+        ++overflowCount_;
+
+    // Charge the instrumentation pass (three quick passes over the
+    // method; Section 6.2).
+    const vm::CostModel &cost = vm_.params().cost;
+    const std::uint32_t per_instr =
+        version.level == vm::OptLevel::Opt2
+            ? cost.opt2CompileCostPerInstr
+            : cost.opt1CompileCostPerInstr;
+    const double pass_cycles =
+        cost.pepCompilePassOverhead * per_instr *
+        static_cast<double>(vm_.program().methods[method].code.size());
+    charge(static_cast<std::uint64_t>(pass_cycles));
+
+    VersionProfile vp;
+    vp.state = std::move(state);
+    versions_[{method, version.version}] = std::move(vp);
+}
+
+const MethodProfilingState *
+PathEngine::stateFor(bytecode::MethodId method,
+                     std::uint32_t version) const
+{
+    const auto it = versions_.find({method, version});
+    if (it == versions_.end() || !it->second.state->plan.enabled)
+        return nullptr;
+    return it->second.state.get();
+}
+
+void
+PathEngine::clearPathProfiles()
+{
+    for (auto &[key, vp] : versions_)
+        vp.paths.clear();
+}
+
+void
+PathEngine::onMethodEntry(const vm::FrameView &frame)
+{
+    FrameState fs;
+    const auto it =
+        versions_.find({frame.method, frame.version->version});
+    if (it != versions_.end() && it->second.state->plan.enabled) {
+        fs.vp = &it->second;
+        charge(vm_.params().cost.pathRegResetCost); // r = 0
+    }
+    fs.reg = 0;
+    stack_.push_back(fs);
+    PEP_ASSERT(stack_.size() == frame.depth + 1);
+}
+
+void
+PathEngine::onMethodExit(const vm::FrameView &frame)
+{
+    PEP_ASSERT(stack_.size() == frame.depth + 1);
+    FrameState &fs = stack_.back();
+    if (fs.vp) {
+        // Path ends at method exit; its number is r (the return edge's
+        // increment was applied by onEdge).
+        pathCompleted(*fs.vp, fs.reg);
+    }
+    stack_.pop_back();
+}
+
+void
+PathEngine::onEdge(const vm::FrameView &frame, cfg::EdgeRef edge)
+{
+    (void)frame;
+    FrameState &fs = stack_.back();
+    if (!fs.vp)
+        return;
+    const profile::EdgeAction &action =
+        fs.vp->state->plan.edgeActions[edge.src][edge.index];
+    if (action.endsPath) {
+        // Truncated back edge (BackEdgeTruncate mode): the classic
+        // BLPP count[r + endAdd]++ / r = restart pair.
+        const vm::CostModel &cost = vm_.params().cost;
+        if (action.endAdd != 0)
+            charge(cost.pathRegAddCost);
+        pathCompleted(*fs.vp, fs.reg + action.endAdd);
+        fs.reg = action.restart;
+        charge(cost.pathRegResetCost);
+    } else if (action.increment != 0) {
+        fs.reg += action.increment;
+        charge(vm_.params().cost.pathRegAddCost);
+    }
+}
+
+void
+PathEngine::onOsr(const vm::FrameView &frame, cfg::BlockId header)
+{
+    FrameState &fs = stack_.back();
+    PEP_ASSERT(stack_.size() == frame.depth + 1);
+
+    if (mode_ != profile::DagMode::HeaderSplit) {
+        // Back-edge truncation has the frame mid-path at a header; the
+        // old register is meaningless under the new plan, so stop
+        // profiling this frame conservatively.
+        fs.vp = nullptr;
+        return;
+    }
+
+    // Header splitting makes OSR clean: the old version's path just
+    // ended at this header, so rebinding to the new version's plan and
+    // restarting the register is exactly what a fresh entry through
+    // this header would do.
+    const auto it =
+        versions_.find({frame.method, frame.version->version});
+    if (it == versions_.end() || !it->second.state->plan.enabled ||
+        !it->second.state->plan.headerActions[header].endsPath) {
+        // No instrumentation for the new version, or the OSR point is
+        // not a path boundary under the new plan: stop profiling this
+        // frame rather than corrupt the register.
+        fs.vp = nullptr;
+        return;
+    }
+    fs.vp = &it->second;
+    fs.reg = it->second.state->plan.headerActions[header].restart;
+    charge(vm_.params().cost.pathRegResetCost);
+}
+
+void
+PathEngine::onLoopHeader(const vm::FrameView &frame, cfg::BlockId block)
+{
+    (void)frame;
+    FrameState &fs = stack_.back();
+    if (!fs.vp)
+        return;
+    const profile::HeaderAction &action =
+        fs.vp->state->plan.headerActions[block];
+    if (!action.endsPath)
+        return;
+    const vm::CostModel &cost = vm_.params().cost;
+    if (action.endAdd != 0)
+        charge(cost.pathRegAddCost);
+    pathCompleted(*fs.vp, fs.reg + action.endAdd);
+    fs.reg = action.restart;
+    charge(cost.pathRegResetCost);
+}
+
+} // namespace pep::core

@@ -1,0 +1,182 @@
+#ifndef PEP_CORE_PATH_ENGINE_HH
+#define PEP_CORE_PATH_ENGINE_HH
+
+/**
+ * @file
+ * Shared machinery for every path-profiling client: builds per-version
+ * instrumentation state when the optimizing compiler runs (P-DAG,
+ * numbering, plan, reconstructor), and executes the path-register
+ * semantics against interpreter events. Subclasses decide what happens
+ * when a path completes (store always = BLPP/perfect; store at samples
+ * = PEP; store for free = ground truth).
+ *
+ * Matching the paper (Section 4.3), instrumentation is added only by
+ * the optimizing compiler: frames running baseline code carry no state
+ * and generate no path events.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "profile/instr_plan.hh"
+#include "profile/numbering.hh"
+#include "profile/path_profile.hh"
+#include "profile/pdag.hh"
+#include "profile/reconstruct.hh"
+#include "vm/hooks.hh"
+#include "vm/machine.hh"
+
+namespace pep::core {
+
+/** Immutable per-(method, compiled-version) profiling state. */
+struct MethodProfilingState
+{
+    bytecode::MethodId method = 0;
+    std::uint32_t version = 0;
+
+    /** The compiled version this state instruments (owned by the
+     *  Machine; nullptr for states built directly in tests). Carries
+     *  the inlined body and its block-origin map when inlining is on. */
+    const vm::CompiledMethod *compiled = nullptr;
+
+    profile::PDag pdag;
+    profile::Numbering numbering;
+    profile::InstrumentationPlan plan;
+
+    /** Built last; holds references into this struct and the CFG. */
+    std::unique_ptr<profile::PathReconstructor> reconstructor;
+};
+
+/** Build the state for one method (cfg must outlive the state). */
+std::unique_ptr<MethodProfilingState>
+buildProfilingState(const bytecode::MethodCfg &method_cfg,
+                    bytecode::MethodId method, std::uint32_t version,
+                    profile::DagMode mode,
+                    profile::NumberingScheme scheme,
+                    const profile::MethodEdgeProfile *freq_profile,
+                    profile::PlacementKind placement =
+                        profile::PlacementKind::Direct);
+
+/**
+ * One compiled version's profiling state plus the path frequencies
+ * collected against it. Path numbers are only meaningful relative to a
+ * specific numbering, so profiles are kept per version; records cache
+ * their version-independent CFG-edge expansion, which metrics use to
+ * merge and compare profiles across versions and numbering schemes.
+ */
+struct VersionProfile
+{
+    std::unique_ptr<MethodProfilingState> state;
+    profile::MethodPathProfile paths;
+};
+
+/** Key: (method, compiled version number). */
+using VersionKey = std::pair<bytecode::MethodId, std::uint32_t>;
+
+/**
+ * Base class executing path-register instrumentation. Implements
+ * ExecutionHooks and CompileObserver; attach to a Machine with both
+ * addHooks() and addCompileObserver().
+ */
+class PathEngine : public vm::ExecutionHooks, public vm::CompileObserver
+{
+  public:
+    /**
+     * @param machine    the VM (used for cost charging and CFG access)
+     * @param mode       P-DAG construction (PEP uses HeaderSplit)
+     * @param scheme     numbering scheme
+     * @param charge_costs false for zero-overhead ground-truth use
+     * @param placement  increment placement strategy
+     */
+    PathEngine(vm::Machine &machine, profile::DagMode mode,
+               profile::NumberingScheme scheme, bool charge_costs,
+               profile::PlacementKind placement =
+                   profile::PlacementKind::Direct);
+
+    // CompileObserver
+    void onCompile(bytecode::MethodId method,
+                   const vm::CompiledMethod &version) override;
+
+    // ExecutionHooks
+    void onMethodEntry(const vm::FrameView &frame) override;
+    void onMethodExit(const vm::FrameView &frame) override;
+    void onEdge(const vm::FrameView &frame, cfg::EdgeRef edge) override;
+    void onLoopHeader(const vm::FrameView &frame,
+                      cfg::BlockId block) override;
+    void onOsr(const vm::FrameView &frame, cfg::BlockId header) override;
+
+    /** Look up the state of a compiled version (nullptr if none,
+     *  e.g. baseline code or overflowed numbering). */
+    const MethodProfilingState *
+    stateFor(bytecode::MethodId method, std::uint32_t version) const;
+
+    /** All versions this engine instrumented, with their profiles. */
+    const std::map<VersionKey, VersionProfile> &
+    versionProfiles() const
+    {
+        return versions_;
+    }
+
+    /** Mutable access (metrics expand records lazily). */
+    std::map<VersionKey, VersionProfile> &
+    versionProfiles()
+    {
+        return versions_;
+    }
+
+    /** Drop all collected path frequencies (instrumentation state is
+     *  kept). */
+    void clearPathProfiles();
+
+    /** Number of methods whose numbering overflowed. */
+    std::size_t overflowCount() const { return overflowCount_; }
+
+  protected:
+    /**
+     * A path completed with the given number, against `vp.state`'s
+     * numbering. Fired at loop headers and method exits (HeaderSplit
+     * mode) or back edges and exits (BackEdgeTruncate mode).
+     */
+    virtual void pathCompleted(VersionProfile &vp,
+                               std::uint64_t path_number) = 0;
+
+    /**
+     * Edge-frequency profile used by Smart numbering when compiling
+     * `method`; default is the machine's one-time baseline profile.
+     * PEP overrides this to use its own continuous profile once it has
+     * one (profile-guided profiling, Section 3.4).
+     */
+    virtual const profile::MethodEdgeProfile *
+    freqProfileFor(bytecode::MethodId method);
+
+    /** Charge cycles if this engine charges costs. */
+    void
+    charge(std::uint64_t cycles)
+    {
+        if (chargeCosts_)
+            vm_.chargeCycles(cycles);
+    }
+
+    vm::Machine &vm_;
+    const profile::DagMode mode_;
+    const profile::NumberingScheme scheme_;
+    const bool chargeCosts_;
+    const profile::PlacementKind placement_;
+
+  private:
+    struct FrameState
+    {
+        VersionProfile *vp = nullptr;
+        std::uint64_t reg = 0;
+    };
+
+    std::map<VersionKey, VersionProfile> versions_;
+    std::vector<FrameState> stack_;
+    std::size_t overflowCount_ = 0;
+};
+
+} // namespace pep::core
+
+#endif // PEP_CORE_PATH_ENGINE_HH

@@ -1,0 +1,149 @@
+#include "core/pep_profiler.hh"
+
+#include "vm/inliner.hh"
+
+namespace pep::core {
+
+PepProfiler::PepProfiler(vm::Machine &machine,
+                         SamplingController &controller,
+                         const PepOptions &options)
+    : PathEngine(machine, options.mode, options.scheme,
+                 /*charge_costs=*/true, options.placement),
+      controller_(controller)
+{
+    std::vector<bytecode::MethodCfg> cfgs;
+    cfgs.reserve(machine.numMethods());
+    for (std::size_t m = 0; m < machine.numMethods(); ++m) {
+        cfgs.push_back(
+            machine.info(static_cast<bytecode::MethodId>(m)).cfg);
+    }
+    edges_ = profile::EdgeProfileSet(cfgs);
+}
+
+void
+PepProfiler::pathCompleted(VersionProfile &vp, std::uint64_t path_number)
+{
+    // The register already holds the number; completing a path costs
+    // nothing beyond the register ops PathEngine charged. Storage
+    // happens only if the following yieldpoint samples.
+    ++stats_.pathsCompleted;
+    lastVp_ = &vp;
+    lastPathNumber_ = path_number;
+    lastValid_ = true;
+}
+
+void
+PepProfiler::onYieldpoint(const vm::FrameView &frame,
+                          vm::YieldpointKind kind, bool tick_fired)
+{
+    (void)frame;
+    tickPending_ = tickPending_ || tick_fired;
+
+    // Sampling opportunities are exactly the locations where BLPP
+    // would update the path profile: loop headers and method exits.
+    if (kind == vm::YieldpointKind::MethodEntry)
+        return;
+
+    const SampleAction action = controller_.onOpportunity(tickPending_);
+    tickPending_ = false;
+
+    const vm::CostModel &cost = vm_.params().cost;
+    switch (action) {
+      case SampleAction::Idle:
+        break;
+      case SampleAction::Stride:
+        ++stats_.strides;
+        charge(cost.strideHandlerCost);
+        break;
+      case SampleAction::Sample: {
+        ++stats_.samplesTaken;
+        charge(cost.sampleHandlerCost);
+        if (lastValid_) {
+            ++stats_.samplesRecorded;
+            profile::PathRecord &record =
+                lastVp_->paths.addSample(lastPathNumber_);
+            if (!record.expanded) {
+                // First sample of this path: trace its edges in the
+                // P-DAG (Section 3.3) and cache the expansion.
+                ++stats_.firstTimeExpansions;
+                profile::expandRecord(record,
+                                      *lastVp_->state->reconstructor,
+                                      lastPathNumber_);
+            }
+            recordEdges(*lastVp_->state, record.cfgEdges);
+        }
+        break;
+      }
+    }
+
+    // A completed path is sampleable only at the yieldpoint directly
+    // following its completion.
+    lastValid_ = false;
+}
+
+void
+PepProfiler::recordEdges(const MethodProfilingState &state,
+                         const std::vector<cfg::EdgeRef> &cfg_edges)
+{
+    const vm::InlinedBody *inlined =
+        state.compiled ? state.compiled->inlinedBody.get() : nullptr;
+    if (!inlined) {
+        profile::MethodEdgeProfile &method_edges =
+            edges_.perMethod[state.method];
+        for (const cfg::EdgeRef &edge : cfg_edges)
+            method_edges.addEdge(edge);
+        return;
+    }
+    // Inlined code: several compiled branches map to one bytecode
+    // branch; update the shared original-method counters (Section
+    // 4.3). Synthesized control flow has no original identity.
+    for (const cfg::EdgeRef &edge : cfg_edges) {
+        const auto kind = inlined->info.cfg.terminator[edge.src];
+        if (kind != bytecode::TerminatorKind::Cond &&
+            kind != bytecode::TerminatorKind::Switch) {
+            continue;
+        }
+        const vm::BlockOrigin &origin = inlined->blockOrigin[edge.src];
+        if (!origin.valid())
+            continue;
+        edges_.perMethod[origin.method].addEdge(
+            cfg::EdgeRef{origin.block, edge.index});
+    }
+}
+
+const profile::MethodEdgeProfile *
+PepProfiler::layoutProfile(bytecode::MethodId method)
+{
+    // A handful of sampled paths gives a wildly skewed edge profile
+    // (each path marks its edges 100%-biased); demand a minimum amount
+    // of evidence before PEP's continuous profile overrides the
+    // one-time profile.
+    constexpr std::uint64_t kMinEdgeEvidence = 400;
+    const profile::MethodEdgeProfile &own = edges_.perMethod[method];
+    if (own.totalCount() >= kMinEdgeEvidence)
+        return &own;
+    const profile::MethodEdgeProfile &one_time =
+        vm_.oneTimeEdges().perMethod[method];
+    if (one_time.totalCount() > 0)
+        return &one_time;
+    return own.totalCount() > 0 ? &own : nullptr;
+}
+
+const profile::MethodEdgeProfile *
+PepProfiler::freqProfileFor(bytecode::MethodId method)
+{
+    // Profile-guided profiling: place instrumentation using the edge
+    // profile collected so far — PEP's own once it exists.
+    return layoutProfile(method);
+}
+
+void
+PepProfiler::clearProfiles()
+{
+    clearPathProfiles();
+    edges_.clear();
+    stats_ = PepStats{};
+    lastValid_ = false;
+}
+
+} // namespace pep::core

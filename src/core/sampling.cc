@@ -1,0 +1,95 @@
+#include "core/sampling.hh"
+
+#include <sstream>
+
+#include "support/panic.hh"
+
+namespace pep::core {
+
+SimplifiedArnoldGrove::SimplifiedArnoldGrove(std::uint32_t samples,
+                                             std::uint32_t stride)
+    : samples_(samples), stride_(stride)
+{
+    PEP_ASSERT(samples >= 1 && stride >= 1);
+}
+
+SampleAction
+SimplifiedArnoldGrove::onOpportunity(bool tick_pending)
+{
+    if (tick_pending) {
+        // New tick: choose the rotating initial stride and arm a burst
+        // of SAMPLES samples (restarts any burst in progress).
+        toSkip_ = rotation_ - 1;
+        rotation_ = rotation_ % stride_ + 1;
+        remaining_ = samples_;
+    }
+    if (remaining_ == 0)
+        return SampleAction::Idle;
+    if (toSkip_ > 0) {
+        --toSkip_;
+        return SampleAction::Stride;
+    }
+    --remaining_;
+    return SampleAction::Sample;
+}
+
+void
+SimplifiedArnoldGrove::reset()
+{
+    toSkip_ = 0;
+    remaining_ = 0;
+    rotation_ = 1;
+}
+
+std::string
+SimplifiedArnoldGrove::name() const
+{
+    std::ostringstream os;
+    os << "PEP(" << samples_ << "," << stride_ << ")";
+    return os.str();
+}
+
+FullArnoldGrove::FullArnoldGrove(std::uint32_t samples,
+                                 std::uint32_t stride)
+    : samples_(samples), stride_(stride)
+{
+    PEP_ASSERT(samples >= 1 && stride >= 1);
+}
+
+SampleAction
+FullArnoldGrove::onOpportunity(bool tick_pending)
+{
+    if (tick_pending) {
+        toSkip_ = rotation_ - 1;
+        rotation_ = rotation_ % stride_ + 1;
+        remaining_ = samples_;
+    }
+    if (remaining_ == 0)
+        return SampleAction::Idle;
+    if (toSkip_ > 0) {
+        --toSkip_;
+        return SampleAction::Stride;
+    }
+    --remaining_;
+    if (remaining_ > 0)
+        toSkip_ = stride_ - 1; // stride before the next sample too
+    return SampleAction::Sample;
+}
+
+void
+FullArnoldGrove::reset()
+{
+    toSkip_ = 0;
+    remaining_ = 0;
+    rotation_ = 1;
+}
+
+std::string
+FullArnoldGrove::name() const
+{
+    std::ostringstream os;
+    os << "AG(" << samples_ << "," << stride_ << ")";
+    return os.str();
+}
+
+} // namespace pep::core

@@ -1,0 +1,81 @@
+#include "metrics/overlap.hh"
+
+#include <cmath>
+
+#include "support/panic.hh"
+
+namespace pep::metrics {
+
+double
+relativeOverlap(const std::vector<bytecode::MethodCfg> &cfgs,
+                const profile::EdgeProfileSet &actual,
+                const profile::EdgeProfileSet &estimated)
+{
+    PEP_ASSERT(actual.perMethod.size() == cfgs.size());
+    PEP_ASSERT(estimated.perMethod.size() == cfgs.size());
+
+    double weighted = 0.0;
+    double total_weight = 0.0;
+
+    for (std::size_t m = 0; m < cfgs.size(); ++m) {
+        const bytecode::MethodCfg &method_cfg = cfgs[m];
+        const cfg::Graph &graph = method_cfg.graph;
+        for (cfg::BlockId b = 0; b < graph.numBlocks(); ++b) {
+            if (method_cfg.terminator[b] !=
+                bytecode::TerminatorKind::Cond) {
+                continue;
+            }
+            const profile::BranchCounts act =
+                actual.perMethod[m].branch(b);
+            if (act.total() == 0)
+                continue;
+            const profile::BranchCounts est =
+                estimated.perMethod[m].branch(b);
+            const double accuracy =
+                1.0 - std::fabs(act.takenBias() - est.takenBias());
+            const double weight = static_cast<double>(act.total());
+            weighted += weight * accuracy;
+            total_weight += weight;
+        }
+    }
+    return total_weight == 0.0 ? 1.0 : weighted / total_weight;
+}
+
+double
+absoluteOverlap(const profile::EdgeProfileSet &actual,
+                const profile::EdgeProfileSet &estimated)
+{
+    PEP_ASSERT(actual.perMethod.size() == estimated.perMethod.size());
+
+    double total_act = 0.0;
+    double total_est = 0.0;
+    for (std::size_t m = 0; m < actual.perMethod.size(); ++m) {
+        total_act +=
+            static_cast<double>(actual.perMethod[m].totalCount());
+        total_est +=
+            static_cast<double>(estimated.perMethod[m].totalCount());
+    }
+    if (total_act == 0.0 && total_est == 0.0)
+        return 1.0;
+    if (total_act == 0.0 || total_est == 0.0)
+        return 0.0;
+
+    double overlap = 0.0;
+    for (std::size_t m = 0; m < actual.perMethod.size(); ++m) {
+        const auto &act_counts = actual.perMethod[m].counts();
+        const auto &est_counts = estimated.perMethod[m].counts();
+        PEP_ASSERT(act_counts.size() == est_counts.size());
+        for (std::size_t b = 0; b < act_counts.size(); ++b) {
+            for (std::size_t i = 0; i < act_counts[b].size(); ++i) {
+                const double pa =
+                    static_cast<double>(act_counts[b][i]) / total_act;
+                const double pe =
+                    static_cast<double>(est_counts[b][i]) / total_est;
+                overlap += std::min(pa, pe);
+            }
+        }
+    }
+    return overlap;
+}
+
+} // namespace pep::metrics

@@ -1,0 +1,50 @@
+#ifndef PEP_METRICS_OVERLAP_HH
+#define PEP_METRICS_OVERLAP_HH
+
+/**
+ * @file
+ * Edge-profile accuracy metrics from the paper:
+ *
+ *  - *Relative overlap* (Section 6.4): how well the estimated profile
+ *    predicts each conditional branch's taken/not-taken *bias*,
+ *    weighted by the branch's actual execution frequency:
+ *
+ *      Accuracy(b) = 1 - |taken_actual(b) - taken_estimated(b)|
+ *      Accuracy    = sum_b freq_actual(b) * Accuracy(b)
+ *                    / sum_b freq_actual(b)
+ *
+ *  - *Absolute overlap* (what earlier work calls just "overlap"):
+ *    agreement of normalized edge *frequencies*:
+ *
+ *      Overlap = sum_e min(P_actual(e), P_estimated(e))
+ *
+ *    where P is an edge's share of the profile's total edge count.
+ */
+
+#include <vector>
+
+#include "bytecode/cfg_builder.hh"
+#include "profile/edge_profile.hh"
+
+namespace pep::metrics {
+
+/**
+ * Relative overlap over all conditional branches with nonzero actual
+ * frequency. Branches the estimated profile never saw get an unbiased
+ * 0.5 estimate. Returns a value in [0, 1]; 1 for an empty universe.
+ */
+double relativeOverlap(const std::vector<bytecode::MethodCfg> &cfgs,
+                       const profile::EdgeProfileSet &actual,
+                       const profile::EdgeProfileSet &estimated);
+
+/**
+ * Absolute overlap over all CFG edges of all methods, each profile
+ * normalized by its own total count. Returns a value in [0, 1]; 1 when
+ * both profiles are empty, 0 when exactly one is.
+ */
+double absoluteOverlap(const profile::EdgeProfileSet &actual,
+                       const profile::EdgeProfileSet &estimated);
+
+} // namespace pep::metrics
+
+#endif // PEP_METRICS_OVERLAP_HH

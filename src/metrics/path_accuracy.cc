@@ -1,0 +1,137 @@
+#include "metrics/path_accuracy.hh"
+
+#include <algorithm>
+
+#include "vm/inliner.hh"
+
+namespace pep::metrics {
+
+double
+CanonicalPathProfile::totalFlow() const
+{
+    double total = 0.0;
+    for (const auto &[key, entry] : paths) {
+        total += static_cast<double>(entry.count) *
+                 static_cast<double>(entry.numBranches);
+    }
+    return total;
+}
+
+CanonicalPathProfile
+canonicalize(core::PathEngine &engine)
+{
+    CanonicalPathProfile result;
+    for (auto &[version_key, vp] : engine.versionProfiles()) {
+        if (!vp.state->reconstructor)
+            continue;
+        vp.paths.ensureExpanded(*vp.state->reconstructor);
+        const bool inlined =
+            vp.state->compiled && vp.state->compiled->inlinedBody;
+        for (const auto &[number, record] : vp.paths.paths()) {
+            CanonicalPathKey key;
+            key.method = version_key.first;
+            key.shape = inlined ? version_key.second + 1 : 0;
+            key.edges.reserve(record.cfgEdges.size());
+            for (const cfg::EdgeRef &edge : record.cfgEdges) {
+                key.edges.push_back(
+                    (static_cast<std::uint64_t>(edge.src) << 32) |
+                    edge.index);
+            }
+            CanonicalPathProfile::Entry &entry =
+                result.paths[std::move(key)];
+            entry.count += record.count;
+            entry.numBranches = record.numBranches;
+        }
+    }
+    return result;
+}
+
+std::vector<RankedPath>
+rankByFlow(const CanonicalPathProfile &profile, std::size_t top)
+{
+    std::vector<RankedPath> ranked;
+    ranked.reserve(profile.paths.size());
+    const double total = profile.totalFlow();
+    for (const auto &[key, entry] : profile.paths) {
+        RankedPath r;
+        r.key = &key;
+        r.count = entry.count;
+        r.flow = static_cast<double>(entry.count) *
+                 static_cast<double>(entry.numBranches);
+        r.flowShare = total > 0.0 ? r.flow / total : 0.0;
+        ranked.push_back(r);
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const RankedPath &a, const RankedPath &b) {
+                         if (a.flow != b.flow)
+                             return a.flow > b.flow;
+                         return *a.key < *b.key;
+                     });
+    if (top != 0 && ranked.size() > top)
+        ranked.resize(top);
+    return ranked;
+}
+
+WallAccuracy
+wallPathAccuracy(const CanonicalPathProfile &actual,
+                 const CanonicalPathProfile &estimated,
+                 double hot_threshold)
+{
+    WallAccuracy result;
+    result.numActualPaths = actual.paths.size();
+
+    const double total_flow = actual.totalFlow();
+    if (total_flow <= 0.0)
+        return result;
+    const double cutoff = hot_threshold * total_flow;
+
+    // Actual hot paths and their flow.
+    std::map<CanonicalPathKey, double> hot_actual;
+    double hot_flow = 0.0;
+    for (const auto &[key, entry] : actual.paths) {
+        const double flow = static_cast<double>(entry.count) *
+                            static_cast<double>(entry.numBranches);
+        if (flow > cutoff) {
+            hot_actual.emplace(key, flow);
+            hot_flow += flow;
+        }
+    }
+    result.numHotPaths = hot_actual.size();
+    if (hot_actual.empty())
+        return result;
+
+    // Estimated hot set: the |H_actual| hottest estimated paths.
+    struct EstPath
+    {
+        const CanonicalPathKey *key;
+        double flow;
+    };
+    std::vector<EstPath> est_paths;
+    est_paths.reserve(estimated.paths.size());
+    for (const auto &[key, entry] : estimated.paths) {
+        est_paths.push_back(
+            EstPath{&key, static_cast<double>(entry.count) *
+                              static_cast<double>(entry.numBranches)});
+    }
+    std::stable_sort(est_paths.begin(), est_paths.end(),
+                     [](const EstPath &a, const EstPath &b) {
+                         if (a.flow != b.flow)
+                             return a.flow > b.flow;
+                         return *a.key < *b.key;
+                     });
+    if (est_paths.size() > hot_actual.size())
+        est_paths.resize(hot_actual.size());
+
+    // Flow of the intersection, measured in *actual* flow.
+    double matched_flow = 0.0;
+    for (const EstPath &est : est_paths) {
+        const auto it = hot_actual.find(*est.key);
+        if (it != hot_actual.end())
+            matched_flow += it->second;
+    }
+
+    result.accuracy = matched_flow / hot_flow;
+    return result;
+}
+
+} // namespace pep::metrics

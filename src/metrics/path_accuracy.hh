@@ -1,0 +1,126 @@
+#ifndef PEP_METRICS_PATH_ACCURACY_HH
+#define PEP_METRICS_PATH_ACCURACY_HH
+
+/**
+ * @file
+ * Path-profile accuracy via the Wall weight-matching scheme with the
+ * branch-flow metric (paper Section 6.3).
+ *
+ * Path numbers are only meaningful relative to one numbering of one
+ * compiled version, so profiles are first *canonicalized*: every path
+ * is keyed by its method and its CFG-edge sequence (which uniquely
+ * identifies a path including its start/end points) and counts are
+ * merged across compiled versions. Canonical profiles from different
+ * numbering schemes (PEP with smart numbering vs a ground-truth
+ * recorder with Ball-Larus numbering) are then directly comparable.
+ *
+ * Flow of a path p: F(p) = freq(p) * b_p, with b_p the number of
+ * branches on p. A path is *hot* if its flow exceeds `hotThreshold`
+ * (paper: 0.125%) of total flow. Accuracy is the fraction of actual
+ * hot-path flow present in the estimated top-|H_actual| paths:
+ *
+ *   Accuracy = F(H_estimated ∩ H_actual) / F(H_actual)
+ */
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/path_engine.hh"
+
+namespace pep::metrics {
+
+/** Version- and numbering-independent path identity. */
+struct CanonicalPathKey
+{
+    bytecode::MethodId method = 0;
+
+    /**
+     * CFG shape tag: 0 for the method's own bytecode CFG (all
+     * non-inlined versions share it), or version+1 for an inlined
+     * body, whose block ids live in a different coordinate space and
+     * must not be merged with the base CFG's.
+     */
+    std::uint32_t shape = 0;
+
+    /** CFG edges encoded as (src << 32) | succIndex. */
+    std::vector<std::uint64_t> edges;
+
+    bool
+    operator<(const CanonicalPathKey &other) const
+    {
+        if (method != other.method)
+            return method < other.method;
+        if (shape != other.shape)
+            return shape < other.shape;
+        return edges < other.edges;
+    }
+};
+
+/** A canonicalized path profile. */
+struct CanonicalPathProfile
+{
+    struct Entry
+    {
+        std::uint64_t count = 0;
+        std::uint32_t numBranches = 0;
+    };
+
+    std::map<CanonicalPathKey, Entry> paths;
+
+    /** Sum of freq * branches over all paths. */
+    double totalFlow() const;
+};
+
+/**
+ * Canonicalize an engine's collected path profiles (expands any
+ * unexpanded records, hence non-const).
+ */
+CanonicalPathProfile canonicalize(core::PathEngine &engine);
+
+/** Result of Wall weight-matching. */
+struct WallAccuracy
+{
+    /** F(H_est ∩ H_act) / F(H_act); 1.0 when there are no hot paths. */
+    double accuracy = 1.0;
+
+    /** Number of actual hot paths (|H_actual|). */
+    std::size_t numHotPaths = 0;
+
+    /** Distinct paths in the actual profile. */
+    std::size_t numActualPaths = 0;
+};
+
+/**
+ * Wall weight-matching accuracy of `estimated` against `actual`.
+ * `hot_threshold` is the hot-path flow fraction (paper: 0.00125).
+ */
+WallAccuracy wallPathAccuracy(const CanonicalPathProfile &actual,
+                              const CanonicalPathProfile &estimated,
+                              double hot_threshold = 0.00125);
+
+/** One entry of a flow ranking. */
+struct RankedPath
+{
+    const CanonicalPathKey *key = nullptr;
+
+    /** freq * branches. */
+    double flow = 0.0;
+
+    /** This path's share of the profile's total flow, in [0, 1]. */
+    double flowShare = 0.0;
+
+    std::uint64_t count = 0;
+};
+
+/**
+ * The profile's paths ranked by branch-flow, hottest first (at most
+ * `top` entries; 0 means all). Keys point into `profile`, which must
+ * outlive the result. Deterministic: ties break by key order.
+ */
+std::vector<RankedPath>
+rankByFlow(const CanonicalPathProfile &profile, std::size_t top = 0);
+
+} // namespace pep::metrics
+
+#endif // PEP_METRICS_PATH_ACCURACY_HH

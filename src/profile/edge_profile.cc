@@ -1,0 +1,77 @@
+#include "profile/edge_profile.hh"
+
+#include "support/panic.hh"
+
+namespace pep::profile {
+
+MethodEdgeProfile::MethodEdgeProfile(const bytecode::MethodCfg &method_cfg)
+{
+    const cfg::Graph &graph = method_cfg.graph;
+    counts_.resize(graph.numBlocks());
+    for (cfg::BlockId b = 0; b < graph.numBlocks(); ++b)
+        counts_[b].assign(graph.succs(b).size(), 0);
+}
+
+BranchCounts
+MethodEdgeProfile::branch(cfg::BlockId b) const
+{
+    PEP_ASSERT_MSG(counts_[b].size() >= 2,
+                   "block " << b << " is not a conditional branch");
+    return BranchCounts{counts_[b][0], counts_[b][1]};
+}
+
+std::uint64_t
+MethodEdgeProfile::totalCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &per_block : counts_) {
+        for (std::uint64_t c : per_block)
+            total += c;
+    }
+    return total;
+}
+
+void
+MethodEdgeProfile::clear()
+{
+    for (auto &per_block : counts_)
+        per_block.assign(per_block.size(), 0);
+}
+
+void
+MethodEdgeProfile::merge(const MethodEdgeProfile &other)
+{
+    PEP_ASSERT(counts_.size() == other.counts_.size());
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        PEP_ASSERT(counts_[b].size() == other.counts_[b].size());
+        for (std::size_t i = 0; i < counts_[b].size(); ++i)
+            counts_[b][i] += other.counts_[b][i];
+    }
+}
+
+MethodEdgeProfile
+MethodEdgeProfile::flipped(const bytecode::MethodCfg &method_cfg) const
+{
+    MethodEdgeProfile result = *this;
+    for (cfg::BlockId b = 0; b < counts_.size(); ++b) {
+        if (method_cfg.terminator[b] == bytecode::TerminatorKind::Cond)
+            std::swap(result.counts_[b][0], result.counts_[b][1]);
+    }
+    return result;
+}
+
+EdgeProfileSet::EdgeProfileSet(const std::vector<bytecode::MethodCfg> &cfgs)
+{
+    perMethod.reserve(cfgs.size());
+    for (const auto &method_cfg : cfgs)
+        perMethod.emplace_back(method_cfg);
+}
+
+void
+EdgeProfileSet::clear()
+{
+    for (auto &profile : perMethod)
+        profile.clear();
+}
+
+} // namespace pep::profile

@@ -1,0 +1,139 @@
+#include "profile/numbering.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cfg/analysis.hh"
+#include "support/panic.hh"
+
+namespace pep::profile {
+
+Numbering
+numberPaths(const PDag &pdag, NumberingScheme scheme,
+            const DagEdgeFreqs *freqs)
+{
+    const cfg::Graph &dag = pdag.dag;
+    PEP_ASSERT_MSG(scheme == NumberingScheme::BallLarus || freqs,
+                   "frequency-guided numbering needs edge frequencies");
+
+    Numbering numbering;
+    numbering.numPaths.assign(dag.numBlocks(), 0);
+    numbering.val.resize(dag.numBlocks());
+    for (cfg::BlockId v = 0; v < dag.numBlocks(); ++v)
+        numbering.val[v].assign(dag.succs(v).size(), 0);
+
+    const std::vector<cfg::BlockId> topo = cfg::topologicalOrder(dag);
+
+    // Reverse topological order: successors before predecessors.
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const cfg::BlockId v = *it;
+        if (v == dag.exit()) {
+            numbering.numPaths[v] = 1;
+            continue;
+        }
+        const auto &succs = dag.succs(v);
+        PEP_ASSERT_MSG(!succs.empty(),
+                       "non-exit DAG node " << v << " has no successors");
+
+        // Choose the edge processing order.
+        std::vector<std::uint32_t> order(succs.size());
+        std::iota(order.begin(), order.end(), 0);
+        if (scheme != NumberingScheme::BallLarus) {
+            const auto &edge_freqs = (*freqs)[v];
+            PEP_ASSERT(edge_freqs.size() == succs.size());
+            const bool decreasing = (scheme == NumberingScheme::Smart);
+            std::stable_sort(
+                order.begin(), order.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                    if (edge_freqs[a] != edge_freqs[b]) {
+                        return decreasing ? edge_freqs[a] > edge_freqs[b]
+                                          : edge_freqs[a] < edge_freqs[b];
+                    }
+                    return false; // stable: keep successor order
+                });
+        }
+
+        std::uint64_t total = 0;
+        for (std::uint32_t idx : order) {
+            numbering.val[v][idx] = total;
+            const std::uint64_t succ_paths =
+                numbering.numPaths[succs[idx]];
+            if (__builtin_add_overflow(total, succ_paths, &total) ||
+                total > kMaxPaths) {
+                numbering.overflow = true;
+                return numbering;
+            }
+        }
+        numbering.numPaths[v] = total;
+    }
+
+    numbering.totalPaths = numbering.numPaths[dag.entry()];
+    return numbering;
+}
+
+DagEdgeFreqs
+estimateDagEdgeFrequencies(
+    const bytecode::MethodCfg &method_cfg, const PDag &pdag,
+    const std::vector<std::vector<std::uint64_t>> &cfg_edge_counts)
+{
+    const cfg::Graph &graph = method_cfg.graph;
+    const cfg::Graph &dag = pdag.dag;
+
+    // Total flow into each CFG block.
+    std::vector<double> inflow(graph.numBlocks(), 0.0);
+    for (cfg::BlockId b = 0; b < graph.numBlocks(); ++b) {
+        const auto &succs = graph.succs(b);
+        for (std::uint32_t i = 0; i < succs.size(); ++i) {
+            inflow[succs[i]] +=
+                static_cast<double>(cfg_edge_counts[b][i]);
+        }
+    }
+
+    DagEdgeFreqs freqs(dag.numBlocks());
+    for (cfg::BlockId v = 0; v < dag.numBlocks(); ++v)
+        freqs[v].assign(dag.succs(v).size(), 0.0);
+
+    // Real edges carry their CFG edge's count.
+    for (cfg::BlockId b = 0; b < graph.numBlocks(); ++b) {
+        for (std::uint32_t i = 0; i < graph.succs(b).size(); ++i) {
+            const cfg::EdgeRef dag_edge = pdag.dagEdgeForCfgEdge[b][i];
+            if (dag_edge.src == cfg::kInvalidBlock)
+                continue; // truncated back edge
+            freqs[dag_edge.src][dag_edge.index] =
+                static_cast<double>(cfg_edge_counts[b][i]);
+        }
+    }
+
+    // Dummy edges: header path-start/path-end flow.
+    if (pdag.mode == DagMode::HeaderSplit) {
+        for (cfg::BlockId b = 0; b < graph.numBlocks(); ++b) {
+            if (!method_cfg.isLoopHeader[b])
+                continue;
+            const cfg::EdgeRef entry_e = pdag.headerDummyEntry[b];
+            const cfg::EdgeRef exit_e = pdag.headerDummyExit[b];
+            freqs[entry_e.src][entry_e.index] = inflow[b];
+            freqs[exit_e.src][exit_e.index] = inflow[b];
+        }
+    } else {
+        // DummyEntry per header: total back-edge flow into the header.
+        std::vector<double> back_inflow(graph.numBlocks(), 0.0);
+        for (std::size_t k = 0; k < method_cfg.backEdges.size(); ++k) {
+            const cfg::EdgeRef back = method_cfg.backEdges[k];
+            const double count = static_cast<double>(
+                cfg_edge_counts[back.src][back.index]);
+            back_inflow[graph.edgeDst(back)] += count;
+            const cfg::EdgeRef exit_e = pdag.backEdgeDummyExit[k];
+            freqs[exit_e.src][exit_e.index] = count;
+        }
+        for (cfg::BlockId b = 0; b < graph.numBlocks(); ++b) {
+            const cfg::EdgeRef entry_e = pdag.headerDummyEntry[b];
+            if (entry_e.src == cfg::kInvalidBlock)
+                continue;
+            freqs[entry_e.src][entry_e.index] = back_inflow[b];
+        }
+    }
+
+    return freqs;
+}
+
+} // namespace pep::profile

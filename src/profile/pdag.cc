@@ -1,0 +1,151 @@
+#include "profile/pdag.hh"
+
+#include "cfg/analysis.hh"
+#include "support/panic.hh"
+
+namespace pep::profile {
+
+namespace {
+
+constexpr cfg::EdgeRef kNoEdge{cfg::kInvalidBlock, 0};
+
+void
+recordMeta(PDag &pdag, cfg::EdgeRef dag_edge, DagEdgeMeta meta)
+{
+    auto &per_src = pdag.edgeMeta[dag_edge.src];
+    PEP_ASSERT(dag_edge.index == per_src.size());
+    per_src.push_back(meta);
+}
+
+} // namespace
+
+PDag
+buildPDag(const bytecode::MethodCfg &method_cfg, DagMode mode)
+{
+    const cfg::Graph &graph = method_cfg.graph;
+    PDag pdag;
+    pdag.mode = mode;
+
+    const std::size_t num_blocks = graph.numBlocks();
+    pdag.nodeForBlockEntry.assign(num_blocks, cfg::kInvalidBlock);
+    pdag.nodeForBlockExit.assign(num_blocks, cfg::kInvalidBlock);
+    pdag.headerDummyExit.assign(num_blocks, kNoEdge);
+    pdag.headerDummyEntry.assign(num_blocks, kNoEdge);
+    pdag.dagEdgeForCfgEdge.resize(num_blocks);
+
+    // The Graph constructor made dag entry (0) and exit (1).
+    pdag.role = {NodeRole::Entry, NodeRole::Exit};
+    pdag.cfgBlock = {cfg::kInvalidBlock, cfg::kInvalidBlock};
+    pdag.edgeMeta.resize(2);
+
+    auto add_node = [&](NodeRole role, cfg::BlockId block) {
+        const cfg::BlockId node = pdag.dag.addBlock();
+        pdag.role.push_back(role);
+        pdag.cfgBlock.push_back(block);
+        pdag.edgeMeta.emplace_back();
+        return node;
+    };
+
+    pdag.nodeForBlockEntry[graph.entry()] = pdag.dag.entry();
+    pdag.nodeForBlockExit[graph.entry()] = pdag.dag.entry();
+    pdag.nodeForBlockEntry[graph.exit()] = pdag.dag.exit();
+    pdag.nodeForBlockExit[graph.exit()] = pdag.dag.exit();
+
+    const bool split_headers = (mode == DagMode::HeaderSplit);
+
+    // Create DAG nodes for code blocks.
+    for (cfg::BlockId b = 0; b < num_blocks; ++b) {
+        if (b == graph.entry() || b == graph.exit())
+            continue;
+        if (split_headers && method_cfg.isLoopHeader[b]) {
+            const cfg::BlockId top = add_node(NodeRole::HeaderTop, b);
+            const cfg::BlockId rest = add_node(NodeRole::HeaderRest, b);
+            pdag.nodeForBlockEntry[b] = top;
+            pdag.nodeForBlockExit[b] = rest;
+        } else {
+            const cfg::BlockId node = add_node(NodeRole::Plain, b);
+            pdag.nodeForBlockEntry[b] = node;
+            pdag.nodeForBlockExit[b] = node;
+        }
+    }
+
+    // Mark back edges for BackEdgeTruncate mode.
+    std::vector<std::vector<bool>> is_back_edge(num_blocks);
+    for (cfg::BlockId b = 0; b < num_blocks; ++b)
+        is_back_edge[b].assign(graph.succs(b).size(), false);
+    if (mode == DagMode::BackEdgeTruncate) {
+        for (const cfg::EdgeRef &e : method_cfg.backEdges)
+            is_back_edge[e.src][e.index] = true;
+    }
+
+    // Real edges, in CFG (block, index) order.
+    for (cfg::BlockId b = 0; b < num_blocks; ++b) {
+        const auto &succs = graph.succs(b);
+        pdag.dagEdgeForCfgEdge[b].assign(succs.size(), kNoEdge);
+        for (std::uint32_t i = 0; i < succs.size(); ++i) {
+            if (is_back_edge[b][i])
+                continue; // truncated; dummies added below
+            const cfg::BlockId src = pdag.nodeForBlockExit[b];
+            const cfg::BlockId dst = pdag.nodeForBlockEntry[succs[i]];
+            const cfg::EdgeRef dag_edge = pdag.dag.addEdge(src, dst);
+            recordMeta(pdag, dag_edge,
+                       DagEdgeMeta{DagEdgeKind::Real, cfg::EdgeRef{b, i}});
+            pdag.dagEdgeForCfgEdge[b][i] = dag_edge;
+        }
+    }
+
+    // Dummy edges.
+    if (split_headers) {
+        for (cfg::BlockId b = 0; b < num_blocks; ++b) {
+            if (b == graph.entry() || b == graph.exit() ||
+                !method_cfg.isLoopHeader[b]) {
+                continue;
+            }
+            const cfg::BlockId top = pdag.nodeForBlockEntry[b];
+            const cfg::BlockId rest = pdag.nodeForBlockExit[b];
+            const cfg::EdgeRef entry_edge =
+                pdag.dag.addEdge(pdag.dag.entry(), rest);
+            recordMeta(pdag, entry_edge,
+                       DagEdgeMeta{DagEdgeKind::DummyEntry, kNoEdge});
+            pdag.headerDummyEntry[b] = entry_edge;
+
+            const cfg::EdgeRef exit_edge =
+                pdag.dag.addEdge(top, pdag.dag.exit());
+            recordMeta(pdag, exit_edge,
+                       DagEdgeMeta{DagEdgeKind::DummyExit, kNoEdge});
+            pdag.headerDummyExit[b] = exit_edge;
+        }
+    } else {
+        // One shared DummyEntry per header, in block order.
+        for (cfg::BlockId b = 0; b < num_blocks; ++b) {
+            if (!method_cfg.isLoopHeader[b])
+                continue;
+            const cfg::EdgeRef entry_edge = pdag.dag.addEdge(
+                pdag.dag.entry(), pdag.nodeForBlockEntry[b]);
+            recordMeta(pdag, entry_edge,
+                       DagEdgeMeta{DagEdgeKind::DummyEntry, kNoEdge});
+            pdag.headerDummyEntry[b] = entry_edge;
+        }
+        // One DummyExit per back edge, in MethodCfg::backEdges order.
+        // The meta records the back edge the dummy replaces, so that
+        // path->edge expansion can credit the executed back edge.
+        pdag.backEdgeDummyExit.reserve(method_cfg.backEdges.size());
+        for (const cfg::EdgeRef &back : method_cfg.backEdges) {
+            const cfg::EdgeRef exit_edge = pdag.dag.addEdge(
+                pdag.nodeForBlockExit[back.src], pdag.dag.exit());
+            recordMeta(pdag, exit_edge,
+                       DagEdgeMeta{DagEdgeKind::DummyExit, back});
+            pdag.backEdgeDummyExit.push_back(exit_edge);
+        }
+    }
+
+    // The construction must yield an acyclic graph: every cycle in the
+    // CFG contains a retreating edge, and both modes cut all of them.
+    const cfg::DfsResult dfs = cfg::depthFirstSearch(pdag.dag);
+    PEP_ASSERT_MSG(dfs.retreatingEdges.empty(),
+                   "P-DAG construction left a cycle");
+
+    return pdag;
+}
+
+} // namespace pep::profile

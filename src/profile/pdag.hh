@@ -1,0 +1,123 @@
+#ifndef PEP_PROFILE_PDAG_HH
+#define PEP_PROFILE_PDAG_HH
+
+/**
+ * @file
+ * The P-DAG: the acyclic graph over which Ball-Larus path numbering runs
+ * (Section 3.2 of the paper). Two constructions are supported:
+ *
+ *  - HeaderSplit (PEP): paths end at loop headers, where Jikes RVM's
+ *    yieldpoints live. Each loop header h is split into hTop (the
+ *    yieldpoint) and hRest; every CFG edge into h enters hTop; the
+ *    hTop->hRest transition is truncated and replaced by dummy edges
+ *    Entry->hRest and hTop->Exit. All cycles pass through a header, so
+ *    the result is acyclic (conservatively true even for irreducible
+ *    CFGs, since we treat every retreating-edge target as a header).
+ *
+ *  - BackEdgeTruncate (classic BLPP): each back edge u->h is removed and
+ *    replaced by dummy edges Entry->h (shared per header) and u->Exit
+ *    (one per back edge).
+ *
+ * Every DAG node remembers which CFG block it represents, and every DAG
+ * edge remembers whether it is real (maps to a CFG edge) or a dummy.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "bytecode/cfg_builder.hh"
+#include "cfg/graph.hh"
+
+namespace pep::profile {
+
+/** Which truncation scheme built the P-DAG. */
+enum class DagMode : std::uint8_t
+{
+    HeaderSplit,      ///< PEP: paths end at loop headers
+    BackEdgeTruncate, ///< classic BLPP: paths end at back edges
+};
+
+/** Role of a DAG node. */
+enum class NodeRole : std::uint8_t
+{
+    Entry,
+    Exit,
+    Plain,      ///< whole CFG block
+    HeaderTop,  ///< yieldpoint part of a split loop header
+    HeaderRest, ///< remainder of a split loop header
+};
+
+/** Kind of a DAG edge. */
+enum class DagEdgeKind : std::uint8_t
+{
+    Real,       ///< corresponds to a CFG edge
+    DummyEntry, ///< Entry -> header(Rest): a path starting at the header
+    DummyExit,  ///< headerTop/backEdgeSrc -> Exit: a path ending there
+};
+
+/** Metadata for one DAG edge. */
+struct DagEdgeMeta
+{
+    DagEdgeKind kind = DagEdgeKind::Real;
+
+    /** The CFG edge this DAG edge represents (Real edges only). */
+    cfg::EdgeRef cfgEdge;
+};
+
+/** The P-DAG plus its CFG correspondence. */
+struct PDag
+{
+    DagMode mode = DagMode::HeaderSplit;
+
+    /** The acyclic graph (entry = node 0, exit = node 1). */
+    cfg::Graph dag;
+
+    /** Role of each DAG node. */
+    std::vector<NodeRole> role;
+
+    /** CFG block represented by each DAG node (kInvalidBlock for
+     *  entry/exit). */
+    std::vector<cfg::BlockId> cfgBlock;
+
+    /** Metadata per DAG edge, parallel to dag successor lists. */
+    std::vector<std::vector<DagEdgeMeta>> edgeMeta;
+
+    /** DAG node a CFG edge *enters* (hTop for edges into headers). */
+    std::vector<cfg::BlockId> nodeForBlockEntry;
+
+    /** DAG node CFG edges *leave from* (hRest for split headers). */
+    std::vector<cfg::BlockId> nodeForBlockExit;
+
+    /**
+     * For each CFG edge (block, succIndex), the DAG edge carrying it, or
+     * an invalid EdgeRef if the CFG edge was truncated (back edges in
+     * BackEdgeTruncate mode).
+     */
+    std::vector<std::vector<cfg::EdgeRef>> dagEdgeForCfgEdge;
+
+    /** Per CFG block: the DummyExit edge of its hTop (HeaderSplit mode,
+     *  headers only); invalid otherwise. */
+    std::vector<cfg::EdgeRef> headerDummyExit;
+
+    /** Per CFG block: the DummyEntry edge into its hRest / itself;
+     *  invalid for non-headers. */
+    std::vector<cfg::EdgeRef> headerDummyEntry;
+
+    /** Per CFG back edge (indexed as in MethodCfg::backEdges): the
+     *  DummyExit edge replacing it (BackEdgeTruncate mode). */
+    std::vector<cfg::EdgeRef> backEdgeDummyExit;
+
+    /** Look up metadata for a DAG edge. */
+    const DagEdgeMeta &
+    meta(cfg::EdgeRef e) const
+    {
+        return edgeMeta[e.src][e.index];
+    }
+};
+
+/** Build the P-DAG for a method CFG. */
+PDag buildPDag(const bytecode::MethodCfg &method_cfg, DagMode mode);
+
+} // namespace pep::profile
+
+#endif // PEP_PROFILE_PDAG_HH

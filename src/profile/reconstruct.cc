@@ -1,0 +1,155 @@
+#include "profile/reconstruct.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/panic.hh"
+
+namespace pep::profile {
+
+PathReconstructor::PathReconstructor(const bytecode::MethodCfg &method_cfg,
+                                     const PDag &pdag,
+                                     const Numbering &numbering)
+    : methodCfg_(method_cfg), pdag_(pdag), numbering_(numbering)
+{
+    PEP_ASSERT_MSG(!numbering.overflow,
+                   "cannot reconstruct paths after numbering overflow");
+    const cfg::Graph &dag = pdag_.dag;
+    byValueDesc_.resize(dag.numBlocks());
+    for (cfg::BlockId v = 0; v < dag.numBlocks(); ++v) {
+        auto &order = byValueDesc_[v];
+        order.resize(dag.succs(v).size());
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                             return numbering_.val[v][a] >
+                                    numbering_.val[v][b];
+                         });
+    }
+}
+
+std::vector<cfg::EdgeRef>
+PathReconstructor::reconstructDagEdges(std::uint64_t path_number) const
+{
+    const cfg::Graph &dag = pdag_.dag;
+    PEP_ASSERT_MSG(path_number < numbering_.totalPaths,
+                   "path number " << path_number << " out of range [0, "
+                                  << numbering_.totalPaths << ")");
+
+    std::vector<cfg::EdgeRef> edges;
+    std::uint64_t remaining = path_number;
+    cfg::BlockId node = dag.entry();
+    while (node != dag.exit()) {
+        // Greedy step: largest edge value not exceeding the remainder.
+        const auto &order = byValueDesc_[node];
+        PEP_ASSERT(!order.empty());
+        bool advanced = false;
+        for (std::uint32_t idx : order) {
+            const std::uint64_t value = numbering_.val[node][idx];
+            if (value <= remaining) {
+                remaining -= value;
+                edges.push_back(cfg::EdgeRef{node, idx});
+                node = dag.succs(node)[idx];
+                advanced = true;
+                break;
+            }
+        }
+        PEP_ASSERT_MSG(advanced, "greedy reconstruction stuck at node "
+                                     << node);
+    }
+    PEP_ASSERT_MSG(remaining == 0,
+                   "path number residue " << remaining
+                                          << " after reaching Exit");
+    return edges;
+}
+
+PathReconstructor::PartialPath
+PathReconstructor::reconstructPartial(std::uint64_t partial_value) const
+{
+    const cfg::Graph &dag = pdag_.dag;
+    PEP_ASSERT_MSG(partial_value < numbering_.totalPaths,
+                   "partial value " << partial_value
+                                    << " exceeds every path number");
+
+    PartialPath partial;
+    std::uint64_t remaining = partial_value;
+    cfg::BlockId node = dag.entry();
+
+    // Greedy, but only while the choice is forced: the executed prefix
+    // contributed `remaining` exactly, so while remaining > 0 the edge
+    // with the largest value <= remaining is the one that was taken.
+    while (remaining > 0) {
+        PEP_ASSERT(node != dag.exit());
+        const auto &order = byValueDesc_[node];
+        bool advanced = false;
+        for (std::uint32_t idx : order) {
+            const std::uint64_t value = numbering_.val[node][idx];
+            if (value <= remaining) {
+                remaining -= value;
+                partial.dagEdges.push_back(cfg::EdgeRef{node, idx});
+                node = dag.succs(node)[idx];
+                advanced = true;
+                break;
+            }
+        }
+        PEP_ASSERT_MSG(advanced,
+                       "partial reconstruction stuck at node " << node);
+    }
+
+    partial.endNode = node;
+    // The prefix may extend along zero-valued edges without changing
+    // the register; a partial value cannot tell.
+    if (node != dag.exit()) {
+        for (std::uint32_t i = 0; i < dag.succs(node).size(); ++i) {
+            if (numbering_.val[node][i] == 0) {
+                partial.ambiguous = true;
+                break;
+            }
+        }
+    }
+    return partial;
+}
+
+ReconstructedPath
+PathReconstructor::reconstruct(std::uint64_t path_number) const
+{
+    ReconstructedPath path;
+    path.dagEdges = reconstructDagEdges(path_number);
+
+    for (const cfg::EdgeRef &dag_edge : path.dagEdges) {
+        const DagEdgeMeta &meta = pdag_.meta(dag_edge);
+        switch (meta.kind) {
+          case DagEdgeKind::Real:
+            path.cfgEdges.push_back(meta.cfgEdge);
+            break;
+          case DagEdgeKind::DummyEntry:
+            // Path starts at the header this dummy enters.
+            path.startHeader =
+                pdag_.cfgBlock[pdag_.dag.edgeDst(dag_edge)];
+            break;
+          case DagEdgeKind::DummyExit:
+            if (pdag_.mode == DagMode::HeaderSplit) {
+                // Path ends at the split header's yieldpoint.
+                path.endHeader = pdag_.cfgBlock[dag_edge.src];
+            } else {
+                // Path ends by taking the truncated back edge, which
+                // did execute: credit it and note the header.
+                path.cfgEdges.push_back(meta.cfgEdge);
+                path.endHeader =
+                    methodCfg_.graph.edgeDst(meta.cfgEdge);
+            }
+            break;
+        }
+    }
+
+    for (const cfg::EdgeRef &cfg_edge : path.cfgEdges) {
+        const auto kind = methodCfg_.terminator[cfg_edge.src];
+        if (kind == bytecode::TerminatorKind::Cond ||
+            kind == bytecode::TerminatorKind::Switch) {
+            ++path.numBranches;
+        }
+    }
+    return path;
+}
+
+} // namespace pep::profile

@@ -1,0 +1,116 @@
+#ifndef PEP_PROFILE_RECONSTRUCT_HH
+#define PEP_PROFILE_RECONSTRUCT_HH
+
+/**
+ * @file
+ * Greedy path reconstruction (Section 3.3). Given a path number sampled
+ * from the path register, recover the sequence of DAG edges making up
+ * the path: starting at Entry, repeatedly take the outgoing edge with
+ * the largest value not exceeding the remaining number. Because every
+ * numbering scheme assigns edge values as prefix sums of successor path
+ * counts, this inverts the numbering exactly.
+ *
+ * PEP uses this to derive the *edge* profile from sampled paths; the
+ * expansion is computed the first time a path is sampled and cached in
+ * the path profile thereafter (Section 4.3).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "profile/numbering.hh"
+#include "profile/pdag.hh"
+
+namespace pep::profile {
+
+/** A reconstructed path with its CFG interpretation. */
+struct ReconstructedPath
+{
+    /** The DAG edges of the path, Entry to Exit. */
+    std::vector<cfg::EdgeRef> dagEdges;
+
+    /** The CFG edges the path executed (includes the ending back edge
+     *  in BackEdgeTruncate mode). */
+    std::vector<cfg::EdgeRef> cfgEdges;
+
+    /** Header the path started at (kInvalidBlock if at method entry). */
+    cfg::BlockId startHeader = cfg::kInvalidBlock;
+
+    /** Header the path ended at (kInvalidBlock if at method exit). */
+    cfg::BlockId endHeader = cfg::kInvalidBlock;
+
+    /** Number of branch (Cond/Switch) blocks the path passed through;
+     *  the b_p term of the paper's branch-flow metric. */
+    std::uint32_t numBranches = 0;
+};
+
+/**
+ * Reconstructs paths from numbers. Precomputes, per DAG node, the
+ * outgoing edges sorted by descending value so each step is a short
+ * scan.
+ */
+class PathReconstructor
+{
+  public:
+    /**
+     * The reconstructor keeps references to all three arguments; they
+     * must outlive it.
+     */
+    PathReconstructor(const bytecode::MethodCfg &method_cfg,
+                      const PDag &pdag, const Numbering &numbering);
+
+    /**
+     * Reconstruct the path with the given number. The number must be in
+     * [0, totalPaths); panics otherwise (a sampled register value that
+     * fails this indicates an instrumentation bug).
+     */
+    ReconstructedPath reconstruct(std::uint64_t path_number) const;
+
+    /** Just the DAG edge walk, without CFG interpretation. */
+    std::vector<cfg::EdgeRef> reconstructDagEdges(
+        std::uint64_t path_number) const;
+
+    /**
+     * Reconstruct a *partial* path from a mid-path register value
+     * (paper Section 3.2: systems without thread-switching points
+     * sample the register at arbitrary points and identify the
+     * partially taken path with the same greedy algorithm).
+     *
+     * The returned prefix is exact: edge values are prefix sums of
+     * successor path counts, so a partial register value r pins every
+     * edge up to the point where the remainder reaches zero. Beyond
+     * that the walk would continue over zero-valued edges, which a
+     * partial value cannot distinguish; `ambiguous` is true if such a
+     * continuation exists. Requires Direct placement (chord increments
+     * do not preserve mid-path prefix sums).
+     */
+    struct PartialPath
+    {
+        /** The uniquely determined DAG edge prefix (Entry outward). */
+        std::vector<cfg::EdgeRef> dagEdges;
+
+        /** DAG node the determined prefix ends at. */
+        cfg::BlockId endNode = cfg::kInvalidBlock;
+
+        /** True if the true path may extend along zero-valued edges
+         *  beyond the determined prefix. */
+        bool ambiguous = false;
+    };
+
+    /** Reconstruct the prefix implied by a partial register value.
+     *  `partial_value` must be a real mid-path register value (panics
+     *  if it exceeds every completable number). */
+    PartialPath reconstructPartial(std::uint64_t partial_value) const;
+
+  private:
+    const bytecode::MethodCfg &methodCfg_;
+    const PDag &pdag_;
+    const Numbering &numbering_;
+
+    /** Per node, successor indices sorted by descending edge value. */
+    std::vector<std::vector<std::uint32_t>> byValueDesc_;
+};
+
+} // namespace pep::profile
+
+#endif // PEP_PROFILE_RECONSTRUCT_HH

@@ -1,0 +1,79 @@
+#ifndef PEP_PROFILE_SPANNING_PLACEMENT_HH
+#define PEP_PROFILE_SPANNING_PLACEMENT_HH
+
+/**
+ * @file
+ * Ball-Larus event-counting instrumentation placement. The basic
+ * placement (instr_plan.hh) puts `r += Val(e)` on every DAG edge with
+ * a nonzero value. Ball and Larus's optimization instead chooses a
+ * *maximal-cost spanning tree* of the (undirected) P-DAG — weighted by
+ * expected edge frequency, plus a virtual EXIT->ENTRY edge forced into
+ * the tree — and places increments only on the *chords* (non-tree
+ * edges):
+ *
+ *   Inc(chord u->v) = phi(u) + Val(u->v) - phi(v)
+ *
+ * where phi is the signed sum of Val along the tree path from the
+ * root. Tree edges carry no instrumentation at all, and for every
+ * Entry->Exit path the chord increments telescope to the path's
+ * Ball-Larus number (the virtual tree edge pins phi(Entry) ==
+ * phi(Exit)). Increments may be negative; the register wraps modulo
+ * 2^64 and the final sum is exact because true numbers fit in 64 bits.
+ *
+ * Hot spanning trees push the remaining increments onto cold chords —
+ * the same goal as smart numbering, achieved structurally. Both can be
+ * combined.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "profile/instr_plan.hh"
+#include "profile/numbering.hh"
+#include "profile/pdag.hh"
+
+namespace pep::profile {
+
+/** Result of spanning-tree placement. */
+struct SpanningPlacement
+{
+    /** Signed increment per DAG edge (wrapping u64), parallel to DAG
+     *  successor lists; 0 for tree edges. */
+    std::vector<std::vector<std::uint64_t>> increment;
+
+    /** True if the DAG edge is in the spanning tree. */
+    std::vector<std::vector<bool>> inTree;
+
+    /** Number of chords with a nonzero increment. */
+    std::size_t numInstrumentedEdges = 0;
+
+    /** Number of chords total (instrumentation sites even when the
+     *  increment happens to be zero — a zero-increment chord needs no
+     *  code). */
+    std::size_t numChords = 0;
+};
+
+/**
+ * Compute chord increments for a numbered P-DAG. `freqs` weights the
+ * spanning tree (hot edges preferred in-tree); pass nullptr for
+ * uniform weights. Requires a non-overflowed numbering.
+ */
+SpanningPlacement
+computeSpanningPlacement(const PDag &pdag, const Numbering &numbering,
+                         const DagEdgeFreqs *freqs = nullptr);
+
+/**
+ * Rewrite an instrumentation plan's edge/header increments to use
+ * spanning-tree placement. Path-end bookkeeping (endAdd/restart) is
+ * re-derived from the chord increments of the dummy edges, so the
+ * runtime semantics (path register equals the Ball-Larus number at
+ * every path end) are preserved exactly.
+ */
+void applySpanningPlacement(const bytecode::MethodCfg &method_cfg,
+                            const PDag &pdag,
+                            const SpanningPlacement &placement,
+                            InstrumentationPlan &plan);
+
+} // namespace pep::profile
+
+#endif // PEP_PROFILE_SPANNING_PLACEMENT_HH

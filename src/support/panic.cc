@@ -1,0 +1,38 @@
+#include "support/panic.hh"
+
+#include <cstdio>
+#include <utility>
+
+namespace pep::support {
+
+FatalError::FatalError(std::string message)
+    : message_(std::move(message))
+{
+}
+
+PanicError::PanicError(std::string message)
+    : message_(std::move(message))
+{
+}
+
+void
+fatal(const std::string &message)
+{
+    throw FatalError("fatal: " + message);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &message)
+{
+    std::ostringstream os;
+    os << "panic: " << message << " (" << file << ":" << line << ")";
+    throw PanicError(os.str());
+}
+
+void
+warn(const std::string &message)
+{
+    std::fprintf(stderr, "warn: %s\n", message.c_str());
+}
+
+} // namespace pep::support

@@ -1,0 +1,83 @@
+#ifndef PEP_SUPPORT_PANIC_HH
+#define PEP_SUPPORT_PANIC_HH
+
+/**
+ * @file
+ * Error reporting helpers, following the gem5 fatal/panic distinction:
+ * panic() is for internal invariant violations (a bug in this library),
+ * fatal() is for unusable user input (bad bytecode, bad configuration).
+ */
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace pep::support {
+
+/** Thrown by fatal(): the caller supplied input the library cannot use. */
+class FatalError : public std::exception
+{
+  public:
+    explicit FatalError(std::string message);
+
+    const char *what() const noexcept override { return message_.c_str(); }
+
+  private:
+    std::string message_;
+};
+
+/** Thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::exception
+{
+  public:
+    explicit PanicError(std::string message);
+
+    const char *what() const noexcept override { return message_.c_str(); }
+
+  private:
+    std::string message_;
+};
+
+/** Report an unusable-input condition; throws FatalError. */
+[[noreturn]] void fatal(const std::string &message);
+
+/** Report an internal invariant violation; throws PanicError. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &message);
+
+/** Print a warning to stderr and continue. */
+void warn(const std::string &message);
+
+} // namespace pep::support
+
+/** Panic with file/line context. Usage: PEP_PANIC("bad state: " << x); */
+#define PEP_PANIC(stream_expr)                                          \
+    do {                                                                \
+        std::ostringstream pep_panic_os_;                               \
+        pep_panic_os_ << stream_expr;                                   \
+        ::pep::support::panicImpl(__FILE__, __LINE__,                   \
+                                  pep_panic_os_.str());                 \
+    } while (0)
+
+/** Assert an internal invariant; panics with the condition text. */
+#define PEP_ASSERT(cond)                                                \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::pep::support::panicImpl(__FILE__, __LINE__,               \
+                                      "assertion failed: " #cond);      \
+        }                                                               \
+    } while (0)
+
+/** Assert with an explanatory message appended. */
+#define PEP_ASSERT_MSG(cond, stream_expr)                               \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            std::ostringstream pep_assert_os_;                          \
+            pep_assert_os_ << "assertion failed: " #cond << ": "        \
+                           << stream_expr;                              \
+            ::pep::support::panicImpl(__FILE__, __LINE__,               \
+                                      pep_assert_os_.str());            \
+        }                                                               \
+    } while (0)
+
+#endif // PEP_SUPPORT_PANIC_HH

@@ -1,0 +1,108 @@
+#include "support/rng.hh"
+
+#include <cmath>
+
+#include "support/panic.hh"
+
+namespace pep::support {
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &lane : s_)
+        lane = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    PEP_ASSERT(bound != 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    PEP_ASSERT(lo <= hi);
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBounded(span));
+}
+
+std::uint64_t
+Rng::nextTripCount(double mean, std::uint64_t min_trips)
+{
+    if (mean <= static_cast<double>(min_trips))
+        return min_trips;
+    // Draw geometric with mean (mean - min_trips) and shift by min_trips.
+    const double extra_mean = mean - static_cast<double>(min_trips);
+    const double u = nextDouble();
+    const double p = 1.0 / (extra_mean + 1.0);
+    const double extra = std::floor(std::log1p(-u) / std::log1p(-p));
+    return min_trips + static_cast<std::uint64_t>(extra);
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next());
+}
+
+} // namespace pep::support

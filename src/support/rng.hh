@@ -1,0 +1,58 @@
+#ifndef PEP_SUPPORT_RNG_HH
+#define PEP_SUPPORT_RNG_HH
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation. Everything in this
+ * repository that needs randomness (workload branch decisions, random CFG
+ * corpora for tests) goes through Rng so runs are reproducible from a seed.
+ */
+
+#include <cstdint>
+
+namespace pep::support {
+
+/** SplitMix64 step, used for seeding and as a cheap standalone mixer. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/**
+ * xoshiro256** generator: fast, high quality, deterministic across
+ * platforms. Not cryptographic (and does not need to be).
+ */
+class Rng
+{
+  public:
+    /** Construct from a seed; any seed (including 0) is valid. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform in [0, bound); bound must be nonzero. Unbiased (rejection). */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw: true with probability p (clamped to [0,1]). */
+    bool nextBool(double p);
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /**
+     * Geometric-ish loop trip count: mean approximately `mean`, minimum
+     * `min_trips`. Used by workloads to draw loop iteration counts.
+     */
+    std::uint64_t nextTripCount(double mean, std::uint64_t min_trips = 1);
+
+    /** Fork an independent stream (seeded from this stream's output). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace pep::support
+
+#endif // PEP_SUPPORT_RNG_HH

@@ -1,0 +1,42 @@
+#ifndef PEP_SUPPORT_STATS_HH
+#define PEP_SUPPORT_STATS_HH
+
+/**
+ * @file
+ * Small statistics helpers used by the benchmark harnesses to aggregate
+ * per-benchmark results the way the paper does (arithmetic mean across
+ * benchmarks, min/max, median of trials).
+ */
+
+#include <string>
+#include <vector>
+
+namespace pep::support {
+
+/** Arithmetic mean; returns 0 for an empty input. */
+double mean(const std::vector<double> &values);
+
+/** Geometric mean of positive values; returns 0 for an empty input. */
+double geomean(const std::vector<double> &values);
+
+/** Median (average of middle two for even counts); 0 for empty input. */
+double median(std::vector<double> values);
+
+/** Minimum; 0 for empty input. */
+double minOf(const std::vector<double> &values);
+
+/** Maximum; 0 for empty input. */
+double maxOf(const std::vector<double> &values);
+
+/** Format a ratio (e.g., 1.012) as a percentage overhead ("+1.2%"). */
+std::string formatOverhead(double ratio);
+
+/** Format a fraction in [0,1] as a percentage ("94.3%"). */
+std::string formatPercent(double fraction, int decimals = 1);
+
+/** Format a double with fixed decimals. */
+std::string formatFixed(double value, int decimals = 3);
+
+} // namespace pep::support
+
+#endif // PEP_SUPPORT_STATS_HH

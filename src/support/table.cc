@@ -1,0 +1,85 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "support/panic.hh"
+
+namespace pep::support {
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    PEP_ASSERT(!cells.empty());
+    header_ = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    PEP_ASSERT_MSG(cells.size() == header_.size(),
+                   "row has " << cells.size() << " cells, header has "
+                              << header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::separator()
+{
+    rows_.emplace_back();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &r : rows_) {
+        for (std::size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+    }
+
+    auto print_line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0)
+                os << "  ";
+            const std::string &cell = cells[c];
+            if (c == 0) {
+                os << cell
+                   << std::string(widths[c] - cell.size(), ' ');
+            } else {
+                os << std::string(widths[c] - cell.size(), ' ')
+                   << cell;
+            }
+        }
+        os << '\n';
+    };
+
+    auto print_separator = [&]() {
+        std::size_t total = 0;
+        for (std::size_t c = 0; c < widths.size(); ++c)
+            total += widths[c] + (c > 0 ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+    };
+
+    print_line(header_);
+    print_separator();
+    for (const auto &r : rows_) {
+        if (r.empty())
+            print_separator();
+        else
+            print_line(r);
+    }
+}
+
+std::string
+Table::str() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+} // namespace pep::support

@@ -1,0 +1,47 @@
+#ifndef PEP_SUPPORT_TABLE_HH
+#define PEP_SUPPORT_TABLE_HH
+
+/**
+ * @file
+ * ASCII table printer. The benchmark harnesses print the paper's tables
+ * and figure series as aligned text tables on stdout.
+ */
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pep::support {
+
+/**
+ * A simple column-aligned table. Add a header row, then data rows; column
+ * widths are computed at print time. The first column is left-aligned,
+ * the rest right-aligned (numeric convention).
+ */
+class Table
+{
+  public:
+    /** Set the header row (also fixes the column count). */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header's column count. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void separator();
+
+    /** Render the table to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> header_;
+    // A row with no cells encodes a separator.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pep::support
+
+#endif // PEP_SUPPORT_TABLE_HH

@@ -1,0 +1,198 @@
+#include "vm/advice_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/panic.hh"
+#include "support/strings.hh"
+
+namespace pep::vm {
+
+namespace {
+
+constexpr const char *kMagic = "pep-advice";
+constexpr int kVersion = 1;
+
+ParseAdviceResult
+fail(int line, const std::string &message)
+{
+    ParseAdviceResult result;
+    result.ok = false;
+    std::ostringstream os;
+    os << "advice line " << line << ": " << message;
+    result.error = os.str();
+    return result;
+}
+
+} // namespace
+
+std::string
+serializeAdvice(const ReplayAdvice &advice)
+{
+    std::ostringstream os;
+    os << kMagic << ' ' << kVersion << '\n';
+    os << "methods " << advice.finalLevel.size() << '\n';
+    for (std::size_t m = 0; m < advice.finalLevel.size(); ++m) {
+        os << "level " << m << ' '
+           << static_cast<int>(advice.finalLevel[m]) << '\n';
+    }
+    for (std::size_t m = 0; m < advice.oneTimeEdges.perMethod.size();
+         ++m) {
+        const auto &counts = advice.oneTimeEdges.perMethod[m].counts();
+        for (std::size_t b = 0; b < counts.size(); ++b) {
+            for (std::size_t i = 0; i < counts[b].size(); ++i) {
+                if (counts[b][i] != 0) {
+                    os << "edge " << m << ' ' << b << ' ' << i << ' '
+                       << counts[b][i] << '\n';
+                }
+            }
+        }
+    }
+    os << "end\n";
+    return os.str();
+}
+
+ParseAdviceResult
+parseAdvice(const std::string &text,
+            const std::vector<bytecode::MethodCfg> &cfgs)
+{
+    ParseAdviceResult result;
+    result.advice.finalLevel.assign(cfgs.size(), OptLevel::Baseline);
+    result.advice.oneTimeEdges = profile::EdgeProfileSet(cfgs);
+
+    const auto lines = support::splitChar(text, '\n');
+    bool saw_magic = false;
+    bool saw_end = false;
+    int line_number = 0;
+
+    for (const std::string &raw : lines) {
+        ++line_number;
+        const auto tokens = support::splitWhitespace(raw);
+        if (tokens.empty())
+            continue;
+        if (saw_end)
+            return fail(line_number, "content after 'end'");
+
+        if (!saw_magic) {
+            if (tokens.size() != 2 || tokens[0] != kMagic)
+                return fail(line_number, "missing pep-advice header");
+            std::int64_t version = 0;
+            if (!support::parseInt(tokens[1], version) ||
+                version != kVersion) {
+                return fail(line_number, "unsupported version");
+            }
+            saw_magic = true;
+            continue;
+        }
+
+        if (tokens[0] == "methods") {
+            std::int64_t count = 0;
+            if (tokens.size() != 2 ||
+                !support::parseInt(tokens[1], count)) {
+                return fail(line_number, "bad methods line");
+            }
+            if (count != static_cast<std::int64_t>(cfgs.size())) {
+                return fail(line_number,
+                            "advice is for a different program "
+                            "(method count mismatch)");
+            }
+            continue;
+        }
+
+        if (tokens[0] == "level") {
+            std::int64_t m = 0;
+            std::int64_t level = 0;
+            if (tokens.size() != 3 ||
+                !support::parseInt(tokens[1], m) ||
+                !support::parseInt(tokens[2], level)) {
+                return fail(line_number, "bad level line");
+            }
+            if (m < 0 || m >= static_cast<std::int64_t>(cfgs.size()))
+                return fail(line_number, "method id out of range");
+            if (level < 0 || level > 2)
+                return fail(line_number, "bad optimization level");
+            result.advice.finalLevel[static_cast<std::size_t>(m)] =
+                static_cast<OptLevel>(level);
+            continue;
+        }
+
+        if (tokens[0] == "edge") {
+            std::int64_t m = 0;
+            std::int64_t b = 0;
+            std::int64_t i = 0;
+            std::int64_t count = 0;
+            if (tokens.size() != 5 ||
+                !support::parseInt(tokens[1], m) ||
+                !support::parseInt(tokens[2], b) ||
+                !support::parseInt(tokens[3], i) ||
+                !support::parseInt(tokens[4], count)) {
+                return fail(line_number, "bad edge line");
+            }
+            if (m < 0 || m >= static_cast<std::int64_t>(cfgs.size()))
+                return fail(line_number, "method id out of range");
+            const cfg::Graph &graph =
+                cfgs[static_cast<std::size_t>(m)].graph;
+            if (b < 0 ||
+                b >= static_cast<std::int64_t>(graph.numBlocks())) {
+                return fail(line_number, "block id out of range");
+            }
+            const auto block = static_cast<cfg::BlockId>(b);
+            if (i < 0 || i >= static_cast<std::int64_t>(
+                                  graph.succs(block).size())) {
+                return fail(line_number,
+                            "successor index out of range");
+            }
+            if (count < 0)
+                return fail(line_number, "negative edge count");
+            result.advice.oneTimeEdges
+                .perMethod[static_cast<std::size_t>(m)]
+                .addEdge(cfg::EdgeRef{block,
+                                      static_cast<std::uint32_t>(i)},
+                         static_cast<std::uint64_t>(count));
+            continue;
+        }
+
+        if (tokens[0] == "end") {
+            saw_end = true;
+            continue;
+        }
+        return fail(line_number,
+                    "unknown directive '" + tokens[0] + "'");
+    }
+
+    if (!saw_magic)
+        return fail(line_number, "empty advice");
+    if (!saw_end)
+        return fail(line_number, "missing 'end'");
+    return result;
+}
+
+bool
+saveAdviceFile(const std::string &path, const ReplayAdvice &advice)
+{
+    std::ofstream out(path);
+    if (!out) {
+        support::warn("cannot write advice file " + path);
+        return false;
+    }
+    out << serializeAdvice(advice);
+    return static_cast<bool>(out);
+}
+
+ParseAdviceResult
+loadAdviceFile(const std::string &path,
+               const std::vector<bytecode::MethodCfg> &cfgs)
+{
+    std::ifstream in(path);
+    if (!in) {
+        ParseAdviceResult result;
+        result.ok = false;
+        result.error = "cannot open advice file " + path;
+        return result;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseAdvice(buffer.str(), cfgs);
+}
+
+} // namespace pep::vm

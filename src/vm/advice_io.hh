@@ -1,0 +1,61 @@
+#ifndef PEP_VM_ADVICE_IO_HH
+#define PEP_VM_ADVICE_IO_HH
+
+/**
+ * @file
+ * Advice-file serialization. The paper's replay methodology stores a
+ * run's compilation decisions and baseline edge profile in *advice
+ * files* produced by a previous well-performing adaptive run
+ * (Section 5). This module provides a line-oriented text format:
+ *
+ *   pep-advice 1
+ *   methods <count>
+ *   level <methodId> <0|1|2>          ; final optimization level
+ *   edge <methodId> <block> <succ> <count>   ; one-time edge profile,
+ *                                             ; nonzero entries only
+ *   end
+ *
+ * Parsing validates method ids and edge coordinates against the
+ * program's CFGs, so stale advice for a different program is rejected
+ * instead of corrupting a run.
+ */
+
+#include <string>
+#include <vector>
+
+#include "bytecode/cfg_builder.hh"
+#include "vm/machine.hh"
+
+namespace pep::vm {
+
+/** Render advice to the text format. */
+std::string serializeAdvice(const ReplayAdvice &advice);
+
+/** Result of parsing advice text. */
+struct ParseAdviceResult
+{
+    bool ok = true;
+    std::string error;
+    ReplayAdvice advice;
+};
+
+/**
+ * Parse advice text. `cfgs` (one per method, in method order) provides
+ * the CFG shapes the edge profile is validated and sized against.
+ */
+ParseAdviceResult
+parseAdvice(const std::string &text,
+            const std::vector<bytecode::MethodCfg> &cfgs);
+
+/** Write advice to a file; returns false (with a warning) on I/O
+ *  failure. */
+bool saveAdviceFile(const std::string &path, const ReplayAdvice &advice);
+
+/** Read and parse advice from a file. */
+ParseAdviceResult
+loadAdviceFile(const std::string &path,
+               const std::vector<bytecode::MethodCfg> &cfgs);
+
+} // namespace pep::vm
+
+#endif // PEP_VM_ADVICE_IO_HH

@@ -1,0 +1,59 @@
+#include "vm/call_graph.hh"
+
+#include <algorithm>
+
+namespace pep::vm {
+
+std::uint64_t
+CallGraph::count(bytecode::MethodId caller,
+                 bytecode::MethodId callee) const
+{
+    const auto it = edges_.find({caller, callee});
+    return it == edges_.end() ? 0 : it->second;
+}
+
+std::uint64_t
+CallGraph::totalCalls() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[edge, count] : edges_)
+        total += count;
+    return total;
+}
+
+std::vector<std::pair<bytecode::MethodId, std::uint64_t>>
+CallGraph::calleesOf(bytecode::MethodId caller) const
+{
+    std::vector<std::pair<bytecode::MethodId, std::uint64_t>> result;
+    for (const auto &[edge, count] : edges_) {
+        if (edge.first == caller)
+            result.emplace_back(edge.second, count);
+    }
+    std::stable_sort(result.begin(), result.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second > b.second;
+                     });
+    return result;
+}
+
+double
+callGraphOverlap(const CallGraph &a, const CallGraph &b)
+{
+    const double total_a = static_cast<double>(a.totalCalls());
+    const double total_b = static_cast<double>(b.totalCalls());
+    if (total_a == 0.0 && total_b == 0.0)
+        return 1.0;
+    if (total_a == 0.0 || total_b == 0.0)
+        return 0.0;
+    double overlap = 0.0;
+    for (const auto &[edge, count] : a.edges()) {
+        const double share_a = static_cast<double>(count) / total_a;
+        const double share_b =
+            static_cast<double>(b.count(edge.first, edge.second)) /
+            total_b;
+        overlap += std::min(share_a, share_b);
+    }
+    return overlap;
+}
+
+} // namespace pep::vm

@@ -1,0 +1,72 @@
+#ifndef PEP_VM_CALL_GRAPH_HH
+#define PEP_VM_CALL_GRAPH_HH
+
+/**
+ * @file
+ * Dynamic call graphs. Jikes RVM's adaptive system — the machinery PEP
+ * piggybacks on — maintains a sampled dynamic call graph: on each
+ * timer tick the yieldpoint handler records the (caller, callee) pair
+ * at the top of the stack (Arnold-Grove's original application). The
+ * VM also keeps a zero-cost ground-truth call graph (every Invoke), so
+ * the sampled graph's accuracy can be evaluated the same way the
+ * paper evaluates PEP's profiles.
+ */
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "bytecode/instr.hh"
+
+namespace pep::vm {
+
+/** Caller -> callee invocation counts. */
+class CallGraph
+{
+  public:
+    /** Record one (or n) calls of `callee` from `caller`. */
+    void
+    addCall(bytecode::MethodId caller, bytecode::MethodId callee,
+            std::uint64_t n = 1)
+    {
+        edges_[{caller, callee}] += n;
+    }
+
+    /** Count for one call edge (0 if never seen). */
+    std::uint64_t count(bytecode::MethodId caller,
+                        bytecode::MethodId callee) const;
+
+    /** All edges with their counts. */
+    const std::map<std::pair<bytecode::MethodId, bytecode::MethodId>,
+                   std::uint64_t> &
+    edges() const
+    {
+        return edges_;
+    }
+
+    /** Total recorded calls. */
+    std::uint64_t totalCalls() const;
+
+    /** Hottest callees of a caller, most frequent first. */
+    std::vector<std::pair<bytecode::MethodId, std::uint64_t>>
+    calleesOf(bytecode::MethodId caller) const;
+
+    void clear() { edges_.clear(); }
+
+  private:
+    std::map<std::pair<bytecode::MethodId, bytecode::MethodId>,
+             std::uint64_t>
+        edges_;
+};
+
+/**
+ * Weighted overlap of two call graphs (the paper's "absolute overlap"
+ * applied to call edges): sum over edges of min(share_a, share_b).
+ * 1.0 for identical distributions, 0.0 for disjoint; 1.0 if both are
+ * empty.
+ */
+double callGraphOverlap(const CallGraph &a, const CallGraph &b);
+
+} // namespace pep::vm
+
+#endif // PEP_VM_CALL_GRAPH_HH

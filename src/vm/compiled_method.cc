@@ -1,0 +1,15 @@
+#include "vm/compiled_method.hh"
+
+#include "vm/inliner.hh"
+
+namespace pep::vm {
+
+// Out of line so the unique_ptr<InlinedBody> member can live behind a
+// forward declaration.
+CompiledMethod::CompiledMethod() = default;
+CompiledMethod::~CompiledMethod() = default;
+CompiledMethod::CompiledMethod(CompiledMethod &&) noexcept = default;
+CompiledMethod &
+CompiledMethod::operator=(CompiledMethod &&) noexcept = default;
+
+} // namespace pep::vm

@@ -1,0 +1,32 @@
+#include "vm/cost_model.hh"
+
+namespace pep::vm {
+
+std::uint32_t
+CostModel::instrCost(bytecode::Opcode op) const
+{
+    using bytecode::Opcode;
+    switch (op) {
+      case Opcode::Imul:
+        return 8;
+      case Opcode::Idiv:
+      case Opcode::Irem:
+        return 24;
+      case Opcode::Gload:
+      case Opcode::Gstore:
+        return 7;
+      case Opcode::Invoke:
+        return 20;
+      case Opcode::Return:
+      case Opcode::Ireturn:
+        return 10;
+      case Opcode::Tableswitch:
+        return 9;
+      case Opcode::Irnd:
+        return 7;
+      default:
+        return 3;
+    }
+}
+
+} // namespace pep::vm

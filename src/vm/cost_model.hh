@@ -1,0 +1,97 @@
+#ifndef PEP_VM_COST_MODEL_HH
+#define PEP_VM_COST_MODEL_HH
+
+/**
+ * @file
+ * The deterministic cycle cost model that stands in for real hardware
+ * timing. All overhead results are ratios of simulated cycles, so what
+ * matters is the *relative* cost of base work, instrumentation work,
+ * and sampling work.
+ *
+ * Scaling note: the paper's timer tick is ~20 ms (~64M cycles at
+ * 3.2 GHz) and its yieldpoint handler costs on the order of a thousand
+ * cycles, i.e. handler/tick is about 1e-5. Simulating 64M-cycle ticks is
+ * infeasible, so we shrink the tick (default 400k cycles) and scale the
+ * handler costs by the same factor, preserving the sampling-overhead
+ * ratios the paper reports (PEP(64,17) adds ~0.1%; denser configs add
+ * 0.8-2.3%). Instrumentation costs (path-register adds, hash-table path
+ * stores, edge counters) are per-event and unaffected by tick scaling.
+ */
+
+#include <cstdint>
+
+#include "bytecode/instr.hh"
+
+namespace pep::vm {
+
+/** Cycle costs of simulated execution. */
+struct CostModel
+{
+    // ---- Base program work -------------------------------------------
+    /** Cost of one bytecode instruction in optimized code. */
+    std::uint32_t instrCost(bytecode::Opcode op) const;
+
+    /** Extra cycles when a conditional/switch goes against the compiled
+     *  code layout (mispredicted direction / taken jump off the fall
+     *  through path). Models the profile sensitivity of Pettis-Hansen
+     *  style layout. */
+    std::uint32_t layoutMissPenalty = 8;
+
+    /** Yieldpoint flag check; present in ALL code (base and PEP), so it
+     *  never shows up as instrumentation overhead. */
+    std::uint32_t yieldpointCheckCost = 1;
+
+    // ---- Compiler tiers ----------------------------------------------
+    /** Slowdown of baseline-compiled code relative to full opt. */
+    double baselineMultiplier = 2.6;
+
+    /** Slowdown of first-level opt code relative to full opt. */
+    double opt1Multiplier = 1.12;
+
+    /** Compile cost per bytecode instruction, by tier. */
+    std::uint32_t baselineCompileCostPerInstr = 25;
+    std::uint32_t opt1CompileCostPerInstr = 220;
+    std::uint32_t opt2CompileCostPerInstr = 550;
+
+    /** Fractional extra opt-compile time for PEP's three quick passes
+     *  (P-DAG build, smart numbering, instrumentation insertion). */
+    double pepCompilePassOverhead = 0.20;
+
+    // ---- Instrumentation ---------------------------------------------
+    /** r += val on an edge (charged only when val != 0). */
+    std::uint32_t pathRegAddCost = 1;
+
+    /** r = restart at a path end (header/back edge). */
+    std::uint32_t pathRegResetCost = 2;
+
+    /** count[r]++ as a hash call — what the paper's perfect path
+     *  profiler inserts at every yieldpoint (Section 5.1: 92% average
+     *  overhead). The expensive step PEP avoids by sampling. */
+    std::uint32_t pathStoreHashCost = 180;
+
+    /** count[r]++ as an array load-increment-store — classic BLPP's
+     *  cheaper store (Section 3.1: 31% average overhead). */
+    std::uint32_t pathStoreArrayCost = 72;
+
+    /** Baseline edge instrumentation: taken/not-taken counter update. */
+    std::uint32_t edgeCounterCost = 8;
+
+    // ---- Sampling (scaled with the tick; see file comment) ------------
+    /** Yieldpoint handler invocation that records a sample. */
+    std::uint32_t sampleHandlerCost = 55;
+
+    /** Handler invocation that strides over (skips) a sample; nearly as
+     *  expensive as taking one (Section 4.4 observation). */
+    std::uint32_t strideHandlerCost = 48;
+
+    /** First handler activation of a timer tick (context examination). */
+    std::uint32_t tickHandlerCost = 325;
+
+    /** On-stack replacement transition (frame state rewrite), on top
+     *  of the new version's compile cost. */
+    std::uint32_t osrTransitionCost = 300;
+};
+
+} // namespace pep::vm
+
+#endif // PEP_VM_COST_MODEL_HH

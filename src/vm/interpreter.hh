@@ -1,0 +1,89 @@
+#ifndef PEP_VM_INTERPRETER_HH
+#define PEP_VM_INTERPRETER_HH
+
+/**
+ * @file
+ * The execution engine. Interprets bytecode instruction by instruction,
+ * charging the cost model, maintaining ground-truth edge counts, firing
+ * profiler hooks (method entry/exit, edges, loop headers, yieldpoints),
+ * polling the virtual timer at yieldpoints, and driving lazy/adaptive
+ * compilation at call sites.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "bytecode/method.hh"
+#include "vm/machine.hh"
+
+namespace pep::vm {
+
+/** One invocation record. */
+struct Frame
+{
+    bytecode::MethodId method = 0;
+    const CompiledMethod *version = nullptr;
+
+    /** Code this frame executes: the method's bytecode, or the
+     *  version's inlined body. */
+    const bytecode::Method *code = nullptr;
+
+    /** Execution tables matching `code`. */
+    const MethodInfo *info = nullptr;
+
+    bytecode::Pc pc = 0;
+    std::vector<std::int32_t> locals;
+    std::vector<std::int32_t> stack;
+};
+
+/** Runs one iteration (one main() invocation) on a Machine. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(Machine &machine);
+
+    /** Execute main() to completion. */
+    void run();
+
+  private:
+    /** Execute instructions until the frame stack empties. */
+    void loop();
+
+    /** Push a frame for `m`, taking numArgs arguments from `caller`'s
+     *  operand stack (caller may be nullptr for main). */
+    void pushFrame(bytecode::MethodId m, Frame *caller);
+
+    /** Fire a yieldpoint: poll the timer, take adaptive method
+     *  samples, notify hooks, and perform OSR at loop headers when
+     *  enabled. `block` is the header block for LoopHeader
+     *  yieldpoints. */
+    void yieldpoint(YieldpointKind kind,
+                    cfg::BlockId block = cfg::kInvalidBlock);
+
+    /** Fire edge hooks + ground truth for a taken CFG edge (edge ids
+     *  are in the frame's executing CFG; ground truth maps inlined
+     *  branch edges back to their original bytecode branch). */
+    void edgeTaken(const Frame &frame, cfg::EdgeRef edge);
+
+    /** Transfer control to `target` pc, firing header events. */
+    void transferTo(Frame &frame, bytecode::Pc target);
+
+    /** Advance past a non-branch instruction at frame.pc, firing the
+     *  fall-through edge when the block ends there. */
+    void advance(Frame &frame);
+
+    /** Ensure the method is compiled at its target level; returns the
+     *  version new invocations should use. */
+    const CompiledMethod *resolveVersion(bytecode::MethodId m);
+
+    FrameView view(const Frame &frame) const;
+
+    Machine &vm_;
+    std::vector<Frame> frames_;
+    std::uint64_t iterationStart_ = 0;
+    std::uint64_t globalsBase_ = 0; // unused; reserved
+};
+
+} // namespace pep::vm
+
+#endif // PEP_VM_INTERPRETER_HH

@@ -1,0 +1,41 @@
+#ifndef PEP_VM_LAYOUT_HH
+#define PEP_VM_LAYOUT_HH
+
+/**
+ * @file
+ * Canned layout-profile sources for driving the optimizer with a fixed
+ * edge profile (Figure 10's perfect-continuous and flipped
+ * configurations).
+ */
+
+#include "profile/edge_profile.hh"
+#include "vm/machine.hh"
+
+namespace pep::vm {
+
+/** Serves layout queries from a fixed edge-profile snapshot. */
+class FixedLayoutSource final : public LayoutSource
+{
+  public:
+    explicit FixedLayoutSource(profile::EdgeProfileSet profiles)
+        : profiles_(std::move(profiles))
+    {
+    }
+
+    const profile::MethodEdgeProfile *
+    layoutProfile(bytecode::MethodId method) override
+    {
+        const profile::MethodEdgeProfile &p =
+            profiles_.perMethod[method];
+        return p.totalCount() > 0 ? &p : nullptr;
+    }
+
+    const profile::EdgeProfileSet &profiles() const { return profiles_; }
+
+  private:
+    profile::EdgeProfileSet profiles_;
+};
+
+} // namespace pep::vm
+
+#endif // PEP_VM_LAYOUT_HH

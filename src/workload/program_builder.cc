@@ -1,0 +1,209 @@
+#include "workload/program_builder.hh"
+
+#include "bytecode/verifier.hh"
+#include "support/panic.hh"
+
+namespace pep::workload {
+
+MethodBuilder::MethodBuilder(std::string name, std::uint32_t num_args,
+                             bool returns_value)
+{
+    method_.name = std::move(name);
+    method_.numArgs = num_args;
+    method_.returnsValue = returns_value;
+    nextLocal_ = num_args;
+}
+
+Label
+MethodBuilder::newLabel()
+{
+    const Label label{static_cast<std::uint32_t>(labelPc_.size())};
+    labelPc_.push_back(-1);
+    return label;
+}
+
+void
+MethodBuilder::bind(Label label)
+{
+    PEP_ASSERT_MSG(labelPc_[label.id] == -1, "label bound twice");
+    labelPc_[label.id] = static_cast<std::int32_t>(code_.size());
+}
+
+std::uint32_t
+MethodBuilder::newLocal()
+{
+    return nextLocal_++;
+}
+
+void
+MethodBuilder::iconst(std::int32_t v)
+{
+    code_.push_back({bytecode::Opcode::Iconst, v, 0, {}});
+}
+
+void
+MethodBuilder::iload(std::uint32_t slot)
+{
+    code_.push_back({bytecode::Opcode::Iload,
+                     static_cast<std::int32_t>(slot), 0, {}});
+}
+
+void
+MethodBuilder::istore(std::uint32_t slot)
+{
+    code_.push_back({bytecode::Opcode::Istore,
+                     static_cast<std::int32_t>(slot), 0, {}});
+}
+
+void
+MethodBuilder::iinc(std::uint32_t slot, std::int32_t delta)
+{
+    code_.push_back({bytecode::Opcode::Iinc,
+                     static_cast<std::int32_t>(slot), delta, {}});
+}
+
+void
+MethodBuilder::emit(bytecode::Opcode op)
+{
+    code_.push_back({op, 0, 0, {}});
+}
+
+void
+MethodBuilder::branch(bytecode::Opcode op, Label target)
+{
+    PEP_ASSERT(bytecode::isCondBranch(op));
+    patches_.push_back({static_cast<bytecode::Pc>(code_.size()),
+                        Patch::Field::A, 0, target.id});
+    code_.push_back({op, 0, 0, {}});
+}
+
+void
+MethodBuilder::jump(Label target)
+{
+    patches_.push_back({static_cast<bytecode::Pc>(code_.size()),
+                        Patch::Field::A, 0, target.id});
+    code_.push_back({bytecode::Opcode::Goto, 0, 0, {}});
+}
+
+void
+MethodBuilder::tableswitch(std::int32_t lo, Label default_target,
+                           const std::vector<Label> &cases)
+{
+    const auto pc = static_cast<bytecode::Pc>(code_.size());
+    patches_.push_back({pc, Patch::Field::B, 0, default_target.id});
+    bytecode::Instr instr{bytecode::Opcode::Tableswitch, lo, 0, {}};
+    instr.table.assign(cases.size(), 0);
+    for (std::size_t i = 0; i < cases.size(); ++i)
+        patches_.push_back({pc, Patch::Field::Table, i, cases[i].id});
+    code_.push_back(std::move(instr));
+}
+
+void
+MethodBuilder::invoke(bytecode::MethodId callee)
+{
+    code_.push_back({bytecode::Opcode::Invoke,
+                     static_cast<std::int32_t>(callee), 0, {}});
+}
+
+void
+MethodBuilder::ret()
+{
+    code_.push_back({bytecode::Opcode::Return, 0, 0, {}});
+}
+
+void
+MethodBuilder::iret()
+{
+    code_.push_back({bytecode::Opcode::Ireturn, 0, 0, {}});
+}
+
+bytecode::Method
+MethodBuilder::build()
+{
+    for (const Patch &patch : patches_) {
+        const std::int32_t pc = labelPc_[patch.label];
+        PEP_ASSERT_MSG(pc >= 0, "unbound label in method "
+                                    << method_.name);
+        bytecode::Instr &instr = code_[patch.pc];
+        switch (patch.field) {
+          case Patch::Field::A:
+            instr.a = pc;
+            break;
+          case Patch::Field::B:
+            instr.b = pc;
+            break;
+          case Patch::Field::Table:
+            instr.table[patch.tableIndex] = pc;
+            break;
+        }
+    }
+    method_.numLocals = nextLocal_;
+    method_.code = std::move(code_);
+    return std::move(method_);
+}
+
+bytecode::MethodId
+ProgramBuilder::declareMethod(const std::string &name,
+                              std::uint32_t num_args, bool returns_value)
+{
+    const auto id =
+        static_cast<bytecode::MethodId>(program_.methods.size());
+    bytecode::Method stub;
+    stub.name = name;
+    stub.numArgs = num_args;
+    stub.numLocals = num_args;
+    stub.returnsValue = returns_value;
+    program_.methods.push_back(std::move(stub));
+    defined_.push_back(false);
+    return id;
+}
+
+void
+ProgramBuilder::define(bytecode::MethodId id, MethodBuilder &builder)
+{
+    PEP_ASSERT(id < program_.methods.size());
+    PEP_ASSERT_MSG(!defined_[id], "method defined twice");
+    bytecode::Method built = builder.build();
+    PEP_ASSERT(built.name == program_.methods[id].name);
+    PEP_ASSERT(built.numArgs == program_.methods[id].numArgs);
+    PEP_ASSERT(built.returnsValue == program_.methods[id].returnsValue);
+    program_.methods[id] = std::move(built);
+    defined_[id] = true;
+}
+
+std::uint32_t
+ProgramBuilder::numArgs(bytecode::MethodId id) const
+{
+    return program_.methods[id].numArgs;
+}
+
+bool
+ProgramBuilder::returnsValue(bytecode::MethodId id) const
+{
+    return program_.methods[id].returnsValue;
+}
+
+const std::string &
+ProgramBuilder::methodName(bytecode::MethodId id) const
+{
+    return program_.methods[id].name;
+}
+
+bytecode::Program
+ProgramBuilder::build()
+{
+    for (std::size_t i = 0; i < defined_.size(); ++i) {
+        PEP_ASSERT_MSG(defined_[i], "method "
+                                        << program_.methods[i].name
+                                        << " declared but not defined");
+    }
+    const bytecode::VerifyResult verified =
+        bytecode::verifyProgram(program_);
+    if (!verified.ok) {
+        support::fatal("generated program failed verification: " +
+                       verified.error);
+    }
+    return std::move(program_);
+}
+
+} // namespace pep::workload

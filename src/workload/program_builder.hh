@@ -1,0 +1,122 @@
+#ifndef PEP_WORKLOAD_PROGRAM_BUILDER_HH
+#define PEP_WORKLOAD_PROGRAM_BUILDER_HH
+
+/**
+ * @file
+ * A programmatic bytecode builder with labels and forward references,
+ * used by the synthetic workload generator (the text assembler is for
+ * humans; this is for code that writes code).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bytecode/method.hh"
+
+namespace pep::workload {
+
+/** Forward-referenceable branch target. */
+struct Label
+{
+    std::uint32_t id = 0;
+};
+
+/** Builds one method. */
+class MethodBuilder
+{
+  public:
+    MethodBuilder(std::string name, std::uint32_t num_args,
+                  bool returns_value);
+
+    // ---- Labels -------------------------------------------------------
+    Label newLabel();
+
+    /** Bind a label to the next instruction. */
+    void bind(Label label);
+
+    // ---- Locals -------------------------------------------------------
+    /** Allocate a fresh local slot (arguments occupy the first slots). */
+    std::uint32_t newLocal();
+
+    /** Slot of argument `i`. */
+    std::uint32_t argSlot(std::uint32_t i) const { return i; }
+
+    // ---- Instruction emitters ------------------------------------------
+    void iconst(std::int32_t v);
+    void iload(std::uint32_t slot);
+    void istore(std::uint32_t slot);
+    void iinc(std::uint32_t slot, std::int32_t delta);
+    void emit(bytecode::Opcode op); // operand-free opcodes
+    void branch(bytecode::Opcode op, Label target); // cond branches
+    void jump(Label target);
+    void tableswitch(std::int32_t lo, Label default_target,
+                     const std::vector<Label> &cases);
+    void invoke(bytecode::MethodId callee);
+    void ret();  // return (void methods)
+    void iret(); // ireturn (value methods)
+
+    /** Number of instructions emitted so far. */
+    std::size_t codeSize() const { return code_.size(); }
+
+    /** Finalize: patch labels; panics on unbound labels. */
+    bytecode::Method build();
+
+  private:
+    bytecode::Method method_;
+    std::vector<bytecode::Instr> code_;
+    std::vector<std::int32_t> labelPc_; // -1 = unbound
+
+    struct Patch
+    {
+        bytecode::Pc pc;
+        enum class Field { A, B, Table } field;
+        std::size_t tableIndex;
+        std::uint32_t label;
+    };
+    std::vector<Patch> patches_;
+    std::uint32_t nextLocal_;
+};
+
+/** Builds a whole program. */
+class ProgramBuilder
+{
+  public:
+    /**
+     * Reserve a method slot (so calls can reference it before its body
+     * exists) and get its id.
+     */
+    bytecode::MethodId declareMethod(const std::string &name,
+                                     std::uint32_t num_args,
+                                     bool returns_value);
+
+    /** Install the built body for a declared method. The builder's
+     *  name/signature must match the declaration. */
+    void define(bytecode::MethodId id, MethodBuilder &builder);
+
+    /** Signature info of a declared method. */
+    std::uint32_t numArgs(bytecode::MethodId id) const;
+    bool returnsValue(bytecode::MethodId id) const;
+    const std::string &methodName(bytecode::MethodId id) const;
+
+    void setMain(bytecode::MethodId id) { program_.mainMethod = id; }
+    void setGlobalSize(std::uint32_t size)
+    {
+        program_.globalSize = size;
+    }
+    void setInitialGlobals(std::vector<std::int32_t> values)
+    {
+        program_.initialGlobals = std::move(values);
+    }
+
+    /** Finalize and verify; fatal on verification failure. */
+    bytecode::Program build();
+
+  private:
+    bytecode::Program program_;
+    std::vector<bool> defined_;
+};
+
+} // namespace pep::workload
+
+#endif // PEP_WORKLOAD_PROGRAM_BUILDER_HH

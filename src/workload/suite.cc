@@ -1,0 +1,283 @@
+#include "workload/suite.hh"
+
+#include <algorithm>
+
+#include "support/panic.hh"
+
+namespace pep::workload {
+
+namespace {
+
+std::vector<WorkloadSpec>
+makeSuite()
+{
+    std::vector<WorkloadSpec> suite;
+
+    auto add = [&](WorkloadSpec spec) {
+        suite.push_back(std::move(spec));
+    };
+
+    // ---- SPEC JVM98 stand-ins -----------------------------------------
+    {
+        // compress: few very hot tight loops, highly biased branches.
+        WorkloadSpec s;
+        s.name = "compress";
+        s.seed = 101;
+        s.hotMethods = 3;
+        s.leafMethods = 2;
+        s.coldMethods = 6;
+        s.elementsPerBody = 4;
+        s.fillerPerArm = 3; // tight loops: high instrumentation density
+        s.biasLo = 0.82;
+        s.biasHi = 0.98;
+        s.switchProb = 0.05;
+        s.nestedLoopProb = 0.20;
+        s.outerIterations = 385;
+        s.unitTrips = 48;
+        add(s);
+    }
+    {
+        // jess: rule engine — many methods, moderate biases.
+        WorkloadSpec s;
+        s.name = "jess";
+        s.seed = 102;
+        s.hotMethods = 8;
+        s.leafMethods = 6;
+        s.coldMethods = 14;
+        s.elementsPerBody = 9;
+        s.callProb = 0.30;
+        s.outerIterations = 231;
+        s.unitTrips = 24;
+        add(s);
+    }
+    {
+        // raytrace: deep call chains, few switches.
+        WorkloadSpec s;
+        s.name = "raytrace";
+        s.seed = 103;
+        s.hotMethods = 5;
+        s.leafMethods = 6;
+        s.coldMethods = 8;
+        s.callProb = 0.40;
+        s.switchProb = 0.0;
+        s.outerIterations = 264;
+        s.unitTrips = 30;
+        add(s);
+    }
+    {
+        // db: index lookups — switch-heavy.
+        WorkloadSpec s;
+        s.name = "db";
+        s.seed = 104;
+        s.hotMethods = 4;
+        s.leafMethods = 3;
+        s.coldMethods = 7;
+        s.switchCases = 6;
+        s.switchProb = 0.35;
+        s.callProb = 0.10;
+        s.outerIterations = 286;
+        s.unitTrips = 34;
+        add(s);
+    }
+    {
+        // javac: large branchy CFGs, lots of cold code.
+        WorkloadSpec s;
+        s.name = "javac";
+        s.seed = 105;
+        s.hotMethods = 9;
+        s.leafMethods = 5;
+        s.coldMethods = 20;
+        s.elementsPerBody = 10;
+        s.driftFraction = 0.14;
+        s.outerIterations = 198;
+        s.unitTrips = 22;
+        add(s);
+    }
+    {
+        // mpegaudio: arithmetic kernels, few branches, long loops.
+        WorkloadSpec s;
+        s.name = "mpegaudio";
+        s.seed = 106;
+        s.hotMethods = 3;
+        s.leafMethods = 2;
+        s.coldMethods = 5;
+        s.elementsPerBody = 3;
+        s.fillerPerArm = 8;
+        s.biasLo = 0.85;
+        s.biasHi = 0.99;
+        s.switchProb = 0.0;
+        s.outerIterations = 341;
+        s.unitTrips = 44;
+        add(s);
+    }
+    {
+        // mtrt: multithreaded raytracer's sequential shape.
+        WorkloadSpec s;
+        s.name = "mtrt";
+        s.seed = 107;
+        s.hotMethods = 6;
+        s.leafMethods = 7;
+        s.coldMethods = 9;
+        s.callProb = 0.38;
+        s.switchProb = 0.05;
+        s.outerIterations = 253;
+        s.unitTrips = 28;
+        add(s);
+    }
+    {
+        // jack: parser generator — short-running (compile-heavy).
+        WorkloadSpec s;
+        s.name = "jack";
+        s.seed = 108;
+        s.hotMethods = 7;
+        s.leafMethods = 4;
+        s.coldMethods = 12;
+        s.elementsPerBody = 6;
+        s.outerIterations = 71;
+        s.unitTrips = 20;
+        add(s);
+    }
+
+    // ---- pseudojbb -------------------------------------------------------
+    {
+        WorkloadSpec s;
+        s.name = "pseudojbb";
+        s.seed = 109;
+        s.hotMethods = 10;
+        s.leafMethods = 8;
+        s.coldMethods = 16;
+        s.switchCases = 5;
+        s.switchProb = 0.25; // transaction dispatch
+        s.elementsPerBody = 5;
+        s.outerIterations = 412;
+        s.unitTrips = 26;
+        add(s);
+    }
+
+    // ---- DaCapo stand-ins --------------------------------------------------
+    {
+        // antlr: many small branchy methods.
+        WorkloadSpec s;
+        s.name = "antlr";
+        s.seed = 110;
+        s.hotMethods = 11;
+        s.leafMethods = 8;
+        s.coldMethods = 18;
+        s.elementsPerBody = 6;
+        s.callProb = 0.28;
+        s.outerIterations = 187;
+        s.unitTrips = 18;
+        add(s);
+    }
+    {
+        // bloat: bytecode optimizer — deep calls, irregular biases.
+        WorkloadSpec s;
+        s.name = "bloat";
+        s.seed = 111;
+        s.hotMethods = 8;
+        s.leafMethods = 6;
+        s.coldMethods = 14;
+        s.callProb = 0.34;
+        s.driftFraction = 0.12;
+        s.outerIterations = 231;
+        s.unitTrips = 24;
+        add(s);
+    }
+    {
+        // fop: XSL-FO formatter — moderate everything.
+        WorkloadSpec s;
+        s.name = "fop";
+        s.seed = 112;
+        s.hotMethods = 6;
+        s.leafMethods = 5;
+        s.coldMethods = 15;
+        s.elementsPerBody = 5;
+        s.outerIterations = 165;
+        s.unitTrips = 26;
+        add(s);
+    }
+    {
+        // pmd: source analyzer — branchy with nested loops.
+        WorkloadSpec s;
+        s.name = "pmd";
+        s.seed = 113;
+        s.hotMethods = 7;
+        s.leafMethods = 5;
+        s.coldMethods = 12;
+        s.nestedLoopProb = 0.28;
+        s.elementsPerBody = 7;
+        s.outerIterations = 209;
+        s.unitTrips = 22;
+        add(s);
+    }
+    {
+        // ps: postscript interpreter — loop-heavy, few methods.
+        WorkloadSpec s;
+        s.name = "ps";
+        s.seed = 114;
+        s.hotMethods = 4;
+        s.leafMethods = 3;
+        s.coldMethods = 8;
+        s.nestedLoopProb = 0.35;
+        s.elementsPerBody = 5;
+        s.fillerPerArm = 1; // very tight interpreter-style loops with
+        s.biasLo = 0.50;    // unpredictable branches: the worst case
+        s.biasHi = 0.80;    // for instrumentation density (paper's gcc
+                            // analogue)
+        s.outerIterations = 308;
+        s.unitTrips = 38;
+        add(s);
+    }
+    {
+        // xalan: XSLT — switch and branch mix, phases from template
+        // selection.
+        WorkloadSpec s;
+        s.name = "xalan";
+        s.seed = 115;
+        s.hotMethods = 9;
+        s.leafMethods = 6;
+        s.coldMethods = 13;
+        s.switchCases = 5;
+        s.switchProb = 0.22;
+        s.driftFraction = 0.16;
+        s.outerIterations = 275;
+        s.unitTrips = 24;
+        add(s);
+    }
+
+    return suite;
+}
+
+} // namespace
+
+const std::vector<WorkloadSpec> &
+standardSuite()
+{
+    static const std::vector<WorkloadSpec> suite = makeSuite();
+    return suite;
+}
+
+std::vector<WorkloadSpec>
+scaledSuite(double scale)
+{
+    PEP_ASSERT(scale > 0.0 && scale <= 1.0);
+    std::vector<WorkloadSpec> suite = standardSuite();
+    for (WorkloadSpec &spec : suite) {
+        spec.outerIterations = std::max<std::uint64_t>(
+            20, static_cast<std::uint64_t>(
+                    static_cast<double>(spec.outerIterations) * scale));
+    }
+    return suite;
+}
+
+const WorkloadSpec &
+suiteSpec(const std::string &name)
+{
+    for (const WorkloadSpec &spec : standardSuite()) {
+        if (spec.name == name)
+            return spec;
+    }
+    support::fatal("unknown benchmark '" + name + "'");
+}
+
+} // namespace pep::workload

@@ -1,0 +1,36 @@
+#ifndef PEP_WORKLOAD_SUITE_HH
+#define PEP_WORKLOAD_SUITE_HH
+
+/**
+ * @file
+ * The benchmark suite: fifteen synthetic programs standing in for the
+ * paper's SPEC JVM98 (compress, jess, raytrace, db, javac, mpegaudio,
+ * mtrt, jack), pseudojbb, and the DaCapo subset (antlr, bloat, fop,
+ * pmd, ps, xalan). Names are kept so benchmark tables read like the
+ * paper's figures; each program's *shape* (loopiness, branchiness,
+ * method counts, run length, phase drift) is parameterized to give the
+ * suite the diversity the evaluation needs. hsqldb is omitted, as in
+ * the paper.
+ */
+
+#include <vector>
+
+#include "workload/synthetic.hh"
+
+namespace pep::workload {
+
+/** The fifteen benchmark specs. */
+const std::vector<WorkloadSpec> &standardSuite();
+
+/**
+ * The suite with run lengths scaled by `scale` (0 < scale <= 1) for
+ * quick test runs.
+ */
+std::vector<WorkloadSpec> scaledSuite(double scale);
+
+/** Find a spec by name (fatal if absent). */
+const WorkloadSpec &suiteSpec(const std::string &name);
+
+} // namespace pep::workload
+
+#endif // PEP_WORKLOAD_SUITE_HH

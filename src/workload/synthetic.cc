@@ -1,0 +1,363 @@
+#include "workload/synthetic.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/panic.hh"
+#include "support/rng.hh"
+#include "workload/program_builder.hh"
+
+namespace pep::workload {
+
+namespace {
+
+using bytecode::MethodId;
+using bytecode::Opcode;
+using support::Rng;
+
+/** One drifting branch: its bias lives in a global slot. */
+struct DriftSlot
+{
+    std::uint32_t slot;
+    std::int32_t initialThreshold;
+    std::int32_t shiftedThreshold;
+};
+
+/** Shared generation context. */
+struct Gen
+{
+    const WorkloadSpec &spec;
+    Rng rng;
+    std::vector<DriftSlot> driftSlots;
+    std::vector<MethodId> leafIds;
+
+    explicit Gen(const WorkloadSpec &s) : spec(s), rng(s.seed) {}
+
+    std::int32_t
+    biasThreshold(double bias) const
+    {
+        return static_cast<std::int32_t>(bias * 65536.0);
+    }
+
+    double
+    drawBias()
+    {
+        return spec.biasLo +
+               rng.nextDouble() * (spec.biasHi - spec.biasLo);
+    }
+};
+
+/** A few cheap arithmetic instructions mutating a scratch local. */
+void
+emitFiller(MethodBuilder &b, Gen &gen, std::uint32_t scratch,
+           std::uint32_t count)
+{
+    for (std::uint32_t i = 0; i < count; ++i) {
+        switch (gen.rng.nextBounded(3)) {
+          case 0:
+            b.iinc(scratch, static_cast<std::int32_t>(
+                                gen.rng.nextRange(1, 7)));
+            break;
+          case 1:
+            b.iload(scratch);
+            b.iconst(static_cast<std::int32_t>(
+                gen.rng.nextRange(3, 1000)));
+            b.emit(Opcode::Ixor);
+            b.istore(scratch);
+            break;
+          default:
+            b.iload(scratch);
+            b.iconst(static_cast<std::int32_t>(
+                gen.rng.nextRange(1, 5)));
+            b.emit(Opcode::Ishr);
+            b.istore(scratch);
+            break;
+        }
+    }
+}
+
+/** Emit a biased diamond: if ((Irnd & 0xffff) < T) then ... else ... */
+void
+emitDiamond(MethodBuilder &b, Gen &gen, std::uint32_t scratch)
+{
+    const double bias = gen.drawBias();
+    const bool drifts = gen.rng.nextBool(gen.spec.driftFraction);
+
+    b.emit(Opcode::Irnd);
+    b.iconst(0xffff);
+    b.emit(Opcode::Iand);
+    if (drifts) {
+        // Threshold read from a global slot so the phase switch can
+        // move it at run time.
+        const auto slot = static_cast<std::uint32_t>(
+            1 + gen.driftSlots.size());
+        double shifted = bias - gen.spec.driftMagnitude;
+        if (shifted < 0.02)
+            shifted = std::min(0.98, bias + gen.spec.driftMagnitude);
+        gen.driftSlots.push_back(
+            DriftSlot{slot, gen.biasThreshold(bias),
+                      gen.biasThreshold(shifted)});
+        b.iconst(static_cast<std::int32_t>(slot));
+        b.emit(Opcode::Gload);
+    } else {
+        b.iconst(gen.biasThreshold(bias));
+    }
+
+    Label taken = b.newLabel();
+    Label join = b.newLabel();
+    b.branch(Opcode::IfIcmplt, taken);
+    emitFiller(b, gen, scratch, gen.spec.fillerPerArm);
+    b.jump(join);
+    b.bind(taken);
+    emitFiller(b, gen, scratch, gen.spec.fillerPerArm);
+    b.bind(join);
+}
+
+/** Emit a multiway switch over (Irnd & mask). */
+void
+emitSwitch(MethodBuilder &b, Gen &gen, std::uint32_t scratch)
+{
+    const std::uint32_t cases = gen.spec.switchCases;
+    PEP_ASSERT(cases > 0);
+    // Mask wider than the case range skews flow toward the default.
+    std::uint32_t mask = 1;
+    while (mask < cases)
+        mask <<= 1;
+    mask = mask * 2 - 1;
+
+    b.emit(Opcode::Irnd);
+    b.iconst(static_cast<std::int32_t>(mask));
+    b.emit(Opcode::Iand);
+
+    std::vector<Label> case_labels;
+    case_labels.reserve(cases);
+    for (std::uint32_t i = 0; i < cases; ++i)
+        case_labels.push_back(b.newLabel());
+    Label def = b.newLabel();
+    Label join = b.newLabel();
+    b.tableswitch(0, def, case_labels);
+    for (std::uint32_t i = 0; i < cases; ++i) {
+        b.bind(case_labels[i]);
+        emitFiller(b, gen, scratch, gen.spec.fillerPerArm);
+        b.jump(join);
+    }
+    b.bind(def);
+    emitFiller(b, gen, scratch, gen.spec.fillerPerArm);
+    b.bind(join);
+}
+
+/** Emit a nested loop with a random trip count. */
+void
+emitNestedLoop(MethodBuilder &b, Gen &gen, std::uint32_t scratch)
+{
+    const std::uint32_t counter = b.newLocal();
+    b.emit(Opcode::Irnd);
+    b.iconst(static_cast<std::int32_t>(gen.spec.innerTripMask));
+    b.emit(Opcode::Iand);
+    b.istore(counter);
+
+    Label header = b.newLabel();
+    Label done = b.newLabel();
+    b.bind(header);
+    b.iload(counter);
+    b.branch(Opcode::Ifle, done);
+    emitDiamond(b, gen, scratch);
+    b.iinc(counter, -1);
+    b.jump(header);
+    b.bind(done);
+}
+
+/** Emit one loop-body element per the spec's element mix. */
+void
+emitElement(MethodBuilder &b, Gen &gen, std::uint32_t scratch,
+            bool allow_calls)
+{
+    const double roll = gen.rng.nextDouble();
+    double acc = gen.spec.nestedLoopProb;
+    if (roll < acc) {
+        emitNestedLoop(b, gen, scratch);
+        return;
+    }
+    acc += gen.spec.callProb;
+    if (allow_calls && !gen.leafIds.empty() && roll < acc) {
+        b.invoke(gen.leafIds[gen.rng.nextBounded(gen.leafIds.size())]);
+        return;
+    }
+    acc += gen.spec.switchProb;
+    if (gen.spec.switchCases > 0 && roll < acc) {
+        emitSwitch(b, gen, scratch);
+        return;
+    }
+    emitDiamond(b, gen, scratch);
+}
+
+/** Body of a leaf helper: a few diamonds, no loops. */
+void
+defineLeaf(ProgramBuilder &pb, MethodId id, Gen &gen)
+{
+    MethodBuilder b(pb.methodName(id), 0, false);
+    const std::uint32_t scratch = b.newLocal();
+    b.iconst(1);
+    b.istore(scratch);
+    const std::uint32_t diamonds =
+        1 + static_cast<std::uint32_t>(gen.rng.nextBounded(2));
+    for (std::uint32_t i = 0; i < diamonds; ++i)
+        emitDiamond(b, gen, scratch);
+    b.ret();
+    pb.define(id, b);
+}
+
+/** Body of a hot method: loop over the element mix; arg 0 = trips. */
+void
+defineHot(ProgramBuilder &pb, MethodId id, Gen &gen)
+{
+    MethodBuilder b(pb.methodName(id), 1, false);
+    const std::uint32_t trips = b.argSlot(0);
+    const std::uint32_t scratch = b.newLocal();
+    b.iconst(7);
+    b.istore(scratch);
+
+    Label header = b.newLabel();
+    Label done = b.newLabel();
+    b.bind(header);
+    b.iload(trips);
+    b.branch(Opcode::Ifle, done);
+    for (std::uint32_t e = 0; e < gen.spec.elementsPerBody; ++e)
+        emitElement(b, gen, scratch, /*allow_calls=*/true);
+    b.iinc(trips, -1);
+    b.jump(header);
+    b.bind(done);
+    b.ret();
+    pb.define(id, b);
+}
+
+/** Body of a cold (startup-only) method: a short bounded loop. */
+void
+defineCold(ProgramBuilder &pb, MethodId id, Gen &gen)
+{
+    MethodBuilder b(pb.methodName(id), 0, false);
+    const std::uint32_t scratch = b.newLocal();
+    const std::uint32_t counter = b.newLocal();
+    b.iconst(1);
+    b.istore(scratch);
+    b.iconst(static_cast<std::int32_t>(gen.rng.nextRange(2, 6)));
+    b.istore(counter);
+
+    Label header = b.newLabel();
+    Label done = b.newLabel();
+    b.bind(header);
+    b.iload(counter);
+    b.branch(Opcode::Ifle, done);
+    emitDiamond(b, gen, scratch);
+    emitDiamond(b, gen, scratch);
+    b.iinc(counter, -1);
+    b.jump(header);
+    b.bind(done);
+    b.ret();
+    pb.define(id, b);
+}
+
+} // namespace
+
+bytecode::Program
+generateWorkload(const WorkloadSpec &spec)
+{
+    Gen gen(spec);
+    ProgramBuilder pb;
+
+    // Declarations first so calls can reference any method.
+    const MethodId main_id = pb.declareMethod("main", 0, false);
+    const MethodId unit_id = pb.declareMethod("unit", 0, false);
+    std::vector<MethodId> hot_ids;
+    std::vector<MethodId> cold_ids;
+    for (std::uint32_t i = 0; i < spec.leafMethods; ++i) {
+        gen.leafIds.push_back(
+            pb.declareMethod("leaf_" + std::to_string(i), 0, false));
+    }
+    for (std::uint32_t i = 0; i < spec.hotMethods; ++i) {
+        hot_ids.push_back(
+            pb.declareMethod("hot_" + std::to_string(i), 1, false));
+    }
+    for (std::uint32_t i = 0; i < spec.coldMethods; ++i) {
+        cold_ids.push_back(
+            pb.declareMethod("cold_" + std::to_string(i), 0, false));
+    }
+
+    for (MethodId id : gen.leafIds)
+        defineLeaf(pb, id, gen);
+    for (MethodId id : hot_ids)
+        defineHot(pb, id, gen);
+    for (MethodId id : cold_ids)
+        defineCold(pb, id, gen);
+
+    // unit: call each hot method with its (varying) trip count.
+    {
+        MethodBuilder b("unit", 0, false);
+        for (std::size_t i = 0; i < hot_ids.size(); ++i) {
+            const double weight = 0.4 + 1.6 * gen.rng.nextDouble();
+            const auto trips = std::max<std::int32_t>(
+                2, static_cast<std::int32_t>(spec.unitTrips * weight));
+            b.iconst(trips);
+            b.invoke(hot_ids[i]);
+        }
+        b.ret();
+        pb.define(unit_id, b);
+    }
+
+    // main: startup (cold methods), then the outer loop with the phase
+    // switch.
+    {
+        MethodBuilder b("main", 0, false);
+        for (MethodId id : cold_ids)
+            b.invoke(id);
+
+        const std::uint32_t iter = b.newLocal();
+        const auto outer =
+            static_cast<std::int32_t>(spec.outerIterations);
+        // The loop counts down; the phase switches when `iter` hits
+        // outer * (1 - phaseSwitchAt).
+        const auto switch_when = static_cast<std::int32_t>(
+            spec.outerIterations -
+            static_cast<std::uint64_t>(
+                spec.phaseSwitchAt *
+                static_cast<double>(spec.outerIterations)));
+        b.iconst(outer);
+        b.istore(iter);
+
+        Label header = b.newLabel();
+        Label done = b.newLabel();
+        Label no_switch = b.newLabel();
+        b.bind(header);
+        b.iload(iter);
+        b.branch(Opcode::Ifle, done);
+
+        b.iload(iter);
+        b.iconst(switch_when);
+        b.branch(Opcode::IfIcmpne, no_switch);
+        for (const DriftSlot &drift : gen.driftSlots) {
+            b.iconst(drift.shiftedThreshold);
+            b.iconst(static_cast<std::int32_t>(drift.slot));
+            b.emit(Opcode::Gstore);
+        }
+        b.bind(no_switch);
+
+        b.invoke(unit_id);
+        b.iinc(iter, -1);
+        b.jump(header);
+        b.bind(done);
+        b.ret();
+        pb.define(main_id, b);
+    }
+
+    pb.setMain(main_id);
+    pb.setGlobalSize(
+        static_cast<std::uint32_t>(1 + gen.driftSlots.size()));
+    std::vector<std::int32_t> initial(1 + gen.driftSlots.size(), 0);
+    for (const DriftSlot &drift : gen.driftSlots)
+        initial[drift.slot] = drift.initialThreshold;
+    pb.setInitialGlobals(std::move(initial));
+
+    return pb.build();
+}
+
+} // namespace pep::workload

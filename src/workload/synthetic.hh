@@ -1,0 +1,96 @@
+#ifndef PEP_WORKLOAD_SYNTHETIC_HH
+#define PEP_WORKLOAD_SYNTHETIC_HH
+
+/**
+ * @file
+ * Synthetic benchmark generator. Stands in for the paper's SPEC JVM98 /
+ * pseudojbb / DaCapo programs (not available here): generates bytecode
+ * programs whose *control-flow behaviour* has the properties the
+ * evaluation depends on — a small set of hot, loopy methods that the
+ * adaptive system promotes to optimized code; skewed branch biases so
+ * hot paths exist; multiway switches; nested loops; calls; a tail of
+ * cold methods that stay baseline-compiled; and mild *phase drift* (a
+ * configurable fraction of branches change bias partway through the
+ * run), which is what separates one-time from continuous profiles
+ * (Sections 6.5).
+ *
+ * Structure of a generated program:
+ *   main            — startup (runs cold methods once), then the outer
+ *                     transaction loop; flips the drifting branches'
+ *                     bias thresholds (stored in globals) at the phase
+ *                     switch point
+ *   unit            — calls each hot method with its trip count
+ *   hot_<i>         — a loop over diamonds / switches / nested loops /
+ *                     leaf calls; the code PEP actually profiles
+ *   leaf_<i>        — small helpers called from hot loop bodies
+ *   cold_<i>        — startup-only methods (stay baseline)
+ *
+ * Branch randomness comes from the VM's deterministic Irnd stream, so
+ * any two runs with equal seeds execute identical control flow
+ * regardless of attached profilers — which is what makes cross-
+ * configuration overhead ratios meaningful.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "bytecode/method.hh"
+
+namespace pep::workload {
+
+/** Parameters of one synthetic benchmark. */
+struct WorkloadSpec
+{
+    std::string name = "synthetic";
+    std::uint64_t seed = 1;
+
+    // ---- Program shape -------------------------------------------------
+    std::uint32_t hotMethods = 6;
+    std::uint32_t leafMethods = 4;
+    std::uint32_t coldMethods = 10;
+
+    /** Body elements per hot-method loop body. */
+    std::uint32_t elementsPerBody = 9;
+
+    /** Arithmetic filler instructions per element arm. */
+    std::uint32_t fillerPerArm = 6;
+
+    /** Switch case count (0 disables switch elements). */
+    std::uint32_t switchCases = 4;
+
+    /** Probability a body element is a nested loop / a leaf call /
+     *  a switch (the rest are biased diamonds). */
+    double nestedLoopProb = 0.10;
+    double callProb = 0.20;
+    double switchProb = 0.15;
+
+    /** Nested loop trip mask (trips = Irnd & mask; power of two - 1). */
+    std::uint32_t innerTripMask = 7;
+
+    // ---- Branch behaviour -----------------------------------------------
+    /** Diamond taken-bias range (drawn uniformly per branch). */
+    double biasLo = 0.52;
+    double biasHi = 0.82;
+
+    /** Fraction of diamonds whose bias drifts at the phase switch. */
+    double driftFraction = 0.18;
+
+    /** Magnitude of the bias drift (subtracted/added, clamped). */
+    double driftMagnitude = 0.5;
+
+    // ---- Run length ------------------------------------------------------
+    std::uint64_t outerIterations = 500;
+
+    /** Fraction of the run completed when the phase switches. */
+    double phaseSwitchAt = 0.35;
+
+    /** Loop trips per hot-method call (scaled per method). */
+    std::uint32_t unitTrips = 32;
+};
+
+/** Generate the benchmark program for a spec (verified). */
+bytecode::Program generateWorkload(const WorkloadSpec &spec);
+
+} // namespace pep::workload
+
+#endif // PEP_WORKLOAD_SYNTHETIC_HH

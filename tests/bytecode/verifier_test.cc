@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Verifier tests: every rejection rule (targets, falling off the end,
+ * local bounds, call targets, stack discipline, return discipline,
+ * program-level rules) plus maxStack computation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bytecode/verifier.hh"
+
+namespace pep::bytecode {
+namespace {
+
+Program
+wrap(Method method)
+{
+    Program program;
+    program.globalSize = 4;
+    program.methods.push_back(std::move(method));
+    program.mainMethod = 0;
+    return program;
+}
+
+Method
+makeMethod(std::vector<Instr> code, std::uint32_t locals = 4,
+           std::uint32_t args = 0, bool returns = false)
+{
+    Method m;
+    m.name = "m";
+    m.numArgs = args;
+    m.numLocals = locals;
+    m.returnsValue = returns;
+    m.code = std::move(code);
+    return m;
+}
+
+Instr
+op(Opcode o, std::int32_t a = 0, std::int32_t b = 0)
+{
+    return Instr{o, a, b, {}};
+}
+
+TEST(Verifier, AcceptsMinimal)
+{
+    Program p = wrap(makeMethod({op(Opcode::Return)}));
+    EXPECT_TRUE(verifyProgram(p).ok);
+}
+
+TEST(Verifier, ComputesMaxStack)
+{
+    Program p = wrap(makeMethod({
+        op(Opcode::Iconst, 1),
+        op(Opcode::Iconst, 2),
+        op(Opcode::Iconst, 3),
+        op(Opcode::Iadd),
+        op(Opcode::Iadd),
+        op(Opcode::Istore, 0),
+        op(Opcode::Return),
+    }));
+    ASSERT_TRUE(verifyProgram(p).ok);
+    EXPECT_EQ(p.methods[0].maxStack, 3u);
+}
+
+TEST(Verifier, RejectsEmptyCode)
+{
+    Program p = wrap(makeMethod({}));
+    EXPECT_FALSE(verifyProgram(p).ok);
+}
+
+TEST(Verifier, RejectsFallOffEnd)
+{
+    Program p = wrap(makeMethod({op(Opcode::Iconst, 1),
+                                 op(Opcode::Istore, 0)}));
+    const VerifyResult r = verifyProgram(p);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("falls off"), std::string::npos);
+}
+
+TEST(Verifier, RejectsCondBranchAtEnd)
+{
+    Program p = wrap(makeMethod({op(Opcode::Iconst, 0),
+                                 op(Opcode::Ifeq, 0)}));
+    EXPECT_FALSE(verifyProgram(p).ok);
+}
+
+TEST(Verifier, RejectsBadBranchTarget)
+{
+    Program p = wrap(makeMethod({op(Opcode::Goto, 99)}));
+    EXPECT_FALSE(verifyProgram(p).ok);
+    Program p2 = wrap(makeMethod({op(Opcode::Goto, -1)}));
+    EXPECT_FALSE(verifyProgram(p2).ok);
+}
+
+TEST(Verifier, RejectsSelfBranch)
+{
+    // goto to itself is an empty infinite loop the CFG builder cannot
+    // split; the verifier rejects it.
+    Program p = wrap(makeMethod({op(Opcode::Goto, 0)}));
+    EXPECT_FALSE(verifyProgram(p).ok);
+}
+
+TEST(Verifier, RejectsBadSwitchTargets)
+{
+    Instr sw{Opcode::Tableswitch, 0, 1, {99}};
+    Program p = wrap(makeMethod({sw, op(Opcode::Return)}));
+    EXPECT_FALSE(verifyProgram(p).ok);
+
+    Instr sw2{Opcode::Tableswitch, 0, 99, {1}};
+    Program p2 = wrap(makeMethod({sw2, op(Opcode::Return)}));
+    EXPECT_FALSE(verifyProgram(p2).ok);
+}
+
+TEST(Verifier, RejectsLocalOutOfRange)
+{
+    Program p = wrap(makeMethod({op(Opcode::Iload, 4),
+                                 op(Opcode::Pop),
+                                 op(Opcode::Return)},
+                                /*locals=*/4));
+    EXPECT_FALSE(verifyProgram(p).ok);
+    Program p2 = wrap(makeMethod({op(Opcode::Iinc, -1, 1),
+                                  op(Opcode::Return)}));
+    EXPECT_FALSE(verifyProgram(p2).ok);
+}
+
+TEST(Verifier, RejectsArgsExceedLocals)
+{
+    Method m = makeMethod({op(Opcode::Return)}, /*locals=*/1,
+                          /*args=*/2);
+    m.name = "f";
+    Program p;
+    p.globalSize = 0;
+    p.methods.push_back(std::move(m));
+    p.methods.push_back(makeMethod({op(Opcode::Return)}));
+    p.mainMethod = 1;
+    EXPECT_FALSE(verifyProgram(p).ok);
+}
+
+TEST(Verifier, RejectsBadInvokeIndex)
+{
+    Program p = wrap(makeMethod({op(Opcode::Invoke, 7),
+                                 op(Opcode::Return)}));
+    EXPECT_FALSE(verifyProgram(p).ok);
+}
+
+TEST(Verifier, RejectsStackUnderflow)
+{
+    Program p = wrap(makeMethod({op(Opcode::Iadd),
+                                 op(Opcode::Return)}));
+    const VerifyResult r = verifyProgram(p);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("underflow"), std::string::npos);
+}
+
+TEST(Verifier, RejectsInconsistentMergeDepth)
+{
+    // Path A pushes one value before the join; path B pushes none.
+    Program p = wrap(makeMethod({
+        op(Opcode::Iconst, 0), // 0: depth 1
+        op(Opcode::Ifeq, 4),   // 1: consume; branch to 4 with depth 0
+        op(Opcode::Iconst, 1), // 2: depth 1
+        op(Opcode::Goto, 4),   // 3: to 4 with depth 1 -> mismatch
+        op(Opcode::Return),    // 4
+    }));
+    const VerifyResult r = verifyProgram(p);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("merge"), std::string::npos);
+}
+
+TEST(Verifier, RejectsReturnWithStackResidue)
+{
+    Program p = wrap(makeMethod({op(Opcode::Iconst, 1),
+                                 op(Opcode::Return)}));
+    EXPECT_FALSE(verifyProgram(p).ok);
+}
+
+TEST(Verifier, RejectsIreturnInVoidMethod)
+{
+    Program p = wrap(makeMethod({op(Opcode::Iconst, 1),
+                                 op(Opcode::Ireturn)}));
+    EXPECT_FALSE(verifyProgram(p).ok);
+}
+
+TEST(Verifier, RejectsVoidReturnInValueMethod)
+{
+    Method m = makeMethod({op(Opcode::Return)}, 4, 0,
+                          /*returns=*/true);
+    m.name = "f";
+    Program p;
+    p.methods.push_back(std::move(m));
+    p.methods.push_back(makeMethod({op(Opcode::Return)}));
+    p.mainMethod = 1;
+    EXPECT_FALSE(verifyProgram(p).ok);
+}
+
+TEST(Verifier, InvokeStackEffectUsesCalleeSignature)
+{
+    Method callee = makeMethod({op(Opcode::Iconst, 1),
+                                op(Opcode::Ireturn)},
+                               2, 2, /*returns=*/true);
+    callee.name = "callee";
+    Method caller = makeMethod({
+        op(Opcode::Iconst, 1),
+        op(Opcode::Iconst, 2),
+        op(Opcode::Invoke, 1),
+        op(Opcode::Pop),
+        op(Opcode::Return),
+    });
+    caller.name = "main";
+    Program p;
+    p.methods.push_back(std::move(caller));
+    p.methods.push_back(std::move(callee));
+    p.mainMethod = 0;
+    EXPECT_TRUE(verifyProgram(p).ok) << verifyProgram(p).error;
+}
+
+TEST(Verifier, ProgramRejectsMainWithArgs)
+{
+    Method m = makeMethod({op(Opcode::Return)}, 2, 1);
+    Program p;
+    p.methods.push_back(std::move(m));
+    p.mainMethod = 0;
+    EXPECT_FALSE(verifyProgram(p).ok);
+}
+
+TEST(Verifier, ProgramRejectsBadMainIndex)
+{
+    Program p = wrap(makeMethod({op(Opcode::Return)}));
+    p.mainMethod = 5;
+    EXPECT_FALSE(verifyProgram(p).ok);
+}
+
+TEST(Verifier, ProgramRejectsOversizedGlobalsInit)
+{
+    Program p = wrap(makeMethod({op(Opcode::Return)}));
+    p.globalSize = 1;
+    p.initialGlobals = {1, 2, 3};
+    EXPECT_FALSE(verifyProgram(p).ok);
+}
+
+TEST(Verifier, ProgramRejectsNoMethods)
+{
+    Program p;
+    EXPECT_FALSE(verifyProgram(p).ok);
+}
+
+TEST(Verifier, ErrorMentionsMethodAndPc)
+{
+    Program p = wrap(makeMethod({op(Opcode::Goto, 99)}));
+    const VerifyResult r = verifyProgram(p);
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("'m'"), std::string::npos);
+    EXPECT_NE(r.error.find("pc 0"), std::string::npos);
+}
+
+TEST(Verifier, UnreachableCodeIsToleratedStructurally)
+{
+    // Dead code after an unconditional goto still must satisfy
+    // structural rules, but stack checking never reaches it.
+    Program p = wrap(makeMethod({
+        op(Opcode::Goto, 2),
+        op(Opcode::Iadd), // dead; would underflow if reached
+        op(Opcode::Return),
+    }));
+    EXPECT_TRUE(verifyProgram(p).ok);
+}
+
+} // namespace
+} // namespace pep::bytecode

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Unit tests for the CFG library: graph structure, DFS/retreating
+ * edges, loop detection, dominators, reducibility, topological order,
+ * and dot output — including irreducible and parallel-edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cfg/analysis.hh"
+#include "cfg/dot.hh"
+#include "cfg/graph.hh"
+#include "support/panic.hh"
+
+namespace pep::cfg {
+namespace {
+
+/** entry -> A -> B -> exit with a back edge B -> A. */
+Graph
+simpleLoopGraph(BlockId &a_out, BlockId &b_out)
+{
+    Graph g;
+    const BlockId a = g.addBlock();
+    const BlockId b = g.addBlock();
+    g.addEdge(g.entry(), a);
+    g.addEdge(a, b);
+    g.addEdge(b, a); // back edge
+    g.addEdge(b, g.exit());
+    a_out = a;
+    b_out = b;
+    return g;
+}
+
+TEST(Graph, EntryExitCreatedByConstructor)
+{
+    Graph g;
+    EXPECT_EQ(g.numBlocks(), 2u);
+    EXPECT_EQ(g.entry(), 0u);
+    EXPECT_EQ(g.exit(), 1u);
+    EXPECT_EQ(g.numEdges(), 0u);
+}
+
+TEST(Graph, EdgesAndPreds)
+{
+    Graph g;
+    const BlockId a = g.addBlock();
+    const EdgeRef e1 = g.addEdge(g.entry(), a);
+    const EdgeRef e2 = g.addEdge(a, g.exit());
+    EXPECT_EQ(g.edgeDst(e1), a);
+    EXPECT_EQ(g.edgeDst(e2), g.exit());
+    EXPECT_EQ(g.preds(a).size(), 1u);
+    EXPECT_EQ(g.preds(g.exit()).size(), 1u);
+    EXPECT_EQ(g.numEdges(), 2u);
+}
+
+TEST(Graph, ParallelEdgesAreDistinct)
+{
+    Graph g;
+    const BlockId a = g.addBlock();
+    const EdgeRef e1 = g.addEdge(g.entry(), a);
+    const EdgeRef e2 = g.addEdge(g.entry(), a);
+    EXPECT_FALSE(e1 == e2);
+    EXPECT_EQ(g.succs(g.entry()).size(), 2u);
+    EXPECT_EQ(g.preds(a).size(), 2u);
+}
+
+TEST(Graph, AllEdgesEnumeratesInOrder)
+{
+    BlockId a = 0;
+    BlockId b = 0;
+    const Graph g = simpleLoopGraph(a, b);
+    const auto edges = g.allEdges();
+    EXPECT_EQ(edges.size(), g.numEdges());
+    EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+}
+
+TEST(Graph, ValidateCatchesEntryPreds)
+{
+    Graph g;
+    const BlockId a = g.addBlock();
+    g.addEdge(a, g.entry());
+    EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(Graph, ValidateCatchesExitSuccs)
+{
+    Graph g;
+    const BlockId a = g.addBlock();
+    g.addEdge(g.exit(), a);
+    EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(Dfs, ReversePostorderStartsAtEntry)
+{
+    BlockId a = 0;
+    BlockId b = 0;
+    const Graph g = simpleLoopGraph(a, b);
+    const DfsResult dfs = depthFirstSearch(g);
+    ASSERT_FALSE(dfs.reversePostorder.empty());
+    EXPECT_EQ(dfs.reversePostorder.front(), g.entry());
+    EXPECT_TRUE(dfs.reachable[a]);
+    EXPECT_TRUE(dfs.reachable[b]);
+}
+
+TEST(Dfs, DetectsRetreatingEdge)
+{
+    BlockId a = 0;
+    BlockId b = 0;
+    const Graph g = simpleLoopGraph(a, b);
+    const DfsResult dfs = depthFirstSearch(g);
+    ASSERT_EQ(dfs.retreatingEdges.size(), 1u);
+    EXPECT_EQ(dfs.retreatingEdges[0].src, b);
+    EXPECT_EQ(g.edgeDst(dfs.retreatingEdges[0]), a);
+}
+
+TEST(Dfs, UnreachableBlocksExcluded)
+{
+    Graph g;
+    const BlockId a = g.addBlock();
+    const BlockId orphan = g.addBlock();
+    g.addEdge(g.entry(), a);
+    g.addEdge(a, g.exit());
+    (void)orphan;
+    const DfsResult dfs = depthFirstSearch(g);
+    EXPECT_FALSE(dfs.reachable[orphan]);
+    EXPECT_EQ(dfs.rpoIndex[orphan], -1);
+    EXPECT_EQ(dfs.reversePostorder.size(), 3u);
+}
+
+TEST(Loops, SelfLoopIsHeader)
+{
+    Graph g;
+    const BlockId a = g.addBlock();
+    g.addEdge(g.entry(), a);
+    g.addEdge(a, a);
+    g.addEdge(a, g.exit());
+    const DfsResult dfs = depthFirstSearch(g);
+    const LoopInfo loops = findLoops(g, dfs);
+    EXPECT_TRUE(loops.loopHeader[a]);
+    EXPECT_EQ(loops.numHeaders, 1u);
+}
+
+TEST(Loops, NestedLoopsFindBothHeaders)
+{
+    Graph g;
+    const BlockId outer = g.addBlock();
+    const BlockId inner = g.addBlock();
+    const BlockId inner_body = g.addBlock();
+    const BlockId outer_tail = g.addBlock();
+    g.addEdge(g.entry(), outer);
+    g.addEdge(outer, inner);
+    g.addEdge(inner, inner_body);
+    g.addEdge(inner_body, inner); // inner back edge
+    g.addEdge(inner, outer_tail);
+    g.addEdge(outer_tail, outer); // outer back edge
+    g.addEdge(outer_tail, g.exit());
+
+    const DfsResult dfs = depthFirstSearch(g);
+    const LoopInfo loops = findLoops(g, dfs);
+    EXPECT_TRUE(loops.loopHeader[outer]);
+    EXPECT_TRUE(loops.loopHeader[inner]);
+    EXPECT_EQ(loops.numHeaders, 2u);
+    EXPECT_EQ(loops.backEdges.size(), 2u);
+}
+
+TEST(Dominators, ChainAndDiamond)
+{
+    Graph g;
+    const BlockId a = g.addBlock();
+    const BlockId b = g.addBlock();
+    const BlockId c = g.addBlock();
+    const BlockId d = g.addBlock();
+    g.addEdge(g.entry(), a);
+    g.addEdge(a, b);
+    g.addEdge(a, c);
+    g.addEdge(b, d);
+    g.addEdge(c, d);
+    g.addEdge(d, g.exit());
+
+    const DfsResult dfs = depthFirstSearch(g);
+    const auto idom = immediateDominators(g, dfs);
+    EXPECT_EQ(idom[a], g.entry());
+    EXPECT_EQ(idom[b], a);
+    EXPECT_EQ(idom[c], a);
+    EXPECT_EQ(idom[d], a); // join dominated by the fork, not a side
+    EXPECT_TRUE(dominates(idom, a, d));
+    EXPECT_FALSE(dominates(idom, b, d));
+    EXPECT_TRUE(dominates(idom, g.entry(), g.exit()));
+}
+
+TEST(Reducibility, NaturalLoopIsReducible)
+{
+    BlockId a = 0;
+    BlockId b = 0;
+    const Graph g = simpleLoopGraph(a, b);
+    EXPECT_TRUE(isReducible(g));
+}
+
+/** Classic irreducible shape: two entries into a cycle. */
+TEST(Reducibility, MultiEntryCycleIsIrreducible)
+{
+    Graph g;
+    const BlockId a = g.addBlock();
+    const BlockId b = g.addBlock();
+    const BlockId c = g.addBlock();
+    g.addEdge(g.entry(), a);
+    g.addEdge(a, b);
+    g.addEdge(a, c);
+    g.addEdge(b, c);
+    g.addEdge(c, b); // cycle b <-> c entered at both b and c
+    g.addEdge(b, g.exit());
+    EXPECT_FALSE(isReducible(g));
+}
+
+TEST(Topo, OrderRespectsEdges)
+{
+    Graph g;
+    const BlockId a = g.addBlock();
+    const BlockId b = g.addBlock();
+    const BlockId c = g.addBlock();
+    g.addEdge(g.entry(), a);
+    g.addEdge(a, b);
+    g.addEdge(a, c);
+    g.addEdge(b, c);
+    g.addEdge(c, g.exit());
+
+    const auto topo = topologicalOrder(g);
+    auto pos = [&](BlockId x) {
+        return std::find(topo.begin(), topo.end(), x) - topo.begin();
+    };
+    EXPECT_LT(pos(g.entry()), pos(a));
+    EXPECT_LT(pos(a), pos(b));
+    EXPECT_LT(pos(b), pos(c));
+    EXPECT_LT(pos(c), pos(g.exit()));
+}
+
+TEST(Topo, PanicsOnCycle)
+{
+    BlockId a = 0;
+    BlockId b = 0;
+    const Graph g = simpleLoopGraph(a, b);
+    EXPECT_THROW(topologicalOrder(g), support::PanicError);
+}
+
+TEST(Dot, ContainsNodesAndEdges)
+{
+    BlockId a = 0;
+    BlockId b = 0;
+    const Graph g = simpleLoopGraph(a, b);
+    DotOptions options;
+    options.name = "testgraph";
+    options.edgeLabel = [](EdgeRef e) {
+        return "e" + std::to_string(e.index);
+    };
+    const std::string dot = toDot(g, options);
+    EXPECT_NE(dot.find("digraph testgraph"), std::string::npos);
+    EXPECT_NE(dot.find("ENTRY"), std::string::npos);
+    EXPECT_NE(dot.find("EXIT"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+    EXPECT_NE(dot.find("e0"), std::string::npos);
+}
+
+TEST(Dot, EscapesLabels)
+{
+    Graph g;
+    DotOptions options;
+    options.blockLabel = [](BlockId) { return "a\"b\nc"; };
+    const std::string dot = toDot(g, options);
+    EXPECT_NE(dot.find("a\\\"b\\nc"), std::string::npos);
+}
+
+} // namespace
+} // namespace pep::cfg

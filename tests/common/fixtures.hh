@@ -1,0 +1,130 @@
+#ifndef PEP_TESTS_COMMON_FIXTURES_HH
+#define PEP_TESTS_COMMON_FIXTURES_HH
+
+/**
+ * @file
+ * Shared test helpers: canned assembly programs and a random-CFG
+ * method generator for property tests.
+ */
+
+#include <string>
+
+#include "bytecode/assembler.hh"
+#include "bytecode/method.hh"
+#include "support/rng.hh"
+#include "workload/program_builder.hh"
+
+namespace pep::test {
+
+/** A single loop counting a local down from 10, one diamond inside. */
+inline bytecode::Program
+simpleLoopProgram()
+{
+    return bytecode::assembleOrDie(R"(
+.globals 4
+.method main 0 2
+    iconst 10
+    istore 0
+loop:
+    iload 0
+    ifle done
+    irnd
+    iconst 1
+    iand
+    ifeq skip
+    iinc 1 1
+skip:
+    iinc 0 -1
+    goto loop
+done:
+    return
+.end
+.main main
+)");
+}
+
+/** The paper's Figure 1 routine: if-else diamond inside a loop. */
+inline bytecode::Program
+figure1Program()
+{
+    // CFG shape: A -> B (loop header); B -> C|D; C/D -> E; E -> B | F
+    return bytecode::assembleOrDie(R"(
+.globals 1
+.method main 0 2
+    iconst 6
+    istore 0
+header:
+    iload 0
+    ifle exit
+    irnd
+    iconst 1
+    iand
+    ifeq right
+    iinc 1 2
+    goto join
+right:
+    iinc 1 5
+join:
+    iinc 0 -1
+    goto header
+exit:
+    return
+.end
+.main main
+)");
+}
+
+/** Calls, value returns, and a switch. */
+inline bytecode::Program
+callSwitchProgram()
+{
+    return bytecode::assembleOrDie(R"(
+.globals 4
+.method pick 0 1 returns
+    irnd
+    iconst 3
+    iand
+    ireturn
+.end
+.method main 0 3
+    iconst 12
+    istore 0
+loop:
+    iload 0
+    ifle done
+    invoke pick
+    tableswitch 0 dflt c0 c1 c2
+c0: iinc 1 1
+    goto next
+c1: iinc 1 2
+    goto next
+c2: iinc 1 3
+    goto next
+dflt:
+    iinc 1 4
+next:
+    iinc 0 -1
+    goto loop
+done:
+    return
+.end
+.main main
+)");
+}
+
+/**
+ * Generate a random, structured (hence reducible) method for property
+ * tests: nested sequences of diamonds, switches, and loops. All branch
+ * conditions consume Irnd so every path is dynamically reachable.
+ */
+bytecode::Method randomStructuredMethod(support::Rng &rng,
+                                        const std::string &name,
+                                        std::uint32_t max_elements);
+
+/** A program wrapping one random method as main. */
+bytecode::Program randomStructuredProgram(std::uint64_t seed,
+                                          std::uint32_t max_elements);
+
+} // namespace pep::test
+
+#endif // PEP_TESTS_COMMON_FIXTURES_HH

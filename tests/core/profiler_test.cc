@@ -1,0 +1,424 @@
+/**
+ * @file
+ * Profiler tests at the core layer: the path engine's per-frame
+ * register discipline across calls and recompilation, PEP's sampling
+ * bookkeeping and layout-source fallback, the zero-cost property of
+ * ground-truth recorders, and the cost ordering of the reference
+ * profilers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bytecode/assembler.hh"
+#include "common/fixtures.hh"
+#include "core/baseline_profilers.hh"
+#include "core/pep_profiler.hh"
+#include "core/sampling.hh"
+#include "metrics/path_accuracy.hh"
+#include "vm/machine.hh"
+#include "workload/suite.hh"
+
+namespace pep::core {
+namespace {
+
+class AlwaysSample final : public SamplingController
+{
+  public:
+    SampleAction
+    onOpportunity(bool) override
+    {
+        return SampleAction::Sample;
+    }
+    void reset() override {}
+    std::string name() const override { return "always"; }
+};
+
+vm::SimParams
+fastTick()
+{
+    vm::SimParams params;
+    params.tickCycles = 100'000;
+    return params;
+}
+
+/** Replay machine with every method pinned at Opt2. */
+struct OptMachine
+{
+    explicit OptMachine(const bytecode::Program &program,
+                        const vm::SimParams &params = fastTick())
+        : machine(program, params)
+    {
+        advice.finalLevel.assign(machine.numMethods(),
+                                 vm::OptLevel::Opt2);
+        advice.oneTimeEdges = machine.truthEdges(); // empty, shaped
+        machine.enableReplay(&advice);
+    }
+
+    vm::ReplayAdvice advice;
+    vm::Machine machine;
+};
+
+TEST(PathEngine, GroundTruthRecorderAddsZeroCycles)
+{
+    const bytecode::Program program = test::callSwitchProgram();
+
+    OptMachine plain(program);
+    plain.machine.runIteration();
+    const std::uint64_t base_cycles = plain.machine.now();
+
+    OptMachine observed(program);
+    FullPathProfiler truth(observed.machine,
+                           profile::DagMode::HeaderSplit,
+                           /*charge_costs=*/false);
+    observed.machine.addHooks(&truth);
+    observed.machine.addCompileObserver(&truth);
+    observed.machine.runIteration();
+
+    EXPECT_EQ(observed.machine.now(), base_cycles);
+    EXPECT_GT(truth.pathsStored(), 0u);
+}
+
+TEST(PathEngine, ChargingProfilersCostMoreInOrder)
+{
+    const bytecode::Program program =
+        workload::generateWorkload([] {
+            auto spec = workload::standardSuite()[0];
+            spec.outerIterations = 40;
+            return spec;
+        }());
+
+    auto run_with = [&](auto attach) {
+        OptMachine om(program);
+        const auto keep_alive = attach(om.machine);
+        (void)keep_alive;
+        om.machine.runIteration();
+        return om.machine.now();
+    };
+
+    const std::uint64_t base =
+        run_with([](vm::Machine &) { return 0; });
+    const std::uint64_t pep_instr = run_with([](vm::Machine &m) {
+        static NeverSample never;
+        auto pep = std::make_shared<PepProfiler>(m, never);
+        m.addHooks(pep.get());
+        m.addCompileObserver(pep.get());
+        return pep;
+    });
+    const std::uint64_t blpp = run_with([](vm::Machine &m) {
+        auto full = std::make_shared<FullPathProfiler>(
+            m, profile::DagMode::BackEdgeTruncate, true,
+            profile::NumberingScheme::BallLarus,
+            PathStoreKind::Array);
+        m.addHooks(full.get());
+        m.addCompileObserver(full.get());
+        return full;
+    });
+    const std::uint64_t perfect = run_with([](vm::Machine &m) {
+        auto full = std::make_shared<FullPathProfiler>(
+            m, profile::DagMode::HeaderSplit, true,
+            profile::NumberingScheme::BallLarus,
+            PathStoreKind::Hash);
+        m.addHooks(full.get());
+        m.addCompileObserver(full.get());
+        return full;
+    });
+
+    // The paper's cost ordering: PEP instrumentation alone is cheap;
+    // classic BLPP (array stores) costs more; hash-store perfect path
+    // profiling costs the most.
+    EXPECT_LT(base, pep_instr);
+    EXPECT_LT(pep_instr, blpp);
+    EXPECT_LT(blpp, perfect);
+}
+
+TEST(PathEngine, RegisterDisciplineSurvivesNestedCalls)
+{
+    // Recursive method: per-frame path registers must not interfere.
+    const bytecode::Program program = bytecode::assembleOrDie(R"(
+.globals 1
+.method fib 1 1 returns
+    iload 0
+    iconst 2
+    if_icmpge rec
+    iload 0
+    ireturn
+rec:
+    iload 0
+    iconst 1
+    isub
+    invoke fib
+    iload 0
+    iconst 2
+    isub
+    invoke fib
+    iadd
+    ireturn
+.end
+.method main 0 1
+    iconst 10
+    invoke fib
+    iconst 0
+    gstore
+    return
+.end
+.main main
+)");
+    OptMachine om(program);
+    AlwaysSample always;
+    PepProfiler pep(om.machine, always);
+    FullPathProfiler truth(om.machine, profile::DagMode::HeaderSplit,
+                           false);
+    om.machine.addHooks(&pep);
+    om.machine.addCompileObserver(&pep);
+    om.machine.addHooks(&truth);
+    om.machine.addCompileObserver(&truth);
+    om.machine.runIteration();
+
+    EXPECT_EQ(om.machine.globals()[0], 55); // fib(10)
+
+    // With 100% sampling, PEP's canonical paths == ground truth.
+    const auto pep_paths = metrics::canonicalize(pep);
+    const auto truth_paths = metrics::canonicalize(truth);
+    ASSERT_GT(truth_paths.paths.size(), 0u);
+    EXPECT_EQ(pep_paths.paths.size(), truth_paths.paths.size());
+    for (const auto &[key, entry] : truth_paths.paths) {
+        const auto it = pep_paths.paths.find(key);
+        ASSERT_NE(it, pep_paths.paths.end());
+        EXPECT_EQ(it->second.count, entry.count);
+    }
+}
+
+TEST(PathEngine, BaselineFramesGenerateNoPathEvents)
+{
+    // Without replay/promotion, everything runs baseline: the engine
+    // must observe no instrumented frames at all.
+    const bytecode::Program program = test::callSwitchProgram();
+    vm::SimParams params = fastTick();
+    vm::Machine machine(program, params);
+    FullPathProfiler truth(machine, profile::DagMode::HeaderSplit,
+                           false);
+    machine.addHooks(&truth);
+    machine.addCompileObserver(&truth);
+    machine.runIteration(); // too short for promotion
+    EXPECT_EQ(truth.pathsStored(), 0u);
+}
+
+TEST(PathEngine, RecompilationKeepsPerVersionProfiles)
+{
+    const bytecode::Program program =
+        workload::generateWorkload([] {
+            auto spec = workload::standardSuite()[0];
+            spec.outerIterations = 120;
+            return spec;
+        }());
+    vm::Machine machine(program, fastTick());
+    FullPathProfiler truth(machine, profile::DagMode::HeaderSplit,
+                           false);
+    machine.addHooks(&truth);
+    machine.addCompileObserver(&truth);
+    machine.runIteration(); // adaptive: opt1 then opt2 recompiles
+
+    // Some method must have two instrumented versions (opt1 + opt2).
+    std::size_t multi_version_methods = 0;
+    std::map<bytecode::MethodId, int> versions_per_method;
+    for (const auto &[key, vp] : truth.versionProfiles())
+        versions_per_method[key.first] += 1;
+    for (const auto &[method, count] : versions_per_method) {
+        if (count >= 2)
+            ++multi_version_methods;
+    }
+    EXPECT_GT(multi_version_methods, 0u);
+
+    // Canonicalization merges across versions without losing counts.
+    const auto canonical = metrics::canonicalize(truth);
+    std::uint64_t canonical_total = 0;
+    for (const auto &[key, entry] : canonical.paths)
+        canonical_total += entry.count;
+    EXPECT_EQ(canonical_total, truth.pathsStored());
+}
+
+TEST(Pep, SampleCountsAreConsistent)
+{
+    const bytecode::Program program = test::callSwitchProgram();
+    OptMachine om(program);
+    SimplifiedArnoldGrove controller(4, 3);
+    PepProfiler pep(om.machine, controller);
+    om.machine.addHooks(&pep);
+    om.machine.addCompileObserver(&pep);
+    om.machine.runIteration();
+
+    const PepStats &stats = pep.pepStats();
+    EXPECT_LE(stats.samplesRecorded, stats.samplesTaken);
+    EXPECT_LE(stats.firstTimeExpansions, stats.samplesRecorded);
+    EXPECT_LE(stats.samplesRecorded, stats.pathsCompleted);
+}
+
+TEST(Pep, EdgeProfileIsExpansionOfSampledPaths)
+{
+    const bytecode::Program program = test::callSwitchProgram();
+    OptMachine om(program);
+    SimplifiedArnoldGrove controller(8, 3);
+    PepProfiler pep(om.machine, controller);
+    om.machine.addHooks(&pep);
+    om.machine.addCompileObserver(&pep);
+    om.machine.runIteration();
+
+    // Rebuild the edge profile from the sampled path records; it must
+    // equal the incrementally maintained one exactly.
+    profile::EdgeProfileSet rebuilt =
+        edgeProfileFromPaths(om.machine, pep);
+    for (std::size_t m = 0; m < om.machine.numMethods(); ++m) {
+        EXPECT_EQ(rebuilt.perMethod[m].counts(),
+                  pep.edgeProfile().perMethod[m].counts())
+            << "method " << m;
+    }
+}
+
+TEST(Pep, LayoutSourceFallsBackUntilEvidence)
+{
+    const bytecode::Program program = test::callSwitchProgram();
+    vm::Machine machine(program, fastTick());
+    NeverSample never;
+    PepProfiler pep(machine, never);
+    machine.addHooks(&pep);
+    machine.addCompileObserver(&pep);
+
+    // No PEP samples and no one-time data: nothing to offer.
+    EXPECT_EQ(pep.layoutProfile(program.mainMethod), nullptr);
+
+    // With baseline execution, the one-time profile becomes available.
+    machine.runIteration();
+    const profile::MethodEdgeProfile *source =
+        pep.layoutProfile(program.mainMethod);
+    ASSERT_NE(source, nullptr);
+    EXPECT_EQ(source,
+              &machine.oneTimeEdges().perMethod[program.mainMethod]);
+}
+
+TEST(Pep, LayoutSourceUsesOwnProfileOnceRich)
+{
+    workload::WorkloadSpec spec = workload::standardSuite()[0];
+    spec.outerIterations = 100;
+    const bytecode::Program program = workload::generateWorkload(spec);
+    OptMachine om(program);
+    AlwaysSample always;
+    PepProfiler pep(om.machine, always);
+    om.machine.addHooks(&pep);
+    om.machine.addCompileObserver(&pep);
+    om.machine.runIteration();
+
+    bytecode::MethodId hot0 = 0;
+    ASSERT_TRUE(program.findMethod("hot_0", hot0));
+    ASSERT_GT(pep.edgeProfile().perMethod[hot0].totalCount(), 400u);
+    EXPECT_EQ(pep.layoutProfile(hot0),
+              &pep.edgeProfile().perMethod[hot0]);
+}
+
+TEST(Pep, ClearProfilesResetsEverything)
+{
+    const bytecode::Program program = test::callSwitchProgram();
+    OptMachine om(program);
+    AlwaysSample always;
+    PepProfiler pep(om.machine, always);
+    om.machine.addHooks(&pep);
+    om.machine.addCompileObserver(&pep);
+    om.machine.runIteration();
+    ASSERT_GT(pep.pepStats().samplesRecorded, 0u);
+
+    pep.clearProfiles();
+    EXPECT_EQ(pep.pepStats().samplesRecorded, 0u);
+    const auto canonical = metrics::canonicalize(pep);
+    EXPECT_TRUE(canonical.paths.empty());
+    std::uint64_t edges = 0;
+    for (const auto &per_method : pep.edgeProfile().perMethod)
+        edges += per_method.totalCount();
+    EXPECT_EQ(edges, 0u);
+}
+
+TEST(InstrEdge, MatchesTruthOnOptBranches)
+{
+    const bytecode::Program program = test::callSwitchProgram();
+    OptMachine om(program);
+    InstrEdgeProfiler instr_edge(om.machine, /*charge_costs=*/false);
+    om.machine.addHooks(&instr_edge);
+    om.machine.runIteration();
+
+    for (std::size_t m = 0; m < om.machine.numMethods(); ++m) {
+        const auto id = static_cast<bytecode::MethodId>(m);
+        const auto &cfg = om.machine.info(id).cfg;
+        const auto &truth = om.machine.truthEdges().perMethod[m];
+        for (cfg::BlockId b = 0; b < cfg.graph.numBlocks(); ++b) {
+            const auto kind = cfg.terminator[b];
+            if (kind != bytecode::TerminatorKind::Cond &&
+                kind != bytecode::TerminatorKind::Switch) {
+                continue;
+            }
+            for (std::uint32_t i = 0; i < cfg.graph.succs(b).size();
+                 ++i) {
+                EXPECT_EQ(
+                    instr_edge.edges().perMethod[m].edgeCount(
+                        cfg::EdgeRef{b, i}),
+                    truth.edgeCount(cfg::EdgeRef{b, i}));
+            }
+        }
+    }
+}
+
+TEST(Pep, SpanningPlacementReproducesGroundTruthExactly)
+{
+    // PEP with Ball-Larus event-counting placement + 100% sampling
+    // must still match the (direct-placement) ground truth recorder:
+    // placement changes where increments sit, never what the register
+    // holds at path ends.
+    const bytecode::Program program = test::callSwitchProgram();
+    OptMachine om(program);
+    AlwaysSample always;
+    PepOptions options;
+    options.placement = profile::PlacementKind::SpanningTree;
+    PepProfiler pep(om.machine, always, options);
+    FullPathProfiler truth(om.machine, profile::DagMode::HeaderSplit,
+                           false);
+    om.machine.addHooks(&pep);
+    om.machine.addCompileObserver(&pep);
+    om.machine.addHooks(&truth);
+    om.machine.addCompileObserver(&truth);
+    om.machine.runIteration();
+
+    const auto pep_paths = metrics::canonicalize(pep);
+    const auto truth_paths = metrics::canonicalize(truth);
+    ASSERT_GT(truth_paths.paths.size(), 0u);
+    ASSERT_EQ(pep_paths.paths.size(), truth_paths.paths.size());
+    for (const auto &[key, entry] : truth_paths.paths) {
+        const auto it = pep_paths.paths.find(key);
+        ASSERT_NE(it, pep_paths.paths.end());
+        EXPECT_EQ(it->second.count, entry.count);
+    }
+}
+
+TEST(PathEngine, OverflowedMethodIsSkippedGracefully)
+{
+    // A 60-diamond straight-line method overflows numbering; the
+    // engine must run it uninstrumented without crashing.
+    std::string body;
+    for (int i = 0; i < 60; ++i) {
+        const std::string n = std::to_string(i);
+        body += "    irnd\n    ifeq t" + n + "\n    iinc 0 1\n"
+                "    goto j" + n + "\nt" + n + ":\n    iinc 0 2\nj" +
+                n + ":\n";
+    }
+    const bytecode::Program program = bytecode::assembleOrDie(
+        ".globals 1\n.method main 0 1\n" + body +
+        "    return\n.end\n.main main\n");
+
+    OptMachine om(program);
+    FullPathProfiler truth(om.machine, profile::DagMode::HeaderSplit,
+                           false);
+    om.machine.addHooks(&truth);
+    om.machine.addCompileObserver(&truth);
+    om.machine.runIteration();
+    EXPECT_EQ(truth.pathsStored(), 0u);
+    EXPECT_EQ(truth.overflowCount(), 1u);
+}
+
+} // namespace
+} // namespace pep::core

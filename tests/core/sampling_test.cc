@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Sampling-controller tests, pinning the exact behaviours of paper
+ * Figure 5: timer-based sampling (one sample per tick), simplified
+ * Arnold-Grove (rotating initial stride, then a burst of consecutive
+ * samples), and original Arnold-Grove (stride between every sample).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/sampling.hh"
+
+namespace pep::core {
+namespace {
+
+/** Drive a controller over opportunities; encode actions as chars:
+ *  '.' idle, 's' stride, 'X' sample. Index 0 carries the tick. */
+std::string
+drive(SamplingController &controller, std::size_t opportunities,
+      std::size_t tick_every = 0)
+{
+    std::string actions;
+    for (std::size_t i = 0; i < opportunities; ++i) {
+        const bool tick =
+            (i == 0) || (tick_every != 0 && i % tick_every == 0);
+        switch (controller.onOpportunity(tick)) {
+          case SampleAction::Idle:
+            actions.push_back('.');
+            break;
+          case SampleAction::Stride:
+            actions.push_back('s');
+            break;
+          case SampleAction::Sample:
+            actions.push_back('X');
+            break;
+        }
+    }
+    return actions;
+}
+
+TEST(NeverSampleTest, AlwaysIdle)
+{
+    NeverSample controller;
+    EXPECT_EQ(drive(controller, 10), "..........");
+    EXPECT_EQ(controller.name(), "instr-only");
+}
+
+TEST(SimplifiedAg, TimerConfigTakesOneSamplePerTick)
+{
+    // PEP(1,1): exactly one sample at the first opportunity after a
+    // tick, idle otherwise.
+    SimplifiedArnoldGrove controller(1, 1);
+    EXPECT_EQ(controller.name(), "PEP(1,1)");
+    EXPECT_EQ(drive(controller, 12, 6), "X.....X.....");
+}
+
+TEST(SimplifiedAg, BurstOfConsecutiveSamples)
+{
+    // PEP(4,1): no striding, four consecutive samples per tick.
+    SimplifiedArnoldGrove controller(4, 1);
+    EXPECT_EQ(drive(controller, 12, 0), "XXXX........");
+}
+
+TEST(SimplifiedAg, StrideRotatesAcrossTicks)
+{
+    // PEP(4,3): Figure 5(c). First tick: rotation 1 -> no skip, then
+    // 4 consecutive samples. Second tick: rotation 2 -> one stride.
+    // Third tick: rotation 3 -> two strides. Fourth: back to 1.
+    SimplifiedArnoldGrove controller(4, 3);
+    EXPECT_EQ(drive(controller, 8, 0), "XXXX....");   // tick @0, rot 1
+    EXPECT_EQ(drive(controller, 8, 0), "sXXXX...");   // rot 2
+    EXPECT_EQ(drive(controller, 8, 0), "ssXXXX..");   // rot 3
+    EXPECT_EQ(drive(controller, 8, 0), "XXXX....");   // rot 1 again
+}
+
+TEST(SimplifiedAg, NoStridingAfterFirstSample)
+{
+    // The simplification: once the first sample of a tick is taken,
+    // every subsequent opportunity samples until the burst ends.
+    SimplifiedArnoldGrove controller(3, 5);
+    const std::string actions = drive(controller, 12, 0);
+    const auto first_sample = actions.find('X');
+    ASSERT_NE(first_sample, std::string::npos);
+    EXPECT_EQ(actions.substr(first_sample, 3), "XXX");
+}
+
+TEST(SimplifiedAg, TickDuringBurstRestartsIt)
+{
+    SimplifiedArnoldGrove controller(4, 1);
+    EXPECT_EQ(controller.onOpportunity(true), SampleAction::Sample);
+    EXPECT_EQ(controller.onOpportunity(false), SampleAction::Sample);
+    // New tick mid-burst: burst restarts with a full sample budget
+    // (one sample consumed by the restarting opportunity itself).
+    EXPECT_EQ(controller.onOpportunity(true), SampleAction::Sample);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(controller.onOpportunity(false),
+                  SampleAction::Sample);
+    }
+    EXPECT_EQ(controller.onOpportunity(false), SampleAction::Idle);
+}
+
+TEST(SimplifiedAg, ResetReturnsToDormant)
+{
+    SimplifiedArnoldGrove controller(4, 3);
+    (void)drive(controller, 3, 0);
+    controller.reset();
+    // No tick -> idle; rotation starts over at 1.
+    EXPECT_EQ(controller.onOpportunity(false), SampleAction::Idle);
+    EXPECT_EQ(drive(controller, 5, 0), "XXXX.");
+}
+
+TEST(FullAg, StridesBetweenEverySample)
+{
+    // AG(4,3): Figure 5(b). Rotation 1: sample immediately, then two
+    // strides before each subsequent sample.
+    FullArnoldGrove controller(4, 3);
+    EXPECT_EQ(controller.name(), "AG(4,3)");
+    EXPECT_EQ(drive(controller, 12, 0), "XssXssXssX..");
+}
+
+TEST(FullAg, RotationShiftsFirstSample)
+{
+    FullArnoldGrove controller(2, 3);
+    EXPECT_EQ(drive(controller, 6, 0), "XssX.."); // rotation 1
+    EXPECT_EQ(drive(controller, 6, 0), "sXssX."); // rotation 2
+    EXPECT_EQ(drive(controller, 7, 0), "ssXssX."); // rotation 3
+}
+
+TEST(FullAg, SameSampleCountAsSimplified)
+{
+    SimplifiedArnoldGrove simplified(8, 5);
+    FullArnoldGrove full(8, 5);
+    const std::string a = drive(simplified, 64, 0);
+    const std::string b = drive(full, 64, 0);
+    EXPECT_EQ(std::count(a.begin(), a.end(), 'X'), 8);
+    EXPECT_EQ(std::count(b.begin(), b.end(), 'X'), 8);
+    // ...but full AG runs the handler more often (more strides).
+    EXPECT_GT(std::count(b.begin(), b.end(), 's'),
+              std::count(a.begin(), a.end(), 's'));
+}
+
+TEST(Controllers, SamplesPerTickIsExactlyConfigured)
+{
+    for (const std::uint32_t samples : {1u, 16u, 64u}) {
+        SimplifiedArnoldGrove controller(samples, 17);
+        std::size_t taken = 0;
+        // One tick, then plenty of opportunities.
+        for (std::size_t i = 0; i < 200; ++i) {
+            if (controller.onOpportunity(i == 0) ==
+                SampleAction::Sample) {
+                ++taken;
+            }
+        }
+        EXPECT_EQ(taken, samples);
+    }
+}
+
+} // namespace
+} // namespace pep::core

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The example programs shipped under examples/programs/ must assemble,
+ * verify, run, and behave: sort.pepasm must actually sort, and
+ * rle.pepasm must count runs consistently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "bytecode/assembler.hh"
+#include "core/pep_profiler.hh"
+#include "core/sampling.hh"
+#include "vm/machine.hh"
+
+#ifndef PEP_SOURCE_DIR
+#define PEP_SOURCE_DIR "."
+#endif
+
+namespace pep {
+namespace {
+
+bytecode::Program
+loadProgram(const std::string &name)
+{
+    const std::string path =
+        std::string(PEP_SOURCE_DIR) + "/examples/programs/" + name;
+    std::ifstream in(path);
+    EXPECT_TRUE(in) << "cannot open " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return bytecode::assembleOrDie(buffer.str());
+}
+
+TEST(ExamplePrograms, SortActuallySorts)
+{
+    vm::SimParams params;
+    params.tickCycles = 200'000;
+    vm::Machine machine(loadProgram("sort.pepasm"), params);
+    machine.runIteration();
+
+    // After the final round, g[0..255] is sorted ascending.
+    const auto &globals = machine.globals();
+    for (std::size_t i = 1; i < 256; ++i) {
+        ASSERT_LE(globals[i - 1], globals[i]) << "index " << i;
+    }
+    // The swap branch must have been exercised both ways.
+    bytecode::MethodId bubble = 0;
+    ASSERT_TRUE(machine.program().findMethod("bubble", bubble));
+    const auto &cfg = machine.info(bubble).cfg;
+    std::uint64_t total_branch_execs = 0;
+    for (cfg::BlockId b = 0; b < cfg.graph.numBlocks(); ++b) {
+        if (cfg.terminator[b] != bytecode::TerminatorKind::Cond)
+            continue;
+        total_branch_execs +=
+            machine.truthEdges().perMethod[bubble].branch(b).total();
+    }
+    EXPECT_GT(total_branch_execs, 100'000u);
+}
+
+TEST(ExamplePrograms, RleCountsRunsConsistently)
+{
+    vm::SimParams params;
+    params.tickCycles = 200'000;
+    vm::Machine machine(loadProgram("rle.pepasm"), params);
+    machine.runIteration();
+
+    const auto &globals = machine.globals();
+    const std::int32_t runs = globals[1030];
+    const std::int32_t summed_lengths = globals[1031];
+    // 24 rounds over 1024 bits with ~25% ones: plenty of runs, and the
+    // recorded run lengths can never exceed the bits scanned.
+    EXPECT_GT(runs, 1000);
+    EXPECT_GT(summed_lengths, 0);
+    EXPECT_LT(summed_lengths, 24 * 1024);
+    // Average recorded run length is plausible for a 25%-ones stream
+    // (geometric-ish, between 1 and 4).
+    const double avg = static_cast<double>(summed_lengths) / runs;
+    EXPECT_GT(avg, 1.0);
+    EXPECT_LT(avg, 4.0);
+}
+
+TEST(ExamplePrograms, ProfileUnderPepWithoutPerturbation)
+{
+    // Attaching PEP must not change program results (determinism of
+    // the Irnd stream is independent of profiling).
+    auto run = [&](bool with_pep) {
+        vm::SimParams params;
+        params.tickCycles = 200'000;
+        vm::Machine machine(loadProgram("sort.pepasm"), params);
+        std::unique_ptr<core::SamplingController> controller;
+        std::unique_ptr<core::PepProfiler> pep;
+        if (with_pep) {
+            controller =
+                std::make_unique<core::SimplifiedArnoldGrove>(64, 17);
+            pep = std::make_unique<core::PepProfiler>(machine,
+                                                      *controller);
+            machine.addHooks(pep.get());
+            machine.addCompileObserver(pep.get());
+        }
+        machine.runIteration();
+        return machine.globals();
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+} // namespace
+} // namespace pep

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Metric tests with hand-computed expectations: relative overlap
+ * (bias agreement), absolute overlap (frequency agreement), and Wall
+ * weight-matching with the branch-flow metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bytecode/assembler.hh"
+#include "bytecode/cfg_builder.hh"
+#include "common/fixtures.hh"
+#include "metrics/overlap.hh"
+#include "metrics/path_accuracy.hh"
+
+namespace pep::metrics {
+namespace {
+
+using bytecode::MethodCfg;
+
+struct EdgeFixture
+{
+    EdgeFixture()
+    {
+        const bytecode::Program program = test::figure1Program();
+        cfgs.push_back(bytecode::buildCfg(program.methods[0]));
+        a = profile::EdgeProfileSet(cfgs);
+        b = profile::EdgeProfileSet(cfgs);
+        cond = cfg::kInvalidBlock;
+        for (cfg::BlockId block = 0;
+             block < cfgs[0].graph.numBlocks(); ++block) {
+            if (cfgs[0].terminator[block] ==
+                bytecode::TerminatorKind::Cond &&
+                cond == cfg::kInvalidBlock) {
+                cond = block;
+            }
+        }
+    }
+
+    std::vector<MethodCfg> cfgs;
+    profile::EdgeProfileSet a;
+    profile::EdgeProfileSet b;
+    cfg::BlockId cond;
+};
+
+TEST(RelativeOverlap, IdenticalProfilesScoreOne)
+{
+    EdgeFixture f;
+    f.a.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 0}, 30);
+    f.a.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 1}, 10);
+    f.b = f.a;
+    EXPECT_DOUBLE_EQ(relativeOverlap(f.cfgs, f.a, f.b), 1.0);
+}
+
+TEST(RelativeOverlap, EmptyUniverseScoresOne)
+{
+    EdgeFixture f;
+    EXPECT_DOUBLE_EQ(relativeOverlap(f.cfgs, f.a, f.b), 1.0);
+}
+
+TEST(RelativeOverlap, HandComputedBiasDifference)
+{
+    EdgeFixture f;
+    // Actual bias 0.75; estimate bias 0.25 -> accuracy 0.5.
+    f.a.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 0}, 75);
+    f.a.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 1}, 25);
+    f.b.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 0}, 1);
+    f.b.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 1}, 3);
+    EXPECT_NEAR(relativeOverlap(f.cfgs, f.a, f.b), 0.5, 1e-12);
+}
+
+TEST(RelativeOverlap, UnseenBranchGetsHalfBias)
+{
+    EdgeFixture f;
+    // Actual fully taken (bias 1.0); estimate empty -> bias 0.5 ->
+    // accuracy 0.5.
+    f.a.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 0}, 10);
+    EXPECT_NEAR(relativeOverlap(f.cfgs, f.a, f.b), 0.5, 1e-12);
+}
+
+TEST(RelativeOverlap, FlippedProfileScoresBiasDistance)
+{
+    EdgeFixture f;
+    f.a.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 0}, 90);
+    f.a.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 1}, 10);
+    const profile::EdgeProfileSet flipped = [&] {
+        profile::EdgeProfileSet result = f.a;
+        result.perMethod[0] = result.perMethod[0].flipped(f.cfgs[0]);
+        return result;
+    }();
+    // |0.9 - 0.1| = 0.8 -> accuracy 0.2.
+    EXPECT_NEAR(relativeOverlap(f.cfgs, f.a, flipped), 0.2, 1e-12);
+}
+
+TEST(RelativeOverlap, WeightsByActualFrequency)
+{
+    const bytecode::Program program = bytecode::assembleOrDie(R"(
+.globals 1
+.method main 0 1
+    irnd
+    ifeq a
+    iinc 0 1
+a:
+    irnd
+    ifeq b
+    iinc 0 2
+b:
+    return
+.end
+.main main
+)");
+    std::vector<MethodCfg> cfgs{
+        bytecode::buildCfg(program.methods[0])};
+    std::vector<cfg::BlockId> conds;
+    for (cfg::BlockId b = 0; b < cfgs[0].graph.numBlocks(); ++b) {
+        if (cfgs[0].terminator[b] == bytecode::TerminatorKind::Cond)
+            conds.push_back(b);
+    }
+    ASSERT_EQ(conds.size(), 2u);
+
+    profile::EdgeProfileSet actual(cfgs);
+    profile::EdgeProfileSet estimated(cfgs);
+    // Branch 0: 900 executions, estimate perfect (accuracy 1).
+    actual.perMethod[0].addEdge(cfg::EdgeRef{conds[0], 0}, 900);
+    estimated.perMethod[0].addEdge(cfg::EdgeRef{conds[0], 0}, 9);
+    // Branch 1: 100 executions, estimate flipped (accuracy 0).
+    actual.perMethod[0].addEdge(cfg::EdgeRef{conds[1], 0}, 100);
+    estimated.perMethod[0].addEdge(cfg::EdgeRef{conds[1], 1}, 5);
+    // Weighted: (900*1 + 100*0) / 1000 = 0.9.
+    EXPECT_NEAR(relativeOverlap(cfgs, actual, estimated), 0.9, 1e-12);
+}
+
+TEST(AbsoluteOverlap, IdenticalScoresOneEvenWhenScaled)
+{
+    EdgeFixture f;
+    f.a.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 0}, 30);
+    f.a.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 1}, 10);
+    f.b.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 0}, 3);
+    f.b.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 1}, 1);
+    // Same normalized distribution despite different totals.
+    EXPECT_NEAR(absoluteOverlap(f.a, f.b), 1.0, 1e-12);
+}
+
+TEST(AbsoluteOverlap, DisjointScoresZero)
+{
+    EdgeFixture f;
+    f.a.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 0}, 10);
+    f.b.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 1}, 10);
+    EXPECT_DOUBLE_EQ(absoluteOverlap(f.a, f.b), 0.0);
+}
+
+TEST(AbsoluteOverlap, HandComputedPartialOverlap)
+{
+    EdgeFixture f;
+    // actual: 0.75 / 0.25; estimated: 0.5 / 0.5.
+    f.a.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 0}, 3);
+    f.a.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 1}, 1);
+    f.b.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 0}, 1);
+    f.b.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 1}, 1);
+    // min(0.75,0.5) + min(0.25,0.5) = 0.75.
+    EXPECT_NEAR(absoluteOverlap(f.a, f.b), 0.75, 1e-12);
+}
+
+TEST(AbsoluteOverlap, EmptyCases)
+{
+    EdgeFixture f;
+    EXPECT_DOUBLE_EQ(absoluteOverlap(f.a, f.b), 1.0);
+    f.a.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 0}, 1);
+    EXPECT_DOUBLE_EQ(absoluteOverlap(f.a, f.b), 0.0);
+}
+
+TEST(AbsoluteOverlap, SymmetricInItsArguments)
+{
+    EdgeFixture f;
+    f.a.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 0}, 7);
+    f.a.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 1}, 3);
+    f.b.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 0}, 2);
+    f.b.perMethod[0].addEdge(cfg::EdgeRef{f.cond, 1}, 8);
+    EXPECT_DOUBLE_EQ(absoluteOverlap(f.a, f.b),
+                     absoluteOverlap(f.b, f.a));
+}
+
+// ---- Wall weight-matching -------------------------------------------------
+
+CanonicalPathKey
+key(std::uint32_t id)
+{
+    CanonicalPathKey k;
+    k.method = 0;
+    k.edges = {id};
+    return k;
+}
+
+TEST(WallMatching, PerfectEstimateScoresOne)
+{
+    CanonicalPathProfile actual;
+    actual.paths[key(1)] = {1000, 4};
+    actual.paths[key(2)] = {500, 2};
+    const WallAccuracy result = wallPathAccuracy(actual, actual);
+    EXPECT_DOUBLE_EQ(result.accuracy, 1.0);
+    EXPECT_EQ(result.numHotPaths, 2u);
+}
+
+TEST(WallMatching, EmptyActualScoresOne)
+{
+    CanonicalPathProfile actual;
+    CanonicalPathProfile estimated;
+    estimated.paths[key(1)] = {5, 1};
+    EXPECT_DOUBLE_EQ(
+        wallPathAccuracy(actual, estimated).accuracy, 1.0);
+}
+
+TEST(WallMatching, FlowIsFrequencyTimesBranches)
+{
+    // Path A: freq 100 x 1 branch = flow 100.
+    // Path B: freq 30 x 10 branches = flow 300 (hotter by flow!).
+    CanonicalPathProfile actual;
+    actual.paths[key(1)] = {100, 1};
+    actual.paths[key(2)] = {30, 10};
+
+    // Estimate knows only path B; with threshold high enough that
+    // only B is hot, accuracy is 1.
+    CanonicalPathProfile estimated;
+    estimated.paths[key(2)] = {3, 10};
+    const WallAccuracy result =
+        wallPathAccuracy(actual, estimated, /*hot_threshold=*/0.5);
+    EXPECT_EQ(result.numHotPaths, 1u);
+    EXPECT_DOUBLE_EQ(result.accuracy, 1.0);
+}
+
+TEST(WallMatching, MissingHotPathLosesItsFlowShare)
+{
+    CanonicalPathProfile actual;
+    actual.paths[key(1)] = {600, 1}; // flow 600
+    actual.paths[key(2)] = {400, 1}; // flow 400
+
+    // Estimate ranks a cold path above path 2.
+    CanonicalPathProfile estimated;
+    estimated.paths[key(1)] = {60, 1};
+    estimated.paths[key(3)] = {50, 1};
+    estimated.paths[key(2)] = {40, 1};
+
+    const WallAccuracy result =
+        wallPathAccuracy(actual, estimated, 0.1);
+    EXPECT_EQ(result.numHotPaths, 2u);
+    // Top-2 estimated = {1, 3}; only 1 matches: 600/1000.
+    EXPECT_NEAR(result.accuracy, 0.6, 1e-12);
+}
+
+TEST(WallMatching, ThresholdExcludesColdPaths)
+{
+    CanonicalPathProfile actual;
+    actual.paths[key(1)] = {10000, 1};
+    actual.paths[key(2)] = {1, 1}; // below 0.125% of total flow
+
+    CanonicalPathProfile estimated;
+    estimated.paths[key(1)] = {10, 1};
+    const WallAccuracy result = wallPathAccuracy(actual, estimated);
+    EXPECT_EQ(result.numHotPaths, 1u);
+    EXPECT_DOUBLE_EQ(result.accuracy, 1.0);
+}
+
+TEST(WallMatching, EstimatedSetLimitedToActualHotCount)
+{
+    // Estimate has many paths; only the top |H_actual| may count.
+    CanonicalPathProfile actual;
+    actual.paths[key(1)] = {500, 1};
+    actual.paths[key(2)] = {500, 1};
+
+    CanonicalPathProfile estimated;
+    estimated.paths[key(3)] = {100, 1};
+    estimated.paths[key(4)] = {90, 1};
+    estimated.paths[key(1)] = {80, 1}; // ranked 3rd: cut off
+    estimated.paths[key(2)] = {70, 1};
+
+    const WallAccuracy result =
+        wallPathAccuracy(actual, estimated, 0.1);
+    EXPECT_EQ(result.numHotPaths, 2u);
+    EXPECT_DOUBLE_EQ(result.accuracy, 0.0);
+}
+
+TEST(RankByFlow, OrdersByFlowWithSharesAndLimit)
+{
+    CanonicalPathProfile profile;
+    profile.paths[key(1)] = {10, 1};  // flow 10
+    profile.paths[key(2)] = {2, 10};  // flow 20 (long path wins)
+    profile.paths[key(3)] = {5, 2};   // flow 10
+    profile.paths[key(4)] = {1, 1};   // flow 1
+
+    const auto all = rankByFlow(profile);
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_EQ(all[0].key->edges[0], 2u);
+    EXPECT_DOUBLE_EQ(all[0].flow, 20.0);
+    EXPECT_NEAR(all[0].flowShare, 20.0 / 41.0, 1e-12);
+    // Tie between paths 1 and 3 breaks deterministically by key.
+    EXPECT_EQ(all[1].key->edges[0], 1u);
+    EXPECT_EQ(all[2].key->edges[0], 3u);
+    EXPECT_EQ(all[3].key->edges[0], 4u);
+
+    const auto top2 = rankByFlow(profile, 2);
+    ASSERT_EQ(top2.size(), 2u);
+    EXPECT_EQ(top2[0].key->edges[0], 2u);
+
+    const CanonicalPathProfile empty;
+    EXPECT_TRUE(rankByFlow(empty).empty());
+}
+
+TEST(WallMatching, TotalFlowHelper)
+{
+    CanonicalPathProfile profile;
+    profile.paths[key(1)] = {10, 3};
+    profile.paths[key(2)] = {5, 4};
+    EXPECT_DOUBLE_EQ(profile.totalFlow(), 50.0);
+}
+
+} // namespace
+} // namespace pep::metrics

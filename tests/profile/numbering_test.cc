@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Path-numbering property tests. The central invariant (for all three
+ * schemes and both P-DAG modes): summing the edge values along each
+ * distinct Entry->Exit DAG path yields each number in [0, N) exactly
+ * once. Verified by exhaustive path enumeration on fixture and random
+ * programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "bytecode/cfg_builder.hh"
+#include "common/fixtures.hh"
+#include "profile/numbering.hh"
+#include "workload/program_builder.hh"
+
+namespace pep::profile {
+namespace {
+
+using bytecode::MethodCfg;
+
+/** Enumerate all Entry->Exit paths; return the multiset of value sums. */
+std::vector<std::uint64_t>
+allPathSums(const PDag &pdag, const Numbering &numbering)
+{
+    std::vector<std::uint64_t> sums;
+    std::function<void(cfg::BlockId, std::uint64_t)> walk =
+        [&](cfg::BlockId node, std::uint64_t sum) {
+            if (node == pdag.dag.exit()) {
+                sums.push_back(sum);
+                return;
+            }
+            const auto &succs = pdag.dag.succs(node);
+            for (std::uint32_t i = 0; i < succs.size(); ++i) {
+                walk(succs[i],
+                     sum + numbering.val[node][i]);
+            }
+        };
+    walk(pdag.dag.entry(), 0);
+    return sums;
+}
+
+DagEdgeFreqs
+syntheticFreqs(const PDag &pdag, std::uint64_t seed)
+{
+    support::Rng rng(seed);
+    DagEdgeFreqs freqs(pdag.dag.numBlocks());
+    for (cfg::BlockId v = 0; v < pdag.dag.numBlocks(); ++v) {
+        freqs[v].resize(pdag.dag.succs(v).size());
+        for (double &f : freqs[v])
+            f = static_cast<double>(rng.nextBounded(1000));
+    }
+    return freqs;
+}
+
+void
+expectDenseUnique(const MethodCfg &cfg, DagMode mode,
+                  NumberingScheme scheme, std::uint64_t seed)
+{
+    const PDag pdag = buildPDag(cfg, mode);
+    const DagEdgeFreqs freqs = syntheticFreqs(pdag, seed);
+    const Numbering numbering = numberPaths(
+        pdag, scheme,
+        scheme == NumberingScheme::BallLarus ? nullptr : &freqs);
+    ASSERT_FALSE(numbering.overflow);
+
+    const std::vector<std::uint64_t> sums = allPathSums(pdag, numbering);
+    ASSERT_EQ(sums.size(), numbering.totalPaths);
+    std::set<std::uint64_t> unique(sums.begin(), sums.end());
+    ASSERT_EQ(unique.size(), sums.size()) << "duplicate path numbers";
+    EXPECT_EQ(*unique.begin(), 0u);
+    EXPECT_EQ(*unique.rbegin(), numbering.totalPaths - 1);
+}
+
+TEST(Numbering, Figure1DenseUniqueAllSchemesBothModes)
+{
+    const bytecode::Program p = test::figure1Program();
+    const MethodCfg cfg = bytecode::buildCfg(p.methods[0]);
+    for (const DagMode mode :
+         {DagMode::HeaderSplit, DagMode::BackEdgeTruncate}) {
+        for (const NumberingScheme scheme :
+             {NumberingScheme::BallLarus, NumberingScheme::Smart,
+              NumberingScheme::SmartInverted}) {
+            expectDenseUnique(cfg, mode, scheme, 1);
+        }
+    }
+}
+
+TEST(Numbering, Figure1PathCountMatchesHandCount)
+{
+    // The figure-1 shaped routine in HeaderSplit mode:
+    //   entry -> pre-loop -> header (path 1)
+    //   header -> then -> join -> header (path 2)
+    //   header -> else -> join -> header (path 3)
+    //   header -> exit-block -> exit (path 4)
+    const bytecode::Program p = test::figure1Program();
+    const MethodCfg cfg = bytecode::buildCfg(p.methods[0]);
+    const PDag pdag = buildPDag(cfg, DagMode::HeaderSplit);
+    const Numbering numbering =
+        numberPaths(pdag, NumberingScheme::BallLarus);
+    EXPECT_EQ(numbering.totalPaths, 4u);
+}
+
+TEST(Numbering, RandomProgramsDenseUnique)
+{
+    int checked = 0;
+    for (std::uint64_t seed = 200; seed < 260; ++seed) {
+        const bytecode::Program p =
+            test::randomStructuredProgram(seed, 7);
+        const MethodCfg cfg = bytecode::buildCfg(p.methods[0]);
+        // Skip path-explosion cases to keep enumeration fast.
+        const PDag probe = buildPDag(cfg, DagMode::HeaderSplit);
+        const Numbering n =
+            numberPaths(probe, NumberingScheme::BallLarus);
+        if (n.overflow || n.totalPaths > 5000)
+            continue;
+        ++checked;
+        for (const DagMode mode :
+             {DagMode::HeaderSplit, DagMode::BackEdgeTruncate}) {
+            for (const NumberingScheme scheme :
+                 {NumberingScheme::BallLarus, NumberingScheme::Smart,
+                  NumberingScheme::SmartInverted}) {
+                expectDenseUnique(cfg, mode, scheme, seed);
+            }
+        }
+    }
+    EXPECT_GT(checked, 20);
+}
+
+TEST(Numbering, SmartZeroesHottestEdge)
+{
+    const bytecode::Program p = test::callSwitchProgram();
+    const MethodCfg cfg =
+        bytecode::buildCfg(p.methods[p.mainMethod]);
+    const PDag pdag = buildPDag(cfg, DagMode::HeaderSplit);
+    const DagEdgeFreqs freqs = syntheticFreqs(pdag, 9);
+    const Numbering numbering =
+        numberPaths(pdag, NumberingScheme::Smart, &freqs);
+    ASSERT_FALSE(numbering.overflow);
+
+    for (cfg::BlockId v = 0; v < pdag.dag.numBlocks(); ++v) {
+        const auto &succs = pdag.dag.succs(v);
+        if (succs.empty())
+            continue;
+        double best = -1.0;
+        std::uint32_t best_idx = 0;
+        for (std::uint32_t i = 0; i < succs.size(); ++i) {
+            if (freqs[v][i] > best) {
+                best = freqs[v][i];
+                best_idx = i;
+            }
+        }
+        EXPECT_EQ(numbering.val[v][best_idx], 0u)
+            << "node " << v << ": hottest edge must carry no "
+            << "instrumentation";
+    }
+}
+
+TEST(Numbering, SmartInvertedZeroesColdestEdge)
+{
+    const bytecode::Program p = test::callSwitchProgram();
+    const MethodCfg cfg =
+        bytecode::buildCfg(p.methods[p.mainMethod]);
+    const PDag pdag = buildPDag(cfg, DagMode::HeaderSplit);
+    const DagEdgeFreqs freqs = syntheticFreqs(pdag, 9);
+    const Numbering numbering =
+        numberPaths(pdag, NumberingScheme::SmartInverted, &freqs);
+    ASSERT_FALSE(numbering.overflow);
+
+    for (cfg::BlockId v = 0; v < pdag.dag.numBlocks(); ++v) {
+        const auto &succs = pdag.dag.succs(v);
+        if (succs.empty())
+            continue;
+        double worst = 1e300;
+        std::uint32_t worst_idx = 0;
+        for (std::uint32_t i = 0; i < succs.size(); ++i) {
+            if (freqs[v][i] < worst) {
+                worst = freqs[v][i];
+                worst_idx = i;
+            }
+        }
+        EXPECT_EQ(numbering.val[v][worst_idx], 0u);
+    }
+}
+
+TEST(Numbering, NumPathsIsSumOverSuccessors)
+{
+    const bytecode::Program p = test::figure1Program();
+    const MethodCfg cfg = bytecode::buildCfg(p.methods[0]);
+    const PDag pdag = buildPDag(cfg, DagMode::HeaderSplit);
+    const Numbering numbering =
+        numberPaths(pdag, NumberingScheme::BallLarus);
+    for (cfg::BlockId v = 0; v < pdag.dag.numBlocks(); ++v) {
+        if (v == pdag.dag.exit()) {
+            EXPECT_EQ(numbering.numPaths[v], 1u);
+            continue;
+        }
+        if (numbering.numPaths[v] == 0)
+            continue; // unreachable
+        std::uint64_t sum = 0;
+        for (cfg::BlockId succ : pdag.dag.succs(v))
+            sum += numbering.numPaths[succ];
+        EXPECT_EQ(numbering.numPaths[v], sum);
+    }
+}
+
+TEST(Numbering, OverflowDetectedOnPathExplosion)
+{
+    // 60 sequential diamonds: 2^60 paths > kMaxPaths (2^50).
+    workload::MethodBuilder b("huge", 0, false);
+    const std::uint32_t scratch = b.newLocal();
+    b.iconst(0);
+    b.istore(scratch);
+    for (int i = 0; i < 60; ++i) {
+        b.emit(bytecode::Opcode::Irnd);
+        workload::Label taken = b.newLabel();
+        workload::Label join = b.newLabel();
+        b.branch(bytecode::Opcode::Ifeq, taken);
+        b.iinc(scratch, 1);
+        b.jump(join);
+        b.bind(taken);
+        b.iinc(scratch, 2);
+        b.bind(join);
+    }
+    b.ret();
+    const bytecode::Method method = b.build();
+    const MethodCfg cfg = bytecode::buildCfg(method);
+    const PDag pdag = buildPDag(cfg, DagMode::HeaderSplit);
+    const Numbering numbering =
+        numberPaths(pdag, NumberingScheme::BallLarus);
+    EXPECT_TRUE(numbering.overflow);
+}
+
+TEST(Numbering, EstimatedFrequenciesMapRealEdges)
+{
+    const bytecode::Program p = test::figure1Program();
+    const MethodCfg cfg = bytecode::buildCfg(p.methods[0]);
+    const PDag pdag = buildPDag(cfg, DagMode::HeaderSplit);
+
+    // Synthetic CFG edge counts: edge (b, i) -> 100*b + i.
+    std::vector<std::vector<std::uint64_t>> counts(
+        cfg.graph.numBlocks());
+    for (cfg::BlockId b = 0; b < cfg.graph.numBlocks(); ++b) {
+        counts[b].resize(cfg.graph.succs(b).size());
+        for (std::uint32_t i = 0; i < counts[b].size(); ++i)
+            counts[b][i] = 100 * b + i + 1;
+    }
+
+    const DagEdgeFreqs freqs =
+        estimateDagEdgeFrequencies(cfg, pdag, counts);
+    for (cfg::BlockId b = 0; b < cfg.graph.numBlocks(); ++b) {
+        for (std::uint32_t i = 0; i < counts[b].size(); ++i) {
+            const cfg::EdgeRef dag_edge = pdag.dagEdgeForCfgEdge[b][i];
+            ASSERT_NE(dag_edge.src, cfg::kInvalidBlock);
+            EXPECT_DOUBLE_EQ(freqs[dag_edge.src][dag_edge.index],
+                             static_cast<double>(counts[b][i]));
+        }
+    }
+
+    // Header dummies carry the header's inflow.
+    for (cfg::BlockId b = 0; b < cfg.graph.numBlocks(); ++b) {
+        if (!cfg.isLoopHeader[b])
+            continue;
+        double inflow = 0;
+        for (cfg::BlockId pred = 0; pred < cfg.graph.numBlocks();
+             ++pred) {
+            const auto &succs = cfg.graph.succs(pred);
+            for (std::uint32_t i = 0; i < succs.size(); ++i) {
+                if (succs[i] == b)
+                    inflow += static_cast<double>(counts[pred][i]);
+            }
+        }
+        const cfg::EdgeRef entry_e = pdag.headerDummyEntry[b];
+        const cfg::EdgeRef exit_e = pdag.headerDummyExit[b];
+        EXPECT_DOUBLE_EQ(freqs[entry_e.src][entry_e.index], inflow);
+        EXPECT_DOUBLE_EQ(freqs[exit_e.src][exit_e.index], inflow);
+    }
+}
+
+} // namespace
+} // namespace pep::profile

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * P-DAG construction tests: header splitting (PEP) and back-edge
+ * truncation (classic BLPP), dummy-edge bookkeeping, CFG<->DAG edge
+ * maps, and acyclicity — including self-loops and irreducible CFGs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bytecode/assembler.hh"
+#include "bytecode/cfg_builder.hh"
+#include "cfg/analysis.hh"
+#include "common/fixtures.hh"
+#include "profile/pdag.hh"
+
+namespace pep::profile {
+namespace {
+
+using bytecode::MethodCfg;
+using bytecode::buildCfg;
+
+MethodCfg
+loopCfg()
+{
+    const bytecode::Program p = test::simpleLoopProgram();
+    return buildCfg(p.methods[p.mainMethod]);
+}
+
+TEST(PDagHeaderSplit, SplitsEveryHeader)
+{
+    const MethodCfg cfg = loopCfg();
+    const PDag pdag = buildPDag(cfg, DagMode::HeaderSplit);
+
+    std::size_t tops = 0;
+    std::size_t rests = 0;
+    for (cfg::BlockId node = 0; node < pdag.dag.numBlocks(); ++node) {
+        if (pdag.role[node] == NodeRole::HeaderTop)
+            ++tops;
+        if (pdag.role[node] == NodeRole::HeaderRest)
+            ++rests;
+    }
+    EXPECT_EQ(tops, cfg.numLoopHeaders());
+    EXPECT_EQ(rests, cfg.numLoopHeaders());
+
+    // DAG has one extra node per split header.
+    EXPECT_EQ(pdag.dag.numBlocks(),
+              cfg.graph.numBlocks() + cfg.numLoopHeaders());
+}
+
+TEST(PDagHeaderSplit, HeaderTopGoesOnlyToExit)
+{
+    const MethodCfg cfg = loopCfg();
+    const PDag pdag = buildPDag(cfg, DagMode::HeaderSplit);
+    for (cfg::BlockId node = 0; node < pdag.dag.numBlocks(); ++node) {
+        if (pdag.role[node] != NodeRole::HeaderTop)
+            continue;
+        ASSERT_EQ(pdag.dag.succs(node).size(), 1u);
+        EXPECT_EQ(pdag.dag.succs(node)[0], pdag.dag.exit());
+        EXPECT_EQ(pdag.meta(cfg::EdgeRef{node, 0}).kind,
+                  DagEdgeKind::DummyExit);
+    }
+}
+
+TEST(PDagHeaderSplit, HeaderRestEnteredOnlyFromEntry)
+{
+    const MethodCfg cfg = loopCfg();
+    const PDag pdag = buildPDag(cfg, DagMode::HeaderSplit);
+    for (cfg::BlockId node = 0; node < pdag.dag.numBlocks(); ++node) {
+        if (pdag.role[node] != NodeRole::HeaderRest)
+            continue;
+        for (cfg::BlockId pred : pdag.dag.preds(node))
+            EXPECT_EQ(pred, pdag.dag.entry());
+    }
+}
+
+TEST(PDagHeaderSplit, EdgesIntoHeaderRouteToTop)
+{
+    const MethodCfg cfg = loopCfg();
+    const PDag pdag = buildPDag(cfg, DagMode::HeaderSplit);
+    const cfg::Graph &graph = cfg.graph;
+    for (cfg::BlockId b = 0; b < graph.numBlocks(); ++b) {
+        for (std::uint32_t i = 0; i < graph.succs(b).size(); ++i) {
+            const cfg::BlockId dst = graph.succs(b)[i];
+            const cfg::EdgeRef dag_edge = pdag.dagEdgeForCfgEdge[b][i];
+            ASSERT_NE(dag_edge.src, cfg::kInvalidBlock);
+            const cfg::BlockId dag_dst = pdag.dag.edgeDst(dag_edge);
+            if (cfg.isLoopHeader[dst]) {
+                EXPECT_EQ(pdag.role[dag_dst], NodeRole::HeaderTop);
+                EXPECT_EQ(pdag.cfgBlock[dag_dst], dst);
+            }
+        }
+    }
+}
+
+TEST(PDagHeaderSplit, DummyEdgeTablesFilled)
+{
+    const MethodCfg cfg = loopCfg();
+    const PDag pdag = buildPDag(cfg, DagMode::HeaderSplit);
+    for (cfg::BlockId b = 0; b < cfg.graph.numBlocks(); ++b) {
+        if (cfg.isLoopHeader[b]) {
+            EXPECT_NE(pdag.headerDummyEntry[b].src, cfg::kInvalidBlock);
+            EXPECT_NE(pdag.headerDummyExit[b].src, cfg::kInvalidBlock);
+            EXPECT_EQ(pdag.headerDummyEntry[b].src, pdag.dag.entry());
+        } else {
+            EXPECT_EQ(pdag.headerDummyEntry[b].src, cfg::kInvalidBlock);
+        }
+    }
+}
+
+TEST(PDagBackEdge, TruncatesBackEdgesOnly)
+{
+    const MethodCfg cfg = loopCfg();
+    const PDag pdag = buildPDag(cfg, DagMode::BackEdgeTruncate);
+
+    // No split nodes in this mode.
+    EXPECT_EQ(pdag.dag.numBlocks(), cfg.graph.numBlocks());
+
+    std::size_t truncated = 0;
+    for (cfg::BlockId b = 0; b < cfg.graph.numBlocks(); ++b) {
+        for (std::uint32_t i = 0; i < cfg.graph.succs(b).size(); ++i) {
+            if (pdag.dagEdgeForCfgEdge[b][i].src == cfg::kInvalidBlock)
+                ++truncated;
+        }
+    }
+    EXPECT_EQ(truncated, cfg.backEdges.size());
+    EXPECT_EQ(pdag.backEdgeDummyExit.size(), cfg.backEdges.size());
+}
+
+TEST(PDagBackEdge, DummyExitRecordsItsBackEdge)
+{
+    const MethodCfg cfg = loopCfg();
+    const PDag pdag = buildPDag(cfg, DagMode::BackEdgeTruncate);
+    for (std::size_t k = 0; k < cfg.backEdges.size(); ++k) {
+        const cfg::EdgeRef dummy = pdag.backEdgeDummyExit[k];
+        const DagEdgeMeta &meta = pdag.meta(dummy);
+        EXPECT_EQ(meta.kind, DagEdgeKind::DummyExit);
+        EXPECT_TRUE(meta.cfgEdge == cfg.backEdges[k]);
+    }
+}
+
+TEST(PDag, SelfLoopHandledInBothModes)
+{
+    const bytecode::Program p = bytecode::assembleOrDie(R"(
+.method main 0 1
+    iconst 5
+    istore 0
+spin:
+    iload 0
+    iinc 0 -1
+    ifgt spin
+    return
+.end
+.main main
+)");
+    const MethodCfg cfg = buildCfg(p.methods[0]);
+    ASSERT_EQ(cfg.numLoopHeaders(), 1u);
+    for (const DagMode mode :
+         {DagMode::HeaderSplit, DagMode::BackEdgeTruncate}) {
+        const PDag pdag = buildPDag(cfg, mode);
+        const cfg::DfsResult dfs = cfg::depthFirstSearch(pdag.dag);
+        EXPECT_TRUE(dfs.retreatingEdges.empty());
+    }
+}
+
+TEST(PDag, IrreducibleCfgStillYieldsDag)
+{
+    // Two entries into a cycle: retreating-edge target treated as a
+    // header, so truncation still breaks every cycle.
+    const bytecode::Program p = bytecode::assembleOrDie(R"(
+.method main 0 1
+    irnd
+    ifeq enter_b
+    goto enter_c
+enter_b:
+    iinc 0 1
+    goto c
+enter_c:
+    iinc 0 2
+c:
+    irnd
+    ifeq done
+    goto enter_b
+done:
+    return
+.end
+.main main
+)");
+    const MethodCfg cfg = buildCfg(p.methods[0]);
+    for (const DagMode mode :
+         {DagMode::HeaderSplit, DagMode::BackEdgeTruncate}) {
+        const PDag pdag = buildPDag(cfg, mode);
+        const cfg::DfsResult dfs = cfg::depthFirstSearch(pdag.dag);
+        EXPECT_TRUE(dfs.retreatingEdges.empty());
+    }
+}
+
+TEST(PDag, RandomProgramsAlwaysAcyclic)
+{
+    for (std::uint64_t seed = 100; seed < 140; ++seed) {
+        const bytecode::Program p =
+            test::randomStructuredProgram(seed, 10);
+        const MethodCfg cfg = buildCfg(p.methods[0]);
+        for (const DagMode mode :
+             {DagMode::HeaderSplit, DagMode::BackEdgeTruncate}) {
+            const PDag pdag = buildPDag(cfg, mode);
+            const cfg::DfsResult dfs =
+                cfg::depthFirstSearch(pdag.dag);
+            EXPECT_TRUE(dfs.retreatingEdges.empty())
+                << "seed " << seed;
+            EXPECT_TRUE(pdag.dag.validate().empty()) << "seed " << seed;
+        }
+    }
+}
+
+TEST(PDag, MethodWithoutLoopsIsUnchanged)
+{
+    const bytecode::Program p = bytecode::assembleOrDie(R"(
+.method main 0 1
+    irnd
+    ifeq a
+    iinc 0 1
+a:
+    return
+.end
+.main main
+)");
+    const MethodCfg cfg = buildCfg(p.methods[0]);
+    const PDag pdag = buildPDag(cfg, DagMode::HeaderSplit);
+    EXPECT_EQ(pdag.dag.numBlocks(), cfg.graph.numBlocks());
+    EXPECT_EQ(pdag.dag.numEdges(), cfg.graph.numEdges());
+}
+
+} // namespace
+} // namespace pep::profile

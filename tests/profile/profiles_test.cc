@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Edge- and path-profile container tests: branch counters, bias,
+ * flipping, merging, lazy expansion, and path->edge accumulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bytecode/cfg_builder.hh"
+#include "common/fixtures.hh"
+#include "profile/edge_profile.hh"
+#include "profile/path_profile.hh"
+#include "support/panic.hh"
+
+namespace pep::profile {
+namespace {
+
+using bytecode::MethodCfg;
+
+MethodCfg
+figure1Cfg()
+{
+    const bytecode::Program p = test::figure1Program();
+    return bytecode::buildCfg(p.methods[0]);
+}
+
+cfg::BlockId
+firstCondBlock(const MethodCfg &cfg)
+{
+    for (cfg::BlockId b = 0; b < cfg.graph.numBlocks(); ++b) {
+        if (cfg.terminator[b] == bytecode::TerminatorKind::Cond)
+            return b;
+    }
+    return cfg::kInvalidBlock;
+}
+
+TEST(EdgeProfile, StartsEmpty)
+{
+    const MethodCfg cfg = figure1Cfg();
+    const MethodEdgeProfile profile(cfg);
+    EXPECT_TRUE(profile.empty());
+    EXPECT_EQ(profile.totalCount(), 0u);
+}
+
+TEST(EdgeProfile, CountsAndBias)
+{
+    const MethodCfg cfg = figure1Cfg();
+    MethodEdgeProfile profile(cfg);
+    const cfg::BlockId b = firstCondBlock(cfg);
+    ASSERT_NE(b, cfg::kInvalidBlock);
+    profile.addEdge(cfg::EdgeRef{b, 0}, 3); // taken
+    profile.addEdge(cfg::EdgeRef{b, 1});    // not taken
+    const BranchCounts counts = profile.branch(b);
+    EXPECT_EQ(counts.taken, 3u);
+    EXPECT_EQ(counts.notTaken, 1u);
+    EXPECT_DOUBLE_EQ(counts.takenBias(), 0.75);
+    EXPECT_EQ(profile.totalCount(), 4u);
+}
+
+TEST(EdgeProfile, BranchQueryOnNonBranchBlockPanics)
+{
+    const MethodCfg cfg = figure1Cfg();
+    const MethodEdgeProfile profile(cfg);
+    // The synthetic exit block has no successors at all.
+    EXPECT_THROW(profile.branch(cfg.graph.exit()),
+                 support::PanicError);
+}
+
+TEST(EdgeProfile, UnobservedBranchBiasIsHalf)
+{
+    BranchCounts counts;
+    EXPECT_DOUBLE_EQ(counts.takenBias(), 0.5);
+}
+
+TEST(EdgeProfile, FlippedSwapsCondBranchesOnly)
+{
+    const bytecode::Program p = test::callSwitchProgram();
+    const MethodCfg cfg = bytecode::buildCfg(p.methods[p.mainMethod]);
+    MethodEdgeProfile profile(cfg);
+    for (cfg::BlockId b = 0; b < cfg.graph.numBlocks(); ++b) {
+        for (std::uint32_t i = 0; i < cfg.graph.succs(b).size(); ++i)
+            profile.addEdge(cfg::EdgeRef{b, i}, 10 * b + i + 1);
+    }
+    const MethodEdgeProfile flipped = profile.flipped(cfg);
+    for (cfg::BlockId b = 0; b < cfg.graph.numBlocks(); ++b) {
+        const auto &orig = profile.counts()[b];
+        const auto &flip = flipped.counts()[b];
+        if (cfg.terminator[b] == bytecode::TerminatorKind::Cond) {
+            EXPECT_EQ(flip[0], orig[1]);
+            EXPECT_EQ(flip[1], orig[0]);
+        } else {
+            EXPECT_EQ(flip, orig);
+        }
+    }
+}
+
+TEST(EdgeProfile, MergeAndClear)
+{
+    const MethodCfg cfg = figure1Cfg();
+    MethodEdgeProfile a(cfg);
+    MethodEdgeProfile b(cfg);
+    const cfg::BlockId block = firstCondBlock(cfg);
+    a.addEdge(cfg::EdgeRef{block, 0}, 2);
+    b.addEdge(cfg::EdgeRef{block, 0}, 5);
+    a.merge(b);
+    EXPECT_EQ(a.edgeCount(cfg::EdgeRef{block, 0}), 7u);
+    a.clear();
+    EXPECT_TRUE(a.empty());
+}
+
+TEST(EdgeProfileSet, SizedPerMethod)
+{
+    const bytecode::Program p = test::callSwitchProgram();
+    std::vector<MethodCfg> cfgs;
+    for (const auto &m : p.methods)
+        cfgs.push_back(bytecode::buildCfg(m));
+    EdgeProfileSet set(cfgs);
+    ASSERT_EQ(set.perMethod.size(), p.methods.size());
+    for (std::size_t m = 0; m < cfgs.size(); ++m) {
+        EXPECT_EQ(set.perMethod[m].counts().size(),
+                  cfgs[m].graph.numBlocks());
+    }
+}
+
+class PathProfileFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        cfg = figure1Cfg();
+        pdag = buildPDag(cfg, DagMode::HeaderSplit);
+        numbering = numberPaths(pdag, NumberingScheme::BallLarus);
+        reconstructor = std::make_unique<PathReconstructor>(
+            cfg, pdag, numbering);
+    }
+
+    MethodCfg cfg;
+    PDag pdag;
+    Numbering numbering;
+    std::unique_ptr<PathReconstructor> reconstructor;
+};
+
+TEST_F(PathProfileFixture, AddSampleAccumulates)
+{
+    MethodPathProfile profile;
+    profile.addSample(2);
+    profile.addSample(2, 4);
+    profile.addSample(0);
+    EXPECT_EQ(profile.numDistinctPaths(), 2u);
+    EXPECT_EQ(profile.totalCount(), 6u);
+    ASSERT_NE(profile.find(2), nullptr);
+    EXPECT_EQ(profile.find(2)->count, 5u);
+    EXPECT_EQ(profile.find(7), nullptr);
+}
+
+TEST_F(PathProfileFixture, EnsureExpandedFillsEveryRecord)
+{
+    MethodPathProfile profile;
+    for (std::uint64_t n = 0; n < numbering.totalPaths; ++n)
+        profile.addSample(n, n + 1);
+    profile.ensureExpanded(*reconstructor);
+    for (const auto &[number, record] : profile.paths()) {
+        EXPECT_TRUE(record.expanded);
+        EXPECT_FALSE(record.cfgEdges.empty());
+    }
+}
+
+TEST_F(PathProfileFixture, AccumulateEdgeProfileWeightsByCount)
+{
+    MethodPathProfile profile;
+    profile.addSample(1, 10);
+
+    MethodEdgeProfile edges(cfg);
+    accumulateEdgeProfile(edges, profile, *reconstructor);
+
+    const PathRecord *record = profile.find(1);
+    ASSERT_NE(record, nullptr);
+    for (const cfg::EdgeRef &e : record->cfgEdges)
+        EXPECT_EQ(edges.edgeCount(e), 10u);
+    EXPECT_EQ(edges.totalCount(), 10u * record->cfgEdges.size());
+}
+
+TEST_F(PathProfileFixture, ClearDropsRecords)
+{
+    PathProfileSet set(3);
+    set.perMethod[1].addSample(0);
+    set.clear();
+    EXPECT_EQ(set.perMethod[1].numDistinctPaths(), 0u);
+}
+
+} // namespace
+} // namespace pep::profile

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Greedy path reconstruction tests: exact inversion of numbering for
+ * every path number, CFG interpretation (start/end headers, edge
+ * sequences, branch counts), and failure on out-of-range numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bytecode/cfg_builder.hh"
+#include "common/fixtures.hh"
+#include "profile/reconstruct.hh"
+#include "support/panic.hh"
+
+namespace pep::profile {
+namespace {
+
+using bytecode::MethodCfg;
+
+struct Prepared
+{
+    MethodCfg cfg;
+    PDag pdag;
+    Numbering numbering;
+    std::unique_ptr<PathReconstructor> reconstructor;
+};
+
+Prepared
+prepare(const bytecode::Program &program, DagMode mode,
+        NumberingScheme scheme = NumberingScheme::BallLarus)
+{
+    Prepared p;
+    p.cfg = bytecode::buildCfg(program.methods[program.mainMethod]);
+    p.pdag = buildPDag(p.cfg, mode);
+    if (scheme == NumberingScheme::BallLarus) {
+        p.numbering = numberPaths(p.pdag, scheme);
+    } else {
+        DagEdgeFreqs freqs(p.pdag.dag.numBlocks());
+        support::Rng rng(3);
+        for (cfg::BlockId v = 0; v < p.pdag.dag.numBlocks(); ++v) {
+            freqs[v].resize(p.pdag.dag.succs(v).size());
+            for (double &f : freqs[v])
+                f = static_cast<double>(rng.nextBounded(100));
+        }
+        p.numbering = numberPaths(p.pdag, scheme, &freqs);
+    }
+    p.reconstructor = std::make_unique<PathReconstructor>(
+        p.cfg, p.pdag, p.numbering);
+    return p;
+}
+
+/** Sum the edge values of a DAG edge sequence. */
+std::uint64_t
+sumValues(const Numbering &numbering,
+          const std::vector<cfg::EdgeRef> &edges)
+{
+    std::uint64_t sum = 0;
+    for (const cfg::EdgeRef &e : edges)
+        sum += numbering.val[e.src][e.index];
+    return sum;
+}
+
+TEST(Reconstruct, InvertsEveryNumberBothModes)
+{
+    for (const DagMode mode :
+         {DagMode::HeaderSplit, DagMode::BackEdgeTruncate}) {
+        const Prepared p = prepare(test::figure1Program(), mode);
+        std::set<std::vector<cfg::EdgeRef>> seen;
+        for (std::uint64_t n = 0; n < p.numbering.totalPaths; ++n) {
+            const auto edges = p.reconstructor->reconstructDagEdges(n);
+            EXPECT_EQ(sumValues(p.numbering, edges), n);
+            // The walk must be connected Entry -> Exit.
+            ASSERT_FALSE(edges.empty());
+            EXPECT_EQ(edges.front().src, p.pdag.dag.entry());
+            EXPECT_EQ(p.pdag.dag.edgeDst(edges.back()),
+                      p.pdag.dag.exit());
+            for (std::size_t i = 1; i < edges.size(); ++i) {
+                EXPECT_EQ(p.pdag.dag.edgeDst(edges[i - 1]),
+                          edges[i].src);
+            }
+            EXPECT_TRUE(seen.insert(edges).second)
+                << "two numbers produced the same path";
+        }
+    }
+}
+
+TEST(Reconstruct, InvertsSmartNumberingToo)
+{
+    const Prepared p = prepare(test::callSwitchProgram(),
+                               DagMode::HeaderSplit,
+                               NumberingScheme::Smart);
+    for (std::uint64_t n = 0; n < p.numbering.totalPaths; ++n) {
+        const auto edges = p.reconstructor->reconstructDagEdges(n);
+        EXPECT_EQ(sumValues(p.numbering, edges), n);
+    }
+}
+
+TEST(Reconstruct, RandomProgramsRoundTrip)
+{
+    int checked = 0;
+    for (std::uint64_t seed = 300; seed < 330; ++seed) {
+        const bytecode::Program program =
+            test::randomStructuredProgram(seed, 8);
+        const Prepared p = prepare(program, DagMode::HeaderSplit);
+        if (p.numbering.totalPaths > 2000)
+            continue;
+        ++checked;
+        for (std::uint64_t n = 0; n < p.numbering.totalPaths; ++n) {
+            const auto edges = p.reconstructor->reconstructDagEdges(n);
+            ASSERT_EQ(sumValues(p.numbering, edges), n)
+                << "seed " << seed;
+        }
+    }
+    EXPECT_GT(checked, 10);
+}
+
+TEST(Reconstruct, HeaderSplitPathAnnotations)
+{
+    const Prepared p =
+        prepare(test::figure1Program(), DagMode::HeaderSplit);
+    std::size_t start_at_header = 0;
+    std::size_t end_at_header = 0;
+    for (std::uint64_t n = 0; n < p.numbering.totalPaths; ++n) {
+        const ReconstructedPath path = p.reconstructor->reconstruct(n);
+        if (path.startHeader != cfg::kInvalidBlock) {
+            ++start_at_header;
+            EXPECT_TRUE(p.cfg.isLoopHeader[path.startHeader]);
+            // First CFG edge leaves the start header.
+            ASSERT_FALSE(path.cfgEdges.empty());
+            EXPECT_EQ(path.cfgEdges.front().src, path.startHeader);
+        }
+        if (path.endHeader != cfg::kInvalidBlock) {
+            ++end_at_header;
+            EXPECT_TRUE(p.cfg.isLoopHeader[path.endHeader]);
+            // Last CFG edge enters the end header.
+            ASSERT_FALSE(path.cfgEdges.empty());
+            EXPECT_EQ(p.cfg.graph.edgeDst(path.cfgEdges.back()),
+                      path.endHeader);
+        }
+    }
+    // figure1: paths 2 and 3 both start and end at the header; path 1
+    // ends there; path 4 starts there.
+    EXPECT_EQ(start_at_header, 3u);
+    EXPECT_EQ(end_at_header, 3u);
+}
+
+TEST(Reconstruct, BackEdgeModeCreditsBackEdge)
+{
+    const Prepared p =
+        prepare(test::figure1Program(), DagMode::BackEdgeTruncate);
+    bool saw_back_edge_path = false;
+    for (std::uint64_t n = 0; n < p.numbering.totalPaths; ++n) {
+        const ReconstructedPath path = p.reconstructor->reconstruct(n);
+        if (path.endHeader == cfg::kInvalidBlock)
+            continue;
+        saw_back_edge_path = true;
+        // The final CFG edge must be one of the method's back edges.
+        ASSERT_FALSE(path.cfgEdges.empty());
+        const cfg::EdgeRef last = path.cfgEdges.back();
+        bool is_back = false;
+        for (const cfg::EdgeRef &back : p.cfg.backEdges)
+            is_back = is_back || (back == last);
+        EXPECT_TRUE(is_back);
+    }
+    EXPECT_TRUE(saw_back_edge_path);
+}
+
+TEST(Reconstruct, BranchCountsMatchEdgeSources)
+{
+    const Prepared p =
+        prepare(test::callSwitchProgram(), DagMode::HeaderSplit);
+    for (std::uint64_t n = 0; n < p.numbering.totalPaths; ++n) {
+        const ReconstructedPath path = p.reconstructor->reconstruct(n);
+        std::uint32_t branches = 0;
+        for (const cfg::EdgeRef &e : path.cfgEdges) {
+            const auto kind = p.cfg.terminator[e.src];
+            if (kind == bytecode::TerminatorKind::Cond ||
+                kind == bytecode::TerminatorKind::Switch) {
+                ++branches;
+            }
+        }
+        EXPECT_EQ(path.numBranches, branches);
+    }
+}
+
+TEST(ReconstructPartial, PrefixOfEveryPathIsRecovered)
+{
+    // For every full path and every prefix of it, the partial register
+    // value (sum of prefix edge values) must reconstruct to exactly
+    // that prefix, modulo a trailing run of zero-valued edges that a
+    // partial value cannot pin down.
+    for (const DagMode mode :
+         {DagMode::HeaderSplit, DagMode::BackEdgeTruncate}) {
+        const Prepared p = prepare(test::callSwitchProgram(), mode);
+        for (std::uint64_t n = 0; n < p.numbering.totalPaths; ++n) {
+            const auto edges = p.reconstructor->reconstructDagEdges(n);
+            std::uint64_t partial_sum = 0;
+            for (std::size_t len = 0; len <= edges.size(); ++len) {
+                if (len > 0) {
+                    partial_sum +=
+                        p.numbering.val[edges[len - 1].src]
+                                       [edges[len - 1].index];
+                }
+                const auto partial =
+                    p.reconstructor->reconstructPartial(partial_sum);
+                // The recovered prefix is a prefix of the true one...
+                ASSERT_LE(partial.dagEdges.size(), len);
+                for (std::size_t i = 0; i < partial.dagEdges.size();
+                     ++i) {
+                    ASSERT_TRUE(partial.dagEdges[i] == edges[i])
+                        << "path " << n << " prefix length " << len;
+                }
+                // ...and everything it omitted is zero-valued (the
+                // documented ambiguity).
+                for (std::size_t i = partial.dagEdges.size(); i < len;
+                     ++i) {
+                    EXPECT_EQ(p.numbering.val[edges[i].src]
+                                             [edges[i].index],
+                              0u);
+                }
+                // If it omitted anything, it must say so.
+                if (partial.dagEdges.size() < len) {
+                    EXPECT_TRUE(partial.ambiguous);
+                }
+            }
+        }
+    }
+}
+
+TEST(ReconstructPartial, AtMostOneZeroValuedEdgePerNode)
+{
+    // The property that bounds the ambiguity: values are strict
+    // prefix sums, so no node has two zero-valued out-edges.
+    for (std::uint64_t seed = 700; seed < 720; ++seed) {
+        const bytecode::Program program =
+            test::randomStructuredProgram(seed, 8);
+        const Prepared p = prepare(program, DagMode::HeaderSplit);
+        for (cfg::BlockId v = 0; v < p.pdag.dag.numBlocks(); ++v) {
+            int zeros = 0;
+            for (std::uint32_t i = 0;
+                 i < p.pdag.dag.succs(v).size(); ++i) {
+                if (p.numbering.val[v][i] == 0)
+                    ++zeros;
+            }
+            EXPECT_LE(zeros, 1) << "seed " << seed << " node " << v;
+        }
+    }
+}
+
+TEST(ReconstructPartial, FullValueYieldsFullPathWhenUnambiguous)
+{
+    const Prepared p =
+        prepare(test::figure1Program(), DagMode::HeaderSplit);
+    for (std::uint64_t n = 0; n < p.numbering.totalPaths; ++n) {
+        const auto partial = p.reconstructor->reconstructPartial(n);
+        if (!partial.ambiguous) {
+            EXPECT_EQ(partial.endNode, p.pdag.dag.exit());
+            const auto full = p.reconstructor->reconstructDagEdges(n);
+            EXPECT_EQ(partial.dagEdges, full);
+        }
+    }
+}
+
+TEST(ReconstructPartial, RejectsImpossibleValue)
+{
+    const Prepared p =
+        prepare(test::figure1Program(), DagMode::HeaderSplit);
+    EXPECT_THROW(
+        p.reconstructor->reconstructPartial(p.numbering.totalPaths),
+        support::PanicError);
+}
+
+TEST(Reconstruct, OutOfRangeNumberPanics)
+{
+    const Prepared p =
+        prepare(test::figure1Program(), DagMode::HeaderSplit);
+    EXPECT_THROW(
+        p.reconstructor->reconstructDagEdges(p.numbering.totalPaths),
+        support::PanicError);
+}
+
+TEST(Reconstruct, OverflowedNumberingRefused)
+{
+    const Prepared p =
+        prepare(test::figure1Program(), DagMode::HeaderSplit);
+    Numbering overflowed = p.numbering;
+    overflowed.overflow = true;
+    EXPECT_THROW(PathReconstructor(p.cfg, p.pdag, overflowed),
+                 support::PanicError);
+}
+
+} // namespace
+} // namespace pep::profile

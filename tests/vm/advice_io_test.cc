@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Advice-file serialization tests: round trips, validation against
+ * the program's CFG shapes, and malformed-input rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/fixtures.hh"
+#include "vm/advice_io.hh"
+#include "workload/suite.hh"
+
+namespace pep::vm {
+namespace {
+
+struct AdviceFixture : ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        workload::WorkloadSpec spec = workload::standardSuite()[0];
+        spec.outerIterations = 60;
+        program = workload::generateWorkload(spec);
+        SimParams params;
+        params.tickCycles = 100'000;
+        Machine recorder(program, params);
+        recorder.runIteration();
+        advice = recorder.recordAdvice();
+        for (std::size_t m = 0; m < recorder.numMethods(); ++m) {
+            cfgs.push_back(recorder.info(
+                static_cast<bytecode::MethodId>(m)).cfg);
+        }
+    }
+
+    bytecode::Program program;
+    ReplayAdvice advice;
+    std::vector<bytecode::MethodCfg> cfgs;
+};
+
+TEST_F(AdviceFixture, RoundTripsExactly)
+{
+    const std::string text = serializeAdvice(advice);
+    const ParseAdviceResult parsed = parseAdvice(text, cfgs);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+
+    ASSERT_EQ(parsed.advice.finalLevel.size(),
+              advice.finalLevel.size());
+    for (std::size_t m = 0; m < advice.finalLevel.size(); ++m) {
+        EXPECT_EQ(parsed.advice.finalLevel[m], advice.finalLevel[m]);
+        EXPECT_EQ(parsed.advice.oneTimeEdges.perMethod[m].counts(),
+                  advice.oneTimeEdges.perMethod[m].counts());
+    }
+}
+
+TEST_F(AdviceFixture, ParsedAdviceDrivesReplayIdentically)
+{
+    const ParseAdviceResult parsed =
+        parseAdvice(serializeAdvice(advice), cfgs);
+    ASSERT_TRUE(parsed.ok);
+
+    SimParams params;
+    params.tickCycles = 100'000;
+    Machine a(program, params);
+    a.enableReplay(&advice);
+    Machine b(program, params);
+    b.enableReplay(&parsed.advice);
+    EXPECT_EQ(a.runIteration(), b.runIteration());
+    EXPECT_EQ(a.runIteration(), b.runIteration());
+}
+
+TEST_F(AdviceFixture, FileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "pep_advice_test";
+    ASSERT_TRUE(saveAdviceFile(path, advice));
+    const ParseAdviceResult loaded = loadAdviceFile(path, cfgs);
+    ASSERT_TRUE(loaded.ok) << loaded.error;
+    EXPECT_EQ(loaded.advice.finalLevel, advice.finalLevel);
+    std::remove(path.c_str());
+}
+
+TEST_F(AdviceFixture, RejectsWrongProgram)
+{
+    // Advice for this program parsed against a different program's
+    // CFGs must be rejected, not silently misapplied.
+    const bytecode::Program other = test::callSwitchProgram();
+    std::vector<bytecode::MethodCfg> other_cfgs;
+    for (const auto &m : other.methods)
+        other_cfgs.push_back(bytecode::buildCfg(m));
+    const ParseAdviceResult parsed =
+        parseAdvice(serializeAdvice(advice), other_cfgs);
+    EXPECT_FALSE(parsed.ok);
+}
+
+TEST(AdviceParse, RejectsMalformedInputs)
+{
+    const bytecode::Program program = test::simpleLoopProgram();
+    std::vector<bytecode::MethodCfg> cfgs{
+        bytecode::buildCfg(program.methods[0])};
+
+    const char *bad_inputs[] = {
+        "",                                          // empty
+        "not-advice 1\nend\n",                       // wrong magic
+        "pep-advice 2\nend\n",                       // wrong version
+        "pep-advice 1\nmethods 1\n",                 // missing end
+        "pep-advice 1\nmethods 5\nend\n",            // count mismatch
+        "pep-advice 1\nmethods 1\nlevel 9 0\nend\n", // bad method
+        "pep-advice 1\nmethods 1\nlevel 0 7\nend\n", // bad level
+        "pep-advice 1\nmethods 1\nedge 0 999 0 1\nend\n", // bad block
+        "pep-advice 1\nmethods 1\nedge 0 0 99 1\nend\n",  // bad succ
+        "pep-advice 1\nmethods 1\nedge 0 0 0 -4\nend\n",  // negative
+        "pep-advice 1\nmethods 1\nfrob 1\nend\n",         // unknown
+        "pep-advice 1\nmethods 1\nend\nlevel 0 0\n",      // after end
+    };
+    for (const char *input : bad_inputs) {
+        const ParseAdviceResult parsed = parseAdvice(input, cfgs);
+        EXPECT_FALSE(parsed.ok) << "accepted: " << input;
+        EXPECT_FALSE(parsed.error.empty());
+    }
+}
+
+TEST(AdviceParse, MissingFileReportsError)
+{
+    const bytecode::Program program = test::simpleLoopProgram();
+    std::vector<bytecode::MethodCfg> cfgs{
+        bytecode::buildCfg(program.methods[0])};
+    const ParseAdviceResult loaded =
+        loadAdviceFile("/nonexistent/pep-advice", cfgs);
+    EXPECT_FALSE(loaded.ok);
+}
+
+} // namespace
+} // namespace pep::vm

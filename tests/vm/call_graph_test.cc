@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Dynamic call graph tests: ground-truth exactness, tick-driven
+ * sampling, the overlap metric, and accuracy of the sampled graph on
+ * a real workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bytecode/assembler.hh"
+#include "common/fixtures.hh"
+#include "vm/call_graph.hh"
+#include "vm/machine.hh"
+#include "workload/suite.hh"
+
+namespace pep::vm {
+namespace {
+
+TEST(CallGraphStruct, CountsAndQueries)
+{
+    CallGraph graph;
+    graph.addCall(0, 1, 5);
+    graph.addCall(0, 2);
+    graph.addCall(3, 1);
+    EXPECT_EQ(graph.count(0, 1), 5u);
+    EXPECT_EQ(graph.count(0, 2), 1u);
+    EXPECT_EQ(graph.count(1, 0), 0u);
+    EXPECT_EQ(graph.totalCalls(), 7u);
+
+    const auto callees = graph.calleesOf(0);
+    ASSERT_EQ(callees.size(), 2u);
+    EXPECT_EQ(callees[0].first, 1u); // hottest first
+    graph.clear();
+    EXPECT_EQ(graph.totalCalls(), 0u);
+}
+
+TEST(CallGraphStruct, OverlapMetric)
+{
+    CallGraph a;
+    CallGraph b;
+    EXPECT_DOUBLE_EQ(callGraphOverlap(a, b), 1.0); // both empty
+    a.addCall(0, 1, 10);
+    EXPECT_DOUBLE_EQ(callGraphOverlap(a, b), 0.0); // one empty
+    b.addCall(0, 1, 3); // same distribution, different scale
+    EXPECT_DOUBLE_EQ(callGraphOverlap(a, b), 1.0);
+
+    CallGraph c;
+    c.addCall(0, 2, 10); // disjoint edge
+    EXPECT_DOUBLE_EQ(callGraphOverlap(a, c), 0.0);
+
+    // Hand-computed partial overlap: a = {e1: 0.5, e2: 0.5},
+    // d = {e1: 0.25, e2: 0.75} -> min sums to 0.75.
+    CallGraph e;
+    e.addCall(0, 1, 2);
+    e.addCall(0, 2, 2);
+    CallGraph d;
+    d.addCall(0, 1, 1);
+    d.addCall(0, 2, 3);
+    EXPECT_DOUBLE_EQ(callGraphOverlap(e, d), 0.75);
+    EXPECT_DOUBLE_EQ(callGraphOverlap(d, e), 0.75);
+}
+
+TEST(CallGraphVm, TruthCountsEveryInvoke)
+{
+    const bytecode::Program p = bytecode::assembleOrDie(R"(
+.globals 1
+.method leaf 0 0
+    return
+.end
+.method mid 0 0
+    invoke leaf
+    invoke leaf
+    return
+.end
+.method main 0 1
+    iconst 3
+    istore 0
+loop:
+    iload 0
+    ifle done
+    invoke mid
+    iinc 0 -1
+    goto loop
+done:
+    return
+.end
+.main main
+)");
+    Machine machine(p, SimParams{});
+    machine.runIteration();
+
+    bytecode::MethodId leaf = 0;
+    bytecode::MethodId mid = 0;
+    bytecode::MethodId main_id = 0;
+    ASSERT_TRUE(p.findMethod("leaf", leaf));
+    ASSERT_TRUE(p.findMethod("mid", mid));
+    ASSERT_TRUE(p.findMethod("main", main_id));
+
+    EXPECT_EQ(machine.truthCalls().count(main_id, mid), 3u);
+    EXPECT_EQ(machine.truthCalls().count(mid, leaf), 6u);
+    EXPECT_EQ(machine.truthCalls().count(main_id, leaf), 0u);
+    EXPECT_EQ(machine.truthCalls().totalCalls(), 9u);
+}
+
+TEST(CallGraphVm, SampledGraphApproximatesTruth)
+{
+    workload::WorkloadSpec spec = workload::standardSuite()[1];
+    spec.outerIterations = 200;
+    const bytecode::Program program = workload::generateWorkload(spec);
+    SimParams params;
+    params.tickCycles = 30'000; // dense ticks for a strong sample
+    Machine machine(program, params);
+    machine.runIteration();
+
+    ASSERT_GT(machine.sampledCalls().totalCalls(), 200u);
+    // Sampled shares should roughly match true shares.
+    EXPECT_GT(callGraphOverlap(machine.truthCalls(),
+                               machine.sampledCalls()),
+              0.55);
+    // And every sampled edge must be a real call edge.
+    for (const auto &[edge, count] : machine.sampledCalls().edges()) {
+        EXPECT_GT(machine.truthCalls().count(edge.first, edge.second),
+                  0u);
+    }
+}
+
+TEST(CallGraphVm, ClearTruthResetsGraphs)
+{
+    const bytecode::Program program = test::callSwitchProgram();
+    Machine machine(program, SimParams{});
+    machine.runIteration();
+    ASSERT_GT(machine.truthCalls().totalCalls(), 0u);
+    machine.clearTruth();
+    EXPECT_EQ(machine.truthCalls().totalCalls(), 0u);
+    EXPECT_EQ(machine.sampledCalls().totalCalls(), 0u);
+}
+
+} // namespace
+} // namespace pep::vm

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Parameterized tier tests: a program's observable behaviour must be
+ * identical at every optimization tier (only simulated cost changes),
+ * and cost must be monotone in the tier. Also sweeps sampling
+ * configurations to pin the exact per-tick sample arithmetic against
+ * interpreter-driven yieldpoints.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bytecode/assembler.hh"
+#include "common/fixtures.hh"
+#include "core/pep_profiler.hh"
+#include "core/sampling.hh"
+#include "vm/machine.hh"
+
+namespace pep::vm {
+namespace {
+
+bytecode::Program
+checksumProgram()
+{
+    // Produces a data-dependent checksum in globals[0].
+    return bytecode::assembleOrDie(R"(
+.globals 2
+.method step 1 2 returns
+    iload 0
+    iconst 13
+    imul
+    iconst 7
+    ixor
+    ireturn
+.end
+.method main 0 2
+    iconst 3000
+    istore 0
+loop:
+    iload 0
+    ifle done
+    irnd
+    iconst 255
+    iand
+    invoke step
+    iconst 0
+    gload
+    iadd
+    iconst 0
+    gstore
+    iinc 0 -1
+    goto loop
+done:
+    return
+.end
+.main main
+)");
+}
+
+class TierSemantics : public ::testing::TestWithParam<OptLevel>
+{
+};
+
+TEST_P(TierSemantics, BehaviourIsTierInvariant)
+{
+    const bytecode::Program program = checksumProgram();
+
+    // Reference: all-baseline execution.
+    std::int32_t expected = 0;
+    {
+        Machine machine(program, SimParams{});
+        ReplayAdvice advice;
+        advice.finalLevel.assign(machine.numMethods(),
+                                 OptLevel::Baseline);
+        advice.oneTimeEdges = machine.truthEdges();
+        machine.enableReplay(&advice);
+        machine.runIteration();
+        expected = machine.globals()[0];
+    }
+
+    Machine machine(program, SimParams{});
+    ReplayAdvice advice;
+    advice.finalLevel.assign(machine.numMethods(), GetParam());
+    advice.oneTimeEdges = machine.truthEdges();
+    machine.enableReplay(&advice);
+    machine.runIteration();
+    EXPECT_EQ(machine.globals()[0], expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTiers, TierSemantics,
+                         ::testing::Values(OptLevel::Baseline,
+                                           OptLevel::Opt1,
+                                           OptLevel::Opt2),
+                         [](const auto &info) {
+                             return std::string(
+                                 optLevelName(info.param));
+                         });
+
+TEST(TierCosts, CyclesMonotoneInTier)
+{
+    const bytecode::Program program = checksumProgram();
+    auto run_at = [&](OptLevel level) {
+        Machine machine(program, SimParams{});
+        ReplayAdvice advice;
+        advice.finalLevel.assign(machine.numMethods(), level);
+        advice.oneTimeEdges = machine.truthEdges();
+        machine.enableReplay(&advice);
+        machine.runIteration();                 // compile + run
+        const std::uint64_t start = machine.now();
+        machine.runIteration();                 // measured
+        return machine.now() - start;
+    };
+    const std::uint64_t baseline = run_at(OptLevel::Baseline);
+    const std::uint64_t opt1 = run_at(OptLevel::Opt1);
+    const std::uint64_t opt2 = run_at(OptLevel::Opt2);
+    EXPECT_GT(baseline, opt1);
+    EXPECT_GT(opt1, opt2);
+}
+
+/** Sampling configurations swept against real interpreter ticks. */
+struct SamplingSweep
+{
+    std::uint32_t samples;
+    std::uint32_t stride;
+};
+
+class SamplingArithmetic
+    : public ::testing::TestWithParam<SamplingSweep>
+{
+};
+
+TEST_P(SamplingArithmetic, SamplesPerTickNeverExceedConfigured)
+{
+    const SamplingSweep sweep = GetParam();
+    const bytecode::Program program = checksumProgram();
+
+    SimParams params;
+    params.tickCycles = 60'000;
+    Machine machine(program, params);
+    ReplayAdvice advice;
+    advice.finalLevel.assign(machine.numMethods(), OptLevel::Opt2);
+    advice.oneTimeEdges = machine.truthEdges();
+    machine.enableReplay(&advice);
+
+    core::SimplifiedArnoldGrove controller(sweep.samples,
+                                           sweep.stride);
+    core::PepProfiler pep(machine, controller);
+    machine.addHooks(&pep);
+    machine.addCompileObserver(&pep);
+    machine.runIteration();
+
+    const std::uint64_t ticks = machine.stats().timerTicks;
+    ASSERT_GT(ticks, 2u);
+    // At most SAMPLES samples per tick (fewer when opportunities run
+    // out before the burst completes).
+    EXPECT_LE(pep.pepStats().samplesTaken, ticks * sweep.samples);
+    // Strides are bounded by the rotating initial skip.
+    EXPECT_LE(pep.pepStats().strides,
+              ticks * (sweep.stride - 1));
+    EXPECT_GT(pep.pepStats().samplesTaken, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SamplingArithmetic,
+    ::testing::Values(SamplingSweep{1, 1}, SamplingSweep{4, 3},
+                      SamplingSweep{16, 17}, SamplingSweep{64, 17},
+                      SamplingSweep{256, 17}),
+    [](const auto &info) {
+        return "S" + std::to_string(info.param.samples) + "T" +
+               std::to_string(info.param.stride);
+    });
+
+} // namespace
+} // namespace pep::vm

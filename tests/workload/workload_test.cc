@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Workload-generation tests: the MethodBuilder/ProgramBuilder API,
+ * determinism of generation, spec knobs (switches, loops, drift), the
+ * standard suite's integrity, and end-to-end runnability.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bytecode/cfg_builder.hh"
+#include "bytecode/verifier.hh"
+#include "support/panic.hh"
+#include "vm/machine.hh"
+#include "workload/program_builder.hh"
+#include "workload/suite.hh"
+#include "workload/synthetic.hh"
+
+namespace pep::workload {
+namespace {
+
+TEST(MethodBuilder, EmitsAndPatchesLabels)
+{
+    MethodBuilder b("m", 0, false);
+    Label target = b.newLabel();
+    b.iconst(0);
+    b.branch(bytecode::Opcode::Ifeq, target);
+    b.iinc(0, 1);
+    b.bind(target);
+    b.ret();
+    const bytecode::Method method = b.build();
+    ASSERT_EQ(method.code.size(), 4u);
+    EXPECT_EQ(method.code[1].a, 3);
+}
+
+TEST(MethodBuilder, TableswitchPatchesAllFields)
+{
+    MethodBuilder b("m", 0, false);
+    Label c0 = b.newLabel();
+    Label c1 = b.newLabel();
+    Label dflt = b.newLabel();
+    b.iconst(0);
+    b.tableswitch(5, dflt, {c0, c1});
+    b.bind(c0);
+    b.bind(c1);
+    b.bind(dflt);
+    b.ret();
+    const bytecode::Method method = b.build();
+    EXPECT_EQ(method.code[1].a, 5);
+    EXPECT_EQ(method.code[1].b, 2);
+    EXPECT_EQ(method.code[1].table, (std::vector<std::int32_t>{2, 2}));
+}
+
+TEST(MethodBuilder, UnboundLabelPanics)
+{
+    MethodBuilder b("m", 0, false);
+    Label ghost = b.newLabel();
+    b.jump(ghost);
+    EXPECT_THROW(b.build(), support::PanicError);
+}
+
+TEST(MethodBuilder, LocalsAfterArgs)
+{
+    MethodBuilder b("m", 2, true);
+    EXPECT_EQ(b.argSlot(0), 0u);
+    EXPECT_EQ(b.argSlot(1), 1u);
+    EXPECT_EQ(b.newLocal(), 2u);
+    EXPECT_EQ(b.newLocal(), 3u);
+    b.iconst(1);
+    b.iret();
+    EXPECT_EQ(b.build().numLocals, 4u);
+}
+
+TEST(ProgramBuilder, DeclareDefineBuild)
+{
+    ProgramBuilder pb;
+    const bytecode::MethodId callee = pb.declareMethod("f", 0, true);
+    const bytecode::MethodId main_id = pb.declareMethod("main", 0,
+                                                        false);
+    {
+        MethodBuilder b("f", 0, true);
+        b.iconst(42);
+        b.iret();
+        pb.define(callee, b);
+    }
+    {
+        MethodBuilder b("main", 0, false);
+        b.invoke(callee);
+        b.emit(bytecode::Opcode::Pop);
+        b.ret();
+        pb.define(main_id, b);
+    }
+    pb.setMain(main_id);
+    pb.setGlobalSize(1);
+    const bytecode::Program program = pb.build();
+    EXPECT_EQ(program.methods.size(), 2u);
+    EXPECT_EQ(program.mainMethod, main_id);
+}
+
+TEST(ProgramBuilder, MissingDefinitionPanics)
+{
+    ProgramBuilder pb;
+    pb.declareMethod("ghost", 0, false);
+    EXPECT_THROW(pb.build(), support::PanicError);
+}
+
+TEST(ProgramBuilder, SignatureMismatchPanics)
+{
+    ProgramBuilder pb;
+    const bytecode::MethodId id = pb.declareMethod("f", 1, false);
+    MethodBuilder wrong("f", 2, false);
+    wrong.ret();
+    EXPECT_THROW(pb.define(id, wrong), support::PanicError);
+}
+
+TEST(Synthetic, GenerationIsDeterministic)
+{
+    const WorkloadSpec spec = standardSuite()[3];
+    const bytecode::Program a = generateWorkload(spec);
+    const bytecode::Program b = generateWorkload(spec);
+    ASSERT_EQ(a.methods.size(), b.methods.size());
+    for (std::size_t m = 0; m < a.methods.size(); ++m) {
+        ASSERT_EQ(a.methods[m].code.size(), b.methods[m].code.size());
+        for (std::size_t pc = 0; pc < a.methods[m].code.size(); ++pc) {
+            EXPECT_EQ(a.methods[m].code[pc].op,
+                      b.methods[m].code[pc].op);
+            EXPECT_EQ(a.methods[m].code[pc].a,
+                      b.methods[m].code[pc].a);
+        }
+    }
+    EXPECT_EQ(a.initialGlobals, b.initialGlobals);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer)
+{
+    WorkloadSpec a = standardSuite()[0];
+    WorkloadSpec b = a;
+    b.seed = a.seed + 1;
+    const bytecode::Program pa = generateWorkload(a);
+    const bytecode::Program pb = generateWorkload(b);
+    bool differs = pa.methods.size() != pb.methods.size();
+    for (std::size_t m = 0;
+         !differs && m < pa.methods.size(); ++m) {
+        differs = pa.methods[m].code.size() !=
+                  pb.methods[m].code.size();
+    }
+    // Same structure sizes are possible, so compare some content too.
+    if (!differs) {
+        for (std::size_t m = 0; m < pa.methods.size() && !differs;
+             ++m) {
+            for (std::size_t pc = 0;
+                 pc < pa.methods[m].code.size() && !differs; ++pc) {
+                differs = pa.methods[m].code[pc].a !=
+                          pb.methods[m].code[pc].a;
+            }
+        }
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Synthetic, ExpectedMethodRoster)
+{
+    WorkloadSpec spec;
+    spec.hotMethods = 3;
+    spec.leafMethods = 2;
+    spec.coldMethods = 4;
+    const bytecode::Program program = generateWorkload(spec);
+    bytecode::MethodId id = 0;
+    EXPECT_TRUE(program.findMethod("main", id));
+    EXPECT_EQ(program.mainMethod, id);
+    EXPECT_TRUE(program.findMethod("unit", id));
+    EXPECT_TRUE(program.findMethod("hot_2", id));
+    EXPECT_TRUE(program.findMethod("leaf_1", id));
+    EXPECT_TRUE(program.findMethod("cold_3", id));
+    EXPECT_FALSE(program.findMethod("hot_3", id));
+    // 1 main + 1 unit + 3 hot + 2 leaf + 4 cold
+    EXPECT_EQ(program.methods.size(), 11u);
+}
+
+TEST(Synthetic, SwitchKnobControlsTableswitch)
+{
+    WorkloadSpec with;
+    with.switchProb = 0.9;
+    with.switchCases = 4;
+    with.seed = 5;
+    WorkloadSpec without = with;
+    without.switchCases = 0;
+    without.switchProb = 0.0;
+
+    auto count_switches = [](const bytecode::Program &program) {
+        std::size_t n = 0;
+        for (const auto &m : program.methods) {
+            for (const auto &instr : m.code) {
+                if (instr.op == bytecode::Opcode::Tableswitch)
+                    ++n;
+            }
+        }
+        return n;
+    };
+    EXPECT_GT(count_switches(generateWorkload(with)), 0u);
+    EXPECT_EQ(count_switches(generateWorkload(without)), 0u);
+}
+
+TEST(Synthetic, DriftSlotsMaterializeInGlobals)
+{
+    WorkloadSpec spec;
+    spec.driftFraction = 1.0; // every diamond drifts
+    spec.seed = 8;
+    const bytecode::Program program = generateWorkload(spec);
+    EXPECT_GT(program.globalSize, 1u);
+    // Initial thresholds are plausible bias thresholds.
+    for (std::size_t i = 1; i < program.initialGlobals.size(); ++i) {
+        EXPECT_GT(program.initialGlobals[i], 0);
+        EXPECT_LT(program.initialGlobals[i], 65536);
+    }
+
+    WorkloadSpec no_drift;
+    no_drift.driftFraction = 0.0;
+    no_drift.seed = 8;
+    EXPECT_EQ(generateWorkload(no_drift).globalSize, 1u);
+}
+
+TEST(Synthetic, HotMethodsHaveLoops)
+{
+    const bytecode::Program program =
+        generateWorkload(standardSuite()[0]);
+    for (const auto &method : program.methods) {
+        if (method.name.rfind("hot_", 0) != 0)
+            continue;
+        const bytecode::MethodCfg cfg = bytecode::buildCfg(method);
+        EXPECT_GE(cfg.numLoopHeaders(), 1u) << method.name;
+        EXPECT_TRUE(cfg.reducible) << method.name;
+    }
+}
+
+TEST(Suite, FifteenDistinctBenchmarks)
+{
+    const auto &suite = standardSuite();
+    EXPECT_EQ(suite.size(), 15u);
+    std::set<std::string> names;
+    std::set<std::uint64_t> seeds;
+    for (const WorkloadSpec &spec : suite) {
+        names.insert(spec.name);
+        seeds.insert(spec.seed);
+    }
+    EXPECT_EQ(names.size(), 15u);
+    EXPECT_EQ(seeds.size(), 15u);
+    EXPECT_TRUE(names.count("compress"));
+    EXPECT_TRUE(names.count("pseudojbb"));
+    EXPECT_TRUE(names.count("xalan"));
+    EXPECT_FALSE(names.count("hsqldb")); // omitted, as in the paper
+}
+
+TEST(Suite, EveryBenchmarkVerifiesAndRuns)
+{
+    for (const WorkloadSpec &spec : scaledSuite(0.05)) {
+        const bytecode::Program program = generateWorkload(spec);
+        EXPECT_GT(program.totalCodeSize(), 200u) << spec.name;
+        vm::SimParams params;
+        params.tickCycles = 100'000;
+        vm::Machine machine(program, params);
+        const std::uint64_t cycles = machine.runIteration();
+        EXPECT_GT(cycles, 100'000u) << spec.name;
+    }
+}
+
+TEST(Suite, ScaledSuiteShortensRuns)
+{
+    const auto full = standardSuite();
+    const auto scaled = scaledSuite(0.1);
+    for (std::size_t i = 0; i < full.size(); ++i) {
+        EXPECT_LT(scaled[i].outerIterations,
+                  full[i].outerIterations);
+        EXPECT_GE(scaled[i].outerIterations, 20u);
+    }
+    EXPECT_THROW(scaledSuite(0.0), support::PanicError);
+}
+
+TEST(Suite, LookupByName)
+{
+    EXPECT_EQ(suiteSpec("javac").name, "javac");
+    EXPECT_THROW(suiteSpec("nonesuch"), support::FatalError);
+}
+
+} // namespace
+} // namespace pep::workload
