@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_overhead.dir/fig06_overhead.cc.o"
+  "CMakeFiles/fig06_overhead.dir/fig06_overhead.cc.o.d"
+  "fig06_overhead"
+  "fig06_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_compile_overhead.dir/fig07_compile_overhead.cc.o"
+  "CMakeFiles/fig07_compile_overhead.dir/fig07_compile_overhead.cc.o.d"
+  "fig07_compile_overhead"
+  "fig07_compile_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_compile_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

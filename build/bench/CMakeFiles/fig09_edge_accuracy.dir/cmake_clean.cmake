@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_edge_accuracy.dir/fig09_edge_accuracy.cc.o"
+  "CMakeFiles/fig09_edge_accuracy.dir/fig09_edge_accuracy.cc.o.d"
+  "fig09_edge_accuracy"
+  "fig09_edge_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_edge_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

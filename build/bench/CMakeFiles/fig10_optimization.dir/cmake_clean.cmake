@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_optimization.dir/fig10_optimization.cc.o"
+  "CMakeFiles/fig10_optimization.dir/fig10_optimization.cc.o.d"
+  "fig10_optimization"
+  "fig10_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_adaptive.dir/fig11_adaptive.cc.o"
+  "CMakeFiles/fig11_adaptive.dir/fig11_adaptive.cc.o.d"
+  "fig11_adaptive"
+  "fig11_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

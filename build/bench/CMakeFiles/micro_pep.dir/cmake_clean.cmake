@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pep.dir/micro_pep.cc.o"
+  "CMakeFiles/micro_pep.dir/micro_pep.cc.o.d"
+  "micro_pep"
+  "micro_pep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

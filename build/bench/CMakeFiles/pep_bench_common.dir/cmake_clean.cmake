@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pep_bench_common.dir/common/harness.cc.o"
+  "CMakeFiles/pep_bench_common.dir/common/harness.cc.o.d"
+  "libpep_bench_common.a"
+  "libpep_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pep_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

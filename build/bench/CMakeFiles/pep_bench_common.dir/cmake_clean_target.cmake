@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpep_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_absolute_overlap.dir/tab_absolute_overlap.cc.o"
+  "CMakeFiles/tab_absolute_overlap.dir/tab_absolute_overlap.cc.o.d"
+  "tab_absolute_overlap"
+  "tab_absolute_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_absolute_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

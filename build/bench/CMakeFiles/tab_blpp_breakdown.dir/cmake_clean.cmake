@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_blpp_breakdown.dir/tab_blpp_breakdown.cc.o"
+  "CMakeFiles/tab_blpp_breakdown.dir/tab_blpp_breakdown.cc.o.d"
+  "tab_blpp_breakdown"
+  "tab_blpp_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_blpp_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_inlining.dir/tab_inlining.cc.o"
+  "CMakeFiles/tab_inlining.dir/tab_inlining.cc.o.d"
+  "tab_inlining"
+  "tab_inlining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_inlining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab_onetime_accuracy.cc" "bench/CMakeFiles/tab_onetime_accuracy.dir/tab_onetime_accuracy.cc.o" "gcc" "bench/CMakeFiles/tab_onetime_accuracy.dir/tab_onetime_accuracy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/pep_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pep_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/pep_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/pep_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/pep_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/pep_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/pep_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pep_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_onetime_accuracy.dir/tab_onetime_accuracy.cc.o"
+  "CMakeFiles/tab_onetime_accuracy.dir/tab_onetime_accuracy.cc.o.d"
+  "tab_onetime_accuracy"
+  "tab_onetime_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_onetime_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

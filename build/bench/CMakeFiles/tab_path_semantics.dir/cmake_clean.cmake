@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_path_semantics.dir/tab_path_semantics.cc.o"
+  "CMakeFiles/tab_path_semantics.dir/tab_path_semantics.cc.o.d"
+  "tab_path_semantics"
+  "tab_path_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_path_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_path_semantics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_perfect_overhead.dir/tab_perfect_overhead.cc.o"
+  "CMakeFiles/tab_perfect_overhead.dir/tab_perfect_overhead.cc.o.d"
+  "tab_perfect_overhead"
+  "tab_perfect_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_perfect_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

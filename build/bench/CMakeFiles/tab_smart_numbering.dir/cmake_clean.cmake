@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_smart_numbering.dir/tab_smart_numbering.cc.o"
+  "CMakeFiles/tab_smart_numbering.dir/tab_smart_numbering.cc.o.d"
+  "tab_smart_numbering"
+  "tab_smart_numbering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_smart_numbering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

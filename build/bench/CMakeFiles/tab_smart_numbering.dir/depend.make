@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_smart_numbering.
+# This may be replaced when dependencies are built.

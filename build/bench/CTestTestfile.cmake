@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_fig06_overhead "/root/repo/build/bench/fig06_overhead")
+set_tests_properties(bench_smoke_fig06_overhead PROPERTIES  ENVIRONMENT "PEP_BENCH_SCALE=0.1;PEP_BENCH_ONLY=compress" LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;40;pep_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig07_compile_overhead "/root/repo/build/bench/fig07_compile_overhead")
+set_tests_properties(bench_smoke_fig07_compile_overhead PROPERTIES  ENVIRONMENT "PEP_BENCH_SCALE=0.1;PEP_BENCH_ONLY=compress" LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;41;pep_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig08_path_accuracy "/root/repo/build/bench/fig08_path_accuracy")
+set_tests_properties(bench_smoke_fig08_path_accuracy PROPERTIES  ENVIRONMENT "PEP_BENCH_SCALE=0.1;PEP_BENCH_ONLY=compress" LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;42;pep_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig09_edge_accuracy "/root/repo/build/bench/fig09_edge_accuracy")
+set_tests_properties(bench_smoke_fig09_edge_accuracy PROPERTIES  ENVIRONMENT "PEP_BENCH_SCALE=0.1;PEP_BENCH_ONLY=compress" LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;43;pep_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig10_optimization "/root/repo/build/bench/fig10_optimization")
+set_tests_properties(bench_smoke_fig10_optimization PROPERTIES  ENVIRONMENT "PEP_BENCH_SCALE=0.1;PEP_BENCH_ONLY=compress" LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;44;pep_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig11_adaptive "/root/repo/build/bench/fig11_adaptive")
+set_tests_properties(bench_smoke_fig11_adaptive PROPERTIES  ENVIRONMENT "PEP_BENCH_SCALE=0.1;PEP_BENCH_ONLY=compress" LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;45;pep_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_tab_perfect_overhead "/root/repo/build/bench/tab_perfect_overhead")
+set_tests_properties(bench_smoke_tab_perfect_overhead PROPERTIES  ENVIRONMENT "PEP_BENCH_SCALE=0.1;PEP_BENCH_ONLY=compress" LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;46;pep_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_tab_absolute_overlap "/root/repo/build/bench/tab_absolute_overlap")
+set_tests_properties(bench_smoke_tab_absolute_overlap PROPERTIES  ENVIRONMENT "PEP_BENCH_SCALE=0.1;PEP_BENCH_ONLY=compress" LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;47;pep_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_tab_onetime_accuracy "/root/repo/build/bench/tab_onetime_accuracy")
+set_tests_properties(bench_smoke_tab_onetime_accuracy PROPERTIES  ENVIRONMENT "PEP_BENCH_SCALE=0.1;PEP_BENCH_ONLY=compress" LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;48;pep_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_tab_blpp_breakdown "/root/repo/build/bench/tab_blpp_breakdown")
+set_tests_properties(bench_smoke_tab_blpp_breakdown PROPERTIES  ENVIRONMENT "PEP_BENCH_SCALE=0.1;PEP_BENCH_ONLY=compress" LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;49;pep_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_tab_inlining "/root/repo/build/bench/tab_inlining")
+set_tests_properties(bench_smoke_tab_inlining PROPERTIES  ENVIRONMENT "PEP_BENCH_SCALE=0.1;PEP_BENCH_ONLY=compress" LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;50;pep_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_tab_path_semantics "/root/repo/build/bench/tab_path_semantics")
+set_tests_properties(bench_smoke_tab_path_semantics PROPERTIES  ENVIRONMENT "PEP_BENCH_SCALE=0.1;PEP_BENCH_ONLY=compress" LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;51;pep_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_tab_smart_numbering "/root/repo/build/bench/tab_smart_numbering")
+set_tests_properties(bench_smoke_tab_smart_numbering PROPERTIES  ENVIRONMENT "PEP_BENCH_SCALE=0.1;PEP_BENCH_ONLY=compress" LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;52;pep_bench_smoke;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_micro "/root/repo/build/bench/micro_pep" "--benchmark_filter=BM_BuildCfg" "--benchmark_min_time=0.01")
+set_tests_properties(bench_smoke_micro PROPERTIES  LABELS "bench_smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;54;add_test;/root/repo/bench/CMakeLists.txt;0;")

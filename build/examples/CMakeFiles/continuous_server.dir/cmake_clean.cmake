@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_server.dir/continuous_server.cpp.o"
+  "CMakeFiles/continuous_server.dir/continuous_server.cpp.o.d"
+  "continuous_server"
+  "continuous_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pep_run.dir/pep_run.cpp.o"
+  "CMakeFiles/pep_run.dir/pep_run.cpp.o.d"
+  "pep_run"
+  "pep_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pep_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_tuner.dir/sampling_tuner.cpp.o"
+  "CMakeFiles/sampling_tuner.dir/sampling_tuner.cpp.o.d"
+  "sampling_tuner"
+  "sampling_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

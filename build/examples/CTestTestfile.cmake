@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_profile_explorer "/root/repo/build/examples/profile_explorer")
+set_tests_properties(example_profile_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_profile_explorer_dot "/root/repo/build/examples/profile_explorer" "--dot")
+set_tests_properties(example_profile_explorer_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pep_run "/root/repo/build/examples/pep_run" "/root/repo/examples/programs/rle.pepasm" "--tick" "150000" "--iterations" "1")
+set_tests_properties(example_pep_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pep_run_blpp "/root/repo/build/examples/pep_run" "/root/repo/examples/programs/sort.pepasm" "--profiler" "blpp" "--tick" "150000" "--iterations" "1")
+set_tests_properties(example_pep_run_blpp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pep_run_lexer "/root/repo/build/examples/pep_run" "/root/repo/examples/programs/lexer.pepasm" "--tick" "150000" "--iterations" "1")
+set_tests_properties(example_pep_run_lexer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

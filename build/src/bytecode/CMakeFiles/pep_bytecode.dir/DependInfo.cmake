@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bytecode/assembler.cc" "src/bytecode/CMakeFiles/pep_bytecode.dir/assembler.cc.o" "gcc" "src/bytecode/CMakeFiles/pep_bytecode.dir/assembler.cc.o.d"
+  "/root/repo/src/bytecode/cfg_builder.cc" "src/bytecode/CMakeFiles/pep_bytecode.dir/cfg_builder.cc.o" "gcc" "src/bytecode/CMakeFiles/pep_bytecode.dir/cfg_builder.cc.o.d"
+  "/root/repo/src/bytecode/disassembler.cc" "src/bytecode/CMakeFiles/pep_bytecode.dir/disassembler.cc.o" "gcc" "src/bytecode/CMakeFiles/pep_bytecode.dir/disassembler.cc.o.d"
+  "/root/repo/src/bytecode/instr.cc" "src/bytecode/CMakeFiles/pep_bytecode.dir/instr.cc.o" "gcc" "src/bytecode/CMakeFiles/pep_bytecode.dir/instr.cc.o.d"
+  "/root/repo/src/bytecode/method.cc" "src/bytecode/CMakeFiles/pep_bytecode.dir/method.cc.o" "gcc" "src/bytecode/CMakeFiles/pep_bytecode.dir/method.cc.o.d"
+  "/root/repo/src/bytecode/verifier.cc" "src/bytecode/CMakeFiles/pep_bytecode.dir/verifier.cc.o" "gcc" "src/bytecode/CMakeFiles/pep_bytecode.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/pep_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pep_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

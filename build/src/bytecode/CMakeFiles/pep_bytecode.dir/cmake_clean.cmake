@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pep_bytecode.dir/assembler.cc.o"
+  "CMakeFiles/pep_bytecode.dir/assembler.cc.o.d"
+  "CMakeFiles/pep_bytecode.dir/cfg_builder.cc.o"
+  "CMakeFiles/pep_bytecode.dir/cfg_builder.cc.o.d"
+  "CMakeFiles/pep_bytecode.dir/disassembler.cc.o"
+  "CMakeFiles/pep_bytecode.dir/disassembler.cc.o.d"
+  "CMakeFiles/pep_bytecode.dir/instr.cc.o"
+  "CMakeFiles/pep_bytecode.dir/instr.cc.o.d"
+  "CMakeFiles/pep_bytecode.dir/method.cc.o"
+  "CMakeFiles/pep_bytecode.dir/method.cc.o.d"
+  "CMakeFiles/pep_bytecode.dir/verifier.cc.o"
+  "CMakeFiles/pep_bytecode.dir/verifier.cc.o.d"
+  "libpep_bytecode.a"
+  "libpep_bytecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pep_bytecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

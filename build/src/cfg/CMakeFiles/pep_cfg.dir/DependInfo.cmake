@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/analysis.cc" "src/cfg/CMakeFiles/pep_cfg.dir/analysis.cc.o" "gcc" "src/cfg/CMakeFiles/pep_cfg.dir/analysis.cc.o.d"
+  "/root/repo/src/cfg/dot.cc" "src/cfg/CMakeFiles/pep_cfg.dir/dot.cc.o" "gcc" "src/cfg/CMakeFiles/pep_cfg.dir/dot.cc.o.d"
+  "/root/repo/src/cfg/graph.cc" "src/cfg/CMakeFiles/pep_cfg.dir/graph.cc.o" "gcc" "src/cfg/CMakeFiles/pep_cfg.dir/graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pep_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

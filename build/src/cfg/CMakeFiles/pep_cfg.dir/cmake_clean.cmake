@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pep_cfg.dir/analysis.cc.o"
+  "CMakeFiles/pep_cfg.dir/analysis.cc.o.d"
+  "CMakeFiles/pep_cfg.dir/dot.cc.o"
+  "CMakeFiles/pep_cfg.dir/dot.cc.o.d"
+  "CMakeFiles/pep_cfg.dir/graph.cc.o"
+  "CMakeFiles/pep_cfg.dir/graph.cc.o.d"
+  "libpep_cfg.a"
+  "libpep_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pep_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

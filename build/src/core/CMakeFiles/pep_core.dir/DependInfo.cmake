@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline_profilers.cc" "src/core/CMakeFiles/pep_core.dir/baseline_profilers.cc.o" "gcc" "src/core/CMakeFiles/pep_core.dir/baseline_profilers.cc.o.d"
+  "/root/repo/src/core/path_engine.cc" "src/core/CMakeFiles/pep_core.dir/path_engine.cc.o" "gcc" "src/core/CMakeFiles/pep_core.dir/path_engine.cc.o.d"
+  "/root/repo/src/core/pep_profiler.cc" "src/core/CMakeFiles/pep_core.dir/pep_profiler.cc.o" "gcc" "src/core/CMakeFiles/pep_core.dir/pep_profiler.cc.o.d"
+  "/root/repo/src/core/sampling.cc" "src/core/CMakeFiles/pep_core.dir/sampling.cc.o" "gcc" "src/core/CMakeFiles/pep_core.dir/sampling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/pep_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/pep_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pep_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/pep_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/pep_cfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

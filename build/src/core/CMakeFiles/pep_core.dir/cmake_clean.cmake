@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pep_core.dir/baseline_profilers.cc.o"
+  "CMakeFiles/pep_core.dir/baseline_profilers.cc.o.d"
+  "CMakeFiles/pep_core.dir/path_engine.cc.o"
+  "CMakeFiles/pep_core.dir/path_engine.cc.o.d"
+  "CMakeFiles/pep_core.dir/pep_profiler.cc.o"
+  "CMakeFiles/pep_core.dir/pep_profiler.cc.o.d"
+  "CMakeFiles/pep_core.dir/sampling.cc.o"
+  "CMakeFiles/pep_core.dir/sampling.cc.o.d"
+  "libpep_core.a"
+  "libpep_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pep_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

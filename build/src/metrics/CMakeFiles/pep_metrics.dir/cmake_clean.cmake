@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pep_metrics.dir/overlap.cc.o"
+  "CMakeFiles/pep_metrics.dir/overlap.cc.o.d"
+  "CMakeFiles/pep_metrics.dir/path_accuracy.cc.o"
+  "CMakeFiles/pep_metrics.dir/path_accuracy.cc.o.d"
+  "libpep_metrics.a"
+  "libpep_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pep_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

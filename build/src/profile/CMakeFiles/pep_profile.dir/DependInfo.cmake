@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/edge_profile.cc" "src/profile/CMakeFiles/pep_profile.dir/edge_profile.cc.o" "gcc" "src/profile/CMakeFiles/pep_profile.dir/edge_profile.cc.o.d"
+  "/root/repo/src/profile/instr_plan.cc" "src/profile/CMakeFiles/pep_profile.dir/instr_plan.cc.o" "gcc" "src/profile/CMakeFiles/pep_profile.dir/instr_plan.cc.o.d"
+  "/root/repo/src/profile/numbering.cc" "src/profile/CMakeFiles/pep_profile.dir/numbering.cc.o" "gcc" "src/profile/CMakeFiles/pep_profile.dir/numbering.cc.o.d"
+  "/root/repo/src/profile/path_profile.cc" "src/profile/CMakeFiles/pep_profile.dir/path_profile.cc.o" "gcc" "src/profile/CMakeFiles/pep_profile.dir/path_profile.cc.o.d"
+  "/root/repo/src/profile/pdag.cc" "src/profile/CMakeFiles/pep_profile.dir/pdag.cc.o" "gcc" "src/profile/CMakeFiles/pep_profile.dir/pdag.cc.o.d"
+  "/root/repo/src/profile/reconstruct.cc" "src/profile/CMakeFiles/pep_profile.dir/reconstruct.cc.o" "gcc" "src/profile/CMakeFiles/pep_profile.dir/reconstruct.cc.o.d"
+  "/root/repo/src/profile/spanning_placement.cc" "src/profile/CMakeFiles/pep_profile.dir/spanning_placement.cc.o" "gcc" "src/profile/CMakeFiles/pep_profile.dir/spanning_placement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bytecode/CMakeFiles/pep_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/pep_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pep_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

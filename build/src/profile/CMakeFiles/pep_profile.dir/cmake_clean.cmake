@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pep_profile.dir/edge_profile.cc.o"
+  "CMakeFiles/pep_profile.dir/edge_profile.cc.o.d"
+  "CMakeFiles/pep_profile.dir/instr_plan.cc.o"
+  "CMakeFiles/pep_profile.dir/instr_plan.cc.o.d"
+  "CMakeFiles/pep_profile.dir/numbering.cc.o"
+  "CMakeFiles/pep_profile.dir/numbering.cc.o.d"
+  "CMakeFiles/pep_profile.dir/path_profile.cc.o"
+  "CMakeFiles/pep_profile.dir/path_profile.cc.o.d"
+  "CMakeFiles/pep_profile.dir/pdag.cc.o"
+  "CMakeFiles/pep_profile.dir/pdag.cc.o.d"
+  "CMakeFiles/pep_profile.dir/reconstruct.cc.o"
+  "CMakeFiles/pep_profile.dir/reconstruct.cc.o.d"
+  "CMakeFiles/pep_profile.dir/spanning_placement.cc.o"
+  "CMakeFiles/pep_profile.dir/spanning_placement.cc.o.d"
+  "libpep_profile.a"
+  "libpep_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pep_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pep_support.dir/panic.cc.o"
+  "CMakeFiles/pep_support.dir/panic.cc.o.d"
+  "CMakeFiles/pep_support.dir/rng.cc.o"
+  "CMakeFiles/pep_support.dir/rng.cc.o.d"
+  "CMakeFiles/pep_support.dir/stats.cc.o"
+  "CMakeFiles/pep_support.dir/stats.cc.o.d"
+  "CMakeFiles/pep_support.dir/strings.cc.o"
+  "CMakeFiles/pep_support.dir/strings.cc.o.d"
+  "CMakeFiles/pep_support.dir/table.cc.o"
+  "CMakeFiles/pep_support.dir/table.cc.o.d"
+  "libpep_support.a"
+  "libpep_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pep_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

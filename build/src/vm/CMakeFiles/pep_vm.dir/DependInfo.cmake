@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/advice_io.cc" "src/vm/CMakeFiles/pep_vm.dir/advice_io.cc.o" "gcc" "src/vm/CMakeFiles/pep_vm.dir/advice_io.cc.o.d"
+  "/root/repo/src/vm/call_graph.cc" "src/vm/CMakeFiles/pep_vm.dir/call_graph.cc.o" "gcc" "src/vm/CMakeFiles/pep_vm.dir/call_graph.cc.o.d"
+  "/root/repo/src/vm/compiled_method.cc" "src/vm/CMakeFiles/pep_vm.dir/compiled_method.cc.o" "gcc" "src/vm/CMakeFiles/pep_vm.dir/compiled_method.cc.o.d"
+  "/root/repo/src/vm/cost_model.cc" "src/vm/CMakeFiles/pep_vm.dir/cost_model.cc.o" "gcc" "src/vm/CMakeFiles/pep_vm.dir/cost_model.cc.o.d"
+  "/root/repo/src/vm/inliner.cc" "src/vm/CMakeFiles/pep_vm.dir/inliner.cc.o" "gcc" "src/vm/CMakeFiles/pep_vm.dir/inliner.cc.o.d"
+  "/root/repo/src/vm/interpreter.cc" "src/vm/CMakeFiles/pep_vm.dir/interpreter.cc.o" "gcc" "src/vm/CMakeFiles/pep_vm.dir/interpreter.cc.o.d"
+  "/root/repo/src/vm/machine.cc" "src/vm/CMakeFiles/pep_vm.dir/machine.cc.o" "gcc" "src/vm/CMakeFiles/pep_vm.dir/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profile/CMakeFiles/pep_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/pep_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pep_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/pep_cfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

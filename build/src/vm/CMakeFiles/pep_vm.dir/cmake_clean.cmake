@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pep_vm.dir/advice_io.cc.o"
+  "CMakeFiles/pep_vm.dir/advice_io.cc.o.d"
+  "CMakeFiles/pep_vm.dir/call_graph.cc.o"
+  "CMakeFiles/pep_vm.dir/call_graph.cc.o.d"
+  "CMakeFiles/pep_vm.dir/compiled_method.cc.o"
+  "CMakeFiles/pep_vm.dir/compiled_method.cc.o.d"
+  "CMakeFiles/pep_vm.dir/cost_model.cc.o"
+  "CMakeFiles/pep_vm.dir/cost_model.cc.o.d"
+  "CMakeFiles/pep_vm.dir/inliner.cc.o"
+  "CMakeFiles/pep_vm.dir/inliner.cc.o.d"
+  "CMakeFiles/pep_vm.dir/interpreter.cc.o"
+  "CMakeFiles/pep_vm.dir/interpreter.cc.o.d"
+  "CMakeFiles/pep_vm.dir/machine.cc.o"
+  "CMakeFiles/pep_vm.dir/machine.cc.o.d"
+  "libpep_vm.a"
+  "libpep_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pep_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pep_workload.dir/program_builder.cc.o"
+  "CMakeFiles/pep_workload.dir/program_builder.cc.o.d"
+  "CMakeFiles/pep_workload.dir/suite.cc.o"
+  "CMakeFiles/pep_workload.dir/suite.cc.o.d"
+  "CMakeFiles/pep_workload.dir/synthetic.cc.o"
+  "CMakeFiles/pep_workload.dir/synthetic.cc.o.d"
+  "libpep_workload.a"
+  "libpep_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pep_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

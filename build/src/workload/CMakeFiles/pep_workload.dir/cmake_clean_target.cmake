@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpep_workload.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/fixtures.cc" "tests/CMakeFiles/pep_test_common.dir/common/fixtures.cc.o" "gcc" "tests/CMakeFiles/pep_test_common.dir/common/fixtures.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/pep_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/pep_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pep_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/pep_cfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

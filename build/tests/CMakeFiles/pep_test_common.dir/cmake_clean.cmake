@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pep_test_common.dir/common/fixtures.cc.o"
+  "CMakeFiles/pep_test_common.dir/common/fixtures.cc.o.d"
+  "libpep_test_common.a"
+  "libpep_test_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pep_test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_test.dir/profile/instr_plan_test.cc.o"
+  "CMakeFiles/profile_test.dir/profile/instr_plan_test.cc.o.d"
+  "CMakeFiles/profile_test.dir/profile/numbering_test.cc.o"
+  "CMakeFiles/profile_test.dir/profile/numbering_test.cc.o.d"
+  "CMakeFiles/profile_test.dir/profile/pdag_test.cc.o"
+  "CMakeFiles/profile_test.dir/profile/pdag_test.cc.o.d"
+  "CMakeFiles/profile_test.dir/profile/profiles_test.cc.o"
+  "CMakeFiles/profile_test.dir/profile/profiles_test.cc.o.d"
+  "CMakeFiles/profile_test.dir/profile/reconstruct_test.cc.o"
+  "CMakeFiles/profile_test.dir/profile/reconstruct_test.cc.o.d"
+  "CMakeFiles/profile_test.dir/profile/spanning_test.cc.o"
+  "CMakeFiles/profile_test.dir/profile/spanning_test.cc.o.d"
+  "profile_test"
+  "profile_test.pdb"
+  "profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_test.dir/vm/advice_io_test.cc.o"
+  "CMakeFiles/vm_test.dir/vm/advice_io_test.cc.o.d"
+  "CMakeFiles/vm_test.dir/vm/backedge_yieldpoints_test.cc.o"
+  "CMakeFiles/vm_test.dir/vm/backedge_yieldpoints_test.cc.o.d"
+  "CMakeFiles/vm_test.dir/vm/call_graph_test.cc.o"
+  "CMakeFiles/vm_test.dir/vm/call_graph_test.cc.o.d"
+  "CMakeFiles/vm_test.dir/vm/inliner_test.cc.o"
+  "CMakeFiles/vm_test.dir/vm/inliner_test.cc.o.d"
+  "CMakeFiles/vm_test.dir/vm/interpreter_test.cc.o"
+  "CMakeFiles/vm_test.dir/vm/interpreter_test.cc.o.d"
+  "CMakeFiles/vm_test.dir/vm/machine_test.cc.o"
+  "CMakeFiles/vm_test.dir/vm/machine_test.cc.o.d"
+  "CMakeFiles/vm_test.dir/vm/osr_test.cc.o"
+  "CMakeFiles/vm_test.dir/vm/osr_test.cc.o.d"
+  "CMakeFiles/vm_test.dir/vm/tiers_test.cc.o"
+  "CMakeFiles/vm_test.dir/vm/tiers_test.cc.o.d"
+  "vm_test"
+  "vm_test.pdb"
+  "vm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
