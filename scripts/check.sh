@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full verification sweep: a regular build + test run, then a second
+# build with AddressSanitizer + UBSanitizer (-DPEP_SANITIZE=ON) and the
+# same test run under it. Usage: scripts/check.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_suite() {
+    local build_dir=$1
+    shift
+    cmake -B "$build_dir" -S . "$@" >/dev/null
+    cmake --build "$build_dir" -j "$(nproc)"
+    ctest --test-dir "$build_dir" --output-on-failure "${CTEST_ARGS[@]}"
+}
+
+CTEST_ARGS=("$@")
+
+echo "== check.sh: regular build =="
+run_suite build
+
+echo "== check.sh: ASan+UBSan build =="
+run_suite build-sanitize -DPEP_SANITIZE=ON
+
+echo "== check.sh: all suites passed =="

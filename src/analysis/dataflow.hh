@@ -1,0 +1,141 @@
+#ifndef PEP_ANALYSIS_DATAFLOW_HH
+#define PEP_ANALYSIS_DATAFLOW_HH
+
+/**
+ * @file
+ * Generic monotone dataflow framework over cfg::Graph. A Problem
+ * describes a join-semilattice and a per-block transfer function; the
+ * solver runs a reverse-postorder worklist to the (guaranteed, for
+ * monotone problems over finite lattices) fixpoint.
+ *
+ * Problem concept:
+ *
+ *   struct P {
+ *       using Domain = ...;                  // must be copyable and ==
+ *       analysis::Direction direction() const;
+ *       Domain boundary() const;             // state at entry (forward)
+ *                                            // or exit (backward)
+ *       Domain init() const;                 // optimistic initial state
+ *       // Join `from` into `into`; return true if `into` changed.
+ *       bool join(Domain &into, const Domain &from) const;
+ *       Domain transfer(cfg::BlockId block, const Domain &in) const;
+ *   };
+ *
+ * For a forward problem, result.input[b] is the state at block entry
+ * (join over predecessors' output) and result.output[b] the state at
+ * block exit. For a backward problem the roles flip: input[b] is the
+ * state at block *exit* (join over successors' output) and output[b]
+ * the state at block entry. Blocks unreachable from the traversal root
+ * keep init() in both slots.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cfg/analysis.hh"
+#include "cfg/graph.hh"
+#include "support/panic.hh"
+
+namespace pep::analysis {
+
+/** Direction of propagation. */
+enum class Direction : std::uint8_t
+{
+    Forward,
+    Backward,
+};
+
+/** Fixpoint of one dataflow problem. */
+template <typename Problem>
+struct DataflowResult
+{
+    using Domain = typename Problem::Domain;
+
+    /** State flowing into each block's transfer (see file comment). */
+    std::vector<Domain> input;
+
+    /** Each block's transfer output. */
+    std::vector<Domain> output;
+
+    /** Total block visits until the fixpoint (a convergence metric). */
+    std::size_t iterations = 0;
+
+    /** False only if the iteration cap was hit (non-monotone problem). */
+    bool converged = true;
+};
+
+/**
+ * Solve `problem` over `graph` to fixpoint. Deterministic: blocks are
+ * processed in reverse postorder (forward) or reversed reverse
+ * postorder (backward), and the worklist is FIFO.
+ */
+template <typename Problem>
+DataflowResult<Problem>
+solveDataflow(const cfg::Graph &graph, const Problem &problem)
+{
+    using Domain = typename Problem::Domain;
+
+    const bool backward = problem.direction() == Direction::Backward;
+    const cfg::DfsResult dfs = cfg::depthFirstSearch(graph);
+    std::vector<cfg::BlockId> order = dfs.reversePostorder;
+    if (backward)
+        std::reverse(order.begin(), order.end());
+
+    const std::size_t n = graph.numBlocks();
+    const cfg::BlockId boundary_block =
+        backward ? graph.exit() : graph.entry();
+
+    DataflowResult<Problem> result;
+    result.input.assign(n, problem.init());
+    result.output.assign(n, problem.init());
+
+    std::deque<cfg::BlockId> worklist(order.begin(), order.end());
+    std::vector<bool> queued(n, false);
+    for (const cfg::BlockId b : order)
+        queued[b] = true;
+
+    // Generous cap: a monotone problem over a finite lattice converges
+    // in O(blocks * lattice height) visits; this only trips on a buggy
+    // (non-monotone) transfer.
+    const std::size_t cap = 64 + n * n * 16;
+
+    while (!worklist.empty()) {
+        const cfg::BlockId b = worklist.front();
+        worklist.pop_front();
+        queued[b] = false;
+
+        if (++result.iterations > cap) {
+            result.converged = false;
+            break;
+        }
+
+        Domain in = b == boundary_block ? problem.boundary()
+                                        : problem.init();
+        const std::vector<cfg::BlockId> &feeders =
+            backward ? graph.succs(b) : graph.preds(b);
+        for (const cfg::BlockId f : feeders)
+            problem.join(in, result.output[f]);
+
+        Domain out = problem.transfer(b, in);
+        result.input[b] = std::move(in);
+        if (out == result.output[b])
+            continue;
+        result.output[b] = std::move(out);
+
+        const std::vector<cfg::BlockId> &dependents =
+            backward ? graph.preds(b) : graph.succs(b);
+        for (const cfg::BlockId d : dependents) {
+            if (!queued[d]) {
+                queued[d] = true;
+                worklist.push_back(d);
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace pep::analysis
+
+#endif // PEP_ANALYSIS_DATAFLOW_HH

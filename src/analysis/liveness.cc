@@ -1,0 +1,131 @@
+#include "analysis/liveness.hh"
+
+#include <sstream>
+
+namespace pep::analysis {
+
+namespace {
+
+using bytecode::Instr;
+using bytecode::Method;
+using bytecode::MethodCfg;
+using bytecode::Opcode;
+
+/** Apply one instruction's use/def effect backward to a live set. */
+void
+applyBackward(const Instr &instr, std::vector<bool> &live)
+{
+    switch (instr.op) {
+      case Opcode::Istore:
+        live[static_cast<std::size_t>(instr.a)] = false;
+        break;
+      case Opcode::Iload:
+        live[static_cast<std::size_t>(instr.a)] = true;
+        break;
+      case Opcode::Iinc:
+        // Defines and uses the slot: live before iff used after — but
+        // the increment itself reads the old value, so the slot is
+        // live before regardless.
+        live[static_cast<std::size_t>(instr.a)] = true;
+        break;
+      default:
+        break; // no local effect
+    }
+}
+
+/** Backward union dataflow over live-slot bitsets. */
+struct LivenessProblem
+{
+    using Domain = std::vector<bool>;
+
+    const Method &method;
+    const MethodCfg &cfg;
+
+    Direction direction() const { return Direction::Backward; }
+
+    Domain
+    boundary() const
+    {
+        // Nothing is observable after the method returns.
+        return Domain(method.numLocals, false);
+    }
+
+    Domain init() const { return Domain(method.numLocals, false); }
+
+    bool
+    join(Domain &into, const Domain &from) const
+    {
+        bool changed = false;
+        for (std::size_t i = 0; i < into.size(); ++i) {
+            if (from[i] && !into[i]) {
+                into[i] = true;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    Domain
+    transfer(cfg::BlockId block, const Domain &live_out) const
+    {
+        Domain live = live_out;
+        if (!cfg.isCodeBlock(block))
+            return live;
+        for (bytecode::Pc pc = cfg.lastPc[block] + 1;
+             pc-- > cfg.firstPc[block];) {
+            applyBackward(method.code[pc], live);
+        }
+        return live;
+    }
+};
+
+} // namespace
+
+LivenessResult
+computeLiveness(const Method &method, const MethodCfg &method_cfg)
+{
+    const LivenessProblem problem{method, method_cfg};
+    DataflowResult<LivenessProblem> solved =
+        solveDataflow(method_cfg.graph, problem);
+
+    LivenessResult result;
+    // Backward problem: input is the block-exit state, output the
+    // block-entry state.
+    result.liveOut = std::move(solved.input);
+    result.liveIn = std::move(solved.output);
+    return result;
+}
+
+void
+reportDeadStores(const Method &method, const MethodCfg &method_cfg,
+                 const LivenessResult &liveness,
+                 DiagnosticList &diagnostics)
+{
+    const cfg::DfsResult dfs = cfg::depthFirstSearch(method_cfg.graph);
+
+    for (cfg::BlockId b = 0; b < method_cfg.graph.numBlocks(); ++b) {
+        if (!method_cfg.isCodeBlock(b) || !dfs.reachable[b])
+            continue;
+        // Walk backward through the block, tracking liveness after
+        // each instruction so every store gets a per-pc verdict.
+        std::vector<bool> live = liveness.liveOut[b];
+        for (bytecode::Pc pc = method_cfg.lastPc[b] + 1;
+             pc-- > method_cfg.firstPc[b];) {
+            const Instr &instr = method.code[pc];
+            const bool is_store = instr.op == Opcode::Istore ||
+                                  instr.op == Opcode::Iinc;
+            if (is_store &&
+                !live[static_cast<std::size_t>(instr.a)]) {
+                std::ostringstream os;
+                os << "dead store: local " << instr.a
+                   << " is never read after this "
+                   << bytecode::mnemonic(instr.op);
+                diagnostics.reportAtPc(Severity::Warning, "liveness",
+                                       method.name, pc, os.str());
+            }
+            applyBackward(instr, live);
+        }
+    }
+}
+
+} // namespace pep::analysis

@@ -1,0 +1,51 @@
+#ifndef PEP_ANALYSIS_LIVENESS_HH
+#define PEP_ANALYSIS_LIVENESS_HH
+
+/**
+ * @file
+ * Local-variable liveness: a backward union dataflow over the method
+ * CFG whose domain is the set of live local slots. Built on the generic
+ * solver (dataflow.hh); the per-block transfer walks the block's
+ * bytecode in reverse applying use/def effects (Iload uses, Istore
+ * defines, Iinc uses then defines).
+ *
+ * The derived lint: a store (Istore/Iinc) whose slot is dead
+ * immediately after it is a *dead store* — its value can never be
+ * observed. Reported as warnings with pc-level locations.
+ */
+
+#include <vector>
+
+#include "analysis/dataflow.hh"
+#include "analysis/diagnostics.hh"
+#include "bytecode/cfg_builder.hh"
+#include "bytecode/method.hh"
+
+namespace pep::analysis {
+
+/** Liveness fixpoint: live-in/live-out local sets per block. */
+struct LivenessResult
+{
+    /** liveIn[b][slot]: slot is live at block entry. */
+    std::vector<std::vector<bool>> liveIn;
+
+    /** liveOut[b][slot]: slot is live at block exit. */
+    std::vector<std::vector<bool>> liveOut;
+};
+
+/** Solve liveness for a verified method. */
+LivenessResult computeLiveness(const bytecode::Method &method,
+                               const bytecode::MethodCfg &method_cfg);
+
+/**
+ * Report dead stores as warnings (pass "liveness"). Only reachable
+ * blocks are checked; unreachable code is the unreachable pass's job.
+ */
+void reportDeadStores(const bytecode::Method &method,
+                      const bytecode::MethodCfg &method_cfg,
+                      const LivenessResult &liveness,
+                      DiagnosticList &diagnostics);
+
+} // namespace pep::analysis
+
+#endif // PEP_ANALYSIS_LIVENESS_HH

@@ -1,0 +1,84 @@
+#ifndef PEP_ANALYSIS_PLAN_CHECK_HH
+#define PEP_ANALYSIS_PLAN_CHECK_HH
+
+/**
+ * @file
+ * Static instrumentation-plan checker: machine-checks the invariants
+ * PEP's correctness rests on, per (method, P-DAG, numbering, plan):
+ *
+ *  1. DAG well-formedness: structurally valid and acyclic.
+ *  2. Numbering soundness: at every DAG node the outgoing edge values
+ *     carve [0, numPaths(node)) into disjoint, exhaustive intervals
+ *     [val(e), val(e) + numPaths(dst(e))). By induction this proves
+ *     every Entry->Exit path gets a *unique* id and the ids are *dense*
+ *     in [0, totalPaths) — Ball-Larus's theorem, checked instance-wise.
+ *  3. Overflow safety: totalPaths stays under kMaxPaths and no partial
+ *     register sum can exceed totalPaths - 1, so the u64 path register
+ *     cannot wrap under Direct placement.
+ *  4. Plan consistency: edge increments equal the numbering's edge
+ *     values (Direct) or the spanning placement's chord increments
+ *     (SpanningTree); end/restart pairs sit exactly at loop headers
+ *     (HeaderSplit) or truncated back edges (BackEdgeTruncate) and
+ *     carry the dummy edges' values; numInstrumentedEdges matches.
+ *  5. Chord-only placement (SpanningTree): spanning-tree edges carry no
+ *     increment, the tree is acyclic, and it spans every live node.
+ *  6. Smart-numbering cost (scheme Smart): the hottest outgoing edge of
+ *     every DAG node has value 0, i.e. hot edges cost nothing.
+ *  7. Bounded semantic proof: when totalPaths <= simulateLimit, every
+ *     Entry->Exit DAG path is enumerated independently of the greedy
+ *     reconstructor; replaying the *plan's* register actions over each
+ *     path must reproduce the path's Ball-Larus number, and the numbers
+ *     must cover [0, totalPaths) exactly.
+ *
+ * All violations are reported as diagnostics (pass "plan-check"), not
+ * panics, so a lint run can show every broken invariant at once.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/diagnostics.hh"
+#include "bytecode/cfg_builder.hh"
+#include "profile/instr_plan.hh"
+#include "profile/numbering.hh"
+#include "profile/pdag.hh"
+#include "profile/spanning_placement.hh"
+
+namespace pep::analysis {
+
+/** Everything the checker inspects for one method. */
+struct PlanCheckInput
+{
+    const bytecode::MethodCfg *cfg = nullptr;
+    const profile::PDag *pdag = nullptr;
+    const profile::Numbering *numbering = nullptr;
+    const profile::InstrumentationPlan *plan = nullptr;
+
+    profile::PlacementKind placement = profile::PlacementKind::Direct;
+
+    /** Required when placement == SpanningTree. */
+    const profile::SpanningPlacement *spanning = nullptr;
+
+    profile::NumberingScheme scheme =
+        profile::NumberingScheme::BallLarus;
+
+    /** Required for the hot-edge check when scheme == Smart. */
+    const profile::DagEdgeFreqs *freqs = nullptr;
+
+    /** Method name used in diagnostics. */
+    std::string methodName;
+
+    /** Path-enumeration budget for the semantic proof (check 7). */
+    std::uint64_t simulateLimit = 4096;
+};
+
+/**
+ * Run every applicable check; append findings to `diagnostics`.
+ * Returns true if no *errors* were added (warnings/notes allowed).
+ */
+bool checkInstrumentationPlan(const PlanCheckInput &input,
+                              DiagnosticList &diagnostics);
+
+} // namespace pep::analysis
+
+#endif // PEP_ANALYSIS_PLAN_CHECK_HH

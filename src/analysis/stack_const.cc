@@ -1,0 +1,383 @@
+#include "analysis/stack_const.hh"
+
+#include <sstream>
+
+namespace pep::analysis {
+
+namespace {
+
+using bytecode::Instr;
+using bytecode::Method;
+using bytecode::MethodCfg;
+using bytecode::Opcode;
+using bytecode::Program;
+
+/** Wrap an int64 intermediate to the VM's int32 semantics. */
+std::int32_t
+wrap32(std::int64_t v)
+{
+    return static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(static_cast<std::uint64_t>(v)));
+}
+
+/** Fold a binary arithmetic op (lhs pushed first). */
+AbsValue
+foldBinary(Opcode op, AbsValue lhs, AbsValue rhs)
+{
+    if (!lhs.isConst || !rhs.isConst)
+        return AbsValue::top();
+    const std::int64_t a = lhs.value;
+    const std::int64_t b = rhs.value;
+    switch (op) {
+      case Opcode::Iadd:
+        return AbsValue::constant(wrap32(a + b));
+      case Opcode::Isub:
+        return AbsValue::constant(wrap32(a - b));
+      case Opcode::Imul:
+        return AbsValue::constant(wrap32(a * b));
+      case Opcode::Idiv:
+        return AbsValue::constant(b == 0 ? 0 : wrap32(a / b));
+      case Opcode::Irem:
+        return AbsValue::constant(b == 0 ? 0 : wrap32(a % b));
+      case Opcode::Iand:
+        return AbsValue::constant(wrap32(a & b));
+      case Opcode::Ior:
+        return AbsValue::constant(wrap32(a | b));
+      case Opcode::Ixor:
+        return AbsValue::constant(wrap32(a ^ b));
+      case Opcode::Ishl:
+        return AbsValue::constant(wrap32(a << (b & 31)));
+      case Opcode::Ishr:
+        return AbsValue::constant(
+            static_cast<std::int32_t>(lhs.value >> (b & 31)));
+      default:
+        return AbsValue::top();
+    }
+}
+
+/** Evaluate a two-way branch condition; false if not constant. */
+bool
+foldBranch(Opcode op, const AbsValue *lhs, const AbsValue *rhs,
+           bool &taken)
+{
+    if (bytecode::isCmpBranch(op)) {
+        if (!lhs || !rhs || !lhs->isConst || !rhs->isConst)
+            return false;
+        const std::int32_t a = lhs->value;
+        const std::int32_t b = rhs->value;
+        switch (op) {
+          case Opcode::IfIcmpeq: taken = a == b; return true;
+          case Opcode::IfIcmpne: taken = a != b; return true;
+          case Opcode::IfIcmplt: taken = a < b; return true;
+          case Opcode::IfIcmpge: taken = a >= b; return true;
+          case Opcode::IfIcmpgt: taken = a > b; return true;
+          case Opcode::IfIcmple: taken = a <= b; return true;
+          default: return false;
+        }
+    }
+    if (!lhs || !lhs->isConst)
+        return false;
+    const std::int32_t a = lhs->value;
+    switch (op) {
+      case Opcode::Ifeq: taken = a == 0; return true;
+      case Opcode::Ifne: taken = a != 0; return true;
+      case Opcode::Iflt: taken = a < 0; return true;
+      case Opcode::Ifge: taken = a >= 0; return true;
+      case Opcode::Ifgt: taken = a > 0; return true;
+      case Opcode::Ifle: taken = a <= 0; return true;
+      default: return false;
+    }
+}
+
+/**
+ * Abstractly execute one instruction. Returns false (with `error`
+ * filled) on stack underflow; the state is then unusable.
+ */
+bool
+step(const Program &program, const Instr &instr, AbsState &state,
+     std::string &error)
+{
+    auto pop = [&](AbsValue &out) -> bool {
+        if (state.stack.empty()) {
+            error = "operand stack underflow";
+            return false;
+        }
+        out = state.stack.back();
+        state.stack.pop_back();
+        return true;
+    };
+    AbsValue a, b;
+
+    switch (instr.op) {
+      case Opcode::Iconst:
+        state.stack.push_back(AbsValue::constant(instr.a));
+        return true;
+      case Opcode::Iload:
+        state.stack.push_back(
+            state.locals[static_cast<std::size_t>(instr.a)]);
+        return true;
+      case Opcode::Istore:
+        if (!pop(a))
+            return false;
+        state.locals[static_cast<std::size_t>(instr.a)] = a;
+        return true;
+      case Opcode::Iinc: {
+        AbsValue &slot = state.locals[static_cast<std::size_t>(instr.a)];
+        slot = foldBinary(Opcode::Iadd, slot,
+                          AbsValue::constant(instr.b));
+        return true;
+      }
+      case Opcode::Dup:
+        if (!pop(a))
+            return false;
+        state.stack.push_back(a);
+        state.stack.push_back(a);
+        return true;
+      case Opcode::Pop:
+        return pop(a);
+      case Opcode::Swap:
+        if (!pop(b) || !pop(a))
+            return false;
+        state.stack.push_back(b);
+        state.stack.push_back(a);
+        return true;
+      case Opcode::Ineg:
+        if (!pop(a))
+            return false;
+        state.stack.push_back(
+            a.isConst
+                ? AbsValue::constant(wrap32(-std::int64_t{a.value}))
+                : AbsValue::top());
+        return true;
+      case Opcode::Iadd:
+      case Opcode::Isub:
+      case Opcode::Imul:
+      case Opcode::Idiv:
+      case Opcode::Irem:
+      case Opcode::Iand:
+      case Opcode::Ior:
+      case Opcode::Ixor:
+      case Opcode::Ishl:
+      case Opcode::Ishr:
+        if (!pop(b) || !pop(a))
+            return false;
+        state.stack.push_back(foldBinary(instr.op, a, b));
+        return true;
+      case Opcode::Gload:
+        if (!pop(a))
+            return false;
+        state.stack.push_back(AbsValue::top());
+        return true;
+      case Opcode::Gstore:
+        return pop(a) && pop(b);
+      case Opcode::Irnd:
+        state.stack.push_back(AbsValue::top());
+        return true;
+      case Opcode::Invoke: {
+        const auto callee = static_cast<std::size_t>(instr.a);
+        if (instr.a < 0 || callee >= program.methods.size()) {
+            error = "invoke of invalid method index";
+            return false;
+        }
+        const Method &m = program.methods[callee];
+        for (std::uint32_t i = 0; i < m.numArgs; ++i) {
+            if (!pop(a))
+                return false;
+        }
+        if (m.returnsValue)
+            state.stack.push_back(AbsValue::top());
+        return true;
+      }
+      case Opcode::Goto:
+        return true;
+      case Opcode::Tableswitch:
+        return pop(a);
+      case Opcode::Return:
+        return true;
+      case Opcode::Ireturn:
+        return pop(a);
+      default:
+        if (bytecode::isCmpBranch(instr.op))
+            return pop(b) && pop(a);
+        if (bytecode::isCondBranch(instr.op))
+            return pop(a);
+        error = "unknown opcode";
+        return false;
+    }
+}
+
+/** Join two abstract values (equal constants survive). */
+AbsValue
+joinValue(AbsValue a, AbsValue b)
+{
+    if (a.isConst && b.isConst && a.value == b.value)
+        return a;
+    return AbsValue::top();
+}
+
+struct StackConstProblem
+{
+    using Domain = AbsState;
+
+    const Program &program;
+    const Method &method;
+    const MethodCfg &cfg;
+
+    Direction direction() const { return Direction::Forward; }
+
+    Domain
+    boundary() const
+    {
+        AbsState state;
+        state.reachable = true;
+        state.locals.assign(method.numLocals, AbsValue::constant(0));
+        // Arguments arrive from the caller with unknown values.
+        for (std::uint32_t i = 0;
+             i < method.numArgs && i < method.numLocals; ++i) {
+            state.locals[i] = AbsValue::top();
+        }
+        return state;
+    }
+
+    Domain init() const { return AbsState{}; }
+
+    bool
+    join(Domain &into, const Domain &from) const
+    {
+        if (!from.reachable)
+            return false;
+        if (!into.reachable) {
+            into = from;
+            return true;
+        }
+        Domain merged = into;
+        merged.depthConflict = into.depthConflict || from.depthConflict;
+        if (into.stack.size() != from.stack.size()) {
+            // The verifier rejects this; flag it and keep the shorter
+            // stack so iteration still terminates.
+            merged.depthConflict = true;
+            if (from.stack.size() < merged.stack.size())
+                merged.stack.resize(from.stack.size());
+        }
+        for (std::size_t i = 0; i < merged.stack.size(); ++i)
+            merged.stack[i] = joinValue(merged.stack[i], from.stack[i]);
+        for (std::size_t i = 0; i < merged.locals.size(); ++i)
+            merged.locals[i] =
+                joinValue(merged.locals[i], from.locals[i]);
+        const bool changed = !(merged == into);
+        into = std::move(merged);
+        return changed;
+    }
+
+    Domain
+    transfer(cfg::BlockId block, const Domain &in) const
+    {
+        if (!in.reachable || !cfg.isCodeBlock(block))
+            return in;
+        AbsState state = in;
+        std::string error;
+        for (bytecode::Pc pc = cfg.firstPc[block];
+             pc <= cfg.lastPc[block]; ++pc) {
+            if (!step(program, method.code[pc], state, error))
+                return AbsState{}; // underflow: nothing flows out
+        }
+        return state;
+    }
+};
+
+} // namespace
+
+StackConstResult
+computeStackConst(const Program &program, const Method &method,
+                  const MethodCfg &method_cfg)
+{
+    const StackConstProblem problem{program, method, method_cfg};
+    DataflowResult<StackConstProblem> solved =
+        solveDataflow(method_cfg.graph, problem);
+
+    StackConstResult result;
+    result.atEntry = std::move(solved.input);
+    result.atExit = std::move(solved.output);
+    return result;
+}
+
+void
+reportStackConstFindings(const Program &program, const Method &method,
+                         const MethodCfg &method_cfg,
+                         const StackConstResult &result,
+                         DiagnosticList &diagnostics)
+{
+    const std::string &name = method.name;
+
+    for (cfg::BlockId b = 0; b < method_cfg.graph.numBlocks(); ++b) {
+        if (!method_cfg.isCodeBlock(b))
+            continue;
+        const AbsState &entry = result.atEntry[b];
+        if (!entry.reachable)
+            continue;
+        if (entry.depthConflict) {
+            diagnostics.reportAtPc(
+                Severity::Error, "stack-const", name,
+                method_cfg.firstPc[b],
+                "inconsistent stack depth at merge point");
+        }
+
+        // Re-simulate the block to get per-pc states for reporting.
+        AbsState state = entry;
+        for (bytecode::Pc pc = method_cfg.firstPc[b];
+             pc <= method_cfg.lastPc[b]; ++pc) {
+            const Instr &instr = method.code[pc];
+
+            if ((instr.op == Opcode::Idiv ||
+                 instr.op == Opcode::Irem) &&
+                !state.stack.empty() && state.stack.back().isConst &&
+                state.stack.back().value == 0) {
+                std::ostringstream os;
+                os << bytecode::mnemonic(instr.op)
+                   << " by constant zero (yields 0)";
+                diagnostics.reportAtPc(Severity::Warning, "stack-const",
+                                       name, pc, os.str());
+            }
+
+            if (bytecode::isCondBranch(instr.op)) {
+                const std::size_t depth = state.stack.size();
+                const AbsValue *rhs =
+                    depth >= 1 ? &state.stack[depth - 1] : nullptr;
+                const AbsValue *lhs =
+                    depth >= 2 ? &state.stack[depth - 2] : nullptr;
+                bool taken = false;
+                const bool constant =
+                    bytecode::isCmpBranch(instr.op)
+                        ? foldBranch(instr.op, lhs, rhs, taken)
+                        : foldBranch(instr.op, rhs, nullptr, taken);
+                if (constant) {
+                    std::ostringstream os;
+                    os << "branch condition is constant: "
+                       << bytecode::mnemonic(instr.op) << " is "
+                       << (taken ? "always" : "never") << " taken";
+                    diagnostics.reportAtPc(Severity::Warning,
+                                           "stack-const", name, pc,
+                                           os.str());
+                }
+            }
+
+            if (instr.op == Opcode::Tableswitch &&
+                !state.stack.empty() && state.stack.back().isConst) {
+                std::ostringstream os;
+                os << "switch selector is constant ("
+                   << state.stack.back().value << ")";
+                diagnostics.reportAtPc(Severity::Note, "stack-const",
+                                       name, pc, os.str());
+            }
+
+            std::string error;
+            if (!step(program, instr, state, error)) {
+                diagnostics.reportAtPc(Severity::Error, "stack-const",
+                                       name, pc, error);
+                break;
+            }
+        }
+    }
+}
+
+} // namespace pep::analysis

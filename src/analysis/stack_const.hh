@@ -1,0 +1,100 @@
+#ifndef PEP_ANALYSIS_STACK_CONST_HH
+#define PEP_ANALYSIS_STACK_CONST_HH
+
+/**
+ * @file
+ * Abstract stack-depth / constant-propagation pass. A forward dataflow
+ * whose domain is an abstract machine state: the operand-stack depth,
+ * one constant-or-top abstract value per stack slot, and one per local.
+ * Join meets values pointwise (equal constants survive, anything else
+ * becomes top) and flags depth disagreements.
+ *
+ * Where the verifier reports the *first* stack-discipline violation and
+ * stops, this pass reaches a fixpoint and then reports every finding
+ * with a pc-level location:
+ *
+ *  - error:   operand-stack underflow, inconsistent depth at a merge
+ *  - warning: Idiv/Irem whose divisor is constant zero (defined to
+ *             yield 0, almost certainly unintended)
+ *  - warning: conditional branch whose outcome is a compile-time
+ *             constant (always / never taken)
+ *  - note:    tableswitch whose selector is constant
+ *
+ * Runs on verified methods (the CFG builder requires verified code),
+ * so the errors fire only when the pass is pointed at a state the
+ * verifier was bypassed for — e.g. fuzzing the lint itself.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/dataflow.hh"
+#include "analysis/diagnostics.hh"
+#include "bytecode/cfg_builder.hh"
+#include "bytecode/method.hh"
+
+namespace pep::analysis {
+
+/** Constant-or-unknown abstract value. */
+struct AbsValue
+{
+    bool isConst = false;
+    std::int32_t value = 0;
+
+    bool
+    operator==(const AbsValue &other) const
+    {
+        return isConst == other.isConst &&
+               (!isConst || value == other.value);
+    }
+
+    static AbsValue
+    constant(std::int32_t v)
+    {
+        return AbsValue{true, v};
+    }
+
+    static AbsValue top() { return AbsValue{}; }
+};
+
+/** Abstract machine state at a program point. */
+struct AbsState
+{
+    /** False = bottom: no execution reaches this point (yet). */
+    bool reachable = false;
+
+    /** True once a join saw mismatched stack depths. */
+    bool depthConflict = false;
+
+    /** Abstract operand stack, bottom first; size() is the depth. */
+    std::vector<AbsValue> stack;
+
+    /** Abstract local slots. */
+    std::vector<AbsValue> locals;
+
+    bool operator==(const AbsState &other) const = default;
+};
+
+/** Fixpoint states per block (input = block entry, forward direction). */
+struct StackConstResult
+{
+    std::vector<AbsState> atEntry;
+    std::vector<AbsState> atExit;
+};
+
+/** Solve the abstract interpretation for a method. The program is
+ *  needed to resolve Invoke arities. */
+StackConstResult computeStackConst(const bytecode::Program &program,
+                                   const bytecode::Method &method,
+                                   const bytecode::MethodCfg &method_cfg);
+
+/** Emit the diagnostics listed in the file comment (pass "stack-const"). */
+void reportStackConstFindings(const bytecode::Program &program,
+                              const bytecode::Method &method,
+                              const bytecode::MethodCfg &method_cfg,
+                              const StackConstResult &result,
+                              DiagnosticList &diagnostics);
+
+} // namespace pep::analysis
+
+#endif // PEP_ANALYSIS_STACK_CONST_HH

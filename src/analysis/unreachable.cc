@@ -1,0 +1,48 @@
+#include "analysis/unreachable.hh"
+
+#include <sstream>
+
+#include "cfg/analysis.hh"
+
+namespace pep::analysis {
+
+std::size_t
+reportUnreachableCode(const bytecode::Method &method,
+                      const bytecode::MethodCfg &method_cfg,
+                      DiagnosticList &diagnostics)
+{
+    const cfg::DfsResult dfs = cfg::depthFirstSearch(method_cfg.graph);
+
+    // Dead pcs, in order; consecutive dead blocks merge into one range.
+    std::vector<bool> dead(method.code.size(), false);
+    std::size_t num_dead = 0;
+    for (cfg::BlockId b = 0; b < method_cfg.graph.numBlocks(); ++b) {
+        if (!method_cfg.isCodeBlock(b) || dfs.reachable[b])
+            continue;
+        for (bytecode::Pc pc = method_cfg.firstPc[b];
+             pc <= method_cfg.lastPc[b]; ++pc) {
+            dead[pc] = true;
+            ++num_dead;
+        }
+    }
+
+    for (std::size_t pc = 0; pc < dead.size();) {
+        if (!dead[pc]) {
+            ++pc;
+            continue;
+        }
+        std::size_t end = pc;
+        while (end + 1 < dead.size() && dead[end + 1])
+            ++end;
+        std::ostringstream os;
+        os << "unreachable code: pcs " << pc << ".." << end
+           << " cannot execute";
+        diagnostics.reportAtPc(Severity::Warning, "unreachable",
+                               method.name,
+                               static_cast<bytecode::Pc>(pc), os.str());
+        pc = end + 1;
+    }
+    return num_dead;
+}
+
+} // namespace pep::analysis

@@ -1,0 +1,28 @@
+#ifndef PEP_ANALYSIS_UNREACHABLE_HH
+#define PEP_ANALYSIS_UNREACHABLE_HH
+
+/**
+ * @file
+ * Unreachable-code detection. The verifier tolerates dead code (it must
+ * be structurally well-formed but its stack discipline is never
+ * checked), so this pass reports every code block the CFG cannot reach
+ * from entry as a warning, one diagnostic per maximal dead pc range.
+ */
+
+#include "analysis/diagnostics.hh"
+#include "bytecode/cfg_builder.hh"
+#include "bytecode/method.hh"
+
+namespace pep::analysis {
+
+/**
+ * Report unreachable code blocks (pass "unreachable"); returns the
+ * number of dead instructions found.
+ */
+std::size_t reportUnreachableCode(const bytecode::Method &method,
+                                  const bytecode::MethodCfg &method_cfg,
+                                  DiagnosticList &diagnostics);
+
+} // namespace pep::analysis
+
+#endif // PEP_ANALYSIS_UNREACHABLE_HH

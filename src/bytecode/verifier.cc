@@ -6,6 +6,60 @@
 
 namespace pep::bytecode {
 
+std::string
+formatVerifyDiagnostic(const VerifyDiagnostic &diagnostic)
+{
+    if (diagnostic.method.empty())
+        return diagnostic.message;
+    std::ostringstream os;
+    os << "method '" << diagnostic.method << "'";
+    if (diagnostic.hasPc)
+        os << " pc " << diagnostic.pc;
+    os << ": " << diagnostic.message;
+    return os.str();
+}
+
+void
+VerifyResult::addError(std::string method, std::string message)
+{
+    VerifyDiagnostic d;
+    d.method = std::move(method);
+    d.message = std::move(message);
+    if (ok) {
+        ok = false;
+        error = formatVerifyDiagnostic(d);
+    }
+    diagnostics.push_back(std::move(d));
+}
+
+void
+VerifyResult::addErrorAtPc(std::string method, Pc pc,
+                           std::string message)
+{
+    VerifyDiagnostic d;
+    d.method = std::move(method);
+    d.hasPc = true;
+    d.pc = pc;
+    d.message = std::move(message);
+    if (ok) {
+        ok = false;
+        error = formatVerifyDiagnostic(d);
+    }
+    diagnostics.push_back(std::move(d));
+}
+
+void
+VerifyResult::merge(const VerifyResult &other)
+{
+    for (const VerifyDiagnostic &d : other.diagnostics) {
+        if (ok) {
+            ok = false;
+            error = formatVerifyDiagnostic(d);
+        }
+        diagnostics.push_back(d);
+    }
+}
+
 namespace {
 
 /** Stack effect bookkeeping for one instruction. */
@@ -95,33 +149,31 @@ stackEffect(const Program &program, const Instr &instr, StackEffect &out,
     }
 }
 
-VerifyResult
-fail(const Method &method, Pc pc, const std::string &message)
-{
-    std::ostringstream os;
-    os << "method '" << method.name << "' pc " << pc << ": " << message;
-    return VerifyResult{false, os.str()};
-}
-
 } // namespace
 
 VerifyResult
 verifyMethod(const Program &program, Method &method)
 {
+    VerifyResult result;
     const auto &code = method.code;
     const std::size_t n = code.size();
+    auto fail = [&](Pc pc, const std::string &message) {
+        result.addErrorAtPc(method.name, pc, message);
+    };
 
-    if (n == 0)
-        return fail(method, 0, "empty code");
+    if (n == 0) {
+        fail(0, "empty code");
+        return result;
+    }
     if (method.numArgs > method.numLocals)
-        return fail(method, 0, "numArgs exceeds numLocals");
+        fail(0, "numArgs exceeds numLocals");
 
     auto check_target = [&](Pc pc, std::int32_t target) -> bool {
         return target >= 0 && static_cast<std::size_t>(target) < n &&
                static_cast<Pc>(target) != pc;
     };
 
-    // Structural checks.
+    // Structural checks: every rule, every pc — no early exit.
     for (Pc pc = 0; pc < n; ++pc) {
         const Instr &instr = code[pc];
         switch (instr.op) {
@@ -130,36 +182,34 @@ verifyMethod(const Program &program, Method &method)
           case Opcode::Iinc:
             if (instr.a < 0 ||
                 static_cast<std::uint32_t>(instr.a) >= method.numLocals) {
-                return fail(method, pc, "local slot out of range");
+                fail(pc, "local slot out of range");
             }
             break;
           case Opcode::Goto:
             if (!check_target(pc, instr.a))
-                return fail(method, pc, "bad goto target");
+                fail(pc, "bad goto target");
             break;
           case Opcode::Tableswitch:
             for (std::int32_t target : instr.table) {
                 if (!check_target(pc, target))
-                    return fail(method, pc, "bad switch case target");
+                    fail(pc, "bad switch case target");
             }
             if (!check_target(pc, instr.b))
-                return fail(method, pc, "bad switch default target");
+                fail(pc, "bad switch default target");
             break;
           case Opcode::Return:
             if (method.returnsValue) {
-                return fail(method, pc,
-                            "void return in value-returning method");
+                fail(pc, "void return in value-returning method");
             }
             break;
           case Opcode::Ireturn:
             if (!method.returnsValue) {
-                return fail(method, pc,
-                            "ireturn in void method");
+                fail(pc, "ireturn in void method");
             }
             break;
           default:
             if (isCondBranch(instr.op) && !check_target(pc, instr.a))
-                return fail(method, pc, "bad branch target");
+                fail(pc, "bad branch target");
             break;
         }
         // Fall-through off the end: any instruction that can fall
@@ -168,12 +218,20 @@ verifyMethod(const Program &program, Method &method)
             !(instr.op == Opcode::Goto ||
               instr.op == Opcode::Tableswitch || isReturn(instr.op));
         if (falls_through && pc + 1 >= n)
-            return fail(method, pc, "code falls off the end");
+            fail(pc, "code falls off the end");
     }
 
-    // Stack discipline: breadth-first propagation of stack depth.
+    // Stack propagation needs valid targets; stop here if any
+    // structural rule failed.
+    if (!result.ok)
+        return result;
+
+    // Stack discipline: breadth-first propagation of stack depth. A
+    // broken pc is reported and stops propagating, but the rest of the
+    // worklist still drains so independent problems all surface.
     constexpr int kUnknown = -1;
     std::vector<int> depth_at(n, kUnknown);
+    std::vector<bool> reported(n, false);
     std::deque<Pc> worklist;
     depth_at[0] = 0;
     worklist.push_back(0);
@@ -184,21 +242,31 @@ verifyMethod(const Program &program, Method &method)
         worklist.pop_front();
         const Instr &instr = code[pc];
         const int depth_in = depth_at[pc];
+        auto fail_once = [&](const std::string &message) {
+            if (!reported[pc]) {
+                reported[pc] = true;
+                fail(pc, message);
+            }
+        };
 
         StackEffect effect;
         std::string effect_error;
-        if (!stackEffect(program, instr, effect, effect_error))
-            return fail(method, pc, effect_error);
+        if (!stackEffect(program, instr, effect, effect_error)) {
+            fail_once(effect_error);
+            continue;
+        }
 
-        if (depth_in < effect.pops)
-            return fail(method, pc, "operand stack underflow");
+        if (depth_in < effect.pops) {
+            fail_once("operand stack underflow");
+            continue;
+        }
         const int depth_out = depth_in - effect.pops + effect.pushes;
         max_depth = std::max(max_depth, depth_out);
 
         if (instr.op == Opcode::Return && depth_in != 0)
-            return fail(method, pc, "return with non-empty stack");
+            fail_once("return with non-empty stack");
         if (instr.op == Opcode::Ireturn && depth_in != 1)
-            return fail(method, pc, "ireturn with extra stack values");
+            fail_once("ireturn with extra stack values");
 
         auto propagate = [&](std::int32_t target) -> bool {
             const Pc t = static_cast<Pc>(target);
@@ -230,34 +298,34 @@ verifyMethod(const Program &program, Method &method)
                         propagate(static_cast<std::int32_t>(pc + 1));
             break;
         }
-        if (!merged_ok) {
-            return fail(method, pc,
-                        "inconsistent stack depth at merge point");
-        }
+        if (!merged_ok)
+            fail_once("inconsistent stack depth at merge point");
     }
 
-    method.maxStack = static_cast<std::uint32_t>(max_depth);
-    return VerifyResult{};
+    if (result.ok)
+        method.maxStack = static_cast<std::uint32_t>(max_depth);
+    return result;
 }
 
 VerifyResult
 verifyProgram(Program &program)
 {
-    if (program.methods.empty())
-        return VerifyResult{false, "program has no methods"};
-    if (program.mainMethod >= program.methods.size())
-        return VerifyResult{false, "invalid main method index"};
-    if (program.methods[program.mainMethod].numArgs != 0)
-        return VerifyResult{false, "main method must take no arguments"};
-    if (program.initialGlobals.size() > program.globalSize)
-        return VerifyResult{false, "globals initializer exceeds size"};
-
-    for (Method &method : program.methods) {
-        VerifyResult r = verifyMethod(program, method);
-        if (!r.ok)
-            return r;
+    VerifyResult result;
+    if (program.methods.empty()) {
+        result.addError("", "program has no methods");
+        return result;
     }
-    return VerifyResult{};
+    if (program.mainMethod >= program.methods.size()) {
+        result.addError("", "invalid main method index");
+    } else if (program.methods[program.mainMethod].numArgs != 0) {
+        result.addError("", "main method must take no arguments");
+    }
+    if (program.initialGlobals.size() > program.globalSize)
+        result.addError("", "globals initializer exceeds size");
+
+    for (Method &method : program.methods)
+        result.merge(verifyMethod(program, method));
+    return result;
 }
 
 } // namespace pep::bytecode

@@ -8,23 +8,57 @@
  * stack discipline (consistent depth at every pc, exact depth at
  * returns). Computes each method's maxStack as a side effect.
  *
- * The VM refuses to load unverified programs, so the interpreter and the
- * profilers may assume well-formed code.
+ * Verification collects *every* problem it can find, not just the
+ * first: structural rules are checked exhaustively, and the stack walk
+ * stops propagating through a broken pc but keeps scanning the rest of
+ * the worklist. `ok`/`error` remain as a compatibility view (`error`
+ * is the first diagnostic, formatted).
+ *
+ * The VM refuses to load unverified programs, so the interpreter and
+ * the profilers may assume well-formed code.
  */
 
 #include <string>
+#include <vector>
 
 #include "bytecode/method.hh"
 
 namespace pep::bytecode {
 
+/** One verification problem, with its location. */
+struct VerifyDiagnostic
+{
+    /** Method the problem is in; empty for program-level rules. */
+    std::string method;
+
+    /** Bytecode location, when the problem has one. */
+    bool hasPc = false;
+    Pc pc = 0;
+
+    std::string message;
+};
+
+/** "method 'm' pc 3: message" (or just the message, program-level). */
+std::string formatVerifyDiagnostic(const VerifyDiagnostic &diagnostic);
+
 /** Outcome of verification. */
 struct VerifyResult
 {
+    /** Every problem found, in discovery order. */
+    std::vector<VerifyDiagnostic> diagnostics;
+
+    /** Compatibility view: false iff any diagnostic was recorded. */
     bool ok = true;
 
-    /** Human-readable description of the first problem found. */
+    /** Compatibility view: the first problem, formatted. */
     std::string error;
+
+    /** Record a problem, keeping ok/error in sync. */
+    void addError(std::string method, std::string message);
+    void addErrorAtPc(std::string method, Pc pc, std::string message);
+
+    /** Append another result's diagnostics. */
+    void merge(const VerifyResult &other);
 };
 
 /**

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the generic dataflow solver: convergence and correct
+ * fixpoints on a diamond, a loop, and an irreducible CFG, in both
+ * directions, plus the treatment of unreachable blocks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/dataflow.hh"
+#include "cfg/graph.hh"
+
+namespace pep::analysis {
+namespace {
+
+/**
+ * Toy union problem: the fixpoint at a block is the set of blocks on
+ * some path from the boundary to it (inclusive). Forward: blocks on
+ * some entry->b path; backward: blocks on some b->exit path.
+ */
+struct UnionProblem
+{
+    using Domain = std::vector<bool>;
+
+    std::size_t numBlocks = 0;
+    Direction dir = Direction::Forward;
+
+    Direction direction() const { return dir; }
+    Domain boundary() const { return Domain(numBlocks, false); }
+    Domain init() const { return Domain(numBlocks, false); }
+
+    bool
+    join(Domain &into, const Domain &from) const
+    {
+        bool changed = false;
+        for (std::size_t i = 0; i < numBlocks; ++i) {
+            if (from[i] && !into[i]) {
+                into[i] = true;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    Domain
+    transfer(cfg::BlockId block, const Domain &in) const
+    {
+        Domain out = in;
+        out[block] = true;
+        return out;
+    }
+};
+
+std::vector<bool>
+bits(std::size_t n, std::initializer_list<cfg::BlockId> set)
+{
+    std::vector<bool> v(n, false);
+    for (const cfg::BlockId b : set)
+        v[b] = true;
+    return v;
+}
+
+// entry(0) -> a, b; a -> j; b -> j; j -> exit(1)
+cfg::Graph
+diamond(cfg::BlockId &a, cfg::BlockId &b, cfg::BlockId &j)
+{
+    cfg::Graph g;
+    a = g.addBlock();
+    b = g.addBlock();
+    j = g.addBlock();
+    g.addEdge(g.entry(), a);
+    g.addEdge(g.entry(), b);
+    g.addEdge(a, j);
+    g.addEdge(b, j);
+    g.addEdge(j, g.exit());
+    return g;
+}
+
+TEST(Dataflow, ForwardDiamondConverges)
+{
+    cfg::BlockId a, b, j;
+    const cfg::Graph g = diamond(a, b, j);
+    const UnionProblem p{g.numBlocks(), Direction::Forward};
+    const auto result = solveDataflow(g, p);
+
+    EXPECT_TRUE(result.converged);
+    EXPECT_GT(result.iterations, 0u);
+    // input[j] is the join over both arms; output adds j itself.
+    EXPECT_EQ(result.input[j], bits(g.numBlocks(), {g.entry(), a, b}));
+    EXPECT_EQ(result.output[j],
+              bits(g.numBlocks(), {g.entry(), a, b, j}));
+    EXPECT_EQ(result.output[g.exit()],
+              bits(g.numBlocks(), {g.entry(), a, b, j, g.exit()}));
+}
+
+TEST(Dataflow, BackwardDiamondConverges)
+{
+    cfg::BlockId a, b, j;
+    const cfg::Graph g = diamond(a, b, j);
+    const UnionProblem p{g.numBlocks(), Direction::Backward};
+    const auto result = solveDataflow(g, p);
+
+    EXPECT_TRUE(result.converged);
+    // Backward: output[b] = blocks on some b->exit path.
+    EXPECT_EQ(result.output[a],
+              bits(g.numBlocks(), {a, j, g.exit()}));
+    EXPECT_EQ(result.output[g.entry()],
+              bits(g.numBlocks(), {g.entry(), a, b, j, g.exit()}));
+    // input[entry] joins both successors' outputs, excludes entry.
+    EXPECT_EQ(result.input[g.entry()],
+              bits(g.numBlocks(), {a, b, j, g.exit()}));
+}
+
+TEST(Dataflow, LoopReachesFixpoint)
+{
+    // entry -> h; h -> body; body -> h; h -> exit
+    cfg::Graph g;
+    const cfg::BlockId h = g.addBlock();
+    const cfg::BlockId body = g.addBlock();
+    g.addEdge(g.entry(), h);
+    g.addEdge(h, body);
+    g.addEdge(body, h);
+    g.addEdge(h, g.exit());
+
+    const UnionProblem p{g.numBlocks(), Direction::Forward};
+    const auto result = solveDataflow(g, p);
+
+    EXPECT_TRUE(result.converged);
+    // The cycle feeds body back into h's input.
+    EXPECT_EQ(result.input[h],
+              bits(g.numBlocks(), {g.entry(), h, body}));
+    EXPECT_EQ(result.output[g.exit()],
+              bits(g.numBlocks(), {g.entry(), h, body, g.exit()}));
+}
+
+TEST(Dataflow, IrreducibleCfgReachesFixpoint)
+{
+    // Two-entry cycle {a, b}: entry -> a, entry -> b, a <-> b, a -> exit.
+    cfg::Graph g;
+    const cfg::BlockId a = g.addBlock();
+    const cfg::BlockId b = g.addBlock();
+    g.addEdge(g.entry(), a);
+    g.addEdge(g.entry(), b);
+    g.addEdge(a, b);
+    g.addEdge(b, a);
+    g.addEdge(a, g.exit());
+
+    const UnionProblem p{g.numBlocks(), Direction::Forward};
+    const auto result = solveDataflow(g, p);
+
+    EXPECT_TRUE(result.converged);
+    // Each cycle member sees the other via the retreating edge.
+    EXPECT_TRUE(result.input[a][b]);
+    EXPECT_TRUE(result.input[b][a]);
+    EXPECT_EQ(result.output[g.exit()],
+              bits(g.numBlocks(), {g.entry(), a, b, g.exit()}));
+}
+
+TEST(Dataflow, UnreachableBlockKeepsInit)
+{
+    cfg::Graph g;
+    const cfg::BlockId a = g.addBlock();
+    const cfg::BlockId dead = g.addBlock();
+    g.addEdge(g.entry(), a);
+    g.addEdge(a, g.exit());
+    g.addEdge(dead, g.exit()); // no in-edges: unreachable from entry
+
+    const UnionProblem p{g.numBlocks(), Direction::Forward};
+    const auto result = solveDataflow(g, p);
+
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.output[dead], p.init());
+    // The dead predecessor contributes nothing to exit.
+    EXPECT_EQ(result.output[g.exit()],
+              bits(g.numBlocks(), {g.entry(), a, g.exit()}));
+}
+
+TEST(Dataflow, DeterministicAcrossRuns)
+{
+    cfg::BlockId a, b, j;
+    const cfg::Graph g = diamond(a, b, j);
+    const UnionProblem p{g.numBlocks(), Direction::Forward};
+    const auto first = solveDataflow(g, p);
+    const auto second = solveDataflow(g, p);
+    EXPECT_EQ(first.output, second.output);
+    EXPECT_EQ(first.iterations, second.iterations);
+}
+
+} // namespace
+} // namespace pep::analysis

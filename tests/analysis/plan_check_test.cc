@@ -1,0 +1,439 @@
+/**
+ * @file
+ * Instrumentation-plan checker tests: the checker accepts everything
+ * the real profiling pipeline builds (fixtures, random structured
+ * programs, every mode/scheme/placement combination) and rejects
+ * seeded violations of each invariant — duplicate path ids, an
+ * increment on a spanning-tree edge, a nonzero hot-edge value under
+ * smart numbering, tampered back-edge bookkeeping, and plans left
+ * enabled after numbering overflow. Ends with a cross-validation
+ * against the interpreter: dynamically observed path ids must lie in
+ * the statically proven id space.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/plan_check.hh"
+#include "bytecode/cfg_builder.hh"
+#include "common/fixtures.hh"
+#include "core/baseline_profilers.hh"
+#include "profile/spanning_placement.hh"
+#include "vm/machine.hh"
+
+namespace pep::analysis {
+namespace {
+
+using profile::DagMode;
+using profile::NumberingScheme;
+using profile::PlacementKind;
+
+/** One fully built configuration, ready to check (and to tamper). */
+struct Built
+{
+    bytecode::MethodCfg cfg;
+    profile::PDag pdag;
+    profile::DagEdgeFreqs freqs;
+    profile::Numbering numbering;
+    profile::InstrumentationPlan plan;
+    profile::SpanningPlacement spanning;
+    NumberingScheme scheme = NumberingScheme::BallLarus;
+    PlacementKind placement = PlacementKind::Direct;
+};
+
+profile::DagEdgeFreqs
+uniformFreqs(const cfg::Graph &dag)
+{
+    profile::DagEdgeFreqs freqs(dag.numBlocks());
+    for (cfg::BlockId v = 0; v < dag.numBlocks(); ++v)
+        freqs[v].assign(dag.succs(v).size(), 1.0);
+    return freqs;
+}
+
+Built
+build(const bytecode::Program &program, DagMode mode,
+      NumberingScheme scheme, PlacementKind placement)
+{
+    Built b;
+    b.cfg = bytecode::buildCfg(program.methods[program.mainMethod]);
+    b.pdag = profile::buildPDag(b.cfg, mode);
+    b.freqs = uniformFreqs(b.pdag.dag);
+    b.numbering = profile::numberPaths(
+        b.pdag, scheme,
+        scheme == NumberingScheme::BallLarus ? nullptr : &b.freqs);
+    b.plan = profile::buildInstrumentationPlan(b.cfg, b.pdag,
+                                               b.numbering);
+    b.scheme = scheme;
+    b.placement = placement;
+    if (placement == PlacementKind::SpanningTree) {
+        b.spanning = profile::computeSpanningPlacement(
+            b.pdag, b.numbering, &b.freqs);
+        profile::applySpanningPlacement(b.cfg, b.pdag, b.spanning,
+                                        b.plan);
+    }
+    return b;
+}
+
+PlanCheckInput
+inputFor(const Built &b)
+{
+    PlanCheckInput input;
+    input.cfg = &b.cfg;
+    input.pdag = &b.pdag;
+    input.numbering = &b.numbering;
+    input.plan = &b.plan;
+    input.placement = b.placement;
+    input.spanning = b.placement == PlacementKind::SpanningTree
+                         ? &b.spanning
+                         : nullptr;
+    input.scheme = b.scheme;
+    input.freqs = &b.freqs;
+    input.methodName = "main";
+    return input;
+}
+
+bool
+hasError(const DiagnosticList &diagnostics, const std::string &substr)
+{
+    for (const Diagnostic &d : diagnostics.all()) {
+        if (d.severity == Severity::Error &&
+            d.message.find(substr) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+std::string
+renderAll(const DiagnosticList &diagnostics)
+{
+    std::string out;
+    for (const Diagnostic &d : diagnostics.all())
+        out += formatDiagnostic(d) + "\n";
+    return out;
+}
+
+TEST(PlanCheck, AcceptsFixturesInEveryConfiguration)
+{
+    for (const bytecode::Program &program :
+         {test::simpleLoopProgram(), test::figure1Program(),
+          test::callSwitchProgram()}) {
+        for (const DagMode mode :
+             {DagMode::HeaderSplit, DagMode::BackEdgeTruncate}) {
+            for (const NumberingScheme scheme :
+                 {NumberingScheme::BallLarus, NumberingScheme::Smart,
+                  NumberingScheme::SmartInverted}) {
+                for (const PlacementKind placement :
+                     {PlacementKind::Direct,
+                      PlacementKind::SpanningTree}) {
+                    const Built b =
+                        build(program, mode, scheme, placement);
+                    DiagnosticList diagnostics;
+                    EXPECT_TRUE(checkInstrumentationPlan(
+                        inputFor(b), diagnostics))
+                        << renderAll(diagnostics);
+                }
+            }
+        }
+    }
+}
+
+TEST(PlanCheck, AcceptsRandomStructuredPrograms)
+{
+    int checked = 0;
+    for (std::uint64_t seed = 900; seed < 912; ++seed) {
+        const bytecode::Program program =
+            test::randomStructuredProgram(seed, 8);
+        for (const DagMode mode :
+             {DagMode::HeaderSplit, DagMode::BackEdgeTruncate}) {
+            const Built b = build(program, mode,
+                                  NumberingScheme::BallLarus,
+                                  PlacementKind::SpanningTree);
+            DiagnosticList diagnostics;
+            EXPECT_TRUE(
+                checkInstrumentationPlan(inputFor(b), diagnostics))
+                << "seed " << seed << "\n"
+                << renderAll(diagnostics);
+            ++checked;
+        }
+    }
+    EXPECT_GE(checked, 24);
+}
+
+/** Find a DAG node with at least two outgoing edges. */
+cfg::BlockId
+branchingDagNode(const Built &b)
+{
+    for (cfg::BlockId v = 0; v < b.pdag.dag.numBlocks(); ++v) {
+        if (b.pdag.dag.succs(v).size() >= 2)
+            return v;
+    }
+    return cfg::kInvalidBlock;
+}
+
+TEST(PlanCheck, RejectsDuplicatePathId)
+{
+    // Seeded bug 1: two sibling edges share a value, so two distinct
+    // paths collapse onto one id. The interval check must prove the
+    // overlap statically.
+    Built b = build(test::figure1Program(), DagMode::HeaderSplit,
+                    NumberingScheme::BallLarus, PlacementKind::Direct);
+    const cfg::BlockId v = branchingDagNode(b);
+    ASSERT_NE(v, cfg::kInvalidBlock);
+
+    profile::Numbering tampered = b.numbering;
+    tampered.val[v][1] = tampered.val[v][0];
+    b.numbering = tampered;
+    b.plan = profile::buildInstrumentationPlan(b.cfg, b.pdag,
+                                               b.numbering);
+
+    DiagnosticList diagnostics;
+    EXPECT_FALSE(checkInstrumentationPlan(inputFor(b), diagnostics));
+    EXPECT_TRUE(hasError(diagnostics, "duplicate path ids"))
+        << renderAll(diagnostics);
+}
+
+TEST(PlanCheck, RejectsGapInPathIds)
+{
+    // Shifting a sibling value up opens a hole in [0, numPaths).
+    Built b = build(test::figure1Program(), DagMode::HeaderSplit,
+                    NumberingScheme::BallLarus, PlacementKind::Direct);
+    const cfg::BlockId v = branchingDagNode(b);
+    ASSERT_NE(v, cfg::kInvalidBlock);
+
+    // Make the larger of the two sibling values larger still.
+    const std::uint32_t hi =
+        b.numbering.val[v][0] > b.numbering.val[v][1] ? 0 : 1;
+    b.numbering.val[v][hi] += 1;
+    b.plan = profile::buildInstrumentationPlan(b.cfg, b.pdag,
+                                               b.numbering);
+
+    DiagnosticList diagnostics;
+    EXPECT_FALSE(checkInstrumentationPlan(inputFor(b), diagnostics));
+    EXPECT_TRUE(hasError(diagnostics, "path-id gap") ||
+                hasError(diagnostics, "node"))
+        << renderAll(diagnostics);
+}
+
+TEST(PlanCheck, RejectsIncrementOnSpanningTreeEdge)
+{
+    // Seeded bug 2: a spanning-tree edge carries an increment. The
+    // chord-only check must catch it even though the replayed sums
+    // also drift.
+    Built b = build(test::figure1Program(), DagMode::HeaderSplit,
+                    NumberingScheme::BallLarus,
+                    PlacementKind::SpanningTree);
+
+    cfg::BlockId tv = cfg::kInvalidBlock;
+    std::uint32_t ti = 0;
+    for (cfg::BlockId v = 0;
+         v < b.pdag.dag.numBlocks() && tv == cfg::kInvalidBlock; ++v) {
+        for (std::uint32_t i = 0; i < b.spanning.inTree[v].size();
+             ++i) {
+            if (b.spanning.inTree[v][i]) {
+                tv = v;
+                ti = i;
+                break;
+            }
+        }
+    }
+    ASSERT_NE(tv, cfg::kInvalidBlock) << "no tree edge found";
+
+    b.spanning.increment[tv][ti] += 3;
+    b.plan = profile::buildInstrumentationPlan(b.cfg, b.pdag,
+                                               b.numbering);
+    profile::applySpanningPlacement(b.cfg, b.pdag, b.spanning, b.plan);
+
+    DiagnosticList diagnostics;
+    EXPECT_FALSE(checkInstrumentationPlan(inputFor(b), diagnostics));
+    EXPECT_TRUE(hasError(diagnostics,
+                         "increment placed on a spanning-tree edge"))
+        << renderAll(diagnostics);
+}
+
+TEST(PlanCheck, RejectsNonzeroHotEdgeIncrement)
+{
+    // Seeded bug 3: claim smart numbering but hand the checker a
+    // Ball-Larus numbering and frequencies that favor the *second*
+    // successor — the hottest edge then carries a nonzero value.
+    Built b = build(test::figure1Program(), DagMode::HeaderSplit,
+                    NumberingScheme::BallLarus, PlacementKind::Direct);
+    b.scheme = NumberingScheme::Smart;
+    bool biased = false;
+    for (cfg::BlockId v = 0; v < b.pdag.dag.numBlocks(); ++v) {
+        if (b.freqs[v].size() >= 2) {
+            b.freqs[v][1] = 10.0;
+            biased = true;
+        }
+    }
+    ASSERT_TRUE(biased);
+
+    DiagnosticList diagnostics;
+    EXPECT_FALSE(checkInstrumentationPlan(inputFor(b), diagnostics));
+    EXPECT_TRUE(hasError(diagnostics, "smart numbering left value"))
+        << renderAll(diagnostics);
+}
+
+TEST(PlanCheck, RejectsBackEdgeThatDoesNotEndPath)
+{
+    Built b = build(test::figure1Program(), DagMode::BackEdgeTruncate,
+                    NumberingScheme::BallLarus, PlacementKind::Direct);
+    ASSERT_FALSE(b.cfg.backEdges.empty());
+    const cfg::EdgeRef back = b.cfg.backEdges[0];
+    b.plan.edgeActions[back.src][back.index].endsPath = false;
+
+    DiagnosticList diagnostics;
+    EXPECT_FALSE(checkInstrumentationPlan(inputFor(b), diagnostics));
+    EXPECT_TRUE(hasError(diagnostics,
+                         "truncated back edge does not end the path"))
+        << renderAll(diagnostics);
+}
+
+TEST(PlanCheck, RejectsTamperedBackEdgeEndAdd)
+{
+    Built b = build(test::figure1Program(), DagMode::BackEdgeTruncate,
+                    NumberingScheme::BallLarus, PlacementKind::Direct);
+    ASSERT_FALSE(b.cfg.backEdges.empty());
+    const cfg::EdgeRef back = b.cfg.backEdges[0];
+    b.plan.edgeActions[back.src][back.index].endAdd += 1;
+
+    DiagnosticList diagnostics;
+    EXPECT_FALSE(checkInstrumentationPlan(inputFor(b), diagnostics));
+    EXPECT_TRUE(hasError(diagnostics, "back-edge end/restart"))
+        << renderAll(diagnostics);
+}
+
+TEST(PlanCheck, RejectsWrongEdgeIncrement)
+{
+    // A single off-by-one increment must fail both the consistency
+    // check and the semantic replay.
+    Built b = build(test::figure1Program(), DagMode::HeaderSplit,
+                    NumberingScheme::BallLarus, PlacementKind::Direct);
+    bool tampered = false;
+    for (cfg::BlockId v = 0;
+         v < b.cfg.graph.numBlocks() && !tampered; ++v) {
+        for (std::uint32_t i = 0; i < b.plan.edgeActions[v].size();
+             ++i) {
+            if (!b.plan.edgeActions[v][i].endsPath) {
+                b.plan.edgeActions[v][i].increment += 1;
+                tampered = true;
+                break;
+            }
+        }
+    }
+    ASSERT_TRUE(tampered);
+
+    DiagnosticList diagnostics;
+    EXPECT_FALSE(checkInstrumentationPlan(inputFor(b), diagnostics));
+}
+
+TEST(PlanCheck, RejectsEnabledPlanAfterOverflow)
+{
+    Built b = build(test::figure1Program(), DagMode::HeaderSplit,
+                    NumberingScheme::BallLarus, PlacementKind::Direct);
+    b.numbering.overflow = true; // plan stays enabled: contradiction
+
+    DiagnosticList diagnostics;
+    EXPECT_FALSE(checkInstrumentationPlan(inputFor(b), diagnostics));
+    EXPECT_TRUE(hasError(diagnostics,
+                         "plan is enabled despite numbering overflow"))
+        << renderAll(diagnostics);
+}
+
+TEST(PlanCheck, ReportsMultipleViolationsAtOnce)
+{
+    // Diagnostics, not fail-fast: seed two independent bugs and expect
+    // both families of findings in one run.
+    Built b = build(test::figure1Program(), DagMode::HeaderSplit,
+                    NumberingScheme::BallLarus, PlacementKind::Direct);
+    const cfg::BlockId v = branchingDagNode(b);
+    ASSERT_NE(v, cfg::kInvalidBlock);
+    b.numbering.val[v][1] = b.numbering.val[v][0];
+    b.plan = profile::buildInstrumentationPlan(b.cfg, b.pdag,
+                                               b.numbering);
+
+    DiagnosticList diagnostics;
+    EXPECT_FALSE(checkInstrumentationPlan(inputFor(b), diagnostics));
+    EXPECT_TRUE(hasError(diagnostics, "duplicate path ids"));
+    // The semantic replay independently notices the id collision.
+    EXPECT_GE(diagnostics.errorCount(), 2u) << renderAll(diagnostics);
+}
+
+/** Replay machine with every method pinned at Opt2 (no inlining). */
+struct OptMachine
+{
+    explicit OptMachine(const bytecode::Program &program)
+        : machine(program, fastParams())
+    {
+        advice.finalLevel.assign(machine.numMethods(),
+                                 vm::OptLevel::Opt2);
+        advice.oneTimeEdges = machine.truthEdges();
+        machine.enableReplay(&advice);
+    }
+
+    static vm::SimParams
+    fastParams()
+    {
+        vm::SimParams params;
+        params.tickCycles = 100'000;
+        return params;
+    }
+
+    vm::ReplayAdvice advice;
+    vm::Machine machine;
+};
+
+TEST(PlanCheck, CrossValidatesAgainstInterpreterPathIds)
+{
+    // Run the real pipeline: optimized code instrumented by the
+    // ground-truth recorder. Every version's plan must pass the static
+    // checker, and every dynamically observed path id must fall inside
+    // the statically proven dense id space [0, totalPaths).
+    for (const bytecode::Program &program :
+         {test::simpleLoopProgram(), test::figure1Program(),
+          test::callSwitchProgram()}) {
+        OptMachine om(program);
+        core::FullPathProfiler truth(om.machine,
+                                     DagMode::HeaderSplit,
+                                     /*charge_costs=*/false);
+        om.machine.addHooks(&truth);
+        om.machine.addCompileObserver(&truth);
+        om.machine.runIteration();
+
+        ASSERT_FALSE(truth.versionProfiles().empty());
+        for (const auto &[key, vp] : truth.versionProfiles()) {
+            const core::MethodProfilingState &state = *vp.state;
+            const bytecode::MethodCfg &cfg =
+                om.machine.info(key.first).cfg;
+            const profile::DagEdgeFreqs freqs =
+                uniformFreqs(state.pdag.dag);
+
+            PlanCheckInput input;
+            input.cfg = &cfg;
+            input.pdag = &state.pdag;
+            input.numbering = &state.numbering;
+            input.plan = &state.plan;
+            input.placement = PlacementKind::Direct;
+            input.scheme = NumberingScheme::BallLarus;
+            input.freqs = &freqs;
+            input.methodName =
+                program.methods[key.first].name;
+
+            DiagnosticList diagnostics;
+            ASSERT_TRUE(
+                checkInstrumentationPlan(input, diagnostics))
+                << renderAll(diagnostics);
+
+            // The interpreter only ever produced ids the checker
+            // proved unique and dense.
+            EXPECT_GT(vp.paths.numDistinctPaths(), 0u);
+            for (const auto &[id, record] : vp.paths.paths()) {
+                EXPECT_LT(id, state.numbering.totalPaths);
+                (void)record;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace pep::analysis

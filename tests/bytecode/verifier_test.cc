@@ -253,6 +253,89 @@ TEST(Verifier, ErrorMentionsMethodAndPc)
     EXPECT_NE(r.error.find("pc 0"), std::string::npos);
 }
 
+TEST(Verifier, CollectsMultipleStructuralErrors)
+{
+    // Two independent bad branch targets: both must be reported, not
+    // just the first.
+    Program p = wrap(makeMethod({
+        op(Opcode::Iconst, 0),
+        op(Opcode::Ifeq, 99),
+        op(Opcode::Goto, -5),
+        op(Opcode::Return),
+    }));
+    const VerifyResult r = verifyProgram(p);
+    ASSERT_FALSE(r.ok);
+    ASSERT_GE(r.diagnostics.size(), 2u);
+
+    bool saw_pc1 = false, saw_pc2 = false;
+    for (const VerifyDiagnostic &d : r.diagnostics) {
+        saw_pc1 |= d.hasPc && d.pc == 1;
+        saw_pc2 |= d.hasPc && d.pc == 2;
+    }
+    EXPECT_TRUE(saw_pc1);
+    EXPECT_TRUE(saw_pc2);
+}
+
+TEST(Verifier, CollectsErrorsAcrossMethods)
+{
+    Method bad1 = makeMethod({op(Opcode::Goto, 99)});
+    bad1.name = "first";
+    Method bad2 = makeMethod({op(Opcode::Iadd),
+                              op(Opcode::Return)});
+    bad2.name = "second";
+    Method main = makeMethod({op(Opcode::Return)});
+    main.name = "main";
+    Program p;
+    p.methods.push_back(std::move(bad1));
+    p.methods.push_back(std::move(bad2));
+    p.methods.push_back(std::move(main));
+    p.mainMethod = 2;
+
+    const VerifyResult r = verifyProgram(p);
+    ASSERT_FALSE(r.ok);
+    bool saw_first = false, saw_second = false;
+    for (const VerifyDiagnostic &d : r.diagnostics) {
+        saw_first |= d.method == "first";
+        saw_second |= d.method == "second";
+    }
+    EXPECT_TRUE(saw_first);
+    EXPECT_TRUE(saw_second);
+}
+
+TEST(Verifier, ErrorIsFirstDiagnosticFormatted)
+{
+    Program p = wrap(makeMethod({op(Opcode::Goto, 99)}));
+    const VerifyResult r = verifyProgram(p);
+    ASSERT_FALSE(r.ok);
+    ASSERT_FALSE(r.diagnostics.empty());
+    EXPECT_EQ(r.error, formatVerifyDiagnostic(r.diagnostics.front()));
+}
+
+TEST(Verifier, StackWalkContinuesPastBrokenPc)
+{
+    // Two separate stack underflows on independent branches of a
+    // diamond: the walk stops *propagating* through each broken pc but
+    // still scans the rest of the worklist, so both are reported.
+    Program p = wrap(makeMethod({
+        op(Opcode::Iconst, 0), // 0
+        op(Opcode::Ifeq, 4),   // 1
+        op(Opcode::Iadd),      // 2: underflow (left arm)
+        op(Opcode::Return),    // 3
+        op(Opcode::Pop),       // 4: underflow (right arm)
+        op(Opcode::Return),    // 5
+    }));
+    const VerifyResult r = verifyProgram(p);
+    ASSERT_FALSE(r.ok);
+
+    bool saw_left = false, saw_right = false;
+    for (const VerifyDiagnostic &d : r.diagnostics) {
+        saw_left |= d.hasPc && d.pc == 2;
+        saw_right |= d.hasPc && d.pc == 4;
+    }
+    EXPECT_TRUE(saw_left);
+    EXPECT_TRUE(saw_right);
+}
+
 TEST(Verifier, UnreachableCodeIsToleratedStructurally)
 {
     // Dead code after an unconditional goto still must satisfy
