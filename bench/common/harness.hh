@@ -18,8 +18,11 @@
  * runs. Set PEP_BENCH_ONLY=<name> to run a single benchmark.
  */
 
+#include <cstddef>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/baseline_profilers.hh"
@@ -28,6 +31,7 @@
 #include "metrics/overlap.hh"
 #include "metrics/path_accuracy.hh"
 #include "vm/machine.hh"
+#include "workload/parallel_runner.hh"
 #include "workload/suite.hh"
 
 namespace pep::bench {
@@ -106,6 +110,31 @@ class ReplayRun
 
 /** Copies of all method CFGs (metrics helpers need them). */
 std::vector<bytecode::MethodCfg> allCfgs(const vm::Machine &machine);
+
+/**
+ * Evaluate fn over every suite entry, fanned out over the cores
+ * (PEP_BENCH_THREADS overrides the worker count; 1 runs serially),
+ * and return the results in suite order. Each call of fn builds its
+ * own Machines and shares nothing, so the output a caller renders from
+ * the returned vector is byte-identical to running the loop serially.
+ */
+template <typename Fn>
+auto
+mapSuite(const std::vector<workload::WorkloadSpec> &suite, Fn &&fn)
+    -> std::vector<decltype(fn(suite[0]))>
+{
+    using Result = decltype(fn(suite[0]));
+    std::vector<std::optional<Result>> slots(suite.size());
+    const workload::ParallelRunner runner;
+    runner.run(suite.size(), [&](std::size_t i) {
+        slots[i].emplace(fn(suite[i]));
+    });
+    std::vector<Result> results;
+    results.reserve(slots.size());
+    for (std::optional<Result> &slot : slots)
+        results.push_back(std::move(*slot));
+    return results;
+}
 
 /** Profiles collected by one accuracy measurement run. */
 struct AccuracyResult

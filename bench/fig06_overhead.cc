@@ -60,27 +60,42 @@ main()
 
     std::vector<std::vector<double>> ratios(configs.size());
 
-    for (const workload::WorkloadSpec &spec : bench::benchSuite()) {
-        const bench::Prepared prepared = bench::prepare(spec, params);
+    struct BenchRow
+    {
+        std::vector<std::string> cells;
+        std::vector<double> ratios;
+    };
+    const std::vector<BenchRow> rows = bench::mapSuite(
+        bench::benchSuite(),
+        [&](const workload::WorkloadSpec &spec) {
+            const bench::Prepared prepared =
+                bench::prepare(spec, params);
 
-        bench::ReplayRun base_run(prepared, params);
-        const double base =
-            static_cast<double>(base_run.runStandard());
+            bench::ReplayRun base_run(prepared, params);
+            const double base =
+                static_cast<double>(base_run.runStandard());
 
-        std::vector<std::string> row = {
-            spec.name,
-            support::formatFixed(base / 1e6, 1),
-        };
-        for (std::size_t c = 0; c < configs.size(); ++c) {
-            bench::ReplayRun run(prepared, params);
-            run.attachPep(makeController(configs[c]));
-            const double cycles =
-                static_cast<double>(run.runStandard());
-            const double ratio = cycles / base;
-            ratios[c].push_back(ratio);
-            row.push_back(support::formatFixed(ratio, 4));
-        }
-        table.row(std::move(row));
+            BenchRow result;
+            result.cells = {
+                spec.name,
+                support::formatFixed(base / 1e6, 1),
+            };
+            for (const Config &config : configs) {
+                bench::ReplayRun run(prepared, params);
+                run.attachPep(makeController(config));
+                const double cycles =
+                    static_cast<double>(run.runStandard());
+                const double ratio = cycles / base;
+                result.ratios.push_back(ratio);
+                result.cells.push_back(
+                    support::formatFixed(ratio, 4));
+            }
+            return result;
+        });
+    for (const BenchRow &result : rows) {
+        for (std::size_t c = 0; c < configs.size(); ++c)
+            ratios[c].push_back(result.ratios[c]);
+        table.row(std::vector<std::string>(result.cells));
     }
 
     table.separator();

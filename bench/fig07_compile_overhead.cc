@@ -31,27 +31,42 @@ main()
 
     std::vector<double> ratios;
 
-    for (const workload::WorkloadSpec &spec : bench::benchSuite()) {
-        const bench::Prepared prepared = bench::prepare(spec, params);
+    struct BenchRow
+    {
+        std::vector<std::string> cells;
+        double ratio = 0.0;
+    };
+    const std::vector<BenchRow> rows = bench::mapSuite(
+        bench::benchSuite(),
+        [&](const workload::WorkloadSpec &spec) {
+            const bench::Prepared prepared =
+                bench::prepare(spec, params);
 
-        bench::ReplayRun base_run(prepared, params);
-        const double base =
-            static_cast<double>(base_run.runCompileIteration());
-        const double compile_frac =
-            static_cast<double>(base_run.machine().stats().compileCycles) /
-            base;
+            bench::ReplayRun base_run(prepared, params);
+            const double base =
+                static_cast<double>(base_run.runCompileIteration());
+            const double compile_frac =
+                static_cast<double>(
+                    base_run.machine().stats().compileCycles) /
+                base;
 
-        bench::ReplayRun pep_run(prepared, params);
-        pep_run.attachPep(
-            std::make_unique<core::SimplifiedArnoldGrove>(64, 17));
-        const double with_pep =
-            static_cast<double>(pep_run.runCompileIteration());
+            bench::ReplayRun pep_run(prepared, params);
+            pep_run.attachPep(
+                std::make_unique<core::SimplifiedArnoldGrove>(64, 17));
+            const double with_pep =
+                static_cast<double>(pep_run.runCompileIteration());
 
-        const double ratio = with_pep / base;
-        ratios.push_back(ratio);
-        table.row({spec.name, support::formatFixed(base / 1e6, 1),
-                   bench::pct(compile_frac),
-                   support::formatFixed(ratio, 4)});
+            BenchRow result;
+            result.ratio = with_pep / base;
+            result.cells = {spec.name,
+                            support::formatFixed(base / 1e6, 1),
+                            bench::pct(compile_frac),
+                            support::formatFixed(result.ratio, 4)};
+            return result;
+        });
+    for (const BenchRow &result : rows) {
+        ratios.push_back(result.ratio);
+        table.row(std::vector<std::string>(result.cells));
     }
 
     table.separator();

@@ -51,20 +51,35 @@ main()
 
     std::vector<std::vector<double>> accuracy(configs.size());
 
-    for (const workload::WorkloadSpec &spec : bench::benchSuite()) {
-        const bench::Prepared prepared = bench::prepare(spec, params);
-        std::vector<std::string> row = {spec.name, "?"};
-        for (std::size_t c = 0; c < configs.size(); ++c) {
-            const bench::AccuracyResult result = bench::runAccuracy(
-                prepared, params, configs[c].samples,
-                configs[c].stride, configs[c].fullAg);
-            const metrics::WallAccuracy wall = metrics::wallPathAccuracy(
-                result.truthPaths, result.pepPaths);
-            accuracy[c].push_back(wall.accuracy);
-            row.push_back(bench::pct(wall.accuracy));
-            row[1] = std::to_string(wall.numHotPaths);
-        }
-        table.row(std::move(row));
+    struct BenchRow
+    {
+        std::vector<std::string> cells;
+        std::vector<double> accuracy;
+    };
+    const std::vector<BenchRow> rows = bench::mapSuite(
+        bench::benchSuite(),
+        [&](const workload::WorkloadSpec &spec) {
+            const bench::Prepared prepared =
+                bench::prepare(spec, params);
+            BenchRow result;
+            result.cells = {spec.name, "?"};
+            for (const Config &config : configs) {
+                const bench::AccuracyResult run = bench::runAccuracy(
+                    prepared, params, config.samples, config.stride,
+                    config.fullAg);
+                const metrics::WallAccuracy wall =
+                    metrics::wallPathAccuracy(run.truthPaths,
+                                              run.pepPaths);
+                result.accuracy.push_back(wall.accuracy);
+                result.cells.push_back(bench::pct(wall.accuracy));
+                result.cells[1] = std::to_string(wall.numHotPaths);
+            }
+            return result;
+        });
+    for (const BenchRow &result : rows) {
+        for (std::size_t c = 0; c < configs.size(); ++c)
+            accuracy[c].push_back(result.accuracy[c]);
+        table.row(std::vector<std::string>(result.cells));
     }
 
     table.separator();

@@ -55,24 +55,40 @@ main()
     std::vector<std::vector<double>> accuracy(configs.size());
     std::vector<double> vs_edge_instr;
 
-    for (const workload::WorkloadSpec &spec : bench::benchSuite()) {
-        const bench::Prepared prepared = bench::prepare(spec, params);
-        std::vector<std::string> row = {spec.name};
-        for (std::size_t c = 0; c < configs.size(); ++c) {
-            const bench::AccuracyResult result = bench::runAccuracy(
-                prepared, params, configs[c].samples,
-                configs[c].stride, configs[c].fullAg);
-            const double overlap = metrics::relativeOverlap(
-                result.cfgs, result.perfectEdges, result.pepEdges);
-            accuracy[c].push_back(overlap);
-            row.push_back(bench::pct(overlap));
-            if (configs[c].label == "PEP(64,17)") {
-                vs_edge_instr.push_back(metrics::relativeOverlap(
-                    result.cfgs, result.instrEdges, result.pepEdges));
+    struct BenchRow
+    {
+        std::vector<std::string> cells;
+        std::vector<double> accuracy;
+        double vsEdgeInstr = 0.0;
+    };
+    const std::vector<BenchRow> rows = bench::mapSuite(
+        bench::benchSuite(),
+        [&](const workload::WorkloadSpec &spec) {
+            const bench::Prepared prepared =
+                bench::prepare(spec, params);
+            BenchRow result;
+            result.cells = {spec.name};
+            for (const Config &config : configs) {
+                const bench::AccuracyResult run = bench::runAccuracy(
+                    prepared, params, config.samples, config.stride,
+                    config.fullAg);
+                const double overlap = metrics::relativeOverlap(
+                    run.cfgs, run.perfectEdges, run.pepEdges);
+                result.accuracy.push_back(overlap);
+                result.cells.push_back(bench::pct(overlap));
+                if (config.label == "PEP(64,17)") {
+                    result.vsEdgeInstr = metrics::relativeOverlap(
+                        run.cfgs, run.instrEdges, run.pepEdges);
+                }
             }
-        }
-        row.push_back(bench::pct(vs_edge_instr.back()));
-        table.row(std::move(row));
+            result.cells.push_back(bench::pct(result.vsEdgeInstr));
+            return result;
+        });
+    for (const BenchRow &result : rows) {
+        for (std::size_t c = 0; c < configs.size(); ++c)
+            accuracy[c].push_back(result.accuracy[c]);
+        vs_edge_instr.push_back(result.vsEdgeInstr);
+        table.row(std::vector<std::string>(result.cells));
     }
 
     table.separator();

@@ -49,47 +49,65 @@ main()
     std::vector<double> continuous_ratios;
     std::vector<double> flipped_ratios;
 
-    for (const workload::WorkloadSpec &spec : bench::benchSuite()) {
-        const bench::Prepared prepared = bench::prepare(spec, params);
+    struct BenchRow
+    {
+        std::vector<std::string> cells;
+        double continuousRatio = 0.0;
+        double flippedRatio = 0.0;
+    };
+    const std::vector<BenchRow> rows = bench::mapSuite(
+        bench::benchSuite(),
+        [&](const workload::WorkloadSpec &spec) {
+            const bench::Prepared prepared =
+                bench::prepare(spec, params);
 
-        // Perfect continuous profile (from an identical prior run) and
-        // its flipped counterpart.
-        const profile::EdgeProfileSet perfect =
-            perfectProfileOf(prepared, params);
+            // Perfect continuous profile (from an identical prior
+            // run) and its flipped counterpart.
+            const profile::EdgeProfileSet perfect =
+                perfectProfileOf(prepared, params);
 
-        // One-time: the default layout source (baseline profile).
-        bench::ReplayRun onetime_run(prepared, params);
-        const double onetime =
-            static_cast<double>(onetime_run.runStandard());
+            // One-time: the default layout source (baseline profile).
+            bench::ReplayRun onetime_run(prepared, params);
+            const double onetime =
+                static_cast<double>(onetime_run.runStandard());
 
-        // Continuous: layout driven by the perfect whole-run profile.
-        vm::FixedLayoutSource continuous_source(perfect);
-        bench::ReplayRun continuous_run(prepared, params);
-        continuous_run.setLayoutSource(&continuous_source);
-        const double continuous =
-            static_cast<double>(continuous_run.runStandard());
+            // Continuous: layout driven by the perfect whole-run
+            // profile.
+            vm::FixedLayoutSource continuous_source(perfect);
+            bench::ReplayRun continuous_run(prepared, params);
+            continuous_run.setLayoutSource(&continuous_source);
+            const double continuous =
+                static_cast<double>(continuous_run.runStandard());
 
-        // Flipped: every branch bias inverted.
-        profile::EdgeProfileSet flipped = perfect;
-        {
-            bench::ReplayRun probe(prepared, params);
-            const auto cfgs = bench::allCfgs(probe.machine());
-            for (std::size_t m = 0; m < cfgs.size(); ++m) {
-                flipped.perMethod[m] =
-                    flipped.perMethod[m].flipped(cfgs[m]);
+            // Flipped: every branch bias inverted.
+            profile::EdgeProfileSet flipped = perfect;
+            {
+                bench::ReplayRun probe(prepared, params);
+                const auto cfgs = bench::allCfgs(probe.machine());
+                for (std::size_t m = 0; m < cfgs.size(); ++m) {
+                    flipped.perMethod[m] =
+                        flipped.perMethod[m].flipped(cfgs[m]);
+                }
             }
-        }
-        vm::FixedLayoutSource flipped_source(std::move(flipped));
-        bench::ReplayRun flipped_run(prepared, params);
-        flipped_run.setLayoutSource(&flipped_source);
-        const double flipped_cycles =
-            static_cast<double>(flipped_run.runStandard());
+            vm::FixedLayoutSource flipped_source(std::move(flipped));
+            bench::ReplayRun flipped_run(prepared, params);
+            flipped_run.setLayoutSource(&flipped_source);
+            const double flipped_cycles =
+                static_cast<double>(flipped_run.runStandard());
 
-        continuous_ratios.push_back(continuous / onetime);
-        flipped_ratios.push_back(flipped_cycles / onetime);
-        table.row({spec.name, support::formatFixed(onetime / 1e6, 1),
-                   support::formatFixed(continuous / onetime, 4),
-                   support::formatFixed(flipped_cycles / onetime, 4)});
+            BenchRow result;
+            result.continuousRatio = continuous / onetime;
+            result.flippedRatio = flipped_cycles / onetime;
+            result.cells = {
+                spec.name, support::formatFixed(onetime / 1e6, 1),
+                support::formatFixed(continuous / onetime, 4),
+                support::formatFixed(flipped_cycles / onetime, 4)};
+            return result;
+        });
+    for (const BenchRow &result : rows) {
+        continuous_ratios.push_back(result.continuousRatio);
+        flipped_ratios.push_back(result.flippedRatio);
+        table.row(std::vector<std::string>(result.cells));
     }
 
     table.separator();

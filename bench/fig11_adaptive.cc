@@ -36,47 +36,59 @@ main()
     // median over several trials with varied input seeds.
     constexpr int kTrials = 7;
 
-    for (const workload::WorkloadSpec &spec : bench::benchSuite()) {
-        const bytecode::Program program =
-            workload::generateWorkload(spec);
+    struct BenchRow
+    {
+        std::vector<std::string> cells;
+        double ratio = 0.0;
+    };
+    const std::vector<BenchRow> rows = bench::mapSuite(
+        bench::benchSuite(),
+        [&](const workload::WorkloadSpec &spec) {
+            const bytecode::Program program =
+                workload::generateWorkload(spec);
 
-        std::vector<double> trial_ratios;
-        double base_mcycles = 0;
-        for (int trial = 0; trial < kTrials; ++trial) {
-            vm::SimParams trial_params = params;
-            trial_params.rngSeed =
-                params.rngSeed + static_cast<std::uint64_t>(trial);
+            std::vector<double> trial_ratios;
+            double base_mcycles = 0;
+            for (int trial = 0; trial < kTrials; ++trial) {
+                vm::SimParams trial_params = params;
+                trial_params.rngSeed =
+                    params.rngSeed + static_cast<std::uint64_t>(trial);
 
-            // Base: plain adaptive run.
-            double base_cycles = 0;
-            {
-                vm::Machine machine(program, trial_params);
-                base_cycles =
-                    static_cast<double>(machine.runIteration());
+                // Base: plain adaptive run.
+                double base_cycles = 0;
+                {
+                    vm::Machine machine(program, trial_params);
+                    base_cycles =
+                        static_cast<double>(machine.runIteration());
+                }
+
+                // PEP collects profiles *and* drives optimization.
+                double pep_cycles = 0;
+                {
+                    vm::Machine machine(program, trial_params);
+                    core::SimplifiedArnoldGrove controller(64, 17);
+                    core::PepProfiler pep(machine, controller);
+                    machine.addHooks(&pep);
+                    machine.addCompileObserver(&pep);
+                    machine.setLayoutSource(&pep);
+                    pep_cycles =
+                        static_cast<double>(machine.runIteration());
+                }
+
+                trial_ratios.push_back(pep_cycles / base_cycles);
+                base_mcycles = base_cycles / 1e6;
             }
 
-            // PEP collects profiles *and* drives optimization.
-            double pep_cycles = 0;
-            {
-                vm::Machine machine(program, trial_params);
-                core::SimplifiedArnoldGrove controller(64, 17);
-                core::PepProfiler pep(machine, controller);
-                machine.addHooks(&pep);
-                machine.addCompileObserver(&pep);
-                machine.setLayoutSource(&pep);
-                pep_cycles =
-                    static_cast<double>(machine.runIteration());
-            }
-
-            trial_ratios.push_back(pep_cycles / base_cycles);
-            base_mcycles = base_cycles / 1e6;
-        }
-
-        const double ratio = support::median(trial_ratios);
-        ratios.push_back(ratio);
-        table.row({spec.name,
-                   support::formatFixed(base_mcycles, 1),
-                   support::formatFixed(ratio, 4)});
+            BenchRow result;
+            result.ratio = support::median(trial_ratios);
+            result.cells = {spec.name,
+                            support::formatFixed(base_mcycles, 1),
+                            support::formatFixed(result.ratio, 4)};
+            return result;
+        });
+    for (const BenchRow &result : rows) {
+        ratios.push_back(result.ratio);
+        table.row(std::vector<std::string>(result.cells));
     }
 
     table.separator();

@@ -35,18 +35,32 @@ main()
 
     std::vector<std::vector<double>> overlaps(sample_configs.size());
 
-    for (const workload::WorkloadSpec &spec : bench::benchSuite()) {
-        const bench::Prepared prepared = bench::prepare(spec, params);
-        std::vector<std::string> row = {spec.name};
-        for (std::size_t c = 0; c < sample_configs.size(); ++c) {
-            const bench::AccuracyResult result = bench::runAccuracy(
-                prepared, params, sample_configs[c], 17);
-            const double overlap = metrics::absoluteOverlap(
-                result.perfectEdges, result.pepEdges);
-            overlaps[c].push_back(overlap);
-            row.push_back(bench::pct(overlap));
-        }
-        table.row(std::move(row));
+    struct BenchRow
+    {
+        std::vector<std::string> cells;
+        std::vector<double> overlaps;
+    };
+    const std::vector<BenchRow> rows = bench::mapSuite(
+        bench::benchSuite(),
+        [&](const workload::WorkloadSpec &spec) {
+            const bench::Prepared prepared =
+                bench::prepare(spec, params);
+            BenchRow result;
+            result.cells = {spec.name};
+            for (std::uint32_t samples : sample_configs) {
+                const bench::AccuracyResult run =
+                    bench::runAccuracy(prepared, params, samples, 17);
+                const double overlap = metrics::absoluteOverlap(
+                    run.perfectEdges, run.pepEdges);
+                result.overlaps.push_back(overlap);
+                result.cells.push_back(bench::pct(overlap));
+            }
+            return result;
+        });
+    for (const BenchRow &result : rows) {
+        for (std::size_t c = 0; c < sample_configs.size(); ++c)
+            overlaps[c].push_back(result.overlaps[c]);
+        table.row(std::vector<std::string>(result.cells));
     }
 
     table.separator();

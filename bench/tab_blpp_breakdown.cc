@@ -39,49 +39,69 @@ main()
     std::vector<double> instr_ratios;
     std::vector<double> store_fracs;
 
-    for (const workload::WorkloadSpec &spec : bench::benchSuite()) {
-        const bench::Prepared prepared = bench::prepare(spec, params);
+    struct BenchRow
+    {
+        std::vector<std::string> cells;
+        double blppRatio = 0.0;
+        double edgeRatio = 0.0;
+        double instrRatio = 0.0;
+        double storeFrac = 0.0;
+    };
+    const std::vector<BenchRow> rows = bench::mapSuite(
+        bench::benchSuite(),
+        [&](const workload::WorkloadSpec &spec) {
+            const bench::Prepared prepared =
+                bench::prepare(spec, params);
 
-        bench::ReplayRun base_run(prepared, params);
-        const double base =
-            static_cast<double>(base_run.runStandard());
+            bench::ReplayRun base_run(prepared, params);
+            const double base =
+                static_cast<double>(base_run.runStandard());
 
-        // Classic BLPP: back-edge truncation, Ball-Larus numbering,
-        // array store at every path end.
-        bench::ReplayRun blpp_run(prepared, params);
-        blpp_run.attachFullPath(profile::DagMode::BackEdgeTruncate,
-                                /*charge_costs=*/true,
-                                core::PathStoreKind::Array);
-        const double blpp =
-            static_cast<double>(blpp_run.runStandard());
+            // Classic BLPP: back-edge truncation, Ball-Larus
+            // numbering, array store at every path end.
+            bench::ReplayRun blpp_run(prepared, params);
+            blpp_run.attachFullPath(profile::DagMode::BackEdgeTruncate,
+                                    /*charge_costs=*/true,
+                                    core::PathStoreKind::Array);
+            const double blpp =
+                static_cast<double>(blpp_run.runStandard());
 
-        bench::ReplayRun edge_run(prepared, params);
-        edge_run.attachInstrEdge(/*charge_costs=*/true);
-        const double edge =
-            static_cast<double>(edge_run.runStandard());
+            bench::ReplayRun edge_run(prepared, params);
+            edge_run.attachInstrEdge(/*charge_costs=*/true);
+            const double edge =
+                static_cast<double>(edge_run.runStandard());
 
-        // Register ops only: the same BLPP instrumentation with the
-        // store suppressed — i.e., PEP's instrumentation.
-        bench::ReplayRun instr_run(prepared, params);
-        instr_run.attachPep(std::make_unique<core::NeverSample>());
-        const double instr =
-            static_cast<double>(instr_run.runStandard());
+            // Register ops only: the same BLPP instrumentation with
+            // the store suppressed — i.e., PEP's instrumentation.
+            bench::ReplayRun instr_run(prepared, params);
+            instr_run.attachPep(std::make_unique<core::NeverSample>());
+            const double instr =
+                static_cast<double>(instr_run.runStandard());
 
-        const double blpp_overhead = blpp - base;
-        const double instr_overhead = instr - base;
-        const double store_frac =
-            blpp_overhead > 0.0
-                ? (blpp_overhead - instr_overhead) / blpp_overhead
-                : 0.0;
+            const double blpp_overhead = blpp - base;
+            const double instr_overhead = instr - base;
 
-        blpp_ratios.push_back(blpp / base);
-        edge_ratios.push_back(edge / base);
-        instr_ratios.push_back(instr / base);
-        store_fracs.push_back(store_frac);
-        table.row({spec.name, bench::overheadPct(blpp / base),
-                   bench::overheadPct(edge / base),
-                   bench::overheadPct(instr / base),
-                   bench::pct(store_frac)});
+            BenchRow result;
+            result.blppRatio = blpp / base;
+            result.edgeRatio = edge / base;
+            result.instrRatio = instr / base;
+            result.storeFrac =
+                blpp_overhead > 0.0
+                    ? (blpp_overhead - instr_overhead) / blpp_overhead
+                    : 0.0;
+            result.cells = {spec.name,
+                            bench::overheadPct(result.blppRatio),
+                            bench::overheadPct(result.edgeRatio),
+                            bench::overheadPct(result.instrRatio),
+                            bench::pct(result.storeFrac)};
+            return result;
+        });
+    for (const BenchRow &result : rows) {
+        blpp_ratios.push_back(result.blppRatio);
+        edge_ratios.push_back(result.edgeRatio);
+        instr_ratios.push_back(result.instrRatio);
+        store_fracs.push_back(result.storeFrac);
+        table.row(std::vector<std::string>(result.cells));
     }
 
     table.separator();

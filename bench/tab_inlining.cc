@@ -39,51 +39,68 @@ main()
     std::vector<double> acc_inlined;
     std::vector<double> acc_base;
 
-    for (const workload::WorkloadSpec &spec : bench::benchSuite()) {
-        const bench::Prepared prepared =
-            bench::prepare(spec, base_params);
+    struct BenchRow
+    {
+        std::vector<std::string> cells;
+        double speedup = 0.0;
+        double accInlined = 0.0;
+        double accBase = 0.0;
+    };
+    const std::vector<BenchRow> rows = bench::mapSuite(
+        bench::benchSuite(),
+        [&](const workload::WorkloadSpec &spec) {
+            const bench::Prepared prepared =
+                bench::prepare(spec, base_params);
 
-        // Execution effect, without profilers.
-        bench::ReplayRun plain(prepared, base_params);
-        const double base_cycles =
-            static_cast<double>(plain.runStandard());
-        bench::ReplayRun inlined(prepared, inline_params);
-        const double inlined_cycles =
-            static_cast<double>(inlined.runStandard());
+            // Execution effect, without profilers.
+            bench::ReplayRun plain(prepared, base_params);
+            const double base_cycles =
+                static_cast<double>(plain.runStandard());
+            bench::ReplayRun inlined(prepared, inline_params);
+            const double inlined_cycles =
+                static_cast<double>(inlined.runStandard());
 
-        std::size_t sites = 0;
-        for (std::size_t m = 0; m < inlined.machine().numMethods();
-             ++m) {
-            const vm::CompiledMethod *cm =
-                inlined.machine().currentVersion(
-                    static_cast<bytecode::MethodId>(m));
-            if (cm && cm->inlinedBody)
-                sites += cm->inlinedBody->inlinedSites;
-        }
+            std::size_t sites = 0;
+            for (std::size_t m = 0;
+                 m < inlined.machine().numMethods(); ++m) {
+                const vm::CompiledMethod *cm =
+                    inlined.machine().currentVersion(
+                        static_cast<bytecode::MethodId>(m));
+                if (cm && cm->inlinedBody)
+                    sites += cm->inlinedBody->inlinedSites;
+            }
 
-        // PEP accuracy with and without inlining.
-        auto pep_accuracy = [&](const vm::SimParams &params) {
-            bench::ReplayRun run(prepared, params);
-            core::PepProfiler &pep = run.attachPep(
-                std::make_unique<core::SimplifiedArnoldGrove>(64, 17));
-            run.runCompileIteration();
-            run.clearCollectedProfiles();
-            run.runMeasuredIteration();
-            return metrics::relativeOverlap(
-                bench::allCfgs(run.machine()),
-                run.machine().truthEdges(), pep.edgeProfile());
-        };
-        const double acc_with = pep_accuracy(inline_params);
-        const double acc_without = pep_accuracy(base_params);
+            // PEP accuracy with and without inlining.
+            auto pep_accuracy = [&](const vm::SimParams &params) {
+                bench::ReplayRun run(prepared, params);
+                core::PepProfiler &pep = run.attachPep(
+                    std::make_unique<core::SimplifiedArnoldGrove>(
+                        64, 17));
+                run.runCompileIteration();
+                run.clearCollectedProfiles();
+                run.runMeasuredIteration();
+                return metrics::relativeOverlap(
+                    bench::allCfgs(run.machine()),
+                    run.machine().truthEdges(), pep.edgeProfile());
+            };
 
-        speedups.push_back(base_cycles / inlined_cycles);
-        acc_inlined.push_back(acc_with);
-        acc_base.push_back(acc_without);
-        table.row({spec.name,
-                   support::formatFixed(base_cycles / inlined_cycles,
-                                        4),
-                   bench::pct(acc_with), bench::pct(acc_without),
-                   std::to_string(sites)});
+            BenchRow result;
+            result.speedup = base_cycles / inlined_cycles;
+            result.accInlined = pep_accuracy(inline_params);
+            result.accBase = pep_accuracy(base_params);
+            result.cells = {
+                spec.name,
+                support::formatFixed(result.speedup, 4),
+                bench::pct(result.accInlined),
+                bench::pct(result.accBase),
+                std::to_string(sites)};
+            return result;
+        });
+    for (const BenchRow &result : rows) {
+        speedups.push_back(result.speedup);
+        acc_inlined.push_back(result.accInlined);
+        acc_base.push_back(result.accBase);
+        table.row(std::vector<std::string>(result.cells));
     }
 
     table.separator();

@@ -27,21 +27,34 @@ main()
 
     std::vector<double> overlaps;
 
-    for (const workload::WorkloadSpec &spec : bench::benchSuite()) {
-        const bench::Prepared prepared = bench::prepare(spec, params);
+    struct BenchRow
+    {
+        std::vector<std::string> cells;
+        double overlap = 0.0;
+    };
+    const std::vector<BenchRow> rows = bench::mapSuite(
+        bench::benchSuite(),
+        [&](const workload::WorkloadSpec &spec) {
+            const bench::Prepared prepared =
+                bench::prepare(spec, params);
 
-        // Whole-run ground truth from a full replay run.
-        bench::ReplayRun run(prepared, params);
-        run.runCompileIteration();
-        run.machine().clearTruth();
-        run.runMeasuredIteration();
+            // Whole-run ground truth from a full replay run.
+            bench::ReplayRun run(prepared, params);
+            run.runCompileIteration();
+            run.machine().clearTruth();
+            run.runMeasuredIteration();
 
-        const double overlap = metrics::relativeOverlap(
-            bench::allCfgs(run.machine()),
-            run.machine().truthEdges(),
-            prepared.advice.oneTimeEdges);
-        overlaps.push_back(overlap);
-        table.row({spec.name, bench::pct(overlap)});
+            BenchRow result;
+            result.overlap = metrics::relativeOverlap(
+                bench::allCfgs(run.machine()),
+                run.machine().truthEdges(),
+                prepared.advice.oneTimeEdges);
+            result.cells = {spec.name, bench::pct(result.overlap)};
+            return result;
+        });
+    for (const BenchRow &result : rows) {
+        overlaps.push_back(result.overlap);
+        table.row(std::vector<std::string>(result.cells));
     }
 
     table.separator();

@@ -61,51 +61,71 @@ main()
             .accuracy;
     };
 
-    for (const workload::WorkloadSpec &spec : bench::benchSuite()) {
-        const bench::Prepared prepared = bench::prepare(spec, params);
+    struct BenchRow
+    {
+        std::vector<std::string> cells;
+        double agreement = 0.0;
+        double pathRatio = 0.0;
+        double headerAcc = 0.0;
+        double backAcc = 0.0;
+    };
+    const std::vector<BenchRow> rows = bench::mapSuite(
+        bench::benchSuite(),
+        [&](const workload::WorkloadSpec &spec) {
+            const bench::Prepared prepared =
+                bench::prepare(spec, params);
 
-        bench::ReplayRun run(prepared, params);
-        core::FullPathProfiler &header_truth = run.attachFullPath(
-            profile::DagMode::HeaderSplit, /*charge_costs=*/false);
-        core::FullPathProfiler &back_truth = run.attachFullPath(
-            profile::DagMode::BackEdgeTruncate, /*charge_costs=*/false);
-        run.runCompileIteration();
-        run.clearCollectedProfiles();
-        run.runMeasuredIteration();
+            bench::ReplayRun run(prepared, params);
+            core::FullPathProfiler &header_truth = run.attachFullPath(
+                profile::DagMode::HeaderSplit, /*charge_costs=*/false);
+            core::FullPathProfiler &back_truth = run.attachFullPath(
+                profile::DagMode::BackEdgeTruncate,
+                /*charge_costs=*/false);
+            run.runCompileIteration();
+            run.clearCollectedProfiles();
+            run.runMeasuredIteration();
 
-        metrics::CanonicalPathProfile header_paths =
-            metrics::canonicalize(header_truth);
-        metrics::CanonicalPathProfile back_paths =
-            metrics::canonicalize(back_truth);
+            metrics::CanonicalPathProfile header_paths =
+                metrics::canonicalize(header_truth);
+            metrics::CanonicalPathProfile back_paths =
+                metrics::canonicalize(back_truth);
 
-        const metrics::WallAccuracy hot_header =
-            metrics::wallPathAccuracy(header_paths, header_paths);
-        const metrics::WallAccuracy hot_back =
-            metrics::wallPathAccuracy(back_paths, back_paths);
+            const metrics::WallAccuracy hot_header =
+                metrics::wallPathAccuracy(header_paths, header_paths);
+            const metrics::WallAccuracy hot_back =
+                metrics::wallPathAccuracy(back_paths, back_paths);
 
-        const profile::EdgeProfileSet header_edges =
-            core::edgeProfileFromPaths(run.machine(), header_truth);
-        const profile::EdgeProfileSet back_edges =
-            core::edgeProfileFromPaths(run.machine(), back_truth);
-        const auto cfgs = bench::allCfgs(run.machine());
-        const double agreement =
-            metrics::relativeOverlap(cfgs, header_edges, back_edges);
+            const profile::EdgeProfileSet header_edges =
+                core::edgeProfileFromPaths(run.machine(),
+                                           header_truth);
+            const profile::EdgeProfileSet back_edges =
+                core::edgeProfileFromPaths(run.machine(), back_truth);
+            const auto cfgs = bench::allCfgs(run.machine());
 
-        agreements.push_back(agreement);
-        path_ratio.push_back(
-            static_cast<double>(header_paths.paths.size()) /
-            static_cast<double>(back_paths.paths.size()));
-        pep_header_acc.push_back(sampled_accuracy(prepared, false));
-        pep_back_acc.push_back(sampled_accuracy(prepared, true));
-
-        table.row({spec.name,
-                   std::to_string(header_paths.paths.size()),
-                   std::to_string(back_paths.paths.size()),
-                   std::to_string(hot_header.numHotPaths),
-                   std::to_string(hot_back.numHotPaths),
-                   bench::pct(agreement, 2),
-                   bench::pct(pep_header_acc.back()),
-                   bench::pct(pep_back_acc.back())});
+            BenchRow result;
+            result.agreement = metrics::relativeOverlap(
+                cfgs, header_edges, back_edges);
+            result.pathRatio =
+                static_cast<double>(header_paths.paths.size()) /
+                static_cast<double>(back_paths.paths.size());
+            result.headerAcc = sampled_accuracy(prepared, false);
+            result.backAcc = sampled_accuracy(prepared, true);
+            result.cells = {spec.name,
+                            std::to_string(header_paths.paths.size()),
+                            std::to_string(back_paths.paths.size()),
+                            std::to_string(hot_header.numHotPaths),
+                            std::to_string(hot_back.numHotPaths),
+                            bench::pct(result.agreement, 2),
+                            bench::pct(result.headerAcc),
+                            bench::pct(result.backAcc)};
+            return result;
+        });
+    for (const BenchRow &result : rows) {
+        agreements.push_back(result.agreement);
+        path_ratio.push_back(result.pathRatio);
+        pep_header_acc.push_back(result.headerAcc);
+        pep_back_acc.push_back(result.backAcc);
+        table.row(std::vector<std::string>(result.cells));
     }
 
     table.separator();

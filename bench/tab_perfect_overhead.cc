@@ -30,29 +30,46 @@ main()
     std::vector<double> path_ratios;
     std::vector<double> edge_ratios;
 
-    for (const workload::WorkloadSpec &spec : bench::benchSuite()) {
-        const bench::Prepared prepared = bench::prepare(spec, params);
+    struct BenchRow
+    {
+        std::vector<std::string> cells;
+        double pathRatio = 0.0;
+        double edgeRatio = 0.0;
+    };
+    const std::vector<BenchRow> rows = bench::mapSuite(
+        bench::benchSuite(),
+        [&](const workload::WorkloadSpec &spec) {
+            const bench::Prepared prepared =
+                bench::prepare(spec, params);
 
-        bench::ReplayRun base_run(prepared, params);
-        const double base =
-            static_cast<double>(base_run.runStandard());
+            bench::ReplayRun base_run(prepared, params);
+            const double base =
+                static_cast<double>(base_run.runStandard());
 
-        bench::ReplayRun path_run(prepared, params);
-        path_run.attachFullPath(profile::DagMode::HeaderSplit,
-                                /*charge_costs=*/true);
-        const double path_cycles =
-            static_cast<double>(path_run.runStandard());
+            bench::ReplayRun path_run(prepared, params);
+            path_run.attachFullPath(profile::DagMode::HeaderSplit,
+                                    /*charge_costs=*/true);
+            const double path_cycles =
+                static_cast<double>(path_run.runStandard());
 
-        bench::ReplayRun edge_run(prepared, params);
-        edge_run.attachInstrEdge(/*charge_costs=*/true);
-        const double edge_cycles =
-            static_cast<double>(edge_run.runStandard());
+            bench::ReplayRun edge_run(prepared, params);
+            edge_run.attachInstrEdge(/*charge_costs=*/true);
+            const double edge_cycles =
+                static_cast<double>(edge_run.runStandard());
 
-        path_ratios.push_back(path_cycles / base);
-        edge_ratios.push_back(edge_cycles / base);
-        table.row({spec.name, support::formatFixed(base / 1e6, 1),
-                   bench::overheadPct(path_cycles / base),
-                   bench::overheadPct(edge_cycles / base)});
+            BenchRow result;
+            result.pathRatio = path_cycles / base;
+            result.edgeRatio = edge_cycles / base;
+            result.cells = {
+                spec.name, support::formatFixed(base / 1e6, 1),
+                bench::overheadPct(result.pathRatio),
+                bench::overheadPct(result.edgeRatio)};
+            return result;
+        });
+    for (const BenchRow &result : rows) {
+        path_ratios.push_back(result.pathRatio);
+        edge_ratios.push_back(result.edgeRatio);
+        table.row(std::vector<std::string>(result.cells));
     }
 
     table.separator();

@@ -53,27 +53,42 @@ main()
 
     std::vector<std::vector<double>> ratios(configs.size());
 
-    for (const workload::WorkloadSpec &spec : bench::benchSuite()) {
-        const bench::Prepared prepared = bench::prepare(spec, params);
+    struct BenchRow
+    {
+        std::vector<std::string> cells;
+        std::vector<double> ratios;
+    };
+    const std::vector<BenchRow> rows = bench::mapSuite(
+        bench::benchSuite(),
+        [&](const workload::WorkloadSpec &spec) {
+            const bench::Prepared prepared =
+                bench::prepare(spec, params);
 
-        bench::ReplayRun base_run(prepared, params);
-        const double base =
-            static_cast<double>(base_run.runStandard());
+            bench::ReplayRun base_run(prepared, params);
+            const double base =
+                static_cast<double>(base_run.runStandard());
 
-        std::vector<std::string> row = {spec.name};
-        for (std::size_t c = 0; c < configs.size(); ++c) {
-            bench::ReplayRun run(prepared, params);
-            core::PepOptions options;
-            options.scheme = configs[c].scheme;
-            options.placement = configs[c].placement;
-            run.attachPep(std::make_unique<core::NeverSample>(),
-                          options);
-            const double cycles =
-                static_cast<double>(run.runStandard());
-            ratios[c].push_back(cycles / base);
-            row.push_back(bench::overheadPct(cycles / base));
-        }
-        table.row(std::move(row));
+            BenchRow result;
+            result.cells = {spec.name};
+            for (const Config &config : configs) {
+                bench::ReplayRun run(prepared, params);
+                core::PepOptions options;
+                options.scheme = config.scheme;
+                options.placement = config.placement;
+                run.attachPep(std::make_unique<core::NeverSample>(),
+                              options);
+                const double cycles =
+                    static_cast<double>(run.runStandard());
+                result.ratios.push_back(cycles / base);
+                result.cells.push_back(
+                    bench::overheadPct(cycles / base));
+            }
+            return result;
+        });
+    for (const BenchRow &result : rows) {
+        for (std::size_t c = 0; c < configs.size(); ++c)
+            ratios[c].push_back(result.ratios[c]);
+        table.row(std::vector<std::string>(result.cells));
     }
 
     table.separator();

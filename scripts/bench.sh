@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Harness performance run: builds the perf suite and emits
+# BENCH_PR2.json (wall-clock + simulated cycles/sec for serial vs
+# parallel suite runs, plus the flattened-dispatch microbenchmark).
+#
+# Usage: scripts/bench.sh [output.json]
+# Environment: PEP_BENCH_SCALE, PEP_BENCH_ONLY, PEP_BENCH_THREADS.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_PR2.json}
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target perf_suite
+
+./build/bench/perf_suite "$OUT"
+echo "bench.sh: results in $OUT"

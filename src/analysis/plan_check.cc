@@ -42,12 +42,14 @@ class Checker
             if (in_.plan->enabled) {
                 error("plan is enabled despite numbering overflow");
             }
+            checkFlattenedTables();
             return diags_.errorCount() == before;
         }
 
         checkNumberingIntervals();
         checkRegisterBounds();
         checkPlanConsistency();
+        checkFlattenedTables();
         if (in_.placement == PlacementKind::SpanningTree)
             checkChordOnly();
         if (in_.scheme == profile::NumberingScheme::Smart &&
@@ -427,6 +429,80 @@ class Checker
                    << ") should be (" << want_end << ", "
                    << want_restart << ")";
                 error(os.str());
+            }
+        }
+    }
+
+    // ---- check 8: flattened tables mirror the nested ones -------------
+
+    /**
+     * The interpreter executes the flattened mirror (flatEdgeActions
+     * indexed by edgeBase[src] + index), never the nested tables the
+     * builders and the checks above reason about. Prove the mirror is
+     * faithful: edgeBase must hold exact prefix sums of the CFG's
+     * successor counts, and every flattened action must equal its
+     * nested counterpart memberwise.
+     */
+    void
+    checkFlattenedTables()
+    {
+        const InstrumentationPlan &plan = *in_.plan;
+        const cfg::Graph &graph = in_.cfg->graph;
+
+        if (plan.edgeBase.size() != graph.numBlocks() + 1) {
+            error("flattened edgeBase has wrong arity");
+            return;
+        }
+        std::uint32_t expected_base = 0;
+        for (cfg::BlockId b = 0; b < graph.numBlocks(); ++b) {
+            if (plan.edgeBase[b] != expected_base) {
+                std::ostringstream os;
+                os << "edgeBase[" << b << "] is " << plan.edgeBase[b]
+                   << " but the prefix sum of successor counts is "
+                   << expected_base;
+                error(os.str());
+                return;
+            }
+            expected_base +=
+                static_cast<std::uint32_t>(graph.succs(b).size());
+        }
+        if (plan.edgeBase.back() != expected_base ||
+            plan.flatEdgeActions.size() != expected_base) {
+            std::ostringstream os;
+            os << "flattened table covers "
+               << plan.flatEdgeActions.size() << " edges (base "
+               << plan.edgeBase.back() << ") but the CFG has "
+               << expected_base;
+            error(os.str());
+            return;
+        }
+
+        if (plan.edgeActions.size() != graph.numBlocks()) {
+            error("plan action tables have wrong arity");
+            return;
+        }
+        std::size_t mismatches = 0;
+        for (cfg::BlockId b = 0; b < graph.numBlocks(); ++b) {
+            if (plan.edgeActions[b].size() != graph.succs(b).size()) {
+                error("plan edge actions have wrong arity");
+                return;
+            }
+            for (std::uint32_t i = 0; i < graph.succs(b).size(); ++i) {
+                const profile::EdgeAction &nested =
+                    plan.edgeActions[b][i];
+                const profile::EdgeAction &flat =
+                    plan.flatAction(cfg::EdgeRef{b, i});
+                if (flat.increment == nested.increment &&
+                    flat.endsPath == nested.endsPath &&
+                    flat.endAdd == nested.endAdd &&
+                    flat.restart == nested.restart) {
+                    continue;
+                }
+                if (!capped(mismatches)) {
+                    errorAtEdge(cfg::EdgeRef{b, i},
+                                "flattened action disagrees with the "
+                                "nested table (stale rebuildFlat?)");
+                }
             }
         }
     }

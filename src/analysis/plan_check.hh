@@ -29,6 +29,10 @@
  *     reconstructor; replaying the *plan's* register actions over each
  *     path must reproduce the path's Ball-Larus number, and the numbers
  *     must cover [0, totalPaths) exactly.
+ *  8. Flattened-table fidelity: the contiguous flatEdgeActions mirror
+ *     the interpreter executes agrees memberwise with the nested
+ *     edgeActions the checks above reason about, and edgeBase holds
+ *     exact prefix sums of the CFG's successor counts.
  *
  * All violations are reported as diagnostics (pass "plan-check"), not
  * panics, so a lint run can show every broken invariant at once.

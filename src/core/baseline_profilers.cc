@@ -28,11 +28,11 @@ InstrEdgeProfiler::InstrEdgeProfiler(vm::Machine &machine,
                                      bool charge_costs)
     : vm_(machine), chargeCosts_(charge_costs)
 {
-    std::vector<bytecode::MethodCfg> cfgs;
+    std::vector<const bytecode::MethodCfg *> cfgs;
     cfgs.reserve(machine.numMethods());
     for (std::size_t m = 0; m < machine.numMethods(); ++m) {
         cfgs.push_back(
-            machine.info(static_cast<bytecode::MethodId>(m)).cfg);
+            &machine.info(static_cast<bytecode::MethodId>(m)).cfg);
     }
     edges_ = profile::EdgeProfileSet(cfgs);
 }
@@ -57,20 +57,20 @@ InstrEdgeProfiler::onEdge(const vm::FrameView &frame, cfg::EdgeRef edge)
 profile::EdgeProfileSet
 edgeProfileFromPaths(vm::Machine &machine, PathEngine &engine)
 {
-    std::vector<bytecode::MethodCfg> cfgs;
+    std::vector<const bytecode::MethodCfg *> cfgs;
     cfgs.reserve(machine.numMethods());
     for (std::size_t m = 0; m < machine.numMethods(); ++m) {
         cfgs.push_back(
-            machine.info(static_cast<bytecode::MethodId>(m)).cfg);
+            &machine.info(static_cast<bytecode::MethodId>(m)).cfg);
     }
     profile::EdgeProfileSet result(cfgs);
 
     for (auto &[key, vp] : engine.versionProfiles()) {
-        if (!vp.state->reconstructor)
+        if (!vp->state->reconstructor)
             continue;
         profile::accumulateEdgeProfile(result.perMethod[key.first],
-                                       vp.paths,
-                                       *vp.state->reconstructor);
+                                       vp->paths,
+                                       *vp->state->reconstructor);
     }
     return result;
 }

@@ -104,36 +104,84 @@ PathEngine::onCompile(bytecode::MethodId method,
         static_cast<double>(vm_.program().methods[method].code.size());
     charge(static_cast<std::uint64_t>(pass_cycles));
 
-    VersionProfile vp;
-    vp.state = std::move(state);
-    versions_[{method, version.version}] = std::move(vp);
+    if (versions_.size() <= method)
+        versions_.resize(method + 1);
+    std::vector<std::unique_ptr<VersionProfile>> &slots =
+        versions_[method];
+    if (slots.size() <= version.version)
+        slots.resize(version.version + 1);
+    auto vp = std::make_unique<VersionProfile>();
+    vp->state = std::move(state);
+    slots[version.version] = std::move(vp);
+}
+
+VersionProfile *
+PathEngine::findVersion(bytecode::MethodId method,
+                        std::uint32_t version) const
+{
+    if (method >= versions_.size())
+        return nullptr;
+    const std::vector<std::unique_ptr<VersionProfile>> &slots =
+        versions_[method];
+    if (version >= slots.size())
+        return nullptr;
+    return slots[version].get();
+}
+
+std::vector<std::pair<VersionKey, VersionProfile *>>
+PathEngine::versionProfiles()
+{
+    std::vector<std::pair<VersionKey, VersionProfile *>> result;
+    for (std::size_t m = 0; m < versions_.size(); ++m) {
+        for (std::size_t v = 0; v < versions_[m].size(); ++v) {
+            if (versions_[m][v]) {
+                result.emplace_back(
+                    VersionKey{static_cast<bytecode::MethodId>(m),
+                               static_cast<std::uint32_t>(v)},
+                    versions_[m][v].get());
+            }
+        }
+    }
+    return result;
+}
+
+std::vector<std::pair<VersionKey, const VersionProfile *>>
+PathEngine::versionProfiles() const
+{
+    std::vector<std::pair<VersionKey, const VersionProfile *>> result;
+    for (const auto &[key, vp] :
+         const_cast<PathEngine *>(this)->versionProfiles())
+        result.emplace_back(key, vp);
+    return result;
 }
 
 const MethodProfilingState *
 PathEngine::stateFor(bytecode::MethodId method,
                      std::uint32_t version) const
 {
-    const auto it = versions_.find({method, version});
-    if (it == versions_.end() || !it->second.state->plan.enabled)
+    const VersionProfile *vp = findVersion(method, version);
+    if (!vp || !vp->state->plan.enabled)
         return nullptr;
-    return it->second.state.get();
+    return vp->state.get();
 }
 
 void
 PathEngine::clearPathProfiles()
 {
-    for (auto &[key, vp] : versions_)
-        vp.paths.clear();
+    for (std::vector<std::unique_ptr<VersionProfile>> &slots : versions_)
+        for (std::unique_ptr<VersionProfile> &vp : slots)
+            if (vp)
+                vp->paths.clear();
 }
 
 void
 PathEngine::onMethodEntry(const vm::FrameView &frame)
 {
     FrameState fs;
-    const auto it =
-        versions_.find({frame.method, frame.version->version});
-    if (it != versions_.end() && it->second.state->plan.enabled) {
-        fs.vp = &it->second;
+    VersionProfile *vp =
+        findVersion(frame.method, frame.version->version);
+    if (vp && vp->state->plan.enabled) {
+        fs.bind(*vp);
         charge(vm_.params().cost.pathRegResetCost); // r = 0
     }
     fs.reg = 0;
@@ -161,8 +209,10 @@ PathEngine::onEdge(const vm::FrameView &frame, cfg::EdgeRef edge)
     FrameState &fs = stack_.back();
     if (!fs.vp)
         return;
+    // Hot path: one dense-id load from the flattened table via the
+    // pointers cached at entry/OSR.
     const profile::EdgeAction &action =
-        fs.vp->state->plan.edgeActions[edge.src][edge.index];
+        fs.actions[fs.edgeBase[edge.src] + edge.index];
     if (action.endsPath) {
         // Truncated back edge (BackEdgeTruncate mode): the classic
         // BLPP count[r + endAdd]++ / r = restart pair.
@@ -196,18 +246,18 @@ PathEngine::onOsr(const vm::FrameView &frame, cfg::BlockId header)
     // ended at this header, so rebinding to the new version's plan and
     // restarting the register is exactly what a fresh entry through
     // this header would do.
-    const auto it =
-        versions_.find({frame.method, frame.version->version});
-    if (it == versions_.end() || !it->second.state->plan.enabled ||
-        !it->second.state->plan.headerActions[header].endsPath) {
+    VersionProfile *vp =
+        findVersion(frame.method, frame.version->version);
+    if (!vp || !vp->state->plan.enabled ||
+        !vp->state->plan.headerActions[header].endsPath) {
         // No instrumentation for the new version, or the OSR point is
         // not a path boundary under the new plan: stop profiling this
         // frame rather than corrupt the register.
         fs.vp = nullptr;
         return;
     }
-    fs.vp = &it->second;
-    fs.reg = it->second.state->plan.headerActions[header].restart;
+    fs.bind(*vp);
+    fs.reg = vp->state->plan.headerActions[header].restart;
     charge(vm_.params().cost.pathRegResetCost);
 }
 
@@ -218,8 +268,7 @@ PathEngine::onLoopHeader(const vm::FrameView &frame, cfg::BlockId block)
     FrameState &fs = stack_.back();
     if (!fs.vp)
         return;
-    const profile::HeaderAction &action =
-        fs.vp->state->plan.headerActions[block];
+    const profile::HeaderAction &action = fs.headers[block];
     if (!action.endsPath)
         return;
     const vm::CostModel &cost = vm_.params().cost;

@@ -16,8 +16,8 @@
  */
 
 #include <cstdint>
-#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "profile/instr_plan.hh"
@@ -112,19 +112,14 @@ class PathEngine : public vm::ExecutionHooks, public vm::CompileObserver
     const MethodProfilingState *
     stateFor(bytecode::MethodId method, std::uint32_t version) const;
 
-    /** All versions this engine instrumented, with their profiles. */
-    const std::map<VersionKey, VersionProfile> &
-    versionProfiles() const
-    {
-        return versions_;
-    }
-
-    /** Mutable access (metrics expand records lazily). */
-    std::map<VersionKey, VersionProfile> &
-    versionProfiles()
-    {
-        return versions_;
-    }
+    /** All versions this engine instrumented, with their profiles,
+     *  ordered by (method, version). The pointers stay valid until the
+     *  engine is destroyed; profiles are mutable because metrics expand
+     *  path records lazily. */
+    std::vector<std::pair<VersionKey, VersionProfile *>>
+    versionProfiles();
+    std::vector<std::pair<VersionKey, const VersionProfile *>>
+    versionProfiles() const;
 
     /** Drop all collected path frequencies (instrumentation state is
      *  kept). */
@@ -166,13 +161,40 @@ class PathEngine : public vm::ExecutionHooks, public vm::CompileObserver
     const profile::PlacementKind placement_;
 
   private:
+    /**
+     * Per-frame profiling state. The action/base/header pointers cache
+     * the frame's enabled plan so the per-edge hot path is one dense
+     * array load instead of a nested-vector walk; they are rebound on
+     * entry and OSR and are null exactly when vp is null.
+     */
     struct FrameState
     {
         VersionProfile *vp = nullptr;
+        const profile::EdgeAction *actions = nullptr;
+        const std::uint32_t *edgeBase = nullptr;
+        const profile::HeaderAction *headers = nullptr;
         std::uint64_t reg = 0;
+
+        void
+        bind(VersionProfile &profile)
+        {
+            vp = &profile;
+            const profile::InstrumentationPlan &plan =
+                profile.state->plan;
+            actions = plan.flatEdgeActions.data();
+            edgeBase = plan.edgeBase.data();
+            headers = plan.headerActions.data();
+        }
     };
 
-    std::map<VersionKey, VersionProfile> versions_;
+    /** Version with an enabled-or-disabled plan, nullptr if the engine
+     *  never saw (method, version) compile. */
+    VersionProfile *findVersion(bytecode::MethodId method,
+                                std::uint32_t version) const;
+
+    /** Storage indexed [method][version]; baseline compiles consume
+     *  version numbers without reaching the engine, so gaps are null. */
+    std::vector<std::vector<std::unique_ptr<VersionProfile>>> versions_;
     std::vector<FrameState> stack_;
     std::size_t overflowCount_ = 0;
 };

@@ -11,11 +11,11 @@ PepProfiler::PepProfiler(vm::Machine &machine,
                  /*charge_costs=*/true, options.placement),
       controller_(controller)
 {
-    std::vector<bytecode::MethodCfg> cfgs;
+    std::vector<const bytecode::MethodCfg *> cfgs;
     cfgs.reserve(machine.numMethods());
     for (std::size_t m = 0; m < machine.numMethods(); ++m) {
         cfgs.push_back(
-            machine.info(static_cast<bytecode::MethodId>(m)).cfg);
+            &machine.info(static_cast<bytecode::MethodId>(m)).cfg);
     }
     edges_ = profile::EdgeProfileSet(cfgs);
 }

@@ -22,12 +22,12 @@ canonicalize(core::PathEngine &engine)
 {
     CanonicalPathProfile result;
     for (auto &[version_key, vp] : engine.versionProfiles()) {
-        if (!vp.state->reconstructor)
+        if (!vp->state->reconstructor)
             continue;
-        vp.paths.ensureExpanded(*vp.state->reconstructor);
+        vp->paths.ensureExpanded(*vp->state->reconstructor);
         const bool inlined =
-            vp.state->compiled && vp.state->compiled->inlinedBody;
-        for (const auto &[number, record] : vp.paths.paths()) {
+            vp->state->compiled && vp->state->compiled->inlinedBody;
+        for (const auto &[number, record] : vp->paths.paths()) {
             CanonicalPathKey key;
             key.method = version_key.first;
             key.shape = inlined ? version_key.second + 1 : 0;

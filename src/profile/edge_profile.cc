@@ -67,6 +67,14 @@ EdgeProfileSet::EdgeProfileSet(const std::vector<bytecode::MethodCfg> &cfgs)
         perMethod.emplace_back(method_cfg);
 }
 
+EdgeProfileSet::EdgeProfileSet(
+    const std::vector<const bytecode::MethodCfg *> &cfgs)
+{
+    perMethod.reserve(cfgs.size());
+    for (const bytecode::MethodCfg *method_cfg : cfgs)
+        perMethod.emplace_back(*method_cfg);
+}
+
 void
 EdgeProfileSet::clear()
 {

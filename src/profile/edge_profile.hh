@@ -106,6 +106,11 @@ struct EdgeProfileSet
     explicit EdgeProfileSet(
         const std::vector<bytecode::MethodCfg> &cfgs);
 
+    /** Same, from borrowed CFGs — callers that only hold the program's
+     *  method infos can size the tables without copying each CFG. */
+    explicit EdgeProfileSet(
+        const std::vector<const bytecode::MethodCfg *> &cfgs);
+
     void clear();
 };
 

@@ -4,6 +4,24 @@
 
 namespace pep::profile {
 
+void
+InstrumentationPlan::rebuildFlat()
+{
+    edgeBase.resize(edgeActions.size() + 1);
+    std::uint32_t next = 0;
+    for (std::size_t b = 0; b < edgeActions.size(); ++b) {
+        edgeBase[b] = next;
+        next += static_cast<std::uint32_t>(edgeActions[b].size());
+    }
+    edgeBase.back() = next;
+
+    flatEdgeActions.clear();
+    flatEdgeActions.reserve(next);
+    for (const std::vector<EdgeAction> &block : edgeActions)
+        flatEdgeActions.insert(flatEdgeActions.end(), block.begin(),
+                               block.end());
+}
+
 InstrumentationPlan
 buildInstrumentationPlan(const bytecode::MethodCfg &method_cfg,
                          const PDag &pdag, const Numbering &numbering)
@@ -19,6 +37,7 @@ buildInstrumentationPlan(const bytecode::MethodCfg &method_cfg,
 
     if (numbering.overflow) {
         plan.enabled = false;
+        plan.rebuildFlat();
         return plan;
     }
     plan.totalPaths = numbering.totalPaths;
@@ -60,6 +79,7 @@ buildInstrumentationPlan(const bytecode::MethodCfg &method_cfg,
         }
     }
 
+    plan.rebuildFlat();
     return plan;
 }
 

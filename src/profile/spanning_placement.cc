@@ -201,6 +201,8 @@ applySpanningPlacement(const bytecode::MethodCfg &method_cfg,
             action.restart = inc_of(pdag.headerDummyEntry[header]);
         }
     }
+
+    plan.rebuildFlat();
 }
 
 } // namespace pep::profile

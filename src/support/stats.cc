@@ -20,12 +20,19 @@ mean(const std::vector<double> &values)
 double
 geomean(const std::vector<double> &values)
 {
-    if (values.empty())
-        return 0.0;
+    // Zero/negative entries have no logarithm; average over the
+    // positive subset only (see stats.hh for the contract).
     double log_sum = 0.0;
-    for (double v : values)
-        log_sum += std::log(v);
-    return std::exp(log_sum / static_cast<double>(values.size()));
+    std::size_t positive = 0;
+    for (double v : values) {
+        if (v > 0.0) {
+            log_sum += std::log(v);
+            ++positive;
+        }
+    }
+    if (positive == 0)
+        return 0.0;
+    return std::exp(log_sum / static_cast<double>(positive));
 }
 
 double

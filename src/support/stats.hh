@@ -16,7 +16,12 @@ namespace pep::support {
 /** Arithmetic mean; returns 0 for an empty input. */
 double mean(const std::vector<double> &values);
 
-/** Geometric mean of positive values; returns 0 for an empty input. */
+/**
+ * Geometric mean of the positive values in the input. Zero and
+ * negative entries are skipped (std::log would turn one bad ratio into
+ * a NaN/-inf poisoning the whole aggregate); returns 0 when no
+ * positive value remains, including for an empty input.
+ */
 double geomean(const std::vector<double> &values);
 
 /** Median (average of middle two for even counts); 0 for empty input. */

@@ -27,8 +27,15 @@ Machine::Machine(const bytecode::Program &program, const SimParams &params)
 {
     const bytecode::VerifyResult verified =
         bytecode::verifyProgram(program_);
-    if (!verified.ok)
-        support::fatal("program failed verification: " + verified.error);
+    if (!verified.ok) {
+        // Report every diagnostic, not just the legacy first-error
+        // view: a program with several defects fails with all of them
+        // listed.
+        std::string message = "program failed verification:";
+        for (const bytecode::VerifyDiagnostic &d : verified.diagnostics)
+            message += "\n  " + bytecode::formatVerifyDiagnostic(d);
+        support::fatal(message);
+    }
 
     const std::size_t n = program_.methods.size();
     infos_.reserve(n);
@@ -54,10 +61,10 @@ Machine::Machine(const bytecode::Program &program, const SimParams &params)
     versions_.resize(n);
     methodSamples_.assign(n, 0);
 
-    std::vector<bytecode::MethodCfg> cfg_refs;
+    std::vector<const bytecode::MethodCfg *> cfg_refs;
     cfg_refs.reserve(n);
     for (const MethodInfo &info : infos_)
-        cfg_refs.push_back(info.cfg); // sized copies for profile tables
+        cfg_refs.push_back(&info.cfg);
     truth_ = profile::EdgeProfileSet(cfg_refs);
     oneTime_ = profile::EdgeProfileSet(cfg_refs);
 

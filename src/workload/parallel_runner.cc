@@ -1,0 +1,85 @@
+#include "workload/parallel_runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pep::workload {
+
+ParallelRunner::ParallelRunner(unsigned workers)
+    : workers_(workers != 0 ? workers : defaultWorkers())
+{
+}
+
+unsigned
+ParallelRunner::defaultWorkers()
+{
+    if (const char *env = std::getenv("PEP_BENCH_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed >= 1)
+            return static_cast<unsigned>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+void
+ParallelRunner::run(std::size_t count,
+                    const std::function<void(std::size_t)> &fn) const
+{
+    if (count == 0)
+        return;
+    if (workers_ == 1 || count == 1) {
+        // Same contract as the threaded path: every job runs, then
+        // the first failure (lowest index) is rethrown.
+        std::exception_ptr first;
+        for (std::size_t i = 0; i < count; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                if (!first)
+                    first = std::current_exception();
+            }
+        }
+        if (first)
+            std::rethrow_exception(first);
+        return;
+    }
+
+    // Work stealing off a shared counter; exceptions are parked per
+    // index so the one rethrown does not depend on thread timing.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(count);
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    const std::size_t spawn =
+        std::min<std::size_t>(workers_, count);
+    std::vector<std::thread> threads;
+    threads.reserve(spawn);
+    for (std::size_t t = 0; t < spawn; ++t)
+        threads.emplace_back(worker);
+    for (std::thread &thread : threads)
+        thread.join();
+
+    for (const std::exception_ptr &error : errors)
+        if (error)
+            std::rethrow_exception(error);
+}
+
+} // namespace pep::workload

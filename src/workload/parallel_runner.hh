@@ -1,0 +1,50 @@
+#ifndef PEP_WORKLOAD_PARALLEL_RUNNER_HH
+#define PEP_WORKLOAD_PARALLEL_RUNNER_HH
+
+/**
+ * @file
+ * Thread-pool fan-out for independent suite cells. Each (benchmark,
+ * config) cell of a bench harness builds its own Machine, so the cells
+ * share no mutable state and can run on all cores; jobs write their
+ * results into pre-sized per-index slots, and the caller composes
+ * output from the slots in index order after run() returns — making
+ * parallel output byte-identical to a serial loop.
+ */
+
+#include <cstddef>
+#include <functional>
+
+namespace pep::workload {
+
+class ParallelRunner
+{
+  public:
+    /** @param workers worker-thread count; 0 means defaultWorkers(). */
+    explicit ParallelRunner(unsigned workers = 0);
+
+    /** Worker threads run() will use (always >= 1). */
+    unsigned workers() const { return workers_; }
+
+    /**
+     * Worker count from the PEP_BENCH_THREADS environment variable,
+     * falling back to the hardware concurrency (at least 1).
+     */
+    static unsigned defaultWorkers();
+
+    /**
+     * Run fn(0) .. fn(count - 1), distributing indices over the
+     * workers; returns once every job finished. With one worker (or at
+     * most one job) everything runs inline on the calling thread. If
+     * jobs throw, the first exception in index order is rethrown after
+     * all jobs complete.
+     */
+    void run(std::size_t count,
+             const std::function<void(std::size_t)> &fn) const;
+
+  private:
+    unsigned workers_;
+};
+
+} // namespace pep::workload
+
+#endif // PEP_WORKLOAD_PARALLEL_RUNNER_HH

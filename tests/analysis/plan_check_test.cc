@@ -6,7 +6,8 @@
  * seeded violations of each invariant — duplicate path ids, an
  * increment on a spanning-tree edge, a nonzero hot-edge value under
  * smart numbering, tampered back-edge bookkeeping, and plans left
- * enabled after numbering overflow. Ends with a cross-validation
+ * enabled after numbering overflow, and flattened dispatch tables out
+ * of sync with the nested ones. Ends with a cross-validation
  * against the interpreter: dynamically observed path ids must lie in
  * the statically proven id space.
  */
@@ -340,6 +341,62 @@ TEST(PlanCheck, RejectsEnabledPlanAfterOverflow)
         << renderAll(diagnostics);
 }
 
+TEST(PlanCheck, RejectsTamperedFlatAction)
+{
+    // The hot path dispatches off the flattened table, so a corrupt
+    // flat entry miscounts paths even when every nested invariant
+    // holds. Tampering flat-only isolates check 8.
+    Built b = build(test::figure1Program(), DagMode::HeaderSplit,
+                    NumberingScheme::BallLarus, PlacementKind::Direct);
+    ASSERT_FALSE(b.plan.flatEdgeActions.empty());
+    b.plan.flatEdgeActions[0].increment += 7;
+
+    DiagnosticList diagnostics;
+    EXPECT_FALSE(checkInstrumentationPlan(inputFor(b), diagnostics));
+    EXPECT_TRUE(hasError(diagnostics, "flattened action disagrees"))
+        << renderAll(diagnostics);
+}
+
+TEST(PlanCheck, RejectsStaleFlattenedTable)
+{
+    // The converse: mutate the nested table and "forget" to call
+    // rebuildFlat() — the exact bug class check 8 exists to catch
+    // (any pass that edits edgeActions must rebuild the mirror).
+    Built b = build(test::figure1Program(), DagMode::HeaderSplit,
+                    NumberingScheme::BallLarus, PlacementKind::Direct);
+    bool tampered = false;
+    for (cfg::BlockId v = 0;
+         v < b.cfg.graph.numBlocks() && !tampered; ++v) {
+        if (!b.plan.edgeActions[v].empty()) {
+            b.plan.edgeActions[v][0].increment += 5;
+            tampered = true;
+        }
+    }
+    ASSERT_TRUE(tampered);
+
+    DiagnosticList diagnostics;
+    EXPECT_FALSE(checkInstrumentationPlan(inputFor(b), diagnostics));
+    EXPECT_TRUE(hasError(diagnostics, "stale rebuildFlat"))
+        << renderAll(diagnostics);
+}
+
+TEST(PlanCheck, RejectsCorruptEdgeBase)
+{
+    // A wrong offset makes every lookup for that block hit another
+    // block's actions; the prefix-sum property must be proven, not
+    // assumed.
+    Built b = build(test::figure1Program(), DagMode::HeaderSplit,
+                    NumberingScheme::BallLarus, PlacementKind::Direct);
+    ASSERT_GE(b.plan.edgeBase.size(), 2u);
+    b.plan.edgeBase[1] += 1;
+
+    DiagnosticList diagnostics;
+    EXPECT_FALSE(checkInstrumentationPlan(inputFor(b), diagnostics));
+    EXPECT_TRUE(hasError(diagnostics, "prefix sum") ||
+                hasError(diagnostics, "flattened table covers"))
+        << renderAll(diagnostics);
+}
+
 TEST(PlanCheck, ReportsMultipleViolationsAtOnce)
 {
     // Diagnostics, not fail-fast: seed two independent bugs and expect
@@ -402,7 +459,7 @@ TEST(PlanCheck, CrossValidatesAgainstInterpreterPathIds)
 
         ASSERT_FALSE(truth.versionProfiles().empty());
         for (const auto &[key, vp] : truth.versionProfiles()) {
-            const core::MethodProfilingState &state = *vp.state;
+            const core::MethodProfilingState &state = *vp->state;
             const bytecode::MethodCfg &cfg =
                 om.machine.info(key.first).cfg;
             const profile::DagEdgeFreqs freqs =
@@ -426,8 +483,8 @@ TEST(PlanCheck, CrossValidatesAgainstInterpreterPathIds)
 
             // The interpreter only ever produced ids the checker
             // proved unique and dense.
-            EXPECT_GT(vp.paths.numDistinctPaths(), 0u);
-            for (const auto &[id, record] : vp.paths.paths()) {
+            EXPECT_GT(vp->paths.numDistinctPaths(), 0u);
+            for (const auto &[id, record] : vp->paths.paths()) {
                 EXPECT_LT(id, state.numbering.totalPaths);
                 (void)record;
             }

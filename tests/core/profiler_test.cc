@@ -221,8 +221,10 @@ TEST(PathEngine, RecompilationKeepsPerVersionProfiles)
     // Some method must have two instrumented versions (opt1 + opt2).
     std::size_t multi_version_methods = 0;
     std::map<bytecode::MethodId, int> versions_per_method;
-    for (const auto &[key, vp] : truth.versionProfiles())
+    for (const auto &[key, vp] : truth.versionProfiles()) {
+        (void)vp;
         versions_per_method[key.first] += 1;
+    }
     for (const auto &[method, count] : versions_per_method) {
         if (count >= 2)
             ++multi_version_methods;

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <initializer_list>
 #include <string>
 
 #include "core/sampling.hh"
@@ -25,6 +27,31 @@ drive(SamplingController &controller, std::size_t opportunities,
     for (std::size_t i = 0; i < opportunities; ++i) {
         const bool tick =
             (i == 0) || (tick_every != 0 && i % tick_every == 0);
+        switch (controller.onOpportunity(tick)) {
+          case SampleAction::Idle:
+            actions.push_back('.');
+            break;
+          case SampleAction::Stride:
+            actions.push_back('s');
+            break;
+          case SampleAction::Sample:
+            actions.push_back('X');
+            break;
+        }
+    }
+    return actions;
+}
+
+/** Like drive(), but ticks fire at exactly the listed opportunity
+ *  indices — for golden sequences with a tick landing mid-burst. */
+std::string
+driveTicksAt(SamplingController &controller, std::size_t opportunities,
+             std::initializer_list<std::size_t> ticks)
+{
+    std::string actions;
+    for (std::size_t i = 0; i < opportunities; ++i) {
+        const bool tick =
+            std::find(ticks.begin(), ticks.end(), i) != ticks.end();
         switch (controller.onOpportunity(tick)) {
           case SampleAction::Idle:
             actions.push_back('.');
@@ -139,6 +166,58 @@ TEST(FullAg, SameSampleCountAsSimplified)
     // ...but full AG runs the handler more often (more strides).
     EXPECT_GT(std::count(b.begin(), b.end(), 's'),
               std::count(a.begin(), a.end(), 's'));
+}
+
+TEST(SimplifiedAg, GoldenSequenceAcrossTicks)
+{
+    // PEP(3,4) with ticks at opportunities 0 and 5.  Tick 0 uses
+    // rotation 1 (no initial stride): three consecutive samples, then
+    // idle.  Tick at 5 uses rotation 2: one stride, then the burst.
+    SimplifiedArnoldGrove controller(3, 4);
+    EXPECT_EQ(driveTicksAt(controller, 16, {0, 5}),
+              "XXX..sXXX.......");
+}
+
+TEST(SimplifiedAg, GoldenSequenceTickMidBurst)
+{
+    // A tick landing mid-burst (opportunity 2, after two of three
+    // samples) restarts the controller: the new rotation (2) inserts
+    // one stride, then a fresh full burst of three samples runs.
+    SimplifiedArnoldGrove controller(3, 4);
+    EXPECT_EQ(driveTicksAt(controller, 7, {0, 2}), "XXsXXX.");
+}
+
+TEST(FullAg, GoldenSequenceTickMidBurst)
+{
+    // AG(3,4), ticks at 0 and 2.  Unlike the simplified controller,
+    // full Arnold-Grove strides between every sample, so the tick at
+    // opportunity 2 lands mid-stride; the restart replaces the
+    // in-progress stride count with the new rotation's (one stride),
+    // then each subsequent sample is separated by three strides.
+    FullArnoldGrove controller(3, 4);
+    EXPECT_EQ(driveTicksAt(controller, 16, {0, 2}),
+              "XssXsssXsssX....");
+}
+
+TEST(Controllers, SampleCountsAgreeWhenBurstsComplete)
+{
+    // Cross-check between the samplers: with ticks spaced widely
+    // enough for every burst to complete, both controllers take
+    // exactly samples-per-tick samples per tick — the simplification
+    // changes *when* samples land, never *how many* per completed
+    // burst.  (A mid-burst tick legitimately differs: the full
+    // controller strides inside the burst, so fewer samples land
+    // before the restart — pinned by the golden tests above.)
+    SimplifiedArnoldGrove simplified(5, 3);
+    FullArnoldGrove full(5, 3);
+    const auto ticks = {std::size_t{0}, std::size_t{40}};
+    const std::string a = driveTicksAt(simplified, 80, ticks);
+    const std::string b = driveTicksAt(full, 80, ticks);
+    EXPECT_EQ(std::count(a.begin(), a.end(), 'X'), 10);
+    EXPECT_EQ(std::count(b.begin(), b.end(), 'X'), 10);
+    // Second tick uses rotation 2 in both: one initial stride.
+    EXPECT_EQ(a.substr(40, 8), "sXXXXX..");
+    EXPECT_EQ(b.substr(40, 13), "sXssXssXssXss");
 }
 
 TEST(Controllers, SamplesPerTickIsExactlyConfigured)

@@ -183,6 +183,65 @@ TEST(InstrPlan, DisabledOnOverflow)
         buildInstrumentationPlan(p.cfg, p.pdag, overflowed);
     EXPECT_FALSE(plan.enabled);
     EXPECT_EQ(plan.totalPaths, 0u);
+    // The flattened mirror exists (empty actions) even when disabled,
+    // so the dispatch pointers in FrameState are always valid.
+    EXPECT_EQ(plan.edgeBase.size(), p.cfg.graph.numBlocks() + 1);
+    EXPECT_EQ(plan.flatEdgeActions.size(), plan.edgeBase.back());
+}
+
+/** Memberwise flat-vs-nested equality over every CFG edge. */
+void
+expectFlatMirrorsNested(const MethodCfg &cfg,
+                        const InstrumentationPlan &plan)
+{
+    const cfg::Graph &graph = cfg.graph;
+    ASSERT_EQ(plan.edgeBase.size(), graph.numBlocks() + 1);
+    std::uint32_t base = 0;
+    for (cfg::BlockId b = 0; b < graph.numBlocks(); ++b) {
+        EXPECT_EQ(plan.edgeBase[b], base);
+        base += static_cast<std::uint32_t>(graph.succs(b).size());
+        for (std::uint32_t i = 0; i < graph.succs(b).size(); ++i) {
+            const cfg::EdgeRef edge{b, i};
+            const EdgeAction &nested = plan.edgeActions[b][i];
+            const EdgeAction &flat = plan.flatAction(edge);
+            EXPECT_EQ(flat.increment, nested.increment);
+            EXPECT_EQ(flat.endsPath, nested.endsPath);
+            EXPECT_EQ(flat.endAdd, nested.endAdd);
+            EXPECT_EQ(flat.restart, nested.restart);
+        }
+    }
+    EXPECT_EQ(plan.edgeBase.back(), base);
+    EXPECT_EQ(plan.flatEdgeActions.size(), base);
+}
+
+TEST(InstrPlan, FlattenedTableMirrorsNested)
+{
+    for (const bytecode::Program &program :
+         {test::simpleLoopProgram(), test::figure1Program(),
+          test::callSwitchProgram()}) {
+        for (const DagMode mode :
+             {DagMode::HeaderSplit, DagMode::BackEdgeTruncate}) {
+            const Prepared p = prepare(program, mode);
+            expectFlatMirrorsNested(p.cfg, p.plan);
+        }
+    }
+}
+
+TEST(InstrPlan, RebuildFlatTracksNestedMutation)
+{
+    Prepared p = prepare(test::figure1Program(), DagMode::HeaderSplit);
+    ASSERT_FALSE(p.plan.edgeActions.empty());
+    bool mutated = false;
+    for (auto &per_block : p.plan.edgeActions) {
+        if (!per_block.empty()) {
+            per_block[0].increment += 11;
+            mutated = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(mutated);
+    p.plan.rebuildFlat();
+    expectFlatMirrorsNested(p.cfg, p.plan);
 }
 
 } // namespace

@@ -247,6 +247,38 @@ TEST(Spanning, ChordCountBoundedByCycleSpace)
     EXPECT_GE(spanning_wins, comparisons * 4 / 5);
 }
 
+TEST(Spanning, ApplyRefreshesFlattenedTables)
+{
+    // applySpanningPlacement rewrites the nested edge actions; the
+    // flattened dispatch mirror must be rebuilt with it, or the hot
+    // path keeps executing the pre-spanning increments.
+    const bytecode::Program program = test::figure1Program();
+    const MethodCfg cfg = bytecode::buildCfg(program.methods[0]);
+    const PDag pdag = buildPDag(cfg, DagMode::HeaderSplit);
+    const Numbering numbering =
+        numberPaths(pdag, NumberingScheme::BallLarus);
+    InstrumentationPlan plan =
+        buildInstrumentationPlan(cfg, pdag, numbering);
+    const DagEdgeFreqs freqs = randomFreqs(pdag, 7);
+    const SpanningPlacement spanning =
+        computeSpanningPlacement(pdag, numbering, &freqs);
+    applySpanningPlacement(cfg, pdag, spanning, plan);
+
+    ASSERT_EQ(plan.edgeBase.size(), cfg.graph.numBlocks() + 1);
+    for (cfg::BlockId b = 0; b < cfg.graph.numBlocks(); ++b) {
+        for (std::uint32_t i = 0; i < cfg.graph.succs(b).size();
+             ++i) {
+            const cfg::EdgeRef edge{b, i};
+            const EdgeAction &nested = plan.edgeActions[b][i];
+            const EdgeAction &flat = plan.flatAction(edge);
+            EXPECT_EQ(flat.increment, nested.increment);
+            EXPECT_EQ(flat.endsPath, nested.endsPath);
+            EXPECT_EQ(flat.endAdd, nested.endAdd);
+            EXPECT_EQ(flat.restart, nested.restart);
+        }
+    }
+}
+
 TEST(Spanning, AppliedPlanReproducesNumbersAtRuntimeSemantics)
 {
     // Replay the spanning plan's register semantics along every path

@@ -157,6 +157,21 @@ TEST(Stats, Geomean)
     EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
 }
 
+TEST(Stats, GeomeanSkipsNonPositiveValues)
+{
+    // Zero and negative values have no logarithm: the geomean is
+    // taken over the positive subset, and is 0.0 when that subset is
+    // empty (documented in stats.hh).  The earlier implementation fed
+    // log(0) = -inf into the sum and returned 0 or NaN for the whole
+    // vector, wrecking overhead averages when one benchmark measured
+    // a zero-cycle delta.
+    EXPECT_DOUBLE_EQ(geomean({0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({0.0, -3.0}), 0.0);
+    EXPECT_NEAR(geomean({2.0, 0.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({-1.0, 9.0}), 9.0, 1e-12);
+    EXPECT_FALSE(std::isnan(geomean({-1.0, -2.0})));
+}
+
 TEST(Stats, MedianOddEven)
 {
     EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);

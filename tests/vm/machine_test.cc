@@ -43,6 +43,35 @@ TEST(Machine, RejectsUnverifiableProgram)
     EXPECT_THROW(Machine(p, SimParams{}), support::FatalError);
 }
 
+TEST(Machine, VerifierFailureReportsEveryDiagnostic)
+{
+    // Two independent verifier errors in one method: a goto to a
+    // nonexistent pc, and a load from a local slot the method does
+    // not have.  The fatal message must carry both, not just the
+    // first — truncating to one diagnostic sends users on repeated
+    // fix-one-rebuild-one round trips.
+    bytecode::Program p;
+    bytecode::Method m;
+    m.name = "main";
+    m.code.push_back({bytecode::Opcode::Goto, 99, 0, {}});
+    m.code.push_back({bytecode::Opcode::Iload, 5, 0, {}});
+    m.code.push_back({bytecode::Opcode::Return, 0, 0, {}});
+    p.methods.push_back(std::move(m));
+    try {
+        Machine machine(p, SimParams{});
+        FAIL() << "expected FatalError";
+    } catch (const support::FatalError &err) {
+        const std::string message = err.what();
+        EXPECT_NE(message.find("bad goto target"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("local slot out of range"),
+                  std::string::npos)
+            << message;
+        EXPECT_NE(message.find("pc 0"), std::string::npos) << message;
+        EXPECT_NE(message.find("pc 1"), std::string::npos) << message;
+    }
+}
+
 TEST(Machine, FirstInvocationCompilesBaseline)
 {
     const bytecode::Program p = test::simpleLoopProgram();

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * ParallelRunner tests: every index runs exactly once, results land in
+ * their own slots regardless of scheduling, exceptions propagate
+ * deterministically (first in index order), and the worker count
+ * honors the PEP_BENCH_THREADS override.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "workload/parallel_runner.hh"
+
+namespace pep::workload {
+namespace {
+
+TEST(ParallelRunner, RunsEveryIndexExactlyOnce)
+{
+    for (const unsigned workers : {1u, 2u, 8u}) {
+        const ParallelRunner runner(workers);
+        constexpr std::size_t kCount = 100;
+        std::vector<std::atomic<int>> hits(kCount);
+        runner.run(kCount, [&](std::size_t i) { ++hits[i]; });
+        for (std::size_t i = 0; i < kCount; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ParallelRunner, SlotResultsAreOrderIndependent)
+{
+    // The byte-identical-output contract: jobs write into per-index
+    // slots, so composing the slots afterwards is independent of the
+    // order the scheduler ran them in.
+    const ParallelRunner runner(4);
+    constexpr std::size_t kCount = 64;
+    std::vector<std::size_t> slots(kCount, 0);
+    runner.run(kCount, [&](std::size_t i) { slots[i] = i * i; });
+    for (std::size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(slots[i], i * i);
+}
+
+TEST(ParallelRunner, ZeroCountIsANoop)
+{
+    const ParallelRunner runner(4);
+    bool called = false;
+    runner.run(0, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ParallelRunner, SingleWorkerRunsInline)
+{
+    // With one worker, jobs run on the calling thread in index order
+    // (observable: strictly increasing sequence, no interleaving).
+    const ParallelRunner runner(1);
+    EXPECT_EQ(runner.workers(), 1u);
+    std::vector<std::size_t> order;
+    runner.run(10, [&](std::size_t i) { order.push_back(i); });
+    std::vector<std::size_t> expected(10);
+    std::iota(expected.begin(), expected.end(), std::size_t{0});
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelRunner, RethrowsFirstExceptionInIndexOrder)
+{
+    // Two failing jobs: which one a worker reaches first depends on
+    // scheduling, but the rethrown exception must always be the one
+    // with the smallest index — deterministic error reporting.
+    for (const unsigned workers : {1u, 4u}) {
+        const ParallelRunner runner(workers);
+        try {
+            runner.run(32, [&](std::size_t i) {
+                if (i == 7 || i == 23)
+                    throw std::runtime_error("job " +
+                                             std::to_string(i));
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &err) {
+            EXPECT_STREQ(err.what(), "job 7");
+        }
+    }
+}
+
+TEST(ParallelRunner, AllJobsCompleteDespiteEarlyFailure)
+{
+    // A throwing job must not abort the rest of the fan-out: the
+    // remaining cells still run (a suite keeps its results even when
+    // one benchmark dies).
+    for (const unsigned workers : {1u, 4u}) {
+        const ParallelRunner runner(workers);
+        std::vector<std::atomic<int>> hits(16);
+        EXPECT_THROW(
+            runner.run(16,
+                       [&](std::size_t i) {
+                           ++hits[i];
+                           if (i == 0)
+                               throw std::runtime_error("boom");
+                       }),
+            std::runtime_error);
+        for (std::size_t i = 0; i < 16; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ParallelRunner, WorkerCountDefaultsAndClamps)
+{
+    EXPECT_GE(ParallelRunner::defaultWorkers(), 1u);
+    // Explicit counts are taken as-is; zero requests the default.
+    EXPECT_EQ(ParallelRunner(3).workers(), 3u);
+    EXPECT_EQ(ParallelRunner(0).workers(),
+              ParallelRunner::defaultWorkers());
+}
+
+TEST(ParallelRunner, EnvOverrideControlsDefaultWorkers)
+{
+    ::setenv("PEP_BENCH_THREADS", "5", /*overwrite=*/1);
+    EXPECT_EQ(ParallelRunner::defaultWorkers(), 5u);
+    EXPECT_EQ(ParallelRunner(0).workers(), 5u);
+
+    // Garbage or non-positive values fall back to the hardware count.
+    ::setenv("PEP_BENCH_THREADS", "0", 1);
+    EXPECT_GE(ParallelRunner::defaultWorkers(), 1u);
+    ::setenv("PEP_BENCH_THREADS", "banana", 1);
+    EXPECT_GE(ParallelRunner::defaultWorkers(), 1u);
+
+    ::unsetenv("PEP_BENCH_THREADS");
+}
+
+} // namespace
+} // namespace pep::workload
