@@ -6,8 +6,10 @@ FullPathProfiler::FullPathProfiler(vm::Machine &machine,
                                    profile::DagMode mode,
                                    bool charge_costs,
                                    profile::NumberingScheme scheme,
-                                   PathStoreKind store)
-    : PathEngine(machine, mode, scheme, charge_costs), store_(store)
+                                   PathStoreKind store,
+                                   profile::PlacementKind placement)
+    : PathEngine(machine, mode, scheme, charge_costs, placement),
+      store_(store)
 {
 }
 

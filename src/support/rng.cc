@@ -99,10 +99,42 @@ Rng::nextTripCount(double mean, std::uint64_t min_trips)
     return min_trips + static_cast<std::uint64_t>(extra);
 }
 
+void
+Rng::jump()
+{
+    // Jump polynomial for xoshiro256** (Blackman & Vigna): advances the
+    // state by exactly 2^128 steps of the sequence.
+    static constexpr std::uint64_t kJump[4] = {
+        0x180ec6d33cfd0abaull, 0xd5a61266f0c9392cull,
+        0xa9582618e03fc9aaull, 0x39abdc4529b1661cull};
+
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (const std::uint64_t word : kJump) {
+        for (int b = 0; b < 64; ++b) {
+            if (word & (1ull << b)) {
+                s0 ^= s_[0];
+                s1 ^= s_[1];
+                s2 ^= s_[2];
+                s3 ^= s_[3];
+            }
+            next();
+        }
+    }
+    s_[0] = s0;
+    s_[1] = s1;
+    s_[2] = s2;
+    s_[3] = s3;
+}
+
 Rng
 Rng::fork()
 {
-    return Rng(next());
+    // The child keeps the current position; the parent jumps 2^128
+    // steps ahead, so their future outputs come from disjoint blocks of
+    // the cycle (see the scheme documented in rng.hh).
+    Rng child = *this;
+    jump();
+    return child;
 }
 
 } // namespace pep::support

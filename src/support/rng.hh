@@ -46,7 +46,29 @@ class Rng
      */
     std::uint64_t nextTripCount(double mean, std::uint64_t min_trips = 1);
 
-    /** Fork an independent stream (seeded from this stream's output). */
+    /**
+     * Advance this generator by 2^128 steps of its underlying sequence
+     * (the standard xoshiro256** jump polynomial). Equivalent to
+     * calling next() 2^128 times.
+     */
+    void jump();
+
+    /**
+     * Fork a *provably non-overlapping* stream.
+     *
+     * Scheme: xoshiro256** has a single cycle of length 2^256 - 1, and
+     * jump() moves a generator exactly 2^128 steps along it. fork()
+     * returns a child that continues from this generator's current
+     * position and simultaneously jumps the parent 2^128 steps ahead.
+     * The k-th fork therefore owns the half-open block of the sequence
+     * [p + k*2^128, p + (k+1)*2^128) (p = the position at construction),
+     * and the parent always generates from beyond the last block it
+     * handed out. As long as every stream draws fewer than 2^128 values
+     * — always true in practice — no two forks, and no fork and the
+     * parent, can ever produce overlapping subsequences. This is a
+     * structural guarantee from the jump polynomial, not a statistical
+     * one; the fuzzer relies on it for its per-method streams.
+     */
     Rng fork();
 
   private:

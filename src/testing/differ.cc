@@ -1,0 +1,582 @@
+#include "testing/differ.hh"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "bytecode/disassembler.hh"
+#include "core/baseline_profilers.hh"
+#include "core/pep_profiler.hh"
+#include "core/sampling.hh"
+#include "support/panic.hh"
+#include "testing/nested_profiler.hh"
+#include "testing/oracle.hh"
+#include "vm/inliner.hh"
+#include "vm/machine.hh"
+
+namespace pep::testing {
+
+namespace {
+
+/** Cap recorded violations so a badly broken run stays readable. */
+constexpr std::size_t kMaxViolations = 20;
+
+void
+addViolation(DiffReport &report, const std::string &text)
+{
+    if (report.violations.size() < kMaxViolations) {
+        report.violations.push_back(text);
+    } else if (report.violations.size() == kMaxViolations) {
+        report.violations.push_back("... further violations suppressed");
+    }
+}
+
+std::string
+keyName(core::VersionKey key)
+{
+    std::ostringstream os;
+    os << "method " << key.first << " v" << key.second;
+    return os.str();
+}
+
+/** Apply the configured fault to every not-yet-injected enabled plan
+ *  of the full profiler. Idempotent per version. */
+void
+applyInjection(vm::Machine &machine, core::FullPathProfiler &full,
+               const DiffOptions &opts,
+               std::set<core::VersionKey> &done)
+{
+    for (auto &[key, vp] : full.versionProfiles()) {
+        if (!vp->state || !vp->state->plan.enabled)
+            continue;
+        if (!done.insert(key).second)
+            continue;
+        core::MethodProfilingState &st = *vp->state;
+        switch (opts.inject) {
+          case InjectKind::None:
+            break;
+          case InjectKind::StaleFlatAfterSpanning: {
+            if (opts.placement != profile::PlacementKind::SpanningTree)
+                break;
+            // Rebuild the plan the direct pass produced and keep *its*
+            // flat mirror, exactly what execution would read if
+            // applySpanningPlacement forgot rebuildFlat().
+            const vm::InlinedBody *inlined =
+                st.compiled ? st.compiled->inlinedBody.get() : nullptr;
+            const bytecode::MethodCfg &version_cfg =
+                inlined ? inlined->info.cfg
+                        : machine.info(key.first).cfg;
+            profile::InstrumentationPlan direct =
+                profile::buildInstrumentationPlan(version_cfg, st.pdag,
+                                                  st.numbering);
+            st.plan.flatEdgeActions =
+                std::move(direct.flatEdgeActions);
+            break;
+          }
+          case InjectKind::CorruptFlatIncrement: {
+            for (profile::EdgeAction &action :
+                 st.plan.flatEdgeActions) {
+                if (action.increment != 0 && !action.endsPath) {
+                    ++action.increment;
+                    break;
+                }
+            }
+            break;
+          }
+        }
+    }
+}
+
+/** Compare two per-method count tables (parallel to successor lists). */
+void
+checkEdgeTablesEqual(const profile::EdgeProfileSet &got,
+                     const profile::EdgeProfileSet &want,
+                     const std::string &what, DiffReport &report)
+{
+    for (std::size_t m = 0; m < want.perMethod.size(); ++m) {
+        if (got.perMethod[m].counts() != want.perMethod[m].counts()) {
+            std::ostringstream os;
+            os << what << ": method " << m
+               << " edge counts diverge from ground truth";
+            addViolation(report, os.str());
+        }
+    }
+}
+
+/** got[e] <= bound[e] for every edge. */
+void
+checkEdgeTablesBounded(const profile::EdgeProfileSet &got,
+                       const profile::EdgeProfileSet &bound,
+                       const std::string &what, DiffReport &report)
+{
+    for (std::size_t m = 0; m < bound.perMethod.size(); ++m) {
+        const auto &g = got.perMethod[m].counts();
+        const auto &b = bound.perMethod[m].counts();
+        for (std::size_t block = 0; block < b.size(); ++block) {
+            for (std::size_t i = 0; i < b[block].size(); ++i) {
+                if (g[block][i] > b[block][i]) {
+                    std::ostringstream os;
+                    os << what << ": method " << m << " edge " << block
+                       << ':' << i << " count " << g[block][i]
+                       << " exceeds ground truth " << b[block][i];
+                    addViolation(report, os.str());
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Flow conservation: profiled walks are contiguous edge sequences whose
+ * boundaries lie at loop headers, method entry and method exit, so at
+ * every other code block inflow must equal outflow. When no frame was
+ * dropped mid-path, every walk ending at a header is paired with one
+ * starting there, and headers conserve too.
+ */
+void
+checkConservation(const profile::EdgeProfileSet &edges,
+                  const vm::Machine &machine, bool include_headers,
+                  const std::string &what, DiffReport &report)
+{
+    for (std::size_t m = 0; m < edges.perMethod.size(); ++m) {
+        const bytecode::MethodCfg &cfg =
+            machine.info(static_cast<bytecode::MethodId>(m)).cfg;
+        const auto &counts = edges.perMethod[m].counts();
+        std::vector<std::uint64_t> in(cfg.graph.numBlocks(), 0);
+        std::vector<std::uint64_t> out(cfg.graph.numBlocks(), 0);
+        for (cfg::BlockId src = 0; src < cfg.graph.numBlocks(); ++src) {
+            const auto &succs = cfg.graph.succs(src);
+            for (std::size_t i = 0; i < succs.size(); ++i) {
+                out[src] += counts[src][i];
+                in[succs[i]] += counts[src][i];
+            }
+        }
+        for (cfg::BlockId b = 0; b < cfg.graph.numBlocks(); ++b) {
+            if (!cfg.isCodeBlock(b))
+                continue;
+            if (cfg.isLoopHeader[b] && !include_headers)
+                continue;
+            if (in[b] != out[b]) {
+                std::ostringstream os;
+                os << what << ": method " << m << " block " << b
+                   << " violates flow conservation (in " << in[b]
+                   << ", out " << out[b] << ')';
+                addViolation(report, os.str());
+            }
+        }
+    }
+}
+
+/**
+ * Map an engine's number->count table for one version to exact segment
+ * counts via its reconstructor. Out-of-range numbers and reconstruction
+ * panics are violations (a corrupt register produces them).
+ */
+SegmentCounts
+segmentsFromProfile(const core::MethodProfilingState &state,
+                    const profile::MethodPathProfile &paths,
+                    const std::string &what, DiffReport &report)
+{
+    SegmentCounts result;
+    for (const auto &[number, record] : paths.paths()) {
+        if (number >= state.plan.totalPaths) {
+            std::ostringstream os;
+            os << what << ": " << keyName({state.method, state.version})
+               << " recorded path number " << number
+               << " >= totalPaths " << state.plan.totalPaths;
+            addViolation(report, os.str());
+            continue;
+        }
+        try {
+            const profile::ReconstructedPath path =
+                state.reconstructor->reconstruct(number);
+            result[encodeEdges(path.cfgEdges)] += record.count;
+        } catch (const support::PanicError &e) {
+            std::ostringstream os;
+            os << what << ": " << keyName({state.method, state.version})
+               << " path " << number
+               << " failed reconstruction: " << e.what();
+            addViolation(report, os.str());
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+std::string
+injectKindName(InjectKind kind)
+{
+    switch (kind) {
+      case InjectKind::None:
+        return "none";
+      case InjectKind::StaleFlatAfterSpanning:
+        return "stale-flat";
+      case InjectKind::CorruptFlatIncrement:
+        return "corrupt-increment";
+    }
+    return "none";
+}
+
+bool
+parseInjectKind(const std::string &name, InjectKind &out)
+{
+    if (name == "none") {
+        out = InjectKind::None;
+    } else if (name == "stale-flat") {
+        out = InjectKind::StaleFlatAfterSpanning;
+    } else if (name == "corrupt-increment") {
+        out = InjectKind::CorruptFlatIncrement;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const std::vector<DiffOptions> &
+standardConfigs()
+{
+    static const std::vector<DiffOptions> configs = [] {
+        std::vector<DiffOptions> v;
+
+        DiffOptions base;
+        base.name = "headersplit-direct";
+        v.push_back(base);
+
+        DiffOptions spanning;
+        spanning.name = "smart-spanning-osr";
+        spanning.scheme = profile::NumberingScheme::Smart;
+        spanning.placement = profile::PlacementKind::SpanningTree;
+        spanning.enableOsr = true;
+        v.push_back(spanning);
+
+        DiffOptions backedge;
+        backedge.name = "backedge";
+        backedge.mode = profile::DagMode::BackEdgeTruncate;
+        backedge.yieldpointsOnBackEdges = true;
+        v.push_back(backedge);
+
+        DiffOptions inlined;
+        inlined.name = "inline-smart";
+        inlined.scheme = profile::NumberingScheme::Smart;
+        inlined.enableInlining = true;
+        v.push_back(inlined);
+
+        return v;
+    }();
+    return configs;
+}
+
+const DiffOptions *
+findConfig(const std::string &name)
+{
+    for (const DiffOptions &config : standardConfigs()) {
+        if (config.name == name)
+            return &config;
+    }
+    return nullptr;
+}
+
+DiffReport
+runDiff(const bytecode::Program &program, const DiffOptions &opts)
+{
+    DiffReport report;
+
+    vm::SimParams params;
+    params.tickCycles = opts.tickCycles;
+    params.enableOsr = opts.enableOsr;
+    params.yieldpointsOnBackEdges = opts.yieldpointsOnBackEdges;
+    params.enableInlining = opts.enableInlining;
+    params.maxCyclesPerIteration = opts.maxCyclesPerIteration;
+    vm::Machine machine(program, params);
+
+    ExactOracle oracle(machine, opts.mode);
+    core::FullPathProfiler full(machine, opts.mode,
+                                /*charge_costs=*/false, opts.scheme,
+                                core::PathStoreKind::Array,
+                                opts.placement);
+    NestedDispatchProfiler nested(machine, opts.mode, opts.scheme,
+                                  opts.placement);
+
+    std::vector<std::unique_ptr<core::SimplifiedArnoldGrove>>
+        controllers;
+    std::vector<std::unique_ptr<core::PepProfiler>> peps;
+    for (const PepConfig &pc : opts.pepConfigs) {
+        controllers.push_back(
+            std::make_unique<core::SimplifiedArnoldGrove>(pc.samples,
+                                                          pc.stride));
+        core::PepOptions pep_options;
+        pep_options.scheme = opts.scheme;
+        pep_options.mode = opts.mode;
+        pep_options.placement = opts.placement;
+        peps.push_back(std::make_unique<core::PepProfiler>(
+            machine, *controllers.back(), pep_options));
+    }
+
+    machine.addHooks(&oracle);
+    machine.addCompileObserver(&oracle);
+    machine.addHooks(&full);
+    machine.addCompileObserver(&full);
+    machine.addHooks(&nested);
+    machine.addCompileObserver(&nested);
+    for (auto &pep : peps) {
+        machine.addHooks(pep.get());
+        machine.addCompileObserver(pep.get());
+    }
+
+    std::set<core::VersionKey> injected;
+    for (std::uint32_t it = 0; it < opts.iterations; ++it) {
+        machine.runIteration();
+        // Inject after a warm-up iteration so corrupted plans actually
+        // execute in the following ones.
+        if (opts.inject != InjectKind::None && it + 1 < opts.iterations)
+            applyInjection(machine, full, opts, injected);
+    }
+
+    // Check 1: the oracle read the interpreter's event stream the way
+    // the interpreter meant it.
+    checkEdgeTablesEqual(oracle.edges(), machine.truthEdges(),
+                         "oracle edge mirror", report);
+
+    report.oracleSegments = oracle.totalSegments();
+    report.blppPaths = full.pathsStored();
+    for (const auto &pep : peps)
+        report.pepSamplesRecorded += pep->pepStats().samplesRecorded;
+
+    std::size_t pep_overflows = 0;
+    for (const auto &pep : peps)
+        pep_overflows += pep->overflowCount();
+    if (full.overflowCount() != 0 || nested.overflowCount() != 0 ||
+        pep_overflows != 0) {
+        // Disabled plans profile nothing while the oracle still counts
+        // segments; the comparisons below don't apply. The generator
+        // sizes programs so this never happens in practice.
+        report.notes.push_back(
+            "numbering overflow: segment checks skipped");
+        return report;
+    }
+
+    // Checks 2-4: full BLPP vs oracle, flat vs nested, agreed totals.
+    for (auto &[key, vp] : full.versionProfiles()) {
+        if (!vp->state->plan.enabled)
+            continue;
+        ++report.instrumentedVersions;
+
+        const VersionTruth *vt = oracle.truthFor(key);
+        if (!vt) {
+            addViolation(report, "full: " + keyName(key) +
+                                     " unknown to the oracle");
+            continue;
+        }
+
+        const SegmentCounts from_full = segmentsFromProfile(
+            *vp->state, vp->paths, "full", report);
+        for (const auto &[seq, count] : from_full) {
+            const auto it = vt->segments.find(seq);
+            if (it == vt->segments.end()) {
+                addViolation(report,
+                             "full: " + keyName(key) +
+                                 " counted a never-executed path [" +
+                                 formatEdgeSeq(seq) + "]");
+            } else if (it->second != count) {
+                std::ostringstream os;
+                os << "full: " << keyName(key) << " path ["
+                   << formatEdgeSeq(seq) << "] count " << count
+                   << " != oracle " << it->second;
+                addViolation(report, os.str());
+            }
+        }
+        for (const auto &[seq, count] : vt->segments) {
+            if (from_full.find(seq) == from_full.end()) {
+                std::ostringstream os;
+                os << "full: " << keyName(key) << " missed path ["
+                   << formatEdgeSeq(seq) << "] executed " << count
+                   << " times";
+                addViolation(report, os.str());
+            }
+        }
+
+        const NestedDispatchProfiler::VersionCounts *nc =
+            nested.countsFor(key);
+        if (!nc) {
+            addViolation(report, "nested: " + keyName(key) +
+                                     " has no nested-dispatch state");
+            continue;
+        }
+        std::map<std::uint64_t, std::uint64_t> flat_counts;
+        for (const auto &[number, record] : vp->paths.paths())
+            flat_counts[number] = record.count;
+        if (flat_counts != nc->counts) {
+            addViolation(
+                report,
+                "flat/nested: " + keyName(key) +
+                    " flat dispatch diverged from nested dispatch "
+                    "(stale or corrupt flatEdgeActions mirror)");
+        }
+    }
+
+    if (full.pathsStored() != oracle.totalSegments()) {
+        std::ostringstream os;
+        os << "totals: full stored " << full.pathsStored()
+           << " paths but the oracle saw " << oracle.totalSegments()
+           << " segments";
+        addViolation(report, os.str());
+    }
+    if (nested.totalCompleted() != oracle.totalSegments()) {
+        std::ostringstream os;
+        os << "totals: nested completed " << nested.totalCompleted()
+           << " paths but the oracle saw " << oracle.totalSegments()
+           << " segments";
+        addViolation(report, os.str());
+    }
+
+    // Check 5: each PEP configuration.
+    for (std::size_t p = 0; p < peps.size(); ++p) {
+        core::PepProfiler &pep = *peps[p];
+        std::ostringstream tag;
+        tag << "pep(" << opts.pepConfigs[p].samples << ','
+            << opts.pepConfigs[p].stride << ')';
+        const std::string what = tag.str();
+
+        const core::PepStats &stats = pep.pepStats();
+        if (stats.pathsCompleted != oracle.totalSegments()) {
+            std::ostringstream os;
+            os << what << ": completed " << stats.pathsCompleted
+               << " paths but the oracle saw "
+               << oracle.totalSegments() << " segments";
+            addViolation(report, os.str());
+        }
+        if (stats.samplesRecorded > stats.samplesTaken) {
+            std::ostringstream os;
+            os << what << ": recorded " << stats.samplesRecorded
+               << " samples out of " << stats.samplesTaken
+               << " taken";
+            addViolation(report, os.str());
+        }
+
+        std::uint64_t recorded = 0;
+        for (auto &[key, vp] : pep.versionProfiles()) {
+            if (!vp->state->plan.enabled)
+                continue;
+            const VersionTruth *vt = oracle.truthFor(key);
+            if (!vt) {
+                addViolation(report, what + ": " + keyName(key) +
+                                         " unknown to the oracle");
+                continue;
+            }
+            const SegmentCounts sampled = segmentsFromProfile(
+                *vp->state, vp->paths, what, report);
+            for (const auto &[seq, count] : sampled) {
+                recorded += count;
+                const auto it = vt->segments.find(seq);
+                if (it == vt->segments.end()) {
+                    addViolation(
+                        report,
+                        what + ": " + keyName(key) +
+                            " sampled a never-executed path [" +
+                            formatEdgeSeq(seq) + "]");
+                } else if (count > it->second) {
+                    std::ostringstream os;
+                    os << what << ": " << keyName(key)
+                       << " sampled path [" << formatEdgeSeq(seq)
+                       << "] " << count << " times but it executed "
+                       << it->second << " times";
+                    addViolation(report, os.str());
+                }
+            }
+        }
+        if (recorded != stats.samplesRecorded) {
+            std::ostringstream os;
+            os << what << ": per-path counts sum to " << recorded
+               << " but samplesRecorded is " << stats.samplesRecorded;
+            addViolation(report, os.str());
+        }
+
+        checkEdgeTablesBounded(pep.edgeProfile(), machine.truthEdges(),
+                               what + " edge profile", report);
+        if (!opts.enableInlining) {
+            checkConservation(pep.edgeProfile(), machine,
+                              /*include_headers=*/false,
+                              what + " edge profile", report);
+        }
+    }
+
+    // Check 6: the edge profile derived from full BLPP paths. Inlined
+    // versions expand against the inlined CFG, which cannot be
+    // accumulated into root-method tables, so this is no-inlining only.
+    if (!opts.enableInlining) {
+        try {
+            profile::EdgeProfileSet derived =
+                core::edgeProfileFromPaths(machine, full);
+            checkEdgeTablesBounded(derived, machine.truthEdges(),
+                                   "full-derived edge profile", report);
+            const bool clean_pairing = oracle.droppedFrames() == 0 &&
+                                       oracle.adoptedFrames() == 0;
+            checkConservation(derived, machine, clean_pairing,
+                              "full-derived edge profile", report);
+            if (!clean_pairing) {
+                report.notes.push_back(
+                    "frames dropped or adopted mid-path: header "
+                    "conservation skipped");
+            }
+        } catch (const support::PanicError &e) {
+            addViolation(report,
+                         std::string("full-derived edge profile: "
+                                     "reconstruction panicked: ") +
+                             e.what());
+        }
+    }
+
+    return report;
+}
+
+std::string
+formatCorpusFile(const bytecode::Program &program,
+                 const std::string &config, std::uint64_t seed,
+                 InjectKind inject, const std::string &violation)
+{
+    std::ostringstream os;
+    os << "; pep-fuzz: config=" << config << " seed=" << seed
+       << " inject=" << injectKindName(inject) << '\n';
+    if (!violation.empty()) {
+        // First line of the violation only; keep the file greppable.
+        const std::size_t eol = violation.find('\n');
+        os << "; violation: " << violation.substr(0, eol) << '\n';
+    }
+    os << bytecode::disassembleProgram(program);
+    return os.str();
+}
+
+CorpusHeader
+parseCorpusHeader(const std::string &source)
+{
+    CorpusHeader header;
+    std::istringstream is(source);
+    std::string line;
+    while (std::getline(is, line)) {
+        const std::string prefix = "; pep-fuzz:";
+        if (line.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        std::istringstream fields(line.substr(prefix.size()));
+        std::string field;
+        while (fields >> field) {
+            const std::size_t eq = field.find('=');
+            if (eq == std::string::npos)
+                continue;
+            const std::string key = field.substr(0, eq);
+            const std::string value = field.substr(eq + 1);
+            if (key == "config") {
+                header.config = value;
+            } else if (key == "inject") {
+                header.inject = value;
+            } else if (key == "seed") {
+                header.seed = std::strtoull(value.c_str(), nullptr, 10);
+            }
+        }
+        break;
+    }
+    return header;
+}
+
+} // namespace pep::testing

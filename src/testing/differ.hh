@@ -1,0 +1,146 @@
+#ifndef PEP_TESTING_DIFFER_HH
+#define PEP_TESTING_DIFFER_HH
+
+/**
+ * @file
+ * The differential checker: run one program through the exact oracle,
+ * full BLPP (flat dispatch), the nested-dispatch mirror, and several
+ * PEP sampling configurations — all on the same Machine, hence the same
+ * deterministic event stream — then cross-check every pair against the
+ * oracle invariants:
+ *
+ *  1. the oracle's bytecode edge mirror equals the Machine's own
+ *     ground-truth edge counts (pins the oracle to the interpreter);
+ *  2. full BLPP's number->count table, mapped through the
+ *     reconstructor, equals the oracle's segment counts *exactly*;
+ *  3. flat and nested dispatch produce identical number->count tables
+ *     (the dynamic extension of plan-checker check 8);
+ *  4. every engine agrees on the total number of completed paths;
+ *  5. PEP-sampled counts never exceed the oracle's, sum to
+ *     samplesRecorded, and the derived edge profile is bounded by
+ *     ground truth and flow-conserved at non-header blocks;
+ *  6. the edge profile derived from full BLPP is bounded by ground
+ *     truth and flow-conserved (at loop headers too while no frame was
+ *     dropped mid-path).
+ *
+ * Fault injection (for harness self-tests and CI) deliberately breaks
+ * the flat/nested mirror invariant after a warm-up iteration, modelling
+ * the "forgot rebuildFlat() after applySpanningPlacement" bug class.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bytecode/method.hh"
+#include "profile/instr_plan.hh"
+#include "profile/numbering.hh"
+#include "profile/pdag.hh"
+
+namespace pep::testing {
+
+/** One PEP sampling configuration to run alongside the oracle. */
+struct PepConfig
+{
+    std::uint32_t samples = 1;
+    std::uint32_t stride = 1;
+};
+
+/** Deliberate bug classes the harness can inject into the full
+ *  profiler's plan between iterations. */
+enum class InjectKind : std::uint8_t
+{
+    None,
+
+    /** Overwrite the flat mirror with the pre-spanning (direct) plan's,
+     *  as if applySpanningPlacement had skipped rebuildFlat(). Only
+     *  effective with PlacementKind::SpanningTree. */
+    StaleFlatAfterSpanning,
+
+    /** Bump the first nonzero flat increment by one. */
+    CorruptFlatIncrement,
+};
+
+/** Name for reports / CLI flags ("none", "stale-flat", ...). */
+std::string injectKindName(InjectKind kind);
+
+/** Parse an injection name; returns false on unknown names. */
+bool parseInjectKind(const std::string &name, InjectKind &out);
+
+/** One differential configuration (profiling modes + VM features). */
+struct DiffOptions
+{
+    std::string name = "headersplit-direct";
+
+    profile::DagMode mode = profile::DagMode::HeaderSplit;
+    profile::NumberingScheme scheme = profile::NumberingScheme::BallLarus;
+    profile::PlacementKind placement = profile::PlacementKind::Direct;
+
+    bool yieldpointsOnBackEdges = false;
+    bool enableOsr = false;
+    bool enableInlining = false;
+
+    /** Short tick period so sampling/OSR fire on small programs. */
+    std::uint64_t tickCycles = 9'000;
+
+    /** Runaway guard: shrink candidates can be verifier-clean infinite
+     *  loops; fail them fast instead of spinning for minutes. */
+    std::uint64_t maxCyclesPerIteration = 50'000'000;
+
+    std::uint32_t iterations = 3;
+
+    std::vector<PepConfig> pepConfigs = {{1, 1}, {64, 17}};
+
+    InjectKind inject = InjectKind::None;
+};
+
+/** Result of one differential run. */
+struct DiffReport
+{
+    /** Invariant violations (empty == the run was clean). */
+    std::vector<std::string> violations;
+
+    /** Versions that carried an enabled instrumentation plan. */
+    std::size_t instrumentedVersions = 0;
+
+    std::uint64_t oracleSegments = 0;
+    std::uint64_t blppPaths = 0;
+    std::uint64_t pepSamplesRecorded = 0;
+
+    /** Non-fatal observations (skipped checks and why). */
+    std::vector<std::string> notes;
+
+    bool ok() const { return violations.empty(); }
+};
+
+/** The standard configuration matrix the fuzzer sweeps. */
+const std::vector<DiffOptions> &standardConfigs();
+
+/** Look up a standard configuration; nullptr if unknown. */
+const DiffOptions *findConfig(const std::string &name);
+
+/** Run one program through one configuration. */
+DiffReport runDiff(const bytecode::Program &program,
+                   const DiffOptions &opts);
+
+/** Render a corpus reproducer: a commented header (config, seed,
+ *  injection) followed by the program's assembler text. */
+std::string formatCorpusFile(const bytecode::Program &program,
+                             const std::string &config,
+                             std::uint64_t seed, InjectKind inject,
+                             const std::string &violation);
+
+/** Metadata parsed back out of a corpus file. */
+struct CorpusHeader
+{
+    std::string config = "headersplit-direct";
+    std::string inject = "none";
+    std::uint64_t seed = 0;
+};
+
+/** Parse the "; pep-fuzz: ..." header (defaults if absent). */
+CorpusHeader parseCorpusHeader(const std::string &source);
+
+} // namespace pep::testing
+
+#endif // PEP_TESTING_DIFFER_HH

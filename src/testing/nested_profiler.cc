@@ -1,0 +1,154 @@
+#include "testing/nested_profiler.hh"
+
+#include "support/panic.hh"
+#include "vm/compiled_method.hh"
+#include "vm/inliner.hh"
+
+namespace pep::testing {
+
+NestedDispatchProfiler::NestedDispatchProfiler(
+    vm::Machine &machine, profile::DagMode mode,
+    profile::NumberingScheme scheme, profile::PlacementKind placement)
+    : vm_(machine), mode_(mode), scheme_(scheme), placement_(placement)
+{
+}
+
+void
+NestedDispatchProfiler::onCompile(bytecode::MethodId method,
+                                  const vm::CompiledMethod &version)
+{
+    // Mirror PathEngine::onCompile (minus cost charging): same CFG
+    // choice, same frequency snapshot, so the built plan is identical.
+    const bytecode::MethodCfg &version_cfg =
+        version.inlinedBody ? version.inlinedBody->info.cfg
+                            : vm_.info(method).cfg;
+    const profile::MethodEdgeProfile *freq = nullptr;
+    if (!version.inlinedBody) {
+        const profile::MethodEdgeProfile &one_time =
+            vm_.oneTimeEdges().perMethod[method];
+        if (one_time.totalCount() > 0)
+            freq = &one_time;
+    }
+    VersionCounts &vc =
+        versions_[core::VersionKey{method, version.version}];
+    vc.state = core::buildProfilingState(version_cfg, method,
+                                         version.version, mode_,
+                                         scheme_, freq, placement_);
+    vc.state->compiled = &version;
+    if (!vc.state->plan.enabled)
+        ++overflow_;
+}
+
+NestedDispatchProfiler::VersionCounts *
+NestedDispatchProfiler::find(bytecode::MethodId method,
+                             std::uint32_t version)
+{
+    const auto it = versions_.find(core::VersionKey{method, version});
+    return it == versions_.end() ? nullptr : &it->second;
+}
+
+void
+NestedDispatchProfiler::pathCompleted(VersionCounts &vc,
+                                      std::uint64_t number)
+{
+    ++vc.counts[number];
+    ++completed_;
+}
+
+void
+NestedDispatchProfiler::onMethodEntry(const vm::FrameView &frame)
+{
+    FrameRec rec;
+    VersionCounts *vc = find(frame.method, frame.version->version);
+    if (vc && vc->state->plan.enabled)
+        rec.vc = vc;
+    stack_.push_back(rec);
+    PEP_ASSERT(stack_.size() == frame.depth + 1);
+}
+
+void
+NestedDispatchProfiler::onMethodExit(const vm::FrameView &frame)
+{
+    PEP_ASSERT(stack_.size() == frame.depth + 1);
+    FrameRec &rec = stack_.back();
+    if (rec.vc)
+        pathCompleted(*rec.vc, rec.reg);
+    stack_.pop_back();
+}
+
+void
+NestedDispatchProfiler::onEdge(const vm::FrameView &frame,
+                               cfg::EdgeRef edge)
+{
+    (void)frame;
+    FrameRec &rec = stack_.back();
+    if (!rec.vc)
+        return;
+    // The point of this profiler: read the build/analysis
+    // representation, not the flattened mirror.
+    const profile::EdgeAction &action =
+        rec.vc->state->plan.edgeActions[edge.src][edge.index];
+    if (action.endsPath) {
+        pathCompleted(*rec.vc, rec.reg + action.endAdd);
+        rec.reg = action.restart;
+    } else if (action.increment != 0) {
+        rec.reg += action.increment;
+    }
+}
+
+void
+NestedDispatchProfiler::onLoopHeader(const vm::FrameView &frame,
+                                     cfg::BlockId block)
+{
+    (void)frame;
+    FrameRec &rec = stack_.back();
+    if (!rec.vc)
+        return;
+    const profile::HeaderAction &action =
+        rec.vc->state->plan.headerActions[block];
+    if (!action.endsPath)
+        return;
+    pathCompleted(*rec.vc, rec.reg + action.endAdd);
+    rec.reg = action.restart;
+}
+
+void
+NestedDispatchProfiler::onOsr(const vm::FrameView &frame,
+                              cfg::BlockId header)
+{
+    FrameRec &rec = stack_.back();
+    if (mode_ != profile::DagMode::HeaderSplit) {
+        rec.vc = nullptr;
+        return;
+    }
+    VersionCounts *vc = find(frame.method, frame.version->version);
+    if (!vc || !vc->state->plan.enabled ||
+        !vc->state->plan.headerActions[header].endsPath) {
+        rec.vc = nullptr;
+        return;
+    }
+    rec.vc = vc;
+    rec.reg = vc->state->plan.headerActions[header].restart;
+}
+
+const NestedDispatchProfiler::VersionCounts *
+NestedDispatchProfiler::countsFor(core::VersionKey key) const
+{
+    const auto it = versions_.find(key);
+    return it == versions_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<core::VersionKey,
+                      const NestedDispatchProfiler::VersionCounts *>>
+NestedDispatchProfiler::all() const
+{
+    std::vector<
+        std::pair<core::VersionKey, const VersionCounts *>>
+        result;
+    result.reserve(versions_.size());
+    for (const auto &[key, vc] : versions_)
+        result.emplace_back(key, &vc);
+    return result;
+}
+
+} // namespace pep::testing

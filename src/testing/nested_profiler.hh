@@ -1,0 +1,89 @@
+#ifndef PEP_TESTING_NESTED_PROFILER_HH
+#define PEP_TESTING_NESTED_PROFILER_HH
+
+/**
+ * @file
+ * A full path profiler that dispatches on the *nested*
+ * edgeActions[block][succ] table instead of the flattened mirror the
+ * production PathEngine reads. Running it beside FullPathProfiler on
+ * the same execution extends the plan checker's static check 8 (nested
+ * == flat, memberwise) into an end-to-end dynamic proof: both engines
+ * must produce identical path-number frequency tables for every
+ * compiled version — a forgotten rebuildFlat() after a plan mutation
+ * diverges them on the first profiled run.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/path_engine.hh"
+#include "vm/hooks.hh"
+#include "vm/machine.hh"
+
+namespace pep::testing {
+
+class NestedDispatchProfiler final : public vm::ExecutionHooks,
+                                     public vm::CompileObserver
+{
+  public:
+    NestedDispatchProfiler(vm::Machine &machine, profile::DagMode mode,
+                           profile::NumberingScheme scheme,
+                           profile::PlacementKind placement);
+
+    /** Per-version state plus the path-number frequencies counted. */
+    struct VersionCounts
+    {
+        std::unique_ptr<core::MethodProfilingState> state;
+        std::map<std::uint64_t, std::uint64_t> counts;
+    };
+
+    // CompileObserver
+    void onCompile(bytecode::MethodId method,
+                   const vm::CompiledMethod &version) override;
+
+    // ExecutionHooks
+    void onMethodEntry(const vm::FrameView &frame) override;
+    void onMethodExit(const vm::FrameView &frame) override;
+    void onEdge(const vm::FrameView &frame, cfg::EdgeRef edge) override;
+    void onLoopHeader(const vm::FrameView &frame,
+                      cfg::BlockId block) override;
+    void onOsr(const vm::FrameView &frame, cfg::BlockId header) override;
+
+    const VersionCounts *countsFor(core::VersionKey key) const;
+
+    std::vector<std::pair<core::VersionKey, const VersionCounts *>>
+    all() const;
+
+    /** Total paths completed across all versions. */
+    std::uint64_t totalCompleted() const { return completed_; }
+
+    /** Versions whose numbering overflowed (plan disabled). */
+    std::size_t overflowCount() const { return overflow_; }
+
+  private:
+    struct FrameRec
+    {
+        VersionCounts *vc = nullptr;
+        std::uint64_t reg = 0;
+    };
+
+    VersionCounts *find(bytecode::MethodId method,
+                        std::uint32_t version);
+    void pathCompleted(VersionCounts &vc, std::uint64_t number);
+
+    vm::Machine &vm_;
+    const profile::DagMode mode_;
+    const profile::NumberingScheme scheme_;
+    const profile::PlacementKind placement_;
+
+    std::map<core::VersionKey, VersionCounts> versions_;
+    std::vector<FrameRec> stack_;
+    std::uint64_t completed_ = 0;
+    std::size_t overflow_ = 0;
+};
+
+} // namespace pep::testing
+
+#endif // PEP_TESTING_NESTED_PROFILER_HH

@@ -1,0 +1,284 @@
+#include "testing/shrink.hh"
+
+#include <algorithm>
+
+#include "bytecode/instr.hh"
+#include "bytecode/verifier.hh"
+
+namespace pep::testing {
+
+namespace {
+
+using bytecode::Instr;
+using bytecode::Opcode;
+using bytecode::Program;
+
+/** Opcodes whose `a` operand is a branch target pc. */
+bool
+branchTargetInA(Opcode op)
+{
+    return op >= Opcode::Goto && op <= Opcode::IfIcmple;
+}
+
+/** Single-operand conditionals (pop one value). */
+bool
+isUnaryCond(Opcode op)
+{
+    return op >= Opcode::Ifeq && op <= Opcode::Ifle;
+}
+
+/** Delete code[lo, hi) of one method, remapping every pc target:
+ *  targets past the region shift down, targets inside collapse to the
+ *  region start (the first surviving instruction after it). */
+Program
+deleteRange(const Program &base, std::size_t m, std::size_t lo,
+            std::size_t hi)
+{
+    Program candidate = base;
+    std::vector<Instr> &code = candidate.methods[m].code;
+    const std::int32_t removed = static_cast<std::int32_t>(hi - lo);
+    const auto map_pc = [&](std::int32_t pc) {
+        if (pc < static_cast<std::int32_t>(lo))
+            return pc;
+        if (pc >= static_cast<std::int32_t>(hi))
+            return pc - removed;
+        return static_cast<std::int32_t>(lo);
+    };
+    code.erase(code.begin() + static_cast<std::ptrdiff_t>(lo),
+               code.begin() + static_cast<std::ptrdiff_t>(hi));
+    for (Instr &instr : code) {
+        if (branchTargetInA(instr.op)) {
+            instr.a = map_pc(instr.a);
+        } else if (instr.op == Opcode::Tableswitch) {
+            instr.b = map_pc(instr.b);
+            for (std::int32_t &target : instr.table)
+                target = map_pc(target);
+        }
+    }
+    return candidate;
+}
+
+class Shrinker
+{
+  public:
+    Shrinker(const Program &failing, const FailPredicate &fails,
+             std::size_t max_attempts)
+        : current_(failing), fails_(fails), maxAttempts_(max_attempts)
+    {
+    }
+
+    ShrinkResult
+    run()
+    {
+        bool progressed = true;
+        while (progressed && attempts_ < maxAttempts_) {
+            progressed = false;
+            progressed |= dropMethods();
+            progressed |= stubBodies();
+            progressed |= deleteRanges();
+            progressed |= neutralize();
+        }
+        return {current_, attempts_, changed_};
+    }
+
+  private:
+    /** Verify the candidate and re-test; adopt it if it still fails. */
+    bool
+    accept(Program candidate)
+    {
+        if (attempts_ >= maxAttempts_)
+            return false;
+        ++attempts_;
+        if (!bytecode::verifyProgram(candidate).ok)
+            return false;
+        if (!fails_(candidate))
+            return false;
+        current_ = std::move(candidate);
+        changed_ = true;
+        return true;
+    }
+
+    /** Remove methods nothing invokes (never main), remapping ids. */
+    bool
+    dropMethods()
+    {
+        bool progressed = false;
+        for (std::size_t victim = current_.methods.size(); victim-- > 0;) {
+            if (static_cast<bytecode::MethodId>(victim) ==
+                current_.mainMethod) {
+                continue;
+            }
+            bool called = false;
+            for (std::size_t m = 0;
+                 m < current_.methods.size() && !called; ++m) {
+                if (m == victim)
+                    continue;
+                for (const Instr &instr : current_.methods[m].code) {
+                    if (instr.op == Opcode::Invoke &&
+                        instr.a == static_cast<std::int32_t>(victim)) {
+                        called = true;
+                        break;
+                    }
+                }
+            }
+            if (called)
+                continue;
+            Program candidate = current_;
+            candidate.methods.erase(
+                candidate.methods.begin() +
+                static_cast<std::ptrdiff_t>(victim));
+            for (bytecode::Method &method : candidate.methods) {
+                for (Instr &instr : method.code) {
+                    if (instr.op == Opcode::Invoke &&
+                        instr.a > static_cast<std::int32_t>(victim)) {
+                        --instr.a;
+                    }
+                }
+            }
+            if (candidate.mainMethod >
+                static_cast<bytecode::MethodId>(victim)) {
+                --candidate.mainMethod;
+            }
+            progressed |= accept(std::move(candidate));
+        }
+        return progressed;
+    }
+
+    /** Replace whole bodies (never main's) with a bare return. */
+    bool
+    stubBodies()
+    {
+        bool progressed = false;
+        for (std::size_t m = 0; m < current_.methods.size(); ++m) {
+            if (static_cast<bytecode::MethodId>(m) ==
+                current_.mainMethod) {
+                continue;
+            }
+            const bytecode::Method &method = current_.methods[m];
+            const std::size_t stub_size = method.returnsValue ? 2 : 1;
+            if (method.code.size() <= stub_size)
+                continue;
+            Program candidate = current_;
+            std::vector<Instr> stub;
+            if (method.returnsValue) {
+                Instr zero;
+                zero.op = Opcode::Iconst;
+                stub.push_back(zero);
+                Instr ret;
+                ret.op = Opcode::Ireturn;
+                stub.push_back(ret);
+            } else {
+                Instr ret;
+                ret.op = Opcode::Return;
+                stub.push_back(ret);
+            }
+            candidate.methods[m].code = std::move(stub);
+            progressed |= accept(std::move(candidate));
+        }
+        return progressed;
+    }
+
+    /** ddmin over instruction ranges, largest chunks first. */
+    bool
+    deleteRanges()
+    {
+        bool progressed = false;
+        for (std::size_t m = 0; m < current_.methods.size(); ++m) {
+            std::size_t chunk = current_.methods[m].code.size() / 2;
+            for (; chunk >= 1; chunk /= 2) {
+                bool removed_any = true;
+                while (removed_any && attempts_ < maxAttempts_) {
+                    removed_any = false;
+                    const std::size_t n =
+                        current_.methods[m].code.size();
+                    for (std::size_t lo = 0; lo + 1 <= n;
+                         lo += chunk) {
+                        const std::size_t hi =
+                            std::min(lo + chunk, n);
+                        if (hi <= lo)
+                            break;
+                        if (accept(deleteRange(current_, m, lo, hi))) {
+                            progressed = true;
+                            removed_any = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        return progressed;
+    }
+
+    /** 1-for-1 rewrites that keep pcs and stack depth intact. */
+    bool
+    neutralize()
+    {
+        bool progressed = false;
+        for (std::size_t m = 0; m < current_.methods.size(); ++m) {
+            for (std::size_t pc = 0;
+                 pc < current_.methods[m].code.size(); ++pc) {
+                const Instr instr = current_.methods[m].code[pc];
+                Instr replacement;
+                bool have = false;
+                if (isUnaryCond(instr.op) ||
+                    instr.op == Opcode::Tableswitch) {
+                    replacement.op = Opcode::Pop;
+                    have = true;
+                } else if (instr.op == Opcode::Irnd) {
+                    replacement.op = Opcode::Iconst;
+                    have = true;
+                } else if (instr.op == Opcode::Invoke) {
+                    const bytecode::Method &callee =
+                        current_.methods[static_cast<std::size_t>(
+                            instr.a)];
+                    const std::uint32_t args = callee.numArgs;
+                    const bool ret = callee.returnsValue;
+                    if (args == 0 && ret) {
+                        replacement.op = Opcode::Iconst;
+                        have = true;
+                    } else if (args == 1 && !ret) {
+                        replacement.op = Opcode::Pop;
+                        have = true;
+                    } else if (args == 1 && ret) {
+                        replacement.op = Opcode::Ineg;
+                        have = true;
+                    } else if (args == 2 && ret) {
+                        replacement.op = Opcode::Iadd;
+                        have = true;
+                    } else if (args == 0 && !ret &&
+                               pc + 1 <
+                                   current_.methods[m].code.size()) {
+                        replacement.op = Opcode::Goto;
+                        replacement.a =
+                            static_cast<std::int32_t>(pc + 1);
+                        have = true;
+                    }
+                }
+                if (!have || replacement.op == instr.op)
+                    continue;
+                Program candidate = current_;
+                candidate.methods[m].code[pc] = replacement;
+                progressed |= accept(std::move(candidate));
+            }
+        }
+        return progressed;
+    }
+
+    Program current_;
+    const FailPredicate &fails_;
+    std::size_t attempts_ = 0;
+    const std::size_t maxAttempts_;
+    bool changed_ = false;
+};
+
+} // namespace
+
+ShrinkResult
+shrinkProgram(const bytecode::Program &failing,
+              const FailPredicate &still_fails,
+              std::size_t max_attempts)
+{
+    return Shrinker(failing, still_fails, max_attempts).run();
+}
+
+} // namespace pep::testing

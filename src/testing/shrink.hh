@@ -1,0 +1,49 @@
+#ifndef PEP_TESTING_SHRINK_HH
+#define PEP_TESTING_SHRINK_HH
+
+/**
+ * @file
+ * Test-case reduction for fuzzer findings. Given a program that makes
+ * the differential checker report violations, greedily shrink it while
+ * the predicate keeps failing: drop uncalled methods, stub whole
+ * bodies, delta-debug instruction ranges (with pc-target remapping),
+ * and neutralize single instructions (branch -> Pop, Irnd -> Iconst,
+ * call -> arithmetic of the same stack shape). Every candidate is
+ * re-verified before the predicate runs, so the result is always a
+ * loadable program — the minimal reproducer checked into the corpus.
+ */
+
+#include <cstddef>
+#include <functional>
+
+#include "bytecode/method.hh"
+
+namespace pep::testing {
+
+/** Returns true if the (verified) candidate still reproduces. */
+using FailPredicate = std::function<bool(const bytecode::Program &)>;
+
+/** Outcome of a shrink run. */
+struct ShrinkResult
+{
+    bytecode::Program program;
+
+    /** Candidate evaluations spent (verify + predicate). */
+    std::size_t attempts = 0;
+
+    /** True if anything was removed or simplified. */
+    bool changed = false;
+};
+
+/**
+ * Shrink `failing` as far as the predicate allows, spending at most
+ * `max_attempts` candidate evaluations. `failing` itself must already
+ * fail the predicate; it is returned unchanged if nothing smaller does.
+ */
+ShrinkResult shrinkProgram(const bytecode::Program &failing,
+                           const FailPredicate &still_fails,
+                           std::size_t max_attempts = 600);
+
+} // namespace pep::testing
+
+#endif // PEP_TESTING_SHRINK_HH

@@ -13,13 +13,24 @@
 #include "bytecode/assembler.hh"
 #include "bytecode/cfg_builder.hh"
 #include "bytecode/verifier.hh"
-#include "common/fixtures.hh"
 #include "support/panic.hh"
 #include "support/rng.hh"
+#include "testing/generator.hh"
 #include "vm/machine.hh"
 
 namespace pep::bytecode {
 namespace {
+
+namespace fz = pep::testing;
+
+/** A fuzz-generator program for the given round's seed. */
+Program
+roundProgram(std::uint64_t seed)
+{
+    fz::FuzzSpec spec;
+    spec.seed = seed;
+    return fz::generateProgram(spec);
+}
 
 /** Randomly mutate one instruction field of a program. */
 void
@@ -55,10 +66,9 @@ TEST(VerifierFuzz, NeverCrashesAndAcceptedProgramsRun)
     std::size_t accepted = 0;
     std::size_t rejected = 0;
 
-    for (int round = 0; round < 400; ++round) {
-        Program program =
-            test::randomStructuredProgram(1000 + rng.nextBounded(50),
-                                          6);
+    const std::size_t rounds = fz::fuzzItersFromEnv(400);
+    for (std::size_t round = 0; round < rounds; ++round) {
+        Program program = roundProgram(1000 + round);
         const std::size_t mutations = 1 + rng.nextBounded(4);
         for (std::size_t i = 0; i < mutations; ++i)
             mutate(rng, program);
@@ -116,8 +126,9 @@ TEST(AssemblerFuzz, TokenSoupNeverCrashes)
         ASSERT_NO_THROW(result = assemble(source))
             << "round " << round << "\n"
             << source;
-        if (!result.ok)
+        if (!result.ok) {
             EXPECT_FALSE(result.error.empty());
+        }
     }
 }
 
@@ -125,9 +136,9 @@ TEST(CfgBuilderFuzz, VerifiedMutantsAlwaysBuildSaneCfgs)
 {
     support::Rng rng(0xcf9);
     std::size_t built = 0;
-    for (int round = 0; round < 300; ++round) {
-        Program program = test::randomStructuredProgram(
-            2000 + rng.nextBounded(50), 6);
+    const std::size_t rounds = fz::fuzzItersFromEnv(300);
+    for (std::size_t round = 0; round < rounds; ++round) {
+        Program program = roundProgram(2000 + round);
         mutate(rng, program);
         if (!verifyProgram(program).ok)
             continue;

@@ -9,15 +9,21 @@
 
 #include <set>
 
+#include "bytecode/assembler.hh"
 #include "bytecode/cfg_builder.hh"
 #include "common/fixtures.hh"
+#include "profile/edge_profile.hh"
+#include "profile/path_profile.hh"
 #include "profile/reconstruct.hh"
 #include "support/panic.hh"
+#include "testing/generator.hh"
 
 namespace pep::profile {
 namespace {
 
 using bytecode::MethodCfg;
+
+namespace fz = pep::testing;
 
 struct Prepared
 {
@@ -279,6 +285,139 @@ TEST(Reconstruct, OutOfRangeNumberPanics)
     EXPECT_THROW(
         p.reconstructor->reconstructDagEdges(p.numbering.totalPaths),
         support::PanicError);
+}
+
+// ---- property tests over generated programs -------------------------------
+
+/** Expect in-flow == out-flow at every non-header code block. */
+void
+expectFlowConservation(const MethodCfg &cfg,
+                       const MethodEdgeProfile &profile)
+{
+    const cfg::Graph &graph = cfg.graph;
+    std::vector<std::uint64_t> in(graph.numBlocks(), 0);
+    std::vector<std::uint64_t> out(graph.numBlocks(), 0);
+    for (cfg::BlockId b = 0; b < graph.numBlocks(); ++b) {
+        const auto &succs = graph.succs(b);
+        for (std::uint32_t i = 0; i < succs.size(); ++i) {
+            const std::uint64_t count = profile.counts()[b][i];
+            out[b] += count;
+            in[succs[i]] += count;
+        }
+    }
+    for (cfg::BlockId b = 0; b < graph.numBlocks(); ++b) {
+        if (!cfg.isCodeBlock(b) || cfg.isLoopHeader[b])
+            continue;
+        EXPECT_EQ(in[b], out[b]) << "block " << b;
+    }
+}
+
+TEST(ReconstructProperty, AllPathsEdgeProfileConservesFlow)
+{
+    // Accumulating every path of a method once yields an edge profile
+    // that conserves flow at every non-header code block: paths only
+    // begin and end at entry, exit, and loop headers, so everywhere
+    // else each entering walk also leaves.
+    std::size_t methods_checked = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        fz::FuzzSpec spec;
+        spec.seed = seed;
+        const bytecode::Program program = fz::generateProgram(spec);
+        for (const bytecode::Method &method : program.methods) {
+            const MethodCfg cfg = bytecode::buildCfg(method);
+            for (const DagMode mode :
+                 {DagMode::HeaderSplit, DagMode::BackEdgeTruncate}) {
+                const PDag pdag = buildPDag(cfg, mode);
+                const Numbering numbering =
+                    numberPaths(pdag, NumberingScheme::BallLarus);
+                if (numbering.overflow ||
+                    numbering.totalPaths > 512) {
+                    continue;
+                }
+                const PathReconstructor reconstructor(cfg, pdag,
+                                                      numbering);
+                MethodPathProfile path_profile;
+                for (std::uint64_t n = 0; n < numbering.totalPaths;
+                     ++n) {
+                    path_profile.addSample(n);
+                }
+                MethodEdgeProfile edge_profile(cfg);
+                accumulateEdgeProfile(edge_profile, path_profile,
+                                      reconstructor);
+                SCOPED_TRACE("seed " + std::to_string(seed));
+                expectFlowConservation(cfg, edge_profile);
+                ++methods_checked;
+            }
+        }
+    }
+    EXPECT_GT(methods_checked, 20u);
+}
+
+TEST(ReconstructProperty, ZeroSampleProfileYieldsEmptyEdgeProfile)
+{
+    const Prepared p =
+        prepare(test::figure1Program(), DagMode::HeaderSplit);
+
+    // No samples at all: accumulation must leave the profile empty.
+    MethodPathProfile empty_paths;
+    MethodEdgeProfile edge_profile(p.cfg);
+    accumulateEdgeProfile(edge_profile, empty_paths, *p.reconstructor);
+    EXPECT_TRUE(edge_profile.empty());
+    EXPECT_EQ(edge_profile.totalCount(), 0u);
+
+    // A record with an explicit zero count contributes zero weight to
+    // every edge — the profile stays empty even though the record's
+    // expansion is cached.
+    MethodPathProfile zero_paths;
+    zero_paths.addSample(0, 0);
+    accumulateEdgeProfile(edge_profile, zero_paths, *p.reconstructor);
+    EXPECT_TRUE(edge_profile.empty());
+    EXPECT_EQ(zero_paths.totalCount(), 0u);
+    EXPECT_EQ(zero_paths.numDistinctPaths(), 1u);
+}
+
+TEST(ReconstructProperty, StraightLineMethodHasOnePathOverEveryEdge)
+{
+    // A branch-free method has exactly one path, and that path's CFG
+    // expansion covers every edge of the graph exactly once.
+    const bytecode::AssembleResult assembled = bytecode::assemble(
+        ".globals 1\n"
+        ".method straight 0 2\n"
+        "    iconst 3\n"
+        "    istore 0\n"
+        "    iload 0\n"
+        "    iconst 4\n"
+        "    iadd\n"
+        "    istore 1\n"
+        "    return\n"
+        ".end\n"
+        ".main straight\n");
+    ASSERT_TRUE(assembled.ok) << assembled.error;
+
+    const Prepared p = prepare(assembled.program,
+                               DagMode::HeaderSplit);
+    ASSERT_EQ(p.numbering.totalPaths, 1u);
+    EXPECT_FALSE(p.numbering.overflow);
+
+    const ReconstructedPath path = p.reconstructor->reconstruct(0);
+    EXPECT_EQ(path.startHeader, cfg::kInvalidBlock);
+    EXPECT_EQ(path.endHeader, cfg::kInvalidBlock);
+    EXPECT_EQ(path.numBranches, 0u);
+
+    // Every CFG edge appears exactly once in the expansion.
+    MethodEdgeProfile edge_profile(p.cfg);
+    for (const cfg::EdgeRef &e : path.cfgEdges)
+        edge_profile.addEdge(e);
+    const cfg::Graph &graph = p.cfg.graph;
+    std::size_t edges = 0;
+    for (cfg::BlockId b = 0; b < graph.numBlocks(); ++b) {
+        for (std::uint32_t i = 0; i < graph.succs(b).size(); ++i) {
+            EXPECT_EQ(edge_profile.counts()[b][i], 1u)
+                << "edge " << b << ":" << i;
+            ++edges;
+        }
+    }
+    EXPECT_EQ(path.cfgEdges.size(), edges);
 }
 
 TEST(Reconstruct, OverflowedNumberingRefused)

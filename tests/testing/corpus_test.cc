@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Corpus regression replay: every .pepasm reproducer the fuzzer ever
+ * checked into tests/corpus/ is re-assembled and re-run through the
+ * differential checker forever. Files whose header names an injection
+ * must still make the (deliberately corrupted) run report violations —
+ * proving the harness keeps catching the bug class — while files
+ * without one must now run clean.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bytecode/assembler.hh"
+#include "bytecode/verifier.hh"
+#include "testing/differ.hh"
+
+namespace {
+
+using namespace pep;
+namespace fz = pep::testing;
+
+std::filesystem::path
+corpusDir()
+{
+    return std::filesystem::path(PEP_SOURCE_DIR) / "tests" / "corpus";
+}
+
+std::vector<std::filesystem::path>
+corpusFiles()
+{
+    std::vector<std::filesystem::path> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(corpusDir())) {
+        if (entry.path().extension() == ".pepasm")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(FuzzRegression, CorpusIsNotEmpty)
+{
+    // The injected-bug reproducer is checked in; an empty corpus means
+    // the replay below silently tests nothing.
+    EXPECT_FALSE(corpusFiles().empty());
+}
+
+TEST(FuzzRegression, ReplayEveryCorpusFile)
+{
+    for (const std::filesystem::path &path : corpusFiles()) {
+        SCOPED_TRACE(path.filename().string());
+
+        std::ifstream in(path);
+        ASSERT_TRUE(in.good());
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        const std::string source = buffer.str();
+
+        const bytecode::AssembleResult assembled =
+            bytecode::assemble(source);
+        ASSERT_TRUE(assembled.ok) << assembled.error;
+        bytecode::Program program = assembled.program;
+        ASSERT_TRUE(bytecode::verifyProgram(program).ok);
+
+        const fz::CorpusHeader header =
+            fz::parseCorpusHeader(source);
+        const fz::DiffOptions *config =
+            fz::findConfig(header.config);
+        ASSERT_NE(config, nullptr)
+            << "unknown config " << header.config;
+
+        fz::DiffOptions opts = *config;
+        ASSERT_TRUE(
+            fz::parseInjectKind(header.inject, opts.inject))
+            << "unknown injection " << header.inject;
+
+        const fz::DiffReport report =
+            fz::runDiff(program, opts);
+        if (opts.inject == fz::InjectKind::None) {
+            // A real (since fixed) finding: must stay fixed.
+            EXPECT_TRUE(report.ok())
+                << (report.violations.empty()
+                        ? ""
+                        : report.violations.front());
+        } else {
+            // A harness self-test: the injection must stay caught.
+            EXPECT_FALSE(report.ok());
+        }
+    }
+}
+
+} // namespace

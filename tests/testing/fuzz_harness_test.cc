@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Self-tests of the differential fuzzing harness: the generator emits
+ * verifier-clean programs covering the hard shapes, the differ is
+ * clean on healthy profilers across the standard config matrix, fault
+ * injection is caught, and the shrinker reduces a failing program to a
+ * smaller one that still fails.
+ */
+
+#include <cstdlib>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "bytecode/cfg_builder.hh"
+#include "bytecode/instr.hh"
+#include "bytecode/verifier.hh"
+#include "support/panic.hh"
+#include "testing/differ.hh"
+#include "testing/generator.hh"
+#include "testing/shrink.hh"
+
+namespace {
+
+using namespace pep;
+namespace fz = pep::testing;
+
+std::size_t
+countOpcode(const bytecode::Program &program, bytecode::Opcode op)
+{
+    std::size_t n = 0;
+    for (const bytecode::Method &method : program.methods)
+        for (const bytecode::Instr &instr : method.code)
+            n += instr.op == op ? 1 : 0;
+    return n;
+}
+
+std::size_t
+totalInstructions(const bytecode::Program &program)
+{
+    std::size_t n = 0;
+    for (const bytecode::Method &method : program.methods)
+        n += method.code.size();
+    return n;
+}
+
+TEST(FuzzGenerator, ProgramsAreVerifierCleanAndCoverHardShapes)
+{
+    std::size_t switches = 0;
+    std::size_t invokes = 0;
+    std::size_t loops = 0;
+    std::size_t shared_headers = 0;
+    std::size_t parallel_edges = 0;
+
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        fz::FuzzSpec spec;
+        spec.seed = seed;
+        bytecode::Program program = fz::generateProgram(spec);
+        EXPECT_TRUE(bytecode::verifyProgram(program).ok)
+            << "seed " << seed;
+
+        switches += countOpcode(program, bytecode::Opcode::Tableswitch);
+        invokes += countOpcode(program, bytecode::Opcode::Invoke);
+
+        for (const bytecode::Method &method : program.methods) {
+            const bytecode::MethodCfg cfg = bytecode::buildCfg(method);
+            loops += cfg.backEdges.size();
+
+            // Shared loop headers: several back edges into one block.
+            std::set<cfg::BlockId> headers;
+            for (const cfg::EdgeRef &edge : cfg.backEdges) {
+                const cfg::BlockId dst = cfg.graph.edgeDst(edge);
+                if (!headers.insert(dst).second)
+                    ++shared_headers;
+            }
+
+            // Parallel edges (switch cases sharing a target block).
+            for (cfg::BlockId b = 0; b < cfg.graph.numBlocks(); ++b) {
+                const auto &succs = cfg.graph.succs(b);
+                const std::set<cfg::BlockId> distinct(succs.begin(),
+                                                      succs.end());
+                parallel_edges += succs.size() - distinct.size();
+            }
+        }
+    }
+
+    EXPECT_GT(switches, 0u);
+    EXPECT_GT(invokes, 0u);
+    EXPECT_GT(loops, 40u); // well beyond the one driver loop per seed
+    EXPECT_GT(shared_headers, 0u);
+    EXPECT_GT(parallel_edges, 0u);
+}
+
+TEST(FuzzGenerator, DeterministicPerSeed)
+{
+    fz::FuzzSpec spec;
+    spec.seed = 123;
+    const bytecode::Program a = fz::generateProgram(spec);
+    const bytecode::Program b = fz::generateProgram(spec);
+    ASSERT_EQ(a.methods.size(), b.methods.size());
+    for (std::size_t m = 0; m < a.methods.size(); ++m) {
+        ASSERT_EQ(a.methods[m].code.size(), b.methods[m].code.size());
+        for (std::size_t pc = 0; pc < a.methods[m].code.size(); ++pc) {
+            EXPECT_EQ(a.methods[m].code[pc].op,
+                      b.methods[m].code[pc].op);
+            EXPECT_EQ(a.methods[m].code[pc].a, b.methods[m].code[pc].a);
+        }
+    }
+}
+
+TEST(FuzzGenerator, ItersEnvOverride)
+{
+    ::unsetenv("PEP_FUZZ_ITERS");
+    EXPECT_EQ(fz::fuzzItersFromEnv(400), 400u);
+    ::setenv("PEP_FUZZ_ITERS", "25", 1);
+    EXPECT_EQ(fz::fuzzItersFromEnv(400), 25u);
+    ::setenv("PEP_FUZZ_ITERS", "nonsense", 1);
+    EXPECT_EQ(fz::fuzzItersFromEnv(400), 400u);
+    ::unsetenv("PEP_FUZZ_ITERS");
+}
+
+TEST(Differ, CleanAcrossStandardConfigMatrix)
+{
+    std::size_t instrumented = 0;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        fz::FuzzSpec spec;
+        spec.seed = seed;
+        const bytecode::Program program =
+            fz::generateProgram(spec);
+        for (const fz::DiffOptions &config :
+             fz::standardConfigs()) {
+            const fz::DiffReport report =
+                fz::runDiff(program, config);
+            EXPECT_TRUE(report.ok())
+                << "seed " << seed << " config " << config.name << ": "
+                << (report.violations.empty()
+                        ? ""
+                        : report.violations.front());
+            instrumented += report.instrumentedVersions;
+            EXPECT_EQ(report.blppPaths, report.oracleSegments);
+        }
+    }
+    // The sweep must actually exercise instrumented code.
+    EXPECT_GT(instrumented, 0u);
+}
+
+/** Find a seed the stale-flat injection bites on. */
+std::uint64_t
+findCaughtSeed(const fz::DiffOptions &opts)
+{
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        fz::FuzzSpec spec;
+        spec.seed = seed;
+        const bytecode::Program program =
+            fz::generateProgram(spec);
+        if (!fz::runDiff(program, opts).ok())
+            return seed;
+    }
+    return 0;
+}
+
+TEST(Differ, StaleFlatInjectionIsCaughtAndCleanWithout)
+{
+    const fz::DiffOptions *base =
+        fz::findConfig("smart-spanning-osr");
+    ASSERT_NE(base, nullptr);
+    fz::DiffOptions opts = *base;
+    opts.inject = fz::InjectKind::StaleFlatAfterSpanning;
+
+    const std::uint64_t seed = findCaughtSeed(opts);
+    ASSERT_NE(seed, 0u)
+        << "no seed in 1..20 caught the stale-flat injection";
+
+    fz::FuzzSpec spec;
+    spec.seed = seed;
+    const bytecode::Program program = fz::generateProgram(spec);
+    const fz::DiffReport clean = fz::runDiff(program, *base);
+    EXPECT_TRUE(clean.ok()) << clean.violations.front();
+}
+
+TEST(Differ, CorruptIncrementInjectionIsCaught)
+{
+    const fz::DiffOptions *base =
+        fz::findConfig("headersplit-direct");
+    ASSERT_NE(base, nullptr);
+    fz::DiffOptions opts = *base;
+    opts.inject = fz::InjectKind::CorruptFlatIncrement;
+    EXPECT_NE(findCaughtSeed(opts), 0u)
+        << "no seed in 1..20 caught the corrupt-increment injection";
+}
+
+TEST(Shrinker, ReducesInjectedFailureWhileItStillFails)
+{
+    const fz::DiffOptions *base =
+        fz::findConfig("smart-spanning-osr");
+    ASSERT_NE(base, nullptr);
+    fz::DiffOptions opts = *base;
+    opts.inject = fz::InjectKind::StaleFlatAfterSpanning;
+
+    const std::uint64_t seed = findCaughtSeed(opts);
+    ASSERT_NE(seed, 0u);
+    fz::FuzzSpec spec;
+    spec.seed = seed;
+    const bytecode::Program failing = fz::generateProgram(spec);
+
+    const fz::FailPredicate still_fails =
+        [&](const bytecode::Program &candidate) {
+            try {
+                return !fz::runDiff(candidate, opts).ok();
+            } catch (const support::PanicError &) {
+                return true;
+            } catch (const support::FatalError &) {
+                return false;
+            }
+        };
+    ASSERT_TRUE(still_fails(failing));
+
+    const fz::ShrinkResult shrunk =
+        fz::shrinkProgram(failing, still_fails);
+    EXPECT_TRUE(shrunk.changed);
+    EXPECT_GT(shrunk.attempts, 0u);
+    EXPECT_LT(totalInstructions(shrunk.program),
+              totalInstructions(failing));
+    EXPECT_LE(shrunk.program.methods.size(), failing.methods.size());
+    EXPECT_TRUE(still_fails(shrunk.program));
+
+    bytecode::Program verified = shrunk.program;
+    EXPECT_TRUE(bytecode::verifyProgram(verified).ok);
+}
+
+TEST(Differ, CorpusHeaderRoundTrip)
+{
+    fz::FuzzSpec spec;
+    spec.seed = 5;
+    const bytecode::Program program = fz::generateProgram(spec);
+    const std::string text = fz::formatCorpusFile(
+        program, "backedge", 5,
+        fz::InjectKind::CorruptFlatIncrement, "why it failed");
+    const fz::CorpusHeader header =
+        fz::parseCorpusHeader(text);
+    EXPECT_EQ(header.config, "backedge");
+    EXPECT_EQ(header.inject, "corrupt-increment");
+    EXPECT_EQ(header.seed, 5u);
+}
+
+} // namespace

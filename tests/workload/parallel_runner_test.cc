@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <numeric>
 #include <stdexcept>
 #include <string>
@@ -105,6 +106,73 @@ TEST(ParallelRunner, AllJobsCompleteDespiteEarlyFailure)
         for (std::size_t i = 0; i < 16; ++i)
             EXPECT_EQ(hits[i].load(), 1) << "index " << i;
     }
+}
+
+TEST(ParallelRunner, ParksAllButFirstWhenManySlotsThrow)
+{
+    // Every odd index throws — half the fan-out fails. The runner must
+    // park all of those exceptions, still run every job exactly once,
+    // and rethrow only the lowest-index one, independent of worker
+    // count and scheduling.
+    for (const unsigned workers : {1u, 2u, 8u}) {
+        const ParallelRunner runner(workers);
+        constexpr std::size_t kCount = 64;
+        std::vector<std::atomic<int>> hits(kCount);
+        try {
+            runner.run(kCount, [&](std::size_t i) {
+                ++hits[i];
+                if (i % 2 == 1)
+                    throw std::runtime_error("job " +
+                                             std::to_string(i));
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &err) {
+            EXPECT_STREQ(err.what(), "job 1");
+        }
+        for (std::size_t i = 0; i < kCount; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ParallelRunner, EnvSingleThreadDegeneratesToSerialByteIdentically)
+{
+    // PEP_BENCH_THREADS=1 must select the inline serial path: jobs run
+    // on the calling thread in index order and the composed result is
+    // byte-identical to a plain loop.
+    ::setenv("PEP_BENCH_THREADS", "1", /*overwrite=*/1);
+    const ParallelRunner runner(0);
+    EXPECT_EQ(runner.workers(), 1u);
+
+    constexpr std::size_t kCount = 128;
+    const auto job = [](std::size_t i) {
+        // A stateful per-slot computation whose result would differ if
+        // slots were computed in another order with shared state.
+        std::uint64_t x = 0x9e3779b97f4a7c15ull * (i + 1);
+        x ^= x >> 29;
+        return x * (i + 3);
+    };
+
+    std::vector<std::uint64_t> serial(kCount, 0);
+    for (std::size_t i = 0; i < kCount; ++i)
+        serial[i] = job(i);
+
+    std::vector<std::uint64_t> slots(kCount, 0);
+    std::vector<std::size_t> order;
+    runner.run(kCount, [&](std::size_t i) {
+        order.push_back(i); // safe: serial path, no data race
+        slots[i] = job(i);
+    });
+
+    std::vector<std::size_t> expected_order(kCount);
+    std::iota(expected_order.begin(), expected_order.end(),
+              std::size_t{0});
+    EXPECT_EQ(order, expected_order);
+    ASSERT_EQ(slots.size(), serial.size());
+    EXPECT_EQ(std::memcmp(slots.data(), serial.data(),
+                          slots.size() * sizeof(slots[0])),
+              0);
+
+    ::unsetenv("PEP_BENCH_THREADS");
 }
 
 TEST(ParallelRunner, WorkerCountDefaultsAndClamps)
