@@ -1,18 +1,23 @@
 #!/usr/bin/env bash
 # Harness performance run: builds the perf suite and emits
 # BENCH_PR2.json (wall-clock + simulated cycles/sec for serial vs
-# parallel suite runs, plus the flattened-dispatch microbenchmark).
+# parallel suite runs, plus the flattened-dispatch microbenchmark)
+# and BENCH_PR4.json (cooperative-scheduler PEP overhead/accuracy per
+# virtual-thread count, throughput worker scaling, and the
+# sharded-vs-mutex aggregation comparison).
 #
-# Usage: scripts/bench.sh [output.json]
+# Usage: scripts/bench.sh [perf-output.json] [concurrency-output.json]
 # Environment: PEP_BENCH_SCALE, PEP_BENCH_ONLY, PEP_BENCH_THREADS.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_PR2.json}
+OUT_CONCURRENCY=${2:-BENCH_PR4.json}
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)" --target perf_suite
+cmake --build build -j "$(nproc)" --target perf_suite tab_concurrency
 
 ./build/bench/perf_suite "$OUT"
-echo "bench.sh: results in $OUT"
+./build/bench/tab_concurrency "$OUT_CONCURRENCY"
+echo "bench.sh: results in $OUT and $OUT_CONCURRENCY"

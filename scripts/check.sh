@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Full verification sweep: a regular build + test run, then a second
-# build with AddressSanitizer + UBSanitizer (-DPEP_SANITIZE=ON) and the
-# same test run under it. Usage: scripts/check.sh [extra ctest args...]
+# Full verification sweep: a regular build + test run, a second build
+# with AddressSanitizer + UBSanitizer (-DPEP_SANITIZE=ON) and the same
+# test run under it, then a ThreadSanitizer build
+# (-DPEP_SANITIZE=thread) running the concurrent-runtime tests (the
+# only suites with real OS-thread concurrency).
+# Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,5 +24,12 @@ run_suite build
 
 echo "== check.sh: ASan+UBSan build =="
 run_suite build-sanitize -DPEP_SANITIZE=ON
+
+echo "== check.sh: TSan build (runtime suites) =="
+cmake -B build-tsan -S . -DPEP_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$(nproc)" --target runtime_test \
+    workload_test
+ctest --test-dir build-tsan --output-on-failure \
+    -R 'Runtime|ParallelRunner' "${CTEST_ARGS[@]}"
 
 echo "== check.sh: all suites passed =="

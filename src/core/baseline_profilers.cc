@@ -15,7 +15,8 @@ FullPathProfiler::FullPathProfiler(vm::Machine &machine,
 
 void
 FullPathProfiler::pathCompleted(VersionProfile &vp,
-                                std::uint64_t path_number)
+                                std::uint64_t path_number,
+                                std::uint32_t /*thread*/)
 {
     // count[r]++ — the load-increment-store / hash call that dominates
     // Ball-Larus overhead (Section 3.2).

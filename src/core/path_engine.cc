@@ -174,6 +174,14 @@ PathEngine::clearPathProfiles()
                 vp->paths.clear();
 }
 
+std::vector<PathEngine::FrameState> &
+PathEngine::stackFor(std::uint32_t thread)
+{
+    if (stacks_.size() <= thread)
+        stacks_.resize(thread + 1);
+    return stacks_[thread];
+}
+
 void
 PathEngine::onMethodEntry(const vm::FrameView &frame)
 {
@@ -185,28 +193,29 @@ PathEngine::onMethodEntry(const vm::FrameView &frame)
         charge(vm_.params().cost.pathRegResetCost); // r = 0
     }
     fs.reg = 0;
-    stack_.push_back(fs);
-    PEP_ASSERT(stack_.size() == frame.depth + 1);
+    std::vector<FrameState> &stack = stackFor(frame.thread);
+    stack.push_back(fs);
+    PEP_ASSERT(stack.size() == frame.depth + 1);
 }
 
 void
 PathEngine::onMethodExit(const vm::FrameView &frame)
 {
-    PEP_ASSERT(stack_.size() == frame.depth + 1);
-    FrameState &fs = stack_.back();
+    std::vector<FrameState> &stack = stacks_[frame.thread];
+    PEP_ASSERT(stack.size() == frame.depth + 1);
+    FrameState &fs = stack.back();
     if (fs.vp) {
         // Path ends at method exit; its number is r (the return edge's
         // increment was applied by onEdge).
-        pathCompleted(*fs.vp, fs.reg);
+        pathCompleted(*fs.vp, fs.reg, frame.thread);
     }
-    stack_.pop_back();
+    stack.pop_back();
 }
 
 void
 PathEngine::onEdge(const vm::FrameView &frame, cfg::EdgeRef edge)
 {
-    (void)frame;
-    FrameState &fs = stack_.back();
+    FrameState &fs = stacks_[frame.thread].back();
     if (!fs.vp)
         return;
     // Hot path: one dense-id load from the flattened table via the
@@ -219,7 +228,7 @@ PathEngine::onEdge(const vm::FrameView &frame, cfg::EdgeRef edge)
         const vm::CostModel &cost = vm_.params().cost;
         if (action.endAdd != 0)
             charge(cost.pathRegAddCost);
-        pathCompleted(*fs.vp, fs.reg + action.endAdd);
+        pathCompleted(*fs.vp, fs.reg + action.endAdd, frame.thread);
         fs.reg = action.restart;
         charge(cost.pathRegResetCost);
     } else if (action.increment != 0) {
@@ -231,8 +240,9 @@ PathEngine::onEdge(const vm::FrameView &frame, cfg::EdgeRef edge)
 void
 PathEngine::onOsr(const vm::FrameView &frame, cfg::BlockId header)
 {
-    FrameState &fs = stack_.back();
-    PEP_ASSERT(stack_.size() == frame.depth + 1);
+    std::vector<FrameState> &stack = stacks_[frame.thread];
+    FrameState &fs = stack.back();
+    PEP_ASSERT(stack.size() == frame.depth + 1);
 
     if (mode_ != profile::DagMode::HeaderSplit) {
         // Back-edge truncation has the frame mid-path at a header; the
@@ -264,8 +274,7 @@ PathEngine::onOsr(const vm::FrameView &frame, cfg::BlockId header)
 void
 PathEngine::onLoopHeader(const vm::FrameView &frame, cfg::BlockId block)
 {
-    (void)frame;
-    FrameState &fs = stack_.back();
+    FrameState &fs = stacks_[frame.thread].back();
     if (!fs.vp)
         return;
     const profile::HeaderAction &action = fs.headers[block];
@@ -274,7 +283,7 @@ PathEngine::onLoopHeader(const vm::FrameView &frame, cfg::BlockId block)
     const vm::CostModel &cost = vm_.params().cost;
     if (action.endAdd != 0)
         charge(cost.pathRegAddCost);
-    pathCompleted(*fs.vp, fs.reg + action.endAdd);
+    pathCompleted(*fs.vp, fs.reg + action.endAdd, frame.thread);
     fs.reg = action.restart;
     charge(cost.pathRegResetCost);
 }

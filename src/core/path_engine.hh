@@ -132,10 +132,13 @@ class PathEngine : public vm::ExecutionHooks, public vm::CompileObserver
     /**
      * A path completed with the given number, against `vp.state`'s
      * numbering. Fired at loop headers and method exits (HeaderSplit
-     * mode) or back edges and exits (BackEdgeTruncate mode).
+     * mode) or back edges and exits (BackEdgeTruncate mode). `thread`
+     * is the virtual mutator thread whose path register completed —
+     * profilers with sampling state keep it per thread.
      */
     virtual void pathCompleted(VersionProfile &vp,
-                               std::uint64_t path_number) = 0;
+                               std::uint64_t path_number,
+                               std::uint32_t thread) = 0;
 
     /**
      * Edge-frequency profile used by Smart numbering when compiling
@@ -192,10 +195,17 @@ class PathEngine : public vm::ExecutionHooks, public vm::CompileObserver
     VersionProfile *findVersion(bytecode::MethodId method,
                                 std::uint32_t version) const;
 
+    /** The frame stack of one virtual mutator thread, grown on first
+     *  use. Single-threaded machines only ever touch stack 0. */
+    std::vector<FrameState> &stackFor(std::uint32_t thread);
+
     /** Storage indexed [method][version]; baseline compiles consume
      *  version numbers without reaching the engine, so gaps are null. */
     std::vector<std::vector<std::unique_ptr<VersionProfile>>> versions_;
-    std::vector<FrameState> stack_;
+
+    /** Per-thread frame stacks (the per-thread path registers live in
+     *  the FrameStates), indexed by FrameView::thread. */
+    std::vector<std::vector<FrameState>> stacks_;
     std::size_t overflowCount_ = 0;
 };
 

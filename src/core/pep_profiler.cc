@@ -20,32 +20,43 @@ PepProfiler::PepProfiler(vm::Machine &machine,
     edges_ = profile::EdgeProfileSet(cfgs);
 }
 
+PepProfiler::PendingSample &
+PepProfiler::pendingFor(std::uint32_t thread)
+{
+    if (pending_.size() <= thread)
+        pending_.resize(thread + 1);
+    return pending_[thread];
+}
+
 void
-PepProfiler::pathCompleted(VersionProfile &vp, std::uint64_t path_number)
+PepProfiler::pathCompleted(VersionProfile &vp, std::uint64_t path_number,
+                           std::uint32_t thread)
 {
     // The register already holds the number; completing a path costs
     // nothing beyond the register ops PathEngine charged. Storage
     // happens only if the following yieldpoint samples.
     ++stats_.pathsCompleted;
-    lastVp_ = &vp;
-    lastPathNumber_ = path_number;
-    lastValid_ = true;
+    PendingSample &pending = pendingFor(thread);
+    pending.vp = &vp;
+    pending.pathNumber = path_number;
+    pending.valid = true;
 }
 
 void
 PepProfiler::onYieldpoint(const vm::FrameView &frame,
                           vm::YieldpointKind kind, bool tick_fired)
 {
-    (void)frame;
-    tickPending_ = tickPending_ || tick_fired;
+    PendingSample &pending = pendingFor(frame.thread);
+    pending.tickPending = pending.tickPending || tick_fired;
 
     // Sampling opportunities are exactly the locations where BLPP
     // would update the path profile: loop headers and method exits.
     if (kind == vm::YieldpointKind::MethodEntry)
         return;
 
-    const SampleAction action = controller_.onOpportunity(tickPending_);
-    tickPending_ = false;
+    const SampleAction action =
+        controller_.onOpportunity(pending.tickPending);
+    pending.tickPending = false;
 
     const vm::CostModel &cost = vm_.params().cost;
     switch (action) {
@@ -58,19 +69,19 @@ PepProfiler::onYieldpoint(const vm::FrameView &frame,
       case SampleAction::Sample: {
         ++stats_.samplesTaken;
         charge(cost.sampleHandlerCost);
-        if (lastValid_) {
+        if (pending.valid) {
             ++stats_.samplesRecorded;
             profile::PathRecord &record =
-                lastVp_->paths.addSample(lastPathNumber_);
+                pending.vp->paths.addSample(pending.pathNumber);
             if (!record.expanded) {
                 // First sample of this path: trace its edges in the
                 // P-DAG (Section 3.3) and cache the expansion.
                 ++stats_.firstTimeExpansions;
                 profile::expandRecord(record,
-                                      *lastVp_->state->reconstructor,
-                                      lastPathNumber_);
+                                      *pending.vp->state->reconstructor,
+                                      pending.pathNumber);
             }
-            recordEdges(*lastVp_->state, record.cfgEdges);
+            recordEdges(*pending.vp->state, record.cfgEdges);
         }
         break;
       }
@@ -78,7 +89,7 @@ PepProfiler::onYieldpoint(const vm::FrameView &frame,
 
     // A completed path is sampleable only at the yieldpoint directly
     // following its completion.
-    lastValid_ = false;
+    pending.valid = false;
 }
 
 void
@@ -143,7 +154,8 @@ PepProfiler::clearProfiles()
     clearPathProfiles();
     edges_.clear();
     stats_ = PepStats{};
-    lastValid_ = false;
+    for (PendingSample &pending : pending_)
+        pending = PendingSample{};
 }
 
 } // namespace pep::core

@@ -85,13 +85,32 @@ class PepProfiler final : public PathEngine, public vm::LayoutSource
     void clearProfiles();
 
   protected:
-    void pathCompleted(VersionProfile &vp,
-                       std::uint64_t path_number) override;
+    void pathCompleted(VersionProfile &vp, std::uint64_t path_number,
+                       std::uint32_t thread) override;
 
     const profile::MethodEdgeProfile *
     freqProfileFor(bytecode::MethodId method) override;
 
   private:
+    /**
+     * Per-virtual-thread sampling state: the most recently completed
+     * path (valid until the yieldpoint that follows it consumes it)
+     * and the tick signal carried from any yieldpoint to the next
+     * sampling opportunity. One mutator thread's completion must never
+     * be sampled against another thread's yieldpoint, so this is keyed
+     * by FrameView::thread. The sampling *controller* stays shared —
+     * one switch/sample flag for the whole VM, as in the paper.
+     */
+    struct PendingSample
+    {
+        VersionProfile *vp = nullptr;
+        std::uint64_t pathNumber = 0;
+        bool valid = false;
+        bool tickPending = false;
+    };
+
+    PendingSample &pendingFor(std::uint32_t thread);
+
     /** Fold one sampled path's edges into the continuous edge profile,
      *  mapping inlined branches to their bytecode-level counters. */
     void recordEdges(const MethodProfilingState &state,
@@ -102,15 +121,8 @@ class PepProfiler final : public PathEngine, public vm::LayoutSource
     profile::EdgeProfileSet edges_;
     PepStats stats_;
 
-    /** The most recently completed path, valid until the yieldpoint
-     *  that follows it consumes it. */
-    VersionProfile *lastVp_ = nullptr;
-    std::uint64_t lastPathNumber_ = 0;
-    bool lastValid_ = false;
-
-    /** Tick signal carried from any yieldpoint to the next sampling
-     *  opportunity. */
-    bool tickPending_ = false;
+    /** Indexed by virtual thread id; single-threaded runs use slot 0. */
+    std::vector<PendingSample> pending_;
 };
 
 } // namespace pep::core

@@ -82,4 +82,24 @@ EdgeProfileSet::clear()
         profile.clear();
 }
 
+void
+EdgeProfileSet::merge(const EdgeProfileSet &other)
+{
+    PEP_ASSERT_MSG(perMethod.size() == other.perMethod.size(),
+                   "merging edge profiles of different programs ("
+                       << perMethod.size() << " vs "
+                       << other.perMethod.size() << " methods)");
+    for (std::size_t m = 0; m < perMethod.size(); ++m)
+        perMethod[m].merge(other.perMethod[m]);
+}
+
+std::uint64_t
+EdgeProfileSet::totalCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &profile : perMethod)
+        total += profile.totalCount();
+    return total;
+}
+
 } // namespace pep::profile

@@ -112,6 +112,17 @@ struct EdgeProfileSet
         const std::vector<const bytecode::MethodCfg *> &cfgs);
 
     void clear();
+
+    /**
+     * Add another set's counts into this one. Both sets must describe
+     * the same program: same method count and per-method CFG shapes
+     * (asserted). This is the epoch-flush primitive of the concurrent
+     * runtime: shard-local sets merge into the global set.
+     */
+    void merge(const EdgeProfileSet &other);
+
+    /** Total count across all methods. */
+    std::uint64_t totalCount() const;
 };
 
 } // namespace pep::profile

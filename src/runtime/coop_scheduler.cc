@@ -1,0 +1,110 @@
+#include "runtime/coop_scheduler.hh"
+
+#include "support/panic.hh"
+
+namespace pep::runtime {
+
+CoopScheduler::CoopScheduler(vm::Machine &machine,
+                             const CoopOptions &options)
+    : vm_(machine), options_(options),
+      rng_(options.seed ^ 0x5ced0c0de5ull)
+{
+    PEP_ASSERT(options_.threads > 0);
+    threads_.resize(options_.threads);
+    for (std::uint32_t t = 0; t < options_.threads; ++t) {
+        threads_[t].interp =
+            std::make_unique<vm::Interpreter>(vm_, t);
+    }
+}
+
+CoopScheduler::~CoopScheduler()
+{
+    if (vm_.scheduler() == this)
+        vm_.setScheduler(nullptr);
+}
+
+void
+CoopScheduler::assign(std::uint32_t thread, const RequestStream &stream,
+                      const Request &request)
+{
+    PEP_ASSERT(thread < threads_.size());
+    threads_[thread].stream = &stream;
+    threads_[thread].queue.push_back(request);
+}
+
+void
+CoopScheduler::assignRoundRobin(const RequestStream &stream)
+{
+    const std::vector<Request> &requests = stream.requests();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        assign(static_cast<std::uint32_t>(i % threads_.size()), stream,
+               requests[i]);
+    }
+}
+
+bool
+CoopScheduler::runnable(const VThread &t) const
+{
+    return !t.interp->done() || !t.queue.empty();
+}
+
+std::uint32_t
+CoopScheduler::pickNext()
+{
+    std::vector<std::uint32_t> candidates;
+    candidates.reserve(threads_.size());
+    for (std::uint32_t t = 0; t < threads_.size(); ++t) {
+        if (runnable(threads_[t]))
+            candidates.push_back(t);
+    }
+    if (candidates.empty())
+        return static_cast<std::uint32_t>(threads_.size());
+    return candidates[rng_.nextBounded(candidates.size())];
+}
+
+bool
+CoopScheduler::onYieldpoint(std::uint32_t /*thread*/,
+                            vm::YieldpointKind /*kind*/, bool tick_fired)
+{
+    if (tick_fired)
+        switchPending_ = true;
+    return switchPending_;
+}
+
+void
+CoopScheduler::run()
+{
+    PEP_ASSERT_MSG(vm_.scheduler() == nullptr ||
+                       vm_.scheduler() == this,
+                   "another scheduler is attached to this machine");
+    vm_.setScheduler(this);
+
+    std::uint32_t current = pickNext();
+    while (current < threads_.size()) {
+        VThread &t = threads_[current];
+        if (t.interp->done()) {
+            const Request request = t.queue.front();
+            t.queue.pop_front();
+            t.interp->start(t.stream->handlerMethod(request.handler),
+                            {request.arg});
+        }
+        ++stats_.resumes;
+        const bool finished = t.interp->resume();
+        if (finished)
+            ++stats_.requestsCompleted;
+        if (switchPending_) {
+            // The tick-flagged yieldpoint parked the thread (or it
+            // finished with the flag still set); hand the virtual
+            // processor to a seeded choice of runnable thread.
+            switchPending_ = false;
+            ++stats_.contextSwitches;
+            current = pickNext();
+        } else if (finished && t.queue.empty()) {
+            current = pickNext();
+        }
+    }
+
+    vm_.setScheduler(nullptr);
+}
+
+} // namespace pep::runtime

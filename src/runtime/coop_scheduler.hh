@@ -1,0 +1,113 @@
+#ifndef PEP_RUNTIME_COOP_SCHEDULER_HH
+#define PEP_RUNTIME_COOP_SCHEDULER_HH
+
+/**
+ * @file
+ * A deterministic cooperative scheduler multiplexing K virtual mutator
+ * threads over one Machine's virtual clock — the Jikes RVM
+ * quasi-preemptive model (paper Section 2): the timer tick sets a
+ * shared switch flag, and threads yield *only* at taken yieldpoints
+ * (method entry / loop header / method exit), never mid-instruction.
+ *
+ * Everything runs on a single OS thread: each virtual thread is a
+ * resumable vm::Interpreter parked between resume() calls, so the
+ * interleaving is a pure function of (program, SimParams, request
+ * assignment, scheduler seed). Two runs with the same inputs produce
+ * byte-identical profiles; see docs/RUNTIME.md for the contract.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "runtime/request_stream.hh"
+#include "support/rng.hh"
+#include "vm/hooks.hh"
+#include "vm/interpreter.hh"
+
+namespace pep::runtime {
+
+/** Scheduler configuration. */
+struct CoopOptions
+{
+    /** Virtual mutator threads to multiplex. */
+    std::uint32_t threads = 4;
+
+    /** Seed of the next-thread choice (the only scheduler-private
+     *  randomness; the tick itself comes from the virtual clock). */
+    std::uint64_t seed = 1;
+};
+
+/** Counters describing one cooperative run. */
+struct CoopStats
+{
+    std::uint64_t contextSwitches = 0;
+    std::uint64_t requestsCompleted = 0;
+    std::uint64_t resumes = 0;
+};
+
+/** The cooperative scheduler. Not reusable: assign queues, run once. */
+class CoopScheduler final : public vm::ThreadScheduler
+{
+  public:
+    CoopScheduler(vm::Machine &machine, const CoopOptions &options);
+    ~CoopScheduler() override;
+
+    CoopScheduler(const CoopScheduler &) = delete;
+    CoopScheduler &operator=(const CoopScheduler &) = delete;
+
+    /** Append a request to thread `thread`'s work queue. */
+    void assign(std::uint32_t thread, const RequestStream &stream,
+                const Request &request);
+
+    /**
+     * Deal a whole stream round-robin: request i goes to thread
+     * i % threads (so thread t's queue equals stream.shard(t, K)).
+     */
+    void assignRoundRobin(const RequestStream &stream);
+
+    /** Run every queued request to completion, interleaving threads at
+     *  tick-flagged yieldpoints. */
+    void run();
+
+    const CoopStats &stats() const { return stats_; }
+
+    // vm::ThreadScheduler
+    bool onYieldpoint(std::uint32_t thread, vm::YieldpointKind kind,
+                      bool tick_fired) override;
+
+  private:
+    struct VThread
+    {
+        std::unique_ptr<vm::Interpreter> interp;
+        std::deque<Request> queue;
+        const RequestStream *stream = nullptr;
+    };
+
+    /** True if the thread has anything left to execute. */
+    bool runnable(const VThread &t) const;
+
+    /** Seeded uniform choice among runnable threads; returns threads_
+     *  size when none are runnable. */
+    std::uint32_t pickNext();
+
+    vm::Machine &vm_;
+    CoopOptions options_;
+    std::vector<VThread> threads_;
+    support::Rng rng_;
+    CoopStats stats_;
+
+    /**
+     * The shared thread-switch flag of the quasi-preemptive model: set
+     * when a timer tick reaches a yieldpoint, cleared when the
+     * scheduler performs the switch. Shared across threads — whichever
+     * thread hits a yieldpoint after the tick gets descheduled, exactly
+     * like Jikes RVM's per-processor flag.
+     */
+    bool switchPending_ = false;
+};
+
+} // namespace pep::runtime
+
+#endif // PEP_RUNTIME_COOP_SCHEDULER_HH

@@ -1,0 +1,383 @@
+#include "runtime/request_stream.hh"
+
+#include <string>
+
+#include "support/panic.hh"
+#include "support/rng.hh"
+#include "workload/program_builder.hh"
+
+namespace pep::runtime {
+
+namespace {
+
+using bytecode::MethodId;
+using bytecode::Opcode;
+using support::Rng;
+using workload::Label;
+using workload::MethodBuilder;
+using workload::ProgramBuilder;
+
+/** Smallest 2^k - 1 covering [0, n]. */
+std::int32_t
+maskFor(std::uint32_t n)
+{
+    std::uint32_t mask = 1;
+    while (mask < n)
+        mask = mask * 2 + 1;
+    return static_cast<std::int32_t>(mask);
+}
+
+/** Shared generation state: the threshold-global table grows as
+ *  rnd-diamonds are emitted. */
+struct Gen
+{
+    const RequestStreamSpec &spec;
+    Rng rng;
+    std::vector<std::int32_t> thresholds; // globals[1 + i]
+    std::vector<MethodId> leafIds;
+
+    explicit Gen(const RequestStreamSpec &s)
+        : spec(s), rng(s.seed ^ 0xc0ffee5eedull)
+    {
+    }
+
+    /** Allocate a threshold global for a branch bias in [0.15, 0.85]. */
+    std::int32_t
+    newThresholdSlot()
+    {
+        const double bias = 0.15 + rng.nextDouble() * 0.7;
+        thresholds.push_back(
+            static_cast<std::int32_t>(bias * 65536.0));
+        return static_cast<std::int32_t>(thresholds.size());
+    }
+};
+
+/** A few cheap arithmetic instructions mutating a scratch local. */
+void
+emitFiller(MethodBuilder &b, Rng &rng, std::uint32_t scratch,
+           std::uint32_t count)
+{
+    for (std::uint32_t i = 0; i < count; ++i) {
+        switch (rng.nextBounded(3)) {
+          case 0:
+            b.iinc(scratch,
+                   static_cast<std::int32_t>(rng.nextRange(1, 9)));
+            break;
+          case 1:
+            b.iload(scratch);
+            b.iconst(
+                static_cast<std::int32_t>(rng.nextRange(3, 4095)));
+            b.emit(Opcode::Ixor);
+            b.istore(scratch);
+            break;
+          default:
+            b.iload(scratch);
+            b.iconst(static_cast<std::int32_t>(rng.nextRange(1, 4)));
+            b.emit(Opcode::Ishr);
+            b.istore(scratch);
+            break;
+        }
+    }
+}
+
+/** if ((Irnd & 0xffff) < globals[slot]) — a data-dependent diamond
+ *  whose bias lives in a read-only global. */
+void
+emitRndDiamond(MethodBuilder &b, Gen &gen, std::uint32_t scratch)
+{
+    b.emit(Opcode::Irnd);
+    b.iconst(0xffff);
+    b.emit(Opcode::Iand);
+    b.iconst(gen.newThresholdSlot());
+    b.emit(Opcode::Gload);
+
+    Label taken = b.newLabel();
+    Label join = b.newLabel();
+    b.branch(Opcode::IfIcmplt, taken);
+    emitFiller(b, gen.rng, scratch, 2);
+    b.jump(join);
+    b.bind(taken);
+    emitFiller(b, gen.rng, scratch, 2);
+    b.bind(join);
+}
+
+/** if ((arg >> bit) & 1) — direction chosen by the request argument. */
+void
+emitArgDiamond(MethodBuilder &b, Gen &gen, std::uint32_t arg_slot,
+               std::uint32_t scratch)
+{
+    const std::int32_t bit =
+        static_cast<std::int32_t>(gen.rng.nextRange(2, 13));
+    b.iload(arg_slot);
+    b.iconst(bit);
+    b.emit(Opcode::Ishr);
+    b.iconst(1);
+    b.emit(Opcode::Iand);
+
+    Label taken = b.newLabel();
+    Label join = b.newLabel();
+    b.branch(Opcode::Ifne, taken);
+    emitFiller(b, gen.rng, scratch, 2);
+    b.jump(join);
+    b.bind(taken);
+    emitFiller(b, gen.rng, scratch, 2);
+    b.bind(join);
+}
+
+/** tableswitch on ((arg + i * stride) & mask). */
+void
+emitArgSwitch(MethodBuilder &b, Gen &gen, std::uint32_t arg_slot,
+              std::uint32_t loop_var, std::uint32_t scratch)
+{
+    const std::uint32_t cases = gen.spec.switchCases;
+    PEP_ASSERT(cases > 0);
+    const std::int32_t stride =
+        static_cast<std::int32_t>(gen.rng.nextRange(1, 5));
+
+    b.iload(arg_slot);
+    b.iload(loop_var);
+    b.iconst(stride);
+    b.emit(Opcode::Imul);
+    b.emit(Opcode::Iadd);
+    b.iconst(maskFor(cases)); // wider than the range: skews to default
+    b.emit(Opcode::Iand);
+
+    std::vector<Label> case_labels;
+    case_labels.reserve(cases);
+    for (std::uint32_t c = 0; c < cases; ++c)
+        case_labels.push_back(b.newLabel());
+    Label def = b.newLabel();
+    Label join = b.newLabel();
+    b.tableswitch(0, def, case_labels);
+    for (std::uint32_t c = 0; c < cases; ++c) {
+        b.bind(case_labels[c]);
+        emitFiller(b, gen.rng, scratch, 1);
+        b.jump(join);
+    }
+    b.bind(def);
+    emitFiller(b, gen.rng, scratch, 1);
+    b.bind(join);
+}
+
+/** A short inner loop: j = Irnd & 3; while (j > 0) { filler; --j }. */
+void
+emitInnerLoop(MethodBuilder &b, Gen &gen, std::uint32_t scratch)
+{
+    const std::uint32_t j = b.newLocal();
+    b.emit(Opcode::Irnd);
+    b.iconst(3);
+    b.emit(Opcode::Iand);
+    b.istore(j);
+
+    Label head = b.newLabel();
+    Label exit = b.newLabel();
+    b.bind(head);
+    b.iload(j);
+    b.branch(Opcode::Ifle, exit);
+    emitFiller(b, gen.rng, scratch, 1);
+    b.iinc(j, -1);
+    b.jump(head);
+    b.bind(exit);
+}
+
+/** sum += leaf(arg + i). */
+void
+emitLeafCall(MethodBuilder &b, Gen &gen, std::uint32_t arg_slot,
+             std::uint32_t loop_var, std::uint32_t sum)
+{
+    const MethodId callee = gen.leafIds[gen.rng.nextBounded(
+        gen.leafIds.size())];
+    b.iload(sum);
+    b.iload(arg_slot);
+    b.iload(loop_var);
+    b.emit(Opcode::Iadd);
+    b.invoke(callee);
+    b.emit(Opcode::Iadd);
+    b.istore(sum);
+}
+
+/** One of the handler-body control-flow elements, chosen by shape rng. */
+void
+emitElement(MethodBuilder &b, Gen &gen, std::uint32_t arg_slot,
+            std::uint32_t loop_var, std::uint32_t sum,
+            std::uint32_t scratch)
+{
+    switch (gen.rng.nextBounded(5)) {
+      case 0:
+        emitRndDiamond(b, gen, scratch);
+        break;
+      case 1:
+      case 2: // argument-keyed flow dominates: requests matter
+        emitArgDiamond(b, gen, arg_slot, scratch);
+        break;
+      case 3:
+        emitArgSwitch(b, gen, arg_slot, loop_var, scratch);
+        break;
+      default:
+        if (gen.leafIds.empty())
+            emitInnerLoop(b, gen, scratch);
+        else if (gen.rng.nextBool(0.5))
+            emitLeafCall(b, gen, arg_slot, loop_var, sum);
+        else
+            emitInnerLoop(b, gen, scratch);
+        break;
+    }
+}
+
+/** leaf(x): a small diamond on x & 1, some filler, return. */
+void
+emitLeafBody(MethodBuilder &b, Gen &gen)
+{
+    const std::uint32_t x = b.argSlot(0);
+    const std::uint32_t scratch = b.newLocal();
+
+    b.iload(x);
+    b.iconst(1);
+    b.emit(Opcode::Iand);
+    Label odd = b.newLabel();
+    Label join = b.newLabel();
+    b.branch(Opcode::Ifne, odd);
+    emitFiller(b, gen.rng, scratch, 2);
+    b.jump(join);
+    b.bind(odd);
+    emitFiller(b, gen.rng, scratch, 3);
+    b.bind(join);
+
+    b.iload(x);
+    b.iconst(3);
+    b.emit(Opcode::Imul);
+    b.iload(scratch);
+    b.emit(Opcode::Ixor);
+    b.iret();
+}
+
+/**
+ * handle(arg): trips = 1 + (arg & tripMask); a loop running `trips`
+ * times over a generated mix of control-flow elements; returns a
+ * checksum.
+ */
+void
+emitHandlerBody(MethodBuilder &b, Gen &gen)
+{
+    const std::uint32_t arg = b.argSlot(0);
+    const std::uint32_t sum = b.newLocal();
+    const std::uint32_t scratch = b.newLocal();
+    const std::uint32_t trips = b.newLocal();
+    const std::uint32_t i = b.newLocal();
+
+    b.iload(arg);
+    b.iconst(maskFor(gen.spec.maxTrips > 0 ? gen.spec.maxTrips - 1
+                                           : 0));
+    b.emit(Opcode::Iand);
+    b.iconst(1);
+    b.emit(Opcode::Iadd);
+    b.istore(trips);
+
+    Label head = b.newLabel();
+    Label exit = b.newLabel();
+    b.iconst(0);
+    b.istore(i);
+    b.bind(head);
+    b.iload(i);
+    b.iload(trips);
+    b.branch(Opcode::IfIcmpge, exit);
+    for (std::uint32_t e = 0; e < gen.spec.elementsPerBody; ++e)
+        emitElement(b, gen, arg, i, sum, scratch);
+    b.iinc(i, 1);
+    b.jump(head);
+    b.bind(exit);
+
+    b.iload(sum);
+    b.iload(scratch);
+    b.emit(Opcode::Ixor);
+    b.iret();
+}
+
+} // namespace
+
+RequestStream::RequestStream(const RequestStreamSpec &spec) : spec_(spec)
+{
+    PEP_ASSERT(spec_.handlers > 0);
+    Gen gen(spec_);
+    ProgramBuilder pb;
+
+    const MethodId main_id = pb.declareMethod("main", 0, false);
+    for (std::uint32_t l = 0; l < spec_.leaves; ++l) {
+        gen.leafIds.push_back(
+            pb.declareMethod("leaf" + std::to_string(l), 1, true));
+    }
+    for (std::uint32_t h = 0; h < spec_.handlers; ++h) {
+        handlerIds_.push_back(
+            pb.declareMethod("handle" + std::to_string(h), 1, true));
+    }
+
+    for (std::uint32_t l = 0; l < spec_.leaves; ++l) {
+        MethodBuilder b("leaf" + std::to_string(l), 1, true);
+        emitLeafBody(b, gen);
+        pb.define(gen.leafIds[l], b);
+    }
+    for (std::uint32_t h = 0; h < spec_.handlers; ++h) {
+        MethodBuilder b("handle" + std::to_string(h), 1, true);
+        emitHandlerBody(b, gen);
+        pb.define(handlerIds_[h], b);
+    }
+
+    // main() exercises each handler once with a fixed argument, so the
+    // program also works as a plain iteration workload (and the
+    // verifier sees every method reachable).
+    {
+        MethodBuilder b("main", 0, false);
+        for (std::uint32_t h = 0; h < spec_.handlers; ++h) {
+            b.iconst(static_cast<std::int32_t>(17 + 101 * h));
+            b.invoke(handlerIds_[h]);
+            b.emit(Opcode::Pop);
+        }
+        b.ret();
+        pb.define(main_id, b);
+    }
+
+    // globals[0] is a scratch slot; 1.. are the read-only thresholds
+    // the generated rnd-diamonds compare against.
+    std::vector<std::int32_t> initial_globals;
+    initial_globals.push_back(0);
+    initial_globals.insert(initial_globals.end(),
+                           gen.thresholds.begin(),
+                           gen.thresholds.end());
+    pb.setGlobalSize(
+        static_cast<std::uint32_t>(initial_globals.size()));
+    pb.setInitialGlobals(std::move(initial_globals));
+    pb.setMain(main_id);
+    program_ = pb.build();
+
+    // The request stream: uniform handler choice; the argument
+    // distribution shifts at the phase split (high bits flip, so
+    // argument-keyed diamonds and switches change direction).
+    Rng stream_rng(spec_.seed ^ 0x57cea817ull);
+    const auto phase_boundary = static_cast<std::uint32_t>(
+        spec_.phaseSplit * static_cast<double>(spec_.requests));
+    requests_.reserve(spec_.requests);
+    for (std::uint32_t i = 0; i < spec_.requests; ++i) {
+        Request request;
+        request.handler = static_cast<std::uint32_t>(
+            stream_rng.nextBounded(spec_.handlers));
+        auto arg = static_cast<std::int32_t>(
+            stream_rng.nextBounded(1u << 12));
+        if (i >= phase_boundary)
+            arg |= 0x3000;
+        request.arg = arg;
+        requests_.push_back(request);
+    }
+}
+
+std::vector<Request>
+RequestStream::shard(std::uint32_t shard_index,
+                     std::uint32_t shards) const
+{
+    PEP_ASSERT(shards > 0 && shard_index < shards);
+    std::vector<Request> result;
+    for (std::size_t i = shard_index; i < requests_.size(); i += shards)
+        result.push_back(requests_[i]);
+    return result;
+}
+
+} // namespace pep::runtime

@@ -1,0 +1,111 @@
+#ifndef PEP_RUNTIME_REQUEST_STREAM_HH
+#define PEP_RUNTIME_REQUEST_STREAM_HH
+
+/**
+ * @file
+ * The request-stream workload of the concurrent runtime: a generated
+ * program whose entry points are request *handlers*, plus a
+ * deterministic stream of (handler, argument) requests to invoke them
+ * with. Unlike the iteration-oriented synthetic workload (which runs
+ * main() to completion), a server-style run makes many short entry-point
+ * invocations whose control flow varies per request — the argument
+ * steers loop trip counts, switch cases, and branch directions, and the
+ * stream's argument distribution drifts at a phase boundary.
+ *
+ * Handlers are *thread-pure* by construction: they read globals (bias
+ * thresholds installed via the program's initial-globals table) but
+ * never write them, and their only other inputs are the argument and the
+ * executing thread's private Irnd stream. A handler invocation's control
+ * flow is therefore independent of what other virtual threads do, which
+ * is what makes the cooperative scheduler's merged profiles comparable
+ * against per-thread solo oracles (see docs/RUNTIME.md).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "bytecode/method.hh"
+
+namespace pep::runtime {
+
+/** Shape of the generated handler program and request stream. */
+struct RequestStreamSpec
+{
+    std::uint64_t seed = 1;
+
+    /** Entry points (`handle0..handleN-1`). */
+    std::uint32_t handlers = 4;
+
+    /** Shared helper methods handlers call into. */
+    std::uint32_t leaves = 3;
+
+    /** Total requests in the stream. */
+    std::uint32_t requests = 256;
+
+    /** Control-flow elements (diamond/switch/loop/call) per handler
+     *  loop body. */
+    std::uint32_t elementsPerBody = 5;
+
+    /** Cases per generated switch. */
+    std::uint32_t switchCases = 4;
+
+    /** Handler loop trips are 1 + (arg & tripMask); mask is the
+     *  smallest 2^k-1 >= maxTrips-1. */
+    std::uint32_t maxTrips = 12;
+
+    /**
+     * Fraction of the stream after which the argument distribution
+     * shifts (the workload's phase change): high argument bits flip,
+     * steering argument-keyed diamonds and switches onto new paths.
+     */
+    double phaseSplit = 0.5;
+};
+
+/** One request: invoke `handler(arg)`. */
+struct Request
+{
+    std::uint32_t handler = 0;
+    std::int32_t arg = 0;
+};
+
+/** A generated handler program plus its request stream. */
+class RequestStream
+{
+  public:
+    explicit RequestStream(const RequestStreamSpec &spec);
+
+    const RequestStreamSpec &spec() const { return spec_; }
+
+    /** The generated (verified) program. main() invokes each handler
+     *  once with a fixed argument — a warmup/smoke path only; the
+     *  runtime drives handlers directly. */
+    const bytecode::Program &program() const { return program_; }
+
+    /** Method id of handler `h`. */
+    bytecode::MethodId
+    handlerMethod(std::uint32_t h) const
+    {
+        return handlerIds_[h];
+    }
+
+    /** The full request stream, in arrival order. */
+    const std::vector<Request> &requests() const { return requests_; }
+
+    /**
+     * The subsequence of the stream a given shard owns (round-robin:
+     * request i belongs to shard i % shards). Shards partition the
+     * stream: every request appears in exactly one shard.
+     */
+    std::vector<Request> shard(std::uint32_t shard_index,
+                               std::uint32_t shards) const;
+
+  private:
+    RequestStreamSpec spec_;
+    bytecode::Program program_;
+    std::vector<bytecode::MethodId> handlerIds_;
+    std::vector<Request> requests_;
+};
+
+} // namespace pep::runtime
+
+#endif // PEP_RUNTIME_REQUEST_STREAM_HH

@@ -1,0 +1,86 @@
+#include "runtime/sharded_profile.hh"
+
+#include "support/panic.hh"
+
+namespace pep::runtime {
+
+ShardedAggregator::ShardedAggregator(
+    const std::vector<const bytecode::MethodCfg *> &cfgs,
+    std::uint32_t shards)
+    : globalEdges_(cfgs)
+{
+    PEP_ASSERT(shards > 0);
+    shards_.resize(shards);
+    for (Shard &shard : shards_)
+        shard.edges = profile::EdgeProfileSet(cfgs);
+}
+
+void
+ShardedAggregator::recordEdge(std::uint32_t shard,
+                              bytecode::MethodId method,
+                              cfg::EdgeRef edge, std::uint64_t n)
+{
+    Shard &s = shards_[shard];
+    s.edges.perMethod[method].addEdge(edge, n);
+    ++s.records;
+}
+
+void
+ShardedAggregator::recordPath(std::uint32_t shard,
+                              bytecode::MethodId method,
+                              std::uint64_t path_number, std::uint64_t n)
+{
+    Shard &s = shards_[shard];
+    s.paths[PathKey{method, path_number}] += n;
+    ++s.records;
+}
+
+void
+ShardedAggregator::flush(std::uint32_t shard)
+{
+    Shard &s = shards_[shard];
+    if (s.records == 0)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(flushMutex_);
+        globalEdges_.merge(s.edges);
+        for (const auto &[key, count] : s.paths)
+            globalPaths_[key] += count;
+        ++flushes_;
+    }
+    s.edges.clear();
+    s.paths.clear();
+    s.records = 0;
+}
+
+MutexAggregator::MutexAggregator(
+    const std::vector<const bytecode::MethodCfg *> &cfgs)
+    : edges_(cfgs)
+{
+}
+
+void
+MutexAggregator::recordEdge(std::uint32_t /*shard*/,
+                            bytecode::MethodId method, cfg::EdgeRef edge,
+                            std::uint64_t n)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    edges_.perMethod[method].addEdge(edge, n);
+}
+
+void
+MutexAggregator::recordPath(std::uint32_t /*shard*/,
+                            bytecode::MethodId method,
+                            std::uint64_t path_number, std::uint64_t n)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    paths_[PathKey{method, path_number}] += n;
+}
+
+void
+MutexAggregator::flush(std::uint32_t /*shard*/)
+{
+    // Every record is already global.
+}
+
+} // namespace pep::runtime

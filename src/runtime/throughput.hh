@@ -1,0 +1,71 @@
+#ifndef PEP_RUNTIME_THROUGHPUT_HH
+#define PEP_RUNTIME_THROUGHPUT_HH
+
+/**
+ * @file
+ * The parallel throughput mode: N OS worker threads, each with a
+ * private Machine, drive disjoint shards of a request stream and
+ * record path/edge events into a shared ProfileAggregator, flushing at
+ * epoch boundaries. This is the layer where real concurrency exists —
+ * the cooperative scheduler (coop_scheduler.hh) multiplexes virtual
+ * threads over one clock; here separate machines race on wall-clock
+ * time and only the aggregator is shared.
+ *
+ * Workers are deterministic in *what* they record (each machine's
+ * simulation is seeded), so the merged totals are independent of both
+ * the aggregation strategy and OS scheduling; only the wall time
+ * varies. runThroughput() with Aggregation::Sharded and ::Mutex must
+ * produce count-for-count identical profiles.
+ */
+
+#include <cstdint>
+#include <memory>
+
+#include "runtime/request_stream.hh"
+#include "runtime/sharded_profile.hh"
+#include "vm/machine.hh"
+
+namespace pep::runtime {
+
+/** Throughput-mode configuration. */
+struct ThroughputOptions
+{
+    enum class Aggregation : std::uint8_t
+    {
+        Sharded,
+        Mutex,
+    };
+
+    /** OS worker threads (= shards; worker w owns stream shard w). */
+    std::uint32_t workers = 4;
+
+    /** Requests a worker completes between epoch flushes. */
+    std::uint32_t epochRequests = 64;
+
+    Aggregation aggregation = Aggregation::Sharded;
+
+    /** Per-worker machine parameters (seed etc.). */
+    vm::SimParams params;
+};
+
+/** What one throughput run produced. */
+struct ThroughputResult
+{
+    double wallSeconds = 0.0;
+    std::uint64_t requestsCompleted = 0;
+    std::uint64_t pathRecords = 0;
+    std::uint64_t edgeRecords = 0;
+    double requestsPerSecond = 0.0;
+
+    /** Merged global profiles (quiescent). */
+    profile::EdgeProfileSet edges;
+    PathTotals paths;
+};
+
+/** Run the stream over `workers` OS threads; blocks until done. */
+ThroughputResult runThroughput(const RequestStream &stream,
+                               const ThroughputOptions &options);
+
+} // namespace pep::runtime
+
+#endif // PEP_RUNTIME_THROUGHPUT_HH

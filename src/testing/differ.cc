@@ -9,6 +9,9 @@
 #include "core/baseline_profilers.hh"
 #include "core/pep_profiler.hh"
 #include "core/sampling.hh"
+#include "runtime/coop_scheduler.hh"
+#include "runtime/request_stream.hh"
+#include "runtime/throughput.hh"
 #include "support/panic.hh"
 #include "testing/nested_profiler.hh"
 #include "testing/oracle.hh"
@@ -526,6 +529,227 @@ runDiff(const bytecode::Program &program, const DiffOptions &opts)
                                      "reconstruction panicked: ") +
                              e.what());
         }
+    }
+
+    return report;
+}
+
+namespace {
+
+/**
+ * Serialize everything observable about a cooperative run — ground
+ * truth, the PEP edge profile, every per-version path table, PEP stats,
+ * scheduler counters — into one string. Byte-equality of two such
+ * strings is the determinism contract of docs/RUNTIME.md.
+ */
+std::string
+serializeCoopRun(const vm::Machine &machine,
+                 const core::PepProfiler &pep,
+                 const runtime::CoopStats &stats)
+{
+    std::ostringstream os;
+    const auto dump_edges = [&os](const profile::EdgeProfileSet &set,
+                                  const char *tag) {
+        os << tag << '\n';
+        for (std::size_t m = 0; m < set.perMethod.size(); ++m) {
+            for (const auto &per_block : set.perMethod[m].counts()) {
+                for (std::uint64_t count : per_block)
+                    os << count << ' ';
+            }
+            os << '\n';
+        }
+    };
+    dump_edges(machine.truthEdges(), "truth");
+    dump_edges(pep.edgeProfile(), "pep-edges");
+
+    os << "pep-paths\n";
+    for (const auto &[key, vp] : pep.versionProfiles()) {
+        os << key.first << " v" << key.second << ':';
+        std::map<std::uint64_t, std::uint64_t> ordered;
+        for (const auto &[number, record] : vp->paths.paths())
+            ordered[number] = record.count;
+        for (const auto &[number, count] : ordered)
+            os << ' ' << number << '=' << count;
+        os << '\n';
+    }
+
+    const core::PepStats &pep_stats = pep.pepStats();
+    os << "stats " << pep_stats.pathsCompleted << ' '
+       << pep_stats.samplesTaken << ' ' << pep_stats.samplesRecorded
+       << ' ' << stats.contextSwitches << ' '
+       << stats.requestsCompleted << ' ' << stats.resumes << ' '
+       << machine.stats().instructionsExecuted << ' '
+       << machine.now() << '\n';
+    return os.str();
+}
+
+} // namespace
+
+const std::vector<ThreadedDiffOptions> &
+standardThreadedConfigs()
+{
+    static const std::vector<ThreadedDiffOptions> configs = [] {
+        std::vector<ThreadedDiffOptions> all;
+
+        ThreadedDiffOptions k2;
+        k2.name = "coop-k2";
+        k2.threads = 2;
+        k2.seed = 11;
+        k2.requests = 64;
+        all.push_back(k2);
+
+        ThreadedDiffOptions k4; // the defaults
+        all.push_back(k4);
+
+        ThreadedDiffOptions k8;
+        k8.name = "coop-k8-fast-tick";
+        k8.threads = 8;
+        k8.seed = 29;
+        k8.requests = 128;
+        k8.tickCycles = 3'000;
+        k8.workers = 4;
+        all.push_back(k8);
+
+        ThreadedDiffOptions sparse;
+        sparse.name = "coop-k3-sparse-sampling";
+        sparse.threads = 3;
+        sparse.seed = 5;
+        sparse.requests = 80;
+        sparse.pep = PepConfig{64, 17};
+        all.push_back(sparse);
+
+        return all;
+    }();
+    return configs;
+}
+
+const ThreadedDiffOptions *
+findThreadedConfig(const std::string &name)
+{
+    for (const ThreadedDiffOptions &config : standardThreadedConfigs())
+        if (config.name == name)
+            return &config;
+    return nullptr;
+}
+
+DiffReport
+runThreadedDiff(const ThreadedDiffOptions &opts)
+{
+    DiffReport report;
+
+    runtime::RequestStreamSpec spec;
+    spec.seed = opts.seed;
+    spec.requests = opts.requests;
+    runtime::RequestStream stream(spec);
+
+    vm::SimParams params;
+    params.tickCycles = opts.tickCycles;
+    params.rngSeed = opts.seed ^ 0x7ead5eedull;
+
+    // Checks 1-2: the interleaved cooperative run, twice — every
+    // request completes, PEP stays bounded by ground truth, and the
+    // second run reproduces the first byte for byte.
+    profile::EdgeProfileSet interleaved_truth;
+    std::string first_blob;
+    for (int run = 0; run < 2; ++run) {
+        vm::Machine machine(stream.program(), params);
+        core::SimplifiedArnoldGrove controller(opts.pep.samples,
+                                               opts.pep.stride);
+        core::PepProfiler pep(machine, controller);
+        machine.addHooks(&pep);
+        machine.addCompileObserver(&pep);
+
+        runtime::CoopOptions coop;
+        coop.threads = opts.threads;
+        coop.seed = opts.seed;
+        runtime::CoopScheduler scheduler(machine, coop);
+        scheduler.assignRoundRobin(stream);
+        scheduler.run();
+
+        if (scheduler.stats().requestsCompleted !=
+            stream.requests().size()) {
+            std::ostringstream os;
+            os << "coop: completed "
+               << scheduler.stats().requestsCompleted << " of "
+               << stream.requests().size() << " requests";
+            addViolation(report, os.str());
+        }
+        checkEdgeTablesBounded(pep.edgeProfile(), machine.truthEdges(),
+                               "pep (coop)", report);
+
+        const std::string blob =
+            serializeCoopRun(machine, pep, scheduler.stats());
+        if (run == 0) {
+            first_blob = blob;
+            interleaved_truth = machine.truthEdges();
+            report.pepSamplesRecorded =
+                pep.pepStats().samplesRecorded;
+        } else if (blob != first_blob) {
+            addViolation(report,
+                         "determinism: repeating the cooperative run "
+                         "with identical seeds changed the serialized "
+                         "profiles");
+        }
+    }
+
+    // Check 3: thread t alone, same thread id and request subsequence,
+    // must contribute exactly its share — handlers are thread-pure, so
+    // the interleaved merged truth is the sum of the solo truths.
+    profile::EdgeProfileSet oracle_sum;
+    for (std::uint32_t t = 0; t < opts.threads; ++t) {
+        vm::Machine machine(stream.program(), params);
+        ExactOracle oracle(machine, profile::DagMode::HeaderSplit);
+        machine.addHooks(&oracle);
+        machine.addCompileObserver(&oracle);
+        vm::Interpreter interp(machine, t);
+        for (const runtime::Request &request :
+             stream.shard(t, opts.threads)) {
+            interp.start(stream.handlerMethod(request.handler),
+                         {request.arg});
+            while (!interp.resume()) {
+            }
+        }
+        checkEdgeTablesEqual(oracle.edges(), machine.truthEdges(),
+                             "solo oracle edge mirror", report);
+        report.oracleSegments += oracle.totalSegments();
+        if (oracle_sum.perMethod.empty())
+            oracle_sum = oracle.edges();
+        else
+            oracle_sum.merge(oracle.edges());
+    }
+    checkEdgeTablesEqual(oracle_sum, interleaved_truth,
+                         "per-thread oracle sum vs interleaved truth",
+                         report);
+
+    // Check 4: aggregation strategy changes throughput, never counts.
+    if (opts.checkAggregation) {
+        runtime::ThroughputOptions t_options;
+        t_options.workers = opts.workers;
+        t_options.epochRequests = opts.epochRequests;
+        t_options.params = params;
+
+        t_options.aggregation =
+            runtime::ThroughputOptions::Aggregation::Sharded;
+        const runtime::ThroughputResult sharded =
+            runtime::runThroughput(stream, t_options);
+        t_options.aggregation =
+            runtime::ThroughputOptions::Aggregation::Mutex;
+        const runtime::ThroughputResult mutex_global =
+            runtime::runThroughput(stream, t_options);
+
+        if (sharded.requestsCompleted != stream.requests().size()) {
+            std::ostringstream os;
+            os << "throughput: completed " << sharded.requestsCompleted
+               << " of " << stream.requests().size() << " requests";
+            addViolation(report, os.str());
+        }
+        checkEdgeTablesEqual(sharded.edges, mutex_global.edges,
+                             "sharded vs mutex edge totals", report);
+        if (sharded.paths != mutex_global.paths) {
+            addViolation(report,
+                         "sharded vs mutex path totals diverge");
+        }
+        report.blppPaths = sharded.pathRecords;
     }
 
     return report;

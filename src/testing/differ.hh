@@ -123,6 +123,59 @@ const DiffOptions *findConfig(const std::string &name);
 DiffReport runDiff(const bytecode::Program &program,
                    const DiffOptions &opts);
 
+/**
+ * One multi-threaded scheduler configuration: a request stream run
+ * through the concurrent runtime (runtime/coop_scheduler.hh). Inlining
+ * and OSR stay off here — truth-edge recording for inlined frames keeps
+ * only branch edges, and scheduling-dependent promotion changes
+ * inlining decisions between the interleaved run and the per-thread
+ * solo runs, so the oracle sums would not be comparable.
+ */
+struct ThreadedDiffOptions
+{
+    std::string name = "coop-k4";
+
+    /** Virtual mutator threads in the cooperative run. */
+    std::uint32_t threads = 4;
+
+    /** Seeds the request stream, the Irnd streams, and the scheduler. */
+    std::uint64_t seed = 1;
+
+    /** Requests in the generated stream. */
+    std::uint32_t requests = 96;
+
+    /** Short tick period so context switches fire on small streams. */
+    std::uint64_t tickCycles = 9'000;
+
+    PepConfig pep = {8, 3};
+
+    /** Also cross-check sharded vs mutex aggregation (OS threads). */
+    bool checkAggregation = true;
+    std::uint32_t workers = 3;
+    std::uint32_t epochRequests = 16;
+};
+
+/** The standard multi-threaded configuration matrix. */
+const std::vector<ThreadedDiffOptions> &standardThreadedConfigs();
+
+/** Look up a standard threaded configuration; nullptr if unknown. */
+const ThreadedDiffOptions *findThreadedConfig(const std::string &name);
+
+/**
+ * Run the concurrent-runtime differential checks:
+ *
+ *  1. a K-thread cooperative run completes every request, and its PEP
+ *     edge profile is bounded by the machine's ground truth;
+ *  2. the same run repeated is *byte-identical* (every profile and
+ *     scheduler counter serialized and compared);
+ *  3. the interleaved run's merged ground-truth edge profile equals
+ *     the sum of K per-thread exact-oracle solo runs (thread t replays
+ *     its request subsequence alone, same thread id, fresh machine);
+ *  4. (optional) sharded and mutex-global aggregation over OS worker
+ *     threads produce count-for-count identical edge and path totals.
+ */
+DiffReport runThreadedDiff(const ThreadedDiffOptions &opts);
+
 /** Render a corpus reproducer: a commented header (config, seed,
  *  injection) followed by the program's assembler text. */
 std::string formatCorpusFile(const bytecode::Program &program,

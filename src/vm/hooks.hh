@@ -39,6 +39,32 @@ struct FrameView
 
     /** Call depth (0 = main); hooks key per-frame state off this. */
     std::uint32_t depth = 0;
+
+    /** Virtual mutator thread executing the frame (0 when the machine
+     *  runs single-threaded). Hooks that keep per-frame state must key
+     *  it by (thread, depth), not depth alone. */
+    std::uint32_t thread = 0;
+};
+
+/**
+ * Scheduler hook point (src/runtime's cooperative scheduler implements
+ * this). The interpreter consults it at every yieldpoint — the only
+ * places Jikes RVM's quasi-preemptive scheduler switches threads. A
+ * `true` return requests a context switch: the interpreter finishes the
+ * current instruction and returns control from Interpreter::resume().
+ */
+class ThreadScheduler
+{
+  public:
+    virtual ~ThreadScheduler() = default;
+
+    /**
+     * A yieldpoint executed on `thread`. `tick_fired` mirrors the timer
+     * interrupt's thread-switch flag; schedulers normally switch
+     * exactly when it is set.
+     */
+    virtual bool onYieldpoint(std::uint32_t thread, YieldpointKind kind,
+                              bool tick_fired) = 0;
 };
 
 /** Receiver of interpreter events. All events refer to the top frame. */

@@ -92,8 +92,9 @@ wrapArith(bytecode::Opcode op, std::int32_t a, std::int32_t b)
 
 } // namespace
 
-Interpreter::Interpreter(Machine &machine)
-    : vm_(machine)
+Interpreter::Interpreter(Machine &machine, std::uint32_t thread)
+    : vm_(machine), thread_(thread),
+      rng_(&machine.rngForThread(thread))
 {
 }
 
@@ -104,6 +105,7 @@ Interpreter::view(const Frame &frame) const
     fv.method = frame.method;
     fv.version = frame.version;
     fv.depth = static_cast<std::uint32_t>(frames_.size()) - 1;
+    fv.thread = thread_;
     return fv;
 }
 
@@ -120,7 +122,8 @@ Interpreter::resolveVersion(bytecode::MethodId m)
 }
 
 void
-Interpreter::pushFrame(bytecode::MethodId m, Frame *caller)
+Interpreter::pushFrame(bytecode::MethodId m, Frame *caller,
+                       const std::vector<std::int32_t> *entry_args)
 {
     if (frames_.size() >= vm_.params_.maxCallDepth)
         support::fatal("call stack overflow (depth limit)");
@@ -141,11 +144,19 @@ Interpreter::pushFrame(bytecode::MethodId m, Frame *caller)
     frame.locals.assign(frame.code->numLocals, 0);
     frame.stack.reserve(frame.code->maxStack);
     if (frame.code->numArgs > 0) {
-        PEP_ASSERT(caller &&
-                   caller->stack.size() >= frame.code->numArgs);
-        for (std::uint32_t i = frame.code->numArgs; i > 0; --i) {
-            frame.locals[i - 1] = caller->stack.back();
-            caller->stack.pop_back();
+        if (caller) {
+            PEP_ASSERT(caller->stack.size() >= frame.code->numArgs);
+            for (std::uint32_t i = frame.code->numArgs; i > 0; --i) {
+                frame.locals[i - 1] = caller->stack.back();
+                caller->stack.pop_back();
+            }
+        } else {
+            // Root frame of a request: arguments come from the driver.
+            PEP_ASSERT_MSG(entry_args && entry_args->size() ==
+                                             frame.code->numArgs,
+                           "entry method argument count mismatch");
+            for (std::uint32_t i = 0; i < frame.code->numArgs; ++i)
+                frame.locals[i] = (*entry_args)[i];
         }
     }
     frames_.push_back(std::move(frame));
@@ -236,6 +247,14 @@ Interpreter::yieldpoint(YieldpointKind kind, cfg::BlockId block)
                 hooks->onOsr(swapped, new_block);
         }
     }
+
+    // Cooperative scheduling: yieldpoints are the only places a thread
+    // switch can be requested (Jikes RVM's quasi-preemptive model).
+    // The switch itself happens at the next instruction boundary.
+    if (vm_.scheduler_ &&
+        vm_.scheduler_->onYieldpoint(thread_, kind, tick_fired)) {
+        switchRequested_ = true;
+    }
 }
 
 void
@@ -308,9 +327,28 @@ Interpreter::advance(Frame &frame)
 void
 Interpreter::run()
 {
+    start(vm_.program_.mainMethod);
+    while (!done())
+        resume();
+}
+
+void
+Interpreter::start(bytecode::MethodId entry,
+                   const std::vector<std::int32_t> &args)
+{
+    PEP_ASSERT_MSG(frames_.empty(),
+                   "start() while an invocation is in flight");
+    switchRequested_ = false;
     iterationStart_ = vm_.cycles_;
-    pushFrame(vm_.program_.mainMethod, nullptr);
-    loop();
+    pushFrame(entry, nullptr, &args);
+}
+
+bool
+Interpreter::resume()
+{
+    if (!frames_.empty())
+        loop();
+    return frames_.empty();
 }
 
 void
@@ -319,6 +357,12 @@ Interpreter::loop()
     const CostModel &cost = vm_.params_.cost;
 
     while (!frames_.empty()) {
+        if (switchRequested_) {
+            // A yieldpoint asked for a context switch; park with the
+            // frame stack intact. The scheduler resumes us later.
+            switchRequested_ = false;
+            return;
+        }
         Frame &f = frames_.back();
         const bytecode::Instr &instr = f.code->code[f.pc];
         const auto op_index = static_cast<std::size_t>(instr.op);
@@ -406,8 +450,7 @@ Interpreter::loop()
             break;
           }
           case Opcode::Irnd:
-            f.stack.push_back(
-                static_cast<std::int32_t>(vm_.rng_.next()));
+            f.stack.push_back(static_cast<std::int32_t>(rng_->next()));
             advance(f);
             break;
           case Opcode::Goto: {

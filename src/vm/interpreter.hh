@@ -36,22 +36,56 @@ struct Frame
     std::vector<std::int32_t> stack;
 };
 
-/** Runs one iteration (one main() invocation) on a Machine. */
+/**
+ * Runs invocations on a Machine. The classic use is one-shot (run()
+ * executes main() to completion); the concurrent runtime instead keeps
+ * one Interpreter per virtual mutator thread alive across requests,
+ * using start() / resume() / done(): resume() executes until the frame
+ * stack empties or the machine's ThreadScheduler requests a context
+ * switch at a yieldpoint, at which point the interpreter parks with its
+ * frame stack intact and can be resumed later.
+ */
 class Interpreter
 {
   public:
-    explicit Interpreter(Machine &machine);
+    /** `thread` is the virtual mutator thread id this interpreter
+     *  represents; it selects the Irnd stream and is reported to hooks
+     *  in FrameView::thread. */
+    explicit Interpreter(Machine &machine, std::uint32_t thread = 0);
 
     /** Execute main() to completion. */
     void run();
 
+    /**
+     * Begin an invocation of `entry` with the given arguments (the
+     * request-stream workload's per-request variation). Only valid when
+     * done(); does not execute any code yet — call resume().
+     */
+    void start(bytecode::MethodId entry,
+               const std::vector<std::int32_t> &args = {});
+
+    /**
+     * Execute until the current invocation completes or the scheduler
+     * requests a switch. Returns true if the invocation completed
+     * (done() is true).
+     */
+    bool resume();
+
+    /** No frames live: ready for the next start(). */
+    bool done() const { return frames_.empty(); }
+
+    std::uint32_t threadId() const { return thread_; }
+
   private:
-    /** Execute instructions until the frame stack empties. */
+    /** Execute instructions until the frame stack empties or a thread
+     *  switch is requested. */
     void loop();
 
     /** Push a frame for `m`, taking numArgs arguments from `caller`'s
-     *  operand stack (caller may be nullptr for main). */
-    void pushFrame(bytecode::MethodId m, Frame *caller);
+     *  operand stack, or from `entry_args` when this is the root frame
+     *  of an invocation (caller == nullptr). */
+    void pushFrame(bytecode::MethodId m, Frame *caller,
+                   const std::vector<std::int32_t> *entry_args = nullptr);
 
     /** Fire a yieldpoint: poll the timer, take adaptive method
      *  samples, notify hooks, and perform OSR at loop headers when
@@ -80,8 +114,17 @@ class Interpreter
 
     Machine &vm_;
     std::vector<Frame> frames_;
+    std::uint32_t thread_ = 0;
+
+    /** This thread's Irnd stream (owned by the machine). */
+    support::Rng *rng_ = nullptr;
+
+    /** Set at a yieldpoint when the scheduler wants this thread off
+     *  the (virtual) processor; honoured at the next instruction
+     *  boundary. */
+    bool switchRequested_ = false;
+
     std::uint64_t iterationStart_ = 0;
-    std::uint64_t globalsBase_ = 0; // unused; reserved
 };
 
 } // namespace pep::vm

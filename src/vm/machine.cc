@@ -98,6 +98,32 @@ Machine::setLayoutSource(LayoutSource *source)
 }
 
 void
+Machine::setScheduler(ThreadScheduler *scheduler)
+{
+    scheduler_ = scheduler;
+}
+
+support::Rng &
+Machine::rngForThread(std::uint32_t thread)
+{
+    if (thread == 0)
+        return rng_;
+    const std::uint32_t slot = thread - 1;
+    if (threadRngs_.size() <= slot)
+        threadRngs_.resize(slot + 1);
+    if (!threadRngs_[slot]) {
+        // Seed each thread's stream from (rngSeed, thread) through a
+        // splitmix pass, so streams are decorrelated but still a pure
+        // function of the simulation seed.
+        std::uint64_t state =
+            params_.rngSeed ^ (0x9e3779b97f4a7c15ull * (thread + 1));
+        const std::uint64_t derived = support::splitmix64(state);
+        threadRngs_[slot] = std::make_unique<support::Rng>(derived);
+    }
+    return *threadRngs_[slot];
+}
+
+void
 Machine::enableReplay(const ReplayAdvice *advice)
 {
     PEP_ASSERT(advice);

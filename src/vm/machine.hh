@@ -169,6 +169,15 @@ class Machine
     void setLayoutSource(LayoutSource *source);
 
     /**
+     * Attach a cooperative thread scheduler (not owned; nullptr
+     * detaches). Interpreters consult it at yieldpoints and return
+     * from resume() when it requests a switch.
+     */
+    void setScheduler(ThreadScheduler *scheduler);
+
+    ThreadScheduler *scheduler() const { return scheduler_; }
+
+    /**
      * Enable replay compilation with the given advice (not owned; must
      * outlive the machine). Disables adaptive promotion.
      */
@@ -235,6 +244,16 @@ class Machine
     void chargeCycles(std::uint64_t n) { cycles_ += n; }
 
     /**
+     * The Irnd stream of a virtual mutator thread. Thread 0 is the
+     * machine's original stream (seeded by SimParams::rngSeed), so
+     * single-threaded runs behave exactly as before; further threads
+     * get independent streams derived from the seed and the thread id,
+     * which is what makes a thread's control flow independent of how
+     * the scheduler interleaves it with others.
+     */
+    support::Rng &rngForThread(std::uint32_t thread);
+
+    /**
      * Force-compile a method at a level now (used by tests; normal
      * compilation happens lazily at invocation).
      */
@@ -281,6 +300,7 @@ class Machine
     std::vector<ExecutionHooks *> hooks_;
     std::vector<CompileObserver *> observers_;
     LayoutSource *layoutSource_ = nullptr;
+    ThreadScheduler *scheduler_ = nullptr;
 
     /** Clock and timer. */
     std::uint64_t cycles_ = 0;
@@ -288,6 +308,10 @@ class Machine
 
     MachineStats stats_;
     support::Rng rng_;
+
+    /** Irnd streams of virtual threads >= 1, created on first use. */
+    std::vector<std::unique_ptr<support::Rng>> threadRngs_;
+
     std::vector<std::int32_t> globals_;
 };
 

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "bytecode/cfg_builder.hh"
 #include "common/fixtures.hh"
 #include "profile/edge_profile.hh"
@@ -120,6 +122,61 @@ TEST(EdgeProfileSet, SizedPerMethod)
         EXPECT_EQ(set.perMethod[m].counts().size(),
                   cfgs[m].graph.numBlocks());
     }
+}
+
+TEST(EdgeProfileSet, MergeAddsPerMethodCounts)
+{
+    const bytecode::Program p = test::callSwitchProgram();
+    std::vector<MethodCfg> cfgs;
+    for (const auto &m : p.methods)
+        cfgs.push_back(bytecode::buildCfg(m));
+    EdgeProfileSet a(cfgs);
+    EdgeProfileSet b(cfgs);
+
+    // Any block with two outgoing edges will do (the switch block).
+    std::size_t method = cfgs.size();
+    cfg::BlockId block = cfg::kInvalidBlock;
+    for (std::size_t m = 0; m < cfgs.size() && block == cfg::kInvalidBlock; ++m) {
+        for (cfg::BlockId c = 0; c < cfgs[m].graph.numBlocks(); ++c) {
+            if (cfgs[m].graph.succs(c).size() >= 2) {
+                method = m;
+                block = c;
+                break;
+            }
+        }
+    }
+    ASSERT_NE(block, cfg::kInvalidBlock);
+    a.perMethod[method].addEdge(cfg::EdgeRef{block, 0}, 2);
+    b.perMethod[method].addEdge(cfg::EdgeRef{block, 0}, 3);
+    b.perMethod[method].addEdge(cfg::EdgeRef{block, 1}, 4);
+
+    a.merge(b);
+    EXPECT_EQ(a.perMethod[method].edgeCount(cfg::EdgeRef{block, 0}), 5u);
+    EXPECT_EQ(a.perMethod[method].edgeCount(cfg::EdgeRef{block, 1}), 4u);
+    EXPECT_EQ(a.totalCount(), 9u);
+    // merge() reads, never writes, its argument.
+    EXPECT_EQ(b.totalCount(), 7u);
+}
+
+TEST(EdgeProfileSet, MergeRejectsDifferentPrograms)
+{
+    const bytecode::Program p = test::callSwitchProgram();
+    std::vector<MethodCfg> cfgs;
+    for (const auto &m : p.methods)
+        cfgs.push_back(bytecode::buildCfg(m));
+    EdgeProfileSet whole(cfgs);
+
+    // Different method count.
+    std::vector<MethodCfg> fewer(cfgs.begin(), cfgs.end() - 1);
+    EdgeProfileSet truncated(fewer);
+    EXPECT_THROW(whole.merge(truncated), support::PanicError);
+
+    // Same method count, different CFG shape.
+    std::vector<MethodCfg> reshaped = cfgs;
+    std::rotate(reshaped.begin(), reshaped.begin() + 1,
+                reshaped.end());
+    EdgeProfileSet rotated(reshaped);
+    EXPECT_THROW(whole.merge(rotated), support::PanicError);
 }
 
 class PathProfileFixture : public ::testing::Test

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Tests of the concurrent profiling runtime: the request-stream
+ * workload, the deterministic cooperative scheduler, and the sharded
+ * aggregation layer. Suite names start with "Runtime" so `ctest -R
+ * Runtime` selects exactly these (the TSan CI job does).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "bytecode/cfg_builder.hh"
+#include "support/rng.hh"
+#include "runtime/coop_scheduler.hh"
+#include "runtime/request_stream.hh"
+#include "runtime/sharded_profile.hh"
+#include "runtime/throughput.hh"
+#include "vm/interpreter.hh"
+#include "vm/machine.hh"
+
+namespace pep {
+namespace {
+
+runtime::RequestStreamSpec
+smallSpec(std::uint64_t seed = 7, std::uint32_t requests = 48)
+{
+    runtime::RequestStreamSpec spec;
+    spec.seed = seed;
+    spec.requests = requests;
+    spec.handlers = 3;
+    spec.leaves = 2;
+    return spec;
+}
+
+vm::SimParams
+fastTickParams()
+{
+    vm::SimParams params;
+    params.tickCycles = 5'000;
+    return params;
+}
+
+TEST(RuntimeRequestStreamTest, GeneratesProgramAndStream)
+{
+    const runtime::RequestStreamSpec spec = smallSpec();
+    runtime::RequestStream stream(spec);
+
+    // main + leaves + handlers (build() already ran the verifier).
+    EXPECT_EQ(stream.program().methods.size(),
+              1 + spec.leaves + spec.handlers);
+    EXPECT_EQ(stream.requests().size(), spec.requests);
+    for (const runtime::Request &request : stream.requests()) {
+        EXPECT_LT(request.handler, spec.handlers);
+        EXPECT_GE(request.arg, 0);
+    }
+}
+
+TEST(RuntimeRequestStreamTest, ShardsPartitionTheStream)
+{
+    runtime::RequestStream stream(smallSpec(3, 41));
+    const std::uint32_t shards = 4;
+    std::size_t total = 0;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        const std::vector<runtime::Request> shard =
+            stream.shard(s, shards);
+        for (std::size_t i = 0; i < shard.size(); ++i) {
+            const runtime::Request &want =
+                stream.requests()[s + i * shards];
+            EXPECT_EQ(shard[i].handler, want.handler);
+            EXPECT_EQ(shard[i].arg, want.arg);
+        }
+        total += shard.size();
+    }
+    EXPECT_EQ(total, stream.requests().size());
+}
+
+TEST(RuntimeRequestStreamTest, ArgumentDistributionShiftsAtPhaseSplit)
+{
+    runtime::RequestStreamSpec spec = smallSpec(5, 100);
+    spec.phaseSplit = 0.5;
+    runtime::RequestStream stream(spec);
+    for (std::size_t i = 0; i < 50; ++i)
+        EXPECT_EQ(stream.requests()[i].arg & 0x3000, 0) << "i=" << i;
+    for (std::size_t i = 50; i < 100; ++i)
+        EXPECT_EQ(stream.requests()[i].arg & 0x3000, 0x3000)
+            << "i=" << i;
+}
+
+TEST(RuntimeRequestStreamTest, MainRunsAsPlainIterationWorkload)
+{
+    runtime::RequestStream stream(smallSpec());
+    vm::Machine machine(stream.program(), fastTickParams());
+    machine.runIteration();
+    EXPECT_GT(machine.stats().instructionsExecuted, 0u);
+}
+
+TEST(RuntimeCoopSchedulerTest, CompletesEveryRequestAndSwitches)
+{
+    runtime::RequestStream stream(smallSpec(9, 64));
+    vm::Machine machine(stream.program(), fastTickParams());
+    runtime::CoopOptions options;
+    options.threads = 4;
+    options.seed = 1;
+    runtime::CoopScheduler scheduler(machine, options);
+    scheduler.assignRoundRobin(stream);
+    scheduler.run();
+
+    EXPECT_EQ(scheduler.stats().requestsCompleted, 64u);
+    // A 5k-cycle tick over tens of requests must preempt somewhere.
+    EXPECT_GT(scheduler.stats().contextSwitches, 0u);
+    EXPECT_EQ(machine.scheduler(), nullptr) << "scheduler detached";
+}
+
+TEST(RuntimeCoopSchedulerTest, SameSeedsReproduceGroundTruth)
+{
+    runtime::RequestStream stream(smallSpec(13, 56));
+    profile::EdgeProfileSet first;
+    for (int run = 0; run < 2; ++run) {
+        vm::Machine machine(stream.program(), fastTickParams());
+        runtime::CoopScheduler scheduler(machine, {3, 77});
+        scheduler.assignRoundRobin(stream);
+        scheduler.run();
+        if (run == 0) {
+            first = machine.truthEdges();
+        } else {
+            for (std::size_t m = 0; m < first.perMethod.size(); ++m) {
+                EXPECT_EQ(machine.truthEdges().perMethod[m].counts(),
+                          first.perMethod[m].counts())
+                    << "method " << m;
+            }
+        }
+    }
+}
+
+TEST(RuntimeCoopSchedulerTest, InterleavingDoesNotChangeGroundTruth)
+{
+    // Handlers are thread-pure: a different scheduler seed changes the
+    // interleaving (and hence sampling), but never what each thread
+    // executes — merged ground truth is schedule-invariant.
+    runtime::RequestStream stream(smallSpec(21, 60));
+    profile::EdgeProfileSet first;
+    std::uint64_t first_switches = 0;
+    const std::uint64_t seeds[2] = {1, 999};
+    for (int run = 0; run < 2; ++run) {
+        vm::Machine machine(stream.program(), fastTickParams());
+        runtime::CoopScheduler scheduler(machine, {4, seeds[run]});
+        scheduler.assignRoundRobin(stream);
+        scheduler.run();
+        if (run == 0) {
+            first = machine.truthEdges();
+            first_switches = scheduler.stats().contextSwitches;
+        } else {
+            EXPECT_GT(scheduler.stats().contextSwitches, 0u);
+            for (std::size_t m = 0; m < first.perMethod.size(); ++m) {
+                EXPECT_EQ(machine.truthEdges().perMethod[m].counts(),
+                          first.perMethod[m].counts())
+                    << "method " << m;
+            }
+        }
+    }
+    EXPECT_GT(first_switches, 0u);
+}
+
+TEST(RuntimeCoopSchedulerTest, SingleThreadMatchesDirectInterpreter)
+{
+    runtime::RequestStream stream(smallSpec(17, 40));
+
+    vm::Machine coop_machine(stream.program(), fastTickParams());
+    runtime::CoopScheduler scheduler(coop_machine, {1, 5});
+    scheduler.assignRoundRobin(stream);
+    scheduler.run();
+
+    vm::Machine direct_machine(stream.program(), fastTickParams());
+    vm::Interpreter interp(direct_machine, 0);
+    for (const runtime::Request &request : stream.requests()) {
+        interp.start(stream.handlerMethod(request.handler),
+                     {request.arg});
+        while (!interp.resume()) {
+        }
+    }
+
+    for (std::size_t m = 0;
+         m < direct_machine.truthEdges().perMethod.size(); ++m) {
+        EXPECT_EQ(coop_machine.truthEdges().perMethod[m].counts(),
+                  direct_machine.truthEdges().perMethod[m].counts())
+            << "method " << m;
+    }
+}
+
+class RuntimeShardedProfileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        stream_ = std::make_unique<runtime::RequestStream>(smallSpec());
+        for (const bytecode::Method &method :
+             stream_->program().methods)
+            cfgs_.push_back(bytecode::buildCfg(method));
+        for (const bytecode::MethodCfg &method_cfg : cfgs_)
+            cfgPtrs_.push_back(&method_cfg);
+    }
+
+    std::unique_ptr<runtime::RequestStream> stream_;
+    std::vector<bytecode::MethodCfg> cfgs_;
+    std::vector<const bytecode::MethodCfg *> cfgPtrs_;
+};
+
+TEST_F(RuntimeShardedProfileTest, FlushPublishesAndClears)
+{
+    runtime::ShardedAggregator sharded(cfgPtrs_, 2);
+    const cfg::EdgeRef edge{0, 0};
+
+    sharded.recordEdge(0, 1, edge, 3);
+    sharded.recordPath(0, 1, 42, 2);
+    sharded.recordEdge(1, 1, edge, 1);
+
+    // Nothing global until the owning shard flushes.
+    EXPECT_EQ(sharded.globalEdges().perMethod[1].edgeCount(edge), 0u);
+    sharded.flush(0);
+    EXPECT_EQ(sharded.globalEdges().perMethod[1].edgeCount(edge), 3u);
+    EXPECT_EQ(sharded.globalPaths().at(runtime::PathKey{1, 42}), 2u);
+    sharded.flush(1);
+    EXPECT_EQ(sharded.globalEdges().perMethod[1].edgeCount(edge), 4u);
+    EXPECT_EQ(sharded.flushes(), 2u);
+
+    // Flushing an empty shard is a no-op (no lock-and-merge churn).
+    sharded.flush(0);
+    EXPECT_EQ(sharded.flushes(), 2u);
+    EXPECT_EQ(sharded.globalEdges().perMethod[1].edgeCount(edge), 4u);
+}
+
+TEST_F(RuntimeShardedProfileTest, StrategiesAgreeOnIdenticalInput)
+{
+    runtime::ShardedAggregator sharded(cfgPtrs_, 3);
+    runtime::MutexAggregator mutex_global(cfgPtrs_);
+
+    support::Rng rng(99);
+    for (int i = 0; i < 500; ++i) {
+        const auto shard = static_cast<std::uint32_t>(rng.nextBounded(3));
+        const auto method = static_cast<bytecode::MethodId>(
+            rng.nextBounded(cfgs_.size()));
+        if (cfgs_[method].graph.numBlocks() == 0)
+            continue;
+        const auto block = static_cast<cfg::BlockId>(
+            rng.nextBounded(cfgs_[method].graph.numBlocks()));
+        if (!cfgs_[method].graph.succs(block).empty()) {
+            const cfg::EdgeRef edge{block, 0};
+            sharded.recordEdge(shard, method, edge);
+            mutex_global.recordEdge(shard, method, edge);
+        }
+        const std::uint64_t path_number = rng.nextBounded(32);
+        sharded.recordPath(shard, method, path_number);
+        mutex_global.recordPath(shard, method, path_number);
+    }
+    for (std::uint32_t s = 0; s < 3; ++s)
+        sharded.flush(s);
+
+    for (std::size_t m = 0; m < cfgs_.size(); ++m) {
+        EXPECT_EQ(sharded.globalEdges().perMethod[m].counts(),
+                  mutex_global.globalEdges().perMethod[m].counts())
+            << "method " << m;
+    }
+    EXPECT_EQ(sharded.globalPaths(), mutex_global.globalPaths());
+}
+
+TEST(RuntimeThroughputTest, ShardedAndMutexProduceIdenticalProfiles)
+{
+    runtime::RequestStream stream(smallSpec(31, 120));
+    runtime::ThroughputOptions options;
+    options.workers = 4;
+    options.epochRequests = 8;
+    options.params = fastTickParams();
+
+    options.aggregation =
+        runtime::ThroughputOptions::Aggregation::Sharded;
+    const runtime::ThroughputResult sharded =
+        runtime::runThroughput(stream, options);
+    options.aggregation =
+        runtime::ThroughputOptions::Aggregation::Mutex;
+    const runtime::ThroughputResult mutex_global =
+        runtime::runThroughput(stream, options);
+
+    EXPECT_EQ(sharded.requestsCompleted, 120u);
+    EXPECT_EQ(mutex_global.requestsCompleted, 120u);
+    EXPECT_GT(sharded.pathRecords, 0u);
+    EXPECT_EQ(sharded.pathRecords, mutex_global.pathRecords);
+    EXPECT_EQ(sharded.edgeRecords, mutex_global.edgeRecords);
+    for (std::size_t m = 0; m < sharded.edges.perMethod.size(); ++m) {
+        EXPECT_EQ(sharded.edges.perMethod[m].counts(),
+                  mutex_global.edges.perMethod[m].counts())
+            << "method " << m;
+    }
+    EXPECT_EQ(sharded.paths, mutex_global.paths);
+}
+
+TEST(RuntimeThroughputTest, RepeatRunsProduceIdenticalTotals)
+{
+    // Each worker's machine simulation is seeded, so for a fixed
+    // worker count the merged totals are independent of OS scheduling:
+    // racing the same run twice must agree count-for-count. (Changing
+    // the worker count legitimately changes totals — it repartitions
+    // the stream across machines and hence across Irnd streams.)
+    runtime::RequestStream stream(smallSpec(37, 90));
+    runtime::ThroughputOptions options;
+    options.workers = 3;
+    options.epochRequests = 16;
+    options.params = fastTickParams();
+
+    const runtime::ThroughputResult first =
+        runtime::runThroughput(stream, options);
+    const runtime::ThroughputResult second =
+        runtime::runThroughput(stream, options);
+
+    EXPECT_EQ(first.paths, second.paths);
+    for (std::size_t m = 0; m < first.edges.perMethod.size(); ++m) {
+        EXPECT_EQ(first.edges.perMethod[m].counts(),
+                  second.edges.perMethod[m].counts())
+            << "method " << m;
+    }
+}
+
+} // namespace
+} // namespace pep

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The concurrent runtime's acceptance checks, via the differential
+ * harness: every standard multi-threaded scheduler configuration must
+ * run clean — byte-identical repeat runs, interleaved merged truth
+ * equal to the sum of per-thread exact oracles, and sharded aggregation
+ * matching the mutex-global baseline count for count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "testing/differ.hh"
+
+namespace pep {
+namespace {
+
+std::string
+joinViolations(const testing::DiffReport &report)
+{
+    std::ostringstream os;
+    for (const std::string &violation : report.violations)
+        os << violation << '\n';
+    return os.str();
+}
+
+TEST(RuntimeThreadedDifferTest, StandardConfigsRunClean)
+{
+    for (const testing::ThreadedDiffOptions &config :
+         testing::standardThreadedConfigs()) {
+        const testing::DiffReport report =
+            testing::runThreadedDiff(config);
+        EXPECT_TRUE(report.ok())
+            << config.name << ":\n" << joinViolations(report);
+        EXPECT_GT(report.oracleSegments, 0u) << config.name;
+        EXPECT_GT(report.pepSamplesRecorded, 0u) << config.name;
+    }
+}
+
+TEST(RuntimeThreadedDifferTest, ConfigLookup)
+{
+    ASSERT_NE(testing::findThreadedConfig("coop-k2"), nullptr);
+    EXPECT_EQ(testing::findThreadedConfig("coop-k2")->threads, 2u);
+    EXPECT_EQ(testing::findThreadedConfig("no-such-config"), nullptr);
+}
+
+TEST(RuntimeThreadedDifferTest, DetectsShortRuns)
+{
+    // A one-thread config with zero requests still reports cleanly
+    // (nothing to run, nothing to diverge) — but records no oracle
+    // segments, which StandardConfigsRunClean above guards against for
+    // the real configs.
+    testing::ThreadedDiffOptions options;
+    options.name = "empty";
+    options.threads = 1;
+    options.requests = 0;
+    options.checkAggregation = false;
+    const testing::DiffReport report =
+        testing::runThreadedDiff(options);
+    EXPECT_TRUE(report.ok()) << joinViolations(report);
+    EXPECT_EQ(report.oracleSegments, 0u);
+}
+
+} // namespace
+} // namespace pep

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "common/fixtures.hh"
+#include "testing/generator.hh"
 #include "vm/advice_io.hh"
 #include "workload/suite.hh"
 
@@ -116,6 +117,80 @@ TEST(AdviceParse, RejectsMalformedInputs)
     for (const char *input : bad_inputs) {
         const ParseAdviceResult parsed = parseAdvice(input, cfgs);
         EXPECT_FALSE(parsed.ok) << "accepted: " << input;
+        EXPECT_FALSE(parsed.error.empty());
+    }
+}
+
+/**
+ * Property tests over generator-produced programs: the text format is
+ * canonical, so serialize -> parse -> serialize must reproduce the
+ * input byte for byte, for any advice an adaptive run can record.
+ */
+TEST(AdviceProperty, SerializeParseSerializeIsByteIdentical)
+{
+    for (const std::uint64_t seed :
+         {3ull, 17ull, 99ull, 481ull, 12345ull}) {
+        testing::FuzzSpec spec;
+        spec.seed = seed;
+        const bytecode::Program program =
+            testing::generateProgram(spec);
+
+        SimParams params;
+        params.tickCycles = 20'000;
+        Machine machine(program, params);
+        machine.runIteration();
+        machine.runIteration();
+        const ReplayAdvice advice = machine.recordAdvice();
+
+        std::vector<bytecode::MethodCfg> cfgs;
+        for (std::size_t m = 0; m < machine.numMethods(); ++m) {
+            cfgs.push_back(
+                machine.info(static_cast<bytecode::MethodId>(m)).cfg);
+        }
+
+        const std::string first = serializeAdvice(advice);
+        const ParseAdviceResult parsed = parseAdvice(first, cfgs);
+        ASSERT_TRUE(parsed.ok) << "seed " << seed << ": "
+                               << parsed.error;
+        EXPECT_EQ(serializeAdvice(parsed.advice), first)
+            << "seed " << seed;
+    }
+}
+
+TEST(AdviceProperty, RejectsOutOfRangeLinesInValidAdvice)
+{
+    testing::FuzzSpec spec;
+    spec.seed = 7;
+    const bytecode::Program program = testing::generateProgram(spec);
+    SimParams params;
+    params.tickCycles = 20'000;
+    Machine machine(program, params);
+    machine.runIteration();
+
+    std::vector<bytecode::MethodCfg> cfgs;
+    for (std::size_t m = 0; m < machine.numMethods(); ++m) {
+        cfgs.push_back(
+            machine.info(static_cast<bytecode::MethodId>(m)).cfg);
+    }
+    const std::string valid =
+        serializeAdvice(machine.recordAdvice());
+    ASSERT_TRUE(parseAdvice(valid, cfgs).ok);
+
+    // Splice one out-of-range record into otherwise valid advice: a
+    // method id past the program, then edge coordinates past the CFG.
+    const char *bad_lines[] = {
+        "level 9999 1",
+        "edge 9999 0 0 5",
+        "edge 0 99999 0 5",
+        "edge 0 0 99 5",
+    };
+    const std::size_t end_pos = valid.rfind("end");
+    ASSERT_NE(end_pos, std::string::npos);
+    for (const char *bad : bad_lines) {
+        std::string text = valid;
+        text.insert(end_pos, std::string(bad) + "\n");
+        const ParseAdviceResult parsed = parseAdvice(text, cfgs);
+        EXPECT_FALSE(parsed.ok) << "accepted spliced line: " << bad;
         EXPECT_FALSE(parsed.error.empty());
     }
 }

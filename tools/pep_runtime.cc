@@ -1,0 +1,271 @@
+/**
+ * @file
+ * pep_runtime: command-line driver for the concurrent profiling
+ * runtime (src/runtime/). Three modes:
+ *
+ *   coop        run a generated request stream under the cooperative
+ *               scheduler with K virtual mutator threads and a PEP
+ *               profiler; print cycles, switches, and sample counts.
+ *               Runs twice and verifies the byte-determinism contract.
+ *   throughput  shard the stream over N OS worker threads with both
+ *               aggregation strategies; print requests/second and
+ *               verify the merged profiles match count-for-count.
+ *   differ      run one (or all) of the standard multi-threaded
+ *               differential configurations from src/testing/differ.
+ *
+ * Usage:
+ *   pep_runtime [--mode coop|throughput|differ] [--threads K]
+ *               [--workers N] [--requests R] [--seed S] [--epoch E]
+ *               [--config name|all]
+ *
+ * Exits nonzero when any invariant check fails.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/pep_profiler.hh"
+#include "core/sampling.hh"
+#include "runtime/coop_scheduler.hh"
+#include "runtime/request_stream.hh"
+#include "runtime/throughput.hh"
+#include "testing/differ.hh"
+#include "vm/machine.hh"
+
+using namespace pep;
+
+namespace {
+
+struct CliOptions
+{
+    std::string mode = "coop";
+    std::uint32_t threads = 4;
+    std::uint32_t workers = 4;
+    std::uint32_t requests = 512;
+    std::uint64_t seed = 1;
+    std::uint32_t epoch = 64;
+    std::string config = "all";
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--mode coop|throughput|differ] "
+                 "[--threads K] [--workers N] [--requests R] "
+                 "[--seed S] [--epoch E] [--config name|all]\n",
+                 argv0);
+}
+
+runtime::RequestStream
+makeStream(const CliOptions &cli)
+{
+    runtime::RequestStreamSpec spec;
+    spec.seed = cli.seed;
+    spec.requests = cli.requests;
+    return runtime::RequestStream(spec);
+}
+
+vm::SimParams
+makeParams(const CliOptions &cli)
+{
+    vm::SimParams params;
+    params.tickCycles = 10'000;
+    params.rngSeed = cli.seed ^ 0x7ead5eedull;
+    return params;
+}
+
+/** Profiles + counters of a cooperative run as one comparable blob. */
+std::string
+runBlob(const vm::Machine &machine, const core::PepProfiler &pep,
+        const runtime::CoopStats &stats)
+{
+    std::ostringstream os;
+    for (const auto &method : machine.truthEdges().perMethod)
+        for (const auto &per_block : method.counts())
+            for (std::uint64_t count : per_block)
+                os << count << ' ';
+    for (const auto &method : pep.edgeProfile().perMethod)
+        for (const auto &per_block : method.counts())
+            for (std::uint64_t count : per_block)
+                os << count << ' ';
+    for (const auto &[key, vp] : pep.versionProfiles()) {
+        std::map<std::uint64_t, std::uint64_t> ordered;
+        for (const auto &[number, record] : vp->paths.paths())
+            ordered[number] = record.count;
+        for (const auto &[number, count] : ordered)
+            os << number << '=' << count << ' ';
+    }
+    os << stats.contextSwitches << ' ' << machine.now();
+    return os.str();
+}
+
+int
+runCoop(const CliOptions &cli)
+{
+    const runtime::RequestStream stream = makeStream(cli);
+    const vm::SimParams params = makeParams(cli);
+
+    std::string first;
+    for (int run = 0; run < 2; ++run) {
+        vm::Machine machine(stream.program(), params);
+        core::SimplifiedArnoldGrove controller(64, 17);
+        core::PepProfiler pep(machine, controller);
+        machine.addHooks(&pep);
+        machine.addCompileObserver(&pep);
+
+        runtime::CoopOptions coop;
+        coop.threads = cli.threads;
+        coop.seed = cli.seed;
+        runtime::CoopScheduler scheduler(machine, coop);
+        scheduler.assignRoundRobin(stream);
+        scheduler.run();
+
+        const runtime::CoopStats &stats = scheduler.stats();
+        if (stats.requestsCompleted != stream.requests().size()) {
+            std::fprintf(stderr,
+                         "pep_runtime: completed %llu of %zu "
+                         "requests\n",
+                         static_cast<unsigned long long>(
+                             stats.requestsCompleted),
+                         stream.requests().size());
+            return 1;
+        }
+        if (run == 0) {
+            std::printf(
+                "coop: K=%u requests=%zu cycles=%llu switches=%llu "
+                "resumes=%llu samples=%llu\n",
+                cli.threads, stream.requests().size(),
+                static_cast<unsigned long long>(machine.now()),
+                static_cast<unsigned long long>(
+                    stats.contextSwitches),
+                static_cast<unsigned long long>(stats.resumes),
+                static_cast<unsigned long long>(
+                    pep.pepStats().samplesRecorded));
+            first = runBlob(machine, pep, stats);
+        } else if (runBlob(machine, pep, stats) != first) {
+            std::fprintf(stderr,
+                         "pep_runtime: NON-DETERMINISTIC — repeat "
+                         "run diverged from the first\n");
+            return 1;
+        }
+    }
+    std::printf("coop: repeat run byte-identical\n");
+    return 0;
+}
+
+int
+runThroughputMode(const CliOptions &cli)
+{
+    const runtime::RequestStream stream = makeStream(cli);
+
+    runtime::ThroughputOptions options;
+    options.workers = cli.workers;
+    options.epochRequests = cli.epoch;
+    options.params = makeParams(cli);
+
+    options.aggregation =
+        runtime::ThroughputOptions::Aggregation::Sharded;
+    const runtime::ThroughputResult sharded =
+        runtime::runThroughput(stream, options);
+    options.aggregation =
+        runtime::ThroughputOptions::Aggregation::Mutex;
+    const runtime::ThroughputResult mutex_global =
+        runtime::runThroughput(stream, options);
+
+    std::printf("throughput: workers=%u requests=%zu epoch=%u\n",
+                cli.workers, stream.requests().size(), cli.epoch);
+    std::printf("  sharded: %9.0f req/s (%llu path records)\n",
+                sharded.requestsPerSecond,
+                static_cast<unsigned long long>(sharded.pathRecords));
+    std::printf("  mutex:   %9.0f req/s (%llu path records)\n",
+                mutex_global.requestsPerSecond,
+                static_cast<unsigned long long>(
+                    mutex_global.pathRecords));
+
+    bool identical = sharded.paths == mutex_global.paths &&
+                     sharded.edges.perMethod.size() ==
+                         mutex_global.edges.perMethod.size();
+    for (std::size_t m = 0;
+         identical && m < sharded.edges.perMethod.size(); ++m) {
+        identical = sharded.edges.perMethod[m].counts() ==
+                    mutex_global.edges.perMethod[m].counts();
+    }
+    std::printf("  merged profiles %s\n",
+                identical ? "identical" : "DIVERGE");
+    return identical ? 0 : 1;
+}
+
+int
+runDifferMode(const CliOptions &cli)
+{
+    int failures = 0;
+    for (const testing::ThreadedDiffOptions &config :
+         testing::standardThreadedConfigs()) {
+        if (cli.config != "all" && cli.config != config.name)
+            continue;
+        const testing::DiffReport report =
+            testing::runThreadedDiff(config);
+        std::printf("differ: %-24s %s (segments=%llu samples=%llu)\n",
+                    config.name.c_str(),
+                    report.ok() ? "clean" : "VIOLATIONS",
+                    static_cast<unsigned long long>(
+                        report.oracleSegments),
+                    static_cast<unsigned long long>(
+                        report.pepSamplesRecorded));
+        for (const std::string &violation : report.violations)
+            std::printf("    %s\n", violation.c_str());
+        failures += report.ok() ? 0 : 1;
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions cli;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--mode") {
+            cli.mode = next();
+        } else if (arg == "--threads") {
+            cli.threads = std::strtoul(next(), nullptr, 10);
+        } else if (arg == "--workers") {
+            cli.workers = std::strtoul(next(), nullptr, 10);
+        } else if (arg == "--requests") {
+            cli.requests = std::strtoul(next(), nullptr, 10);
+        } else if (arg == "--seed") {
+            cli.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--epoch") {
+            cli.epoch = std::strtoul(next(), nullptr, 10);
+        } else if (arg == "--config") {
+            cli.config = next();
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (cli.mode == "coop")
+        return runCoop(cli);
+    if (cli.mode == "throughput")
+        return runThroughputMode(cli);
+    if (cli.mode == "differ")
+        return runDifferMode(cli);
+    usage(argv[0]);
+    return 2;
+}
