@@ -4,19 +4,26 @@
  * simulated programs) and emits BENCH_PR2.json, the perf trajectory
  * for this repository.
  *
- * Three measurements:
+ * Four measurements:
  *   1. flatten microbenchmark — per-edge action dispatch through the
  *      pre-flattening data structures (nested vector-of-vectors tables
  *      plus an ordered-map version lookup) vs. the flattened hot path
  *      (contiguous EdgeAction array + dense edge ids + vector-indexed
  *      version lookup), over an identical deterministic edge trace;
- *   2. serial suite run — every (benchmark, config) cell on one
+ *   2. engine dispatch microbenchmark — identical replay runs under
+ *      the switch interpreter and the pre-decoded threaded engine
+ *      (docs/ENGINE.md): ns per retired instruction and CFG edges
+ *      traversed per second, with a byte-identity check of every
+ *      observable (profiles, cycles, engine-independent stats);
+ *   3. serial suite run — every (benchmark, config) cell on one
  *      worker: wall-clock seconds and simulated cycles per second;
- *   3. parallel suite run — the same cells fanned out over the cores
+ *   4. parallel suite run — the same cells fanned out over the cores
  *      via ParallelRunner, with a byte-identity check of the composed
  *      output against the serial order.
  *
- * Usage: perf_suite [output.json]   (default BENCH_PR2.json)
+ * Usage: perf_suite [output.json] [engine-output.json]
+ *        (defaults BENCH_PR2.json and BENCH_PR5.json — measurements
+ *        1, 3, 4 land in the first file, measurement 2 in the second)
  * PEP_BENCH_SCALE / PEP_BENCH_ONLY / PEP_BENCH_THREADS apply.
  */
 
@@ -234,6 +241,158 @@ runFlattenBench(const bytecode::Program &program)
     return result;
 }
 
+// ---- engine dispatch microbenchmark ---------------------------------
+
+struct EngineBench
+{
+    double switchSeconds = 0.0;
+    double threadedSeconds = 0.0;
+    double switchNsPerInstr = 0.0;
+    double threadedNsPerInstr = 0.0;
+    double switchEdgesPerSec = 0.0;
+    double threadedEdgesPerSec = 0.0;
+    /** Threaded edges/sec over switch edges/sec. */
+    double speedup = 0.0;
+    std::uint64_t instructionsPerRun = 0;
+    std::uint64_t edgesPerRun = 0;
+    bool outputsIdentical = false;
+};
+
+/**
+ * Serialize everything a run may legitimately observe: ground-truth
+ * and one-time edge profiles, the simulated clock, and the
+ * engine-independent machine counters. methodsDecoded and
+ * templateInvalidations are deliberately excluded — they describe the
+ * harness's translation cache, not simulated behaviour, and differ
+ * between engines by design.
+ */
+std::string
+serializeObservables(const vm::Machine &machine)
+{
+    std::string out;
+    char line[192];
+    const auto dump_set = [&](const profile::EdgeProfileSet &set,
+                              const char *tag) {
+        for (std::size_t m = 0; m < set.perMethod.size(); ++m) {
+            const auto &counts = set.perMethod[m].counts();
+            for (std::size_t b = 0; b < counts.size(); ++b) {
+                for (std::size_t i = 0; i < counts[b].size(); ++i) {
+                    if (counts[b][i] == 0)
+                        continue;
+                    std::snprintf(line, sizeof(line),
+                                  "%s %zu %zu %zu %llu\n", tag, m, b, i,
+                                  static_cast<unsigned long long>(
+                                      counts[b][i]));
+                    out += line;
+                }
+            }
+        }
+    };
+    dump_set(machine.truthEdges(), "truth");
+    dump_set(machine.oneTimeEdges(), "one-time");
+    const vm::MachineStats &s = machine.stats();
+    std::snprintf(line, sizeof(line),
+                  "clock %llu\nstats %llu %llu %llu %llu %llu %llu "
+                  "%llu %llu %llu\n",
+                  static_cast<unsigned long long>(machine.now()),
+                  static_cast<unsigned long long>(
+                      s.instructionsExecuted),
+                  static_cast<unsigned long long>(s.methodInvocations),
+                  static_cast<unsigned long long>(
+                      s.yieldpointsExecuted),
+                  static_cast<unsigned long long>(s.timerTicks),
+                  static_cast<unsigned long long>(s.compileCycles),
+                  static_cast<unsigned long long>(s.compiles),
+                  static_cast<unsigned long long>(s.osrs),
+                  static_cast<unsigned long long>(s.layoutMisses),
+                  static_cast<unsigned long long>(s.branchesExecuted));
+    out += line;
+    return out;
+}
+
+struct EngineRunResult
+{
+    double seconds = 0.0;
+    std::uint64_t instructions = 0;
+    std::uint64_t edges = 0;
+    std::string blob;
+};
+
+/**
+ * Time one engine over the replay workload: iteration 1 compiles every
+ * method at its final level (untimed), then kEngineIters measured
+ * iterations run under the pinned engine with no profilers attached,
+ * so the timed region is pure interpreter dispatch plus the always-on
+ * ground-truth edge recording. Best-of kRepeats fresh machines.
+ */
+EngineRunResult
+runEngineBench(const bench::Prepared &prepared,
+               const vm::SimParams &base_params, vm::EngineKind kind)
+{
+    constexpr int kEngineIters = 3;
+    constexpr int kRepeats = 3;
+
+    vm::SimParams params = base_params;
+    params.engine = kind;
+
+    EngineRunResult result;
+    for (int repeat = 0; repeat < kRepeats; ++repeat) {
+        bench::ReplayRun run(prepared, params);
+        run.runCompileIteration();
+        run.clearCollectedProfiles();
+        const vm::MachineStats before = run.machine().stats();
+        const auto start = std::chrono::steady_clock::now();
+        for (int i = 0; i < kEngineIters; ++i)
+            run.runMeasuredIteration();
+        const double seconds = secondsSince(start);
+        const vm::MachineStats &after = run.machine().stats();
+        if (repeat == 0 || seconds < result.seconds)
+            result.seconds = seconds;
+        result.instructions =
+            after.instructionsExecuted - before.instructionsExecuted;
+        result.edges = run.machine().truthEdges().totalCount();
+        result.blob = serializeObservables(run.machine());
+    }
+    return result;
+}
+
+EngineBench
+runEngineDispatchBench(const workload::WorkloadSpec &spec,
+                       const vm::SimParams &params)
+{
+    // One shared record run: advice is an observable, so it is
+    // engine-independent; both timed runs replay the same decisions.
+    const bench::Prepared prepared = bench::prepare(spec, params);
+    const EngineRunResult sw =
+        runEngineBench(prepared, params, vm::EngineKind::Switch);
+    const EngineRunResult th =
+        runEngineBench(prepared, params, vm::EngineKind::Threaded);
+
+    EngineBench result;
+    result.switchSeconds = sw.seconds;
+    result.threadedSeconds = th.seconds;
+    result.instructionsPerRun = sw.instructions;
+    result.edgesPerRun = sw.edges;
+    result.switchNsPerInstr =
+        sw.seconds * 1e9 / static_cast<double>(sw.instructions);
+    result.threadedNsPerInstr =
+        th.seconds * 1e9 / static_cast<double>(th.instructions);
+    result.switchEdgesPerSec =
+        static_cast<double>(sw.edges) / sw.seconds;
+    result.threadedEdgesPerSec =
+        static_cast<double>(th.edges) / th.seconds;
+    result.speedup = th.seconds > 0.0
+                         ? result.threadedEdgesPerSec /
+                               result.switchEdgesPerSec
+                         : 0.0;
+    result.outputsIdentical = sw.blob == th.blob;
+    if (!result.outputsIdentical)
+        std::fprintf(stderr,
+                     "perf_suite: switch and threaded engines "
+                     "disagree on observable state\n");
+    return result;
+}
+
 // ---- suite timing ----------------------------------------------------
 
 /** Output text plus simulated cycles of one suite cell. */
@@ -302,6 +461,8 @@ main(int argc, char **argv)
 {
     const std::string json_path =
         argc > 1 ? argv[1] : "BENCH_PR2.json";
+    const std::string engine_json_path =
+        argc > 2 ? argv[2] : "BENCH_PR5.json";
     const vm::SimParams params = bench::defaultParams();
     const std::vector<workload::WorkloadSpec> suite =
         bench::benchSuite();
@@ -319,6 +480,17 @@ main(int argc, char **argv)
                 flatten.nestedNsPerEdge);
     std::printf("  flat+cached dispatch: %.2f ns/edge  (%.2fx)\n",
                 flatten.flatNsPerEdge, flatten.speedup);
+
+    std::printf("perf_suite: engine dispatch microbenchmark...\n");
+    const EngineBench engine =
+        runEngineDispatchBench(suite[0], params);
+    std::printf("  switch dispatch:   %.2f ns/instr, %.3g edges/s\n",
+                engine.switchNsPerInstr, engine.switchEdgesPerSec);
+    std::printf("  threaded dispatch: %.2f ns/instr, %.3g edges/s  "
+                "(%.2fx, output %s)\n",
+                engine.threadedNsPerInstr, engine.threadedEdgesPerSec,
+                engine.speedup,
+                engine.outputsIdentical ? "identical" : "DIVERGES");
 
     std::printf("perf_suite: serial suite (1 worker)...\n");
     const SuiteRun serial = runSuite(suite, params, 1);
@@ -390,5 +562,44 @@ main(int argc, char **argv)
     std::fclose(json);
     std::printf("perf_suite: wrote %s\n", json_path.c_str());
 
-    return identical ? 0 : 1;
+    FILE *engine_json = std::fopen(engine_json_path.c_str(), "w");
+    if (!engine_json) {
+        std::fprintf(stderr, "perf_suite: cannot write %s\n",
+                     engine_json_path.c_str());
+        return 1;
+    }
+    std::fprintf(engine_json, "{\n");
+    std::fprintf(engine_json, "  \"workload\": \"%s\",\n",
+                 suite[0].name.c_str());
+    std::fprintf(engine_json, "  \"instructions_per_run\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     engine.instructionsPerRun));
+    std::fprintf(engine_json, "  \"edges_per_run\": %llu,\n",
+                 static_cast<unsigned long long>(engine.edgesPerRun));
+    std::fprintf(engine_json, "  \"switch\": {\n");
+    std::fprintf(engine_json, "    \"wall_seconds\": %.6f,\n",
+                 engine.switchSeconds);
+    std::fprintf(engine_json, "    \"ns_per_instr\": %.4f,\n",
+                 engine.switchNsPerInstr);
+    std::fprintf(engine_json, "    \"edges_per_sec\": %.1f\n",
+                 engine.switchEdgesPerSec);
+    std::fprintf(engine_json, "  },\n");
+    std::fprintf(engine_json, "  \"threaded\": {\n");
+    std::fprintf(engine_json, "    \"wall_seconds\": %.6f,\n",
+                 engine.threadedSeconds);
+    std::fprintf(engine_json, "    \"ns_per_instr\": %.4f,\n",
+                 engine.threadedNsPerInstr);
+    std::fprintf(engine_json, "    \"edges_per_sec\": %.1f\n",
+                 engine.threadedEdgesPerSec);
+    std::fprintf(engine_json, "  },\n");
+    std::fprintf(engine_json,
+                 "  \"threaded_speedup_edges_per_sec\": %.4f,\n",
+                 engine.speedup);
+    std::fprintf(engine_json, "  \"outputs_identical\": %s\n",
+                 engine.outputsIdentical ? "true" : "false");
+    std::fprintf(engine_json, "}\n");
+    std::fclose(engine_json);
+    std::printf("perf_suite: wrote %s\n", engine_json_path.c_str());
+
+    return identical && engine.outputsIdentical ? 0 : 1;
 }

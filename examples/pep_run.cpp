@@ -275,6 +275,13 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         machine.stats().timerTicks));
     }
+    std::printf("engine %s: %llu versions translated, %llu template "
+                "invalidations\n",
+                vm::engineKindName(machine.params().engine),
+                static_cast<unsigned long long>(
+                    machine.stats().methodsDecoded),
+                static_cast<unsigned long long>(
+                    machine.stats().templateInvalidations));
 
     // Reports.
     if (pep) {

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Harness performance run: builds the perf suite and emits
 # BENCH_PR2.json (wall-clock + simulated cycles/sec for serial vs
-# parallel suite runs, plus the flattened-dispatch microbenchmark)
-# and BENCH_PR4.json (cooperative-scheduler PEP overhead/accuracy per
-# virtual-thread count, throughput worker scaling, and the
-# sharded-vs-mutex aggregation comparison).
+# parallel suite runs, plus the flattened-dispatch microbenchmark),
+# BENCH_PR5.json (switch vs pre-decoded threaded engine dispatch:
+# ns/instruction, edges/sec, and the observable byte-identity check —
+# see docs/ENGINE.md), and BENCH_PR4.json (cooperative-scheduler PEP
+# overhead/accuracy per virtual-thread count, throughput worker
+# scaling, and the sharded-vs-mutex aggregation comparison).
 #
-# Usage: scripts/bench.sh [perf-output.json] [concurrency-output.json]
+# Usage: scripts/bench.sh [perf.json] [concurrency.json] [engine.json]
 # Environment: PEP_BENCH_SCALE, PEP_BENCH_ONLY, PEP_BENCH_THREADS.
 set -euo pipefail
 
@@ -14,10 +16,11 @@ cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_PR2.json}
 OUT_CONCURRENCY=${2:-BENCH_PR4.json}
+OUT_ENGINE=${3:-BENCH_PR5.json}
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)" --target perf_suite tab_concurrency
 
-./build/bench/perf_suite "$OUT"
+./build/bench/perf_suite "$OUT" "$OUT_ENGINE"
 ./build/bench/tab_concurrency "$OUT_CONCURRENCY"
-echo "bench.sh: results in $OUT and $OUT_CONCURRENCY"
+echo "bench.sh: results in $OUT, $OUT_ENGINE and $OUT_CONCURRENCY"

@@ -10,6 +10,10 @@
 #include "profile/numbering.hh"
 #include "profile/pdag.hh"
 #include "profile/spanning_placement.hh"
+#include "vm/compiled_method.hh"
+#include "vm/cost_model.hh"
+#include "vm/decoded_method.hh"
+#include "vm/machine.hh"
 
 namespace pep::analysis {
 
@@ -67,6 +71,48 @@ checkOnePlan(const bytecode::Method &method,
     checkInstrumentationPlan(input, diagnostics);
 }
 
+/**
+ * Check 9: translate the method for the threaded engine exactly as
+ * Machine::decodedFor would (full-opt costs, no layout information)
+ * and prove the template stream consistent with the canonical plan's
+ * flattened tables. The plan's edgeBase is structural — identical
+ * across every (mode, scheme, placement) built above — so one
+ * representative plan suffices.
+ */
+void
+checkTemplates(const bytecode::Method &method,
+               const bytecode::MethodCfg &cfg,
+               DiagnosticList &diagnostics)
+{
+    const profile::PDag pdag =
+        profile::buildPDag(cfg, DagMode::HeaderSplit);
+    const profile::Numbering numbering =
+        profile::numberPaths(pdag, NumberingScheme::BallLarus, nullptr);
+    const profile::InstrumentationPlan plan =
+        profile::buildInstrumentationPlan(cfg, pdag, numbering);
+
+    const vm::MethodInfo info = vm::buildMethodInfo(method);
+    vm::CompiledMethod cm;
+    cm.level = vm::OptLevel::Opt2;
+    const vm::CostModel cost;
+    cm.scaledCost.resize(bytecode::kNumOpcodes);
+    for (std::size_t op = 0; op < bytecode::kNumOpcodes; ++op)
+        cm.scaledCost[op] =
+            cost.instrCost(static_cast<bytecode::Opcode>(op));
+    cm.branchLayout.assign(cfg.graph.numBlocks(), -1);
+
+    const vm::DecodedMethod decoded =
+        translateMethod(method, info, cm);
+
+    TemplateCheckInput input;
+    input.code = &method;
+    input.cfg = &cfg;
+    input.plan = &plan;
+    input.decoded = &decoded;
+    input.methodName = method.name;
+    checkTemplateStream(input, diagnostics);
+}
+
 } // namespace
 
 DiagnosticList
@@ -122,6 +168,7 @@ lintProgram(bytecode::Program &program, const LintOptions &options)
                              PlacementKind::Direct,
                              options.simulateLimit, diagnostics);
             }
+            checkTemplates(method, cfg, diagnostics);
         }
     }
     return diagnostics;

@@ -14,7 +14,10 @@
  *  3. instrumentation-plan checking: for every method, the P-DAG,
  *     numbering, and plan are built exactly as the profiling pipeline
  *     would and statically checked — both DAG modes, Direct and
- *     spanning-tree placement, Ball-Larus and smart numbering.
+ *     spanning-tree placement, Ball-Larus and smart numbering — and
+ *     the method is translated for the threaded execution engine and
+ *     its template stream checked against the plan's flattened tables
+ *     (plan-checker check 9, docs/ENGINE.md).
  */
 
 #include <cstdint>

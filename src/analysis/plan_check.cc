@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "support/panic.hh"
+#include "vm/compiled_method.hh"
+#include "vm/decoded_method.hh"
 
 namespace pep::analysis {
 
@@ -814,6 +816,185 @@ checkInstrumentationPlan(const PlanCheckInput &input,
                input.plan);
     Checker checker(input, diagnostics);
     return checker.run();
+}
+
+// ---- check 9: template-stream fidelity --------------------------------
+
+bool
+checkTemplateStream(const TemplateCheckInput &in,
+                    DiagnosticList &diagnostics)
+{
+    PEP_ASSERT(in.code && in.cfg && in.plan && in.decoded);
+    const std::size_t before = diagnostics.errorCount();
+    const auto error = [&](const std::string &message) {
+        diagnostics.report(Severity::Error, "plan-check",
+                           in.methodName, message);
+    };
+    std::size_t mismatches = 0;
+    const auto capped = [&]() {
+        if (mismatches == kMaxPerCategory) {
+            diagnostics.report(Severity::Note, "plan-check",
+                               in.methodName,
+                               "further findings of this kind "
+                               "suppressed");
+        }
+        return mismatches++ >= kMaxPerCategory;
+    };
+
+    const vm::DecodedMethod &dm = *in.decoded;
+    const InstrumentationPlan &plan = *in.plan;
+    const bytecode::MethodCfg &cfg = *in.cfg;
+    const bytecode::Method &code = *in.code;
+    const vm::CompiledMethod &cm = *dm.source;
+
+    // 9a. The structural flat-edge base burned into templates must be
+    // the plan's edgeBase, memberwise — this is what lets onEdgeFast
+    // index flatEdgeActions with `flatBase + successor` and skip the
+    // base lookup.
+    if (dm.edgeBase.size() != plan.edgeBase.size()) {
+        error("template edgeBase has wrong arity");
+        return diagnostics.errorCount() == before;
+    }
+    for (std::size_t b = 0; b < dm.edgeBase.size(); ++b) {
+        if (dm.edgeBase[b] != plan.edgeBase[b]) {
+            std::ostringstream os;
+            os << "template edgeBase[" << b << "] is "
+               << dm.edgeBase[b] << " but the plan's is "
+               << plan.edgeBase[b];
+            error(os.str());
+            return diagnostics.errorCount() == before;
+        }
+    }
+    if (plan.enabled &&
+        plan.flatEdgeActions.size() != dm.edgeBase.back()) {
+        std::ostringstream os;
+        os << "templates address " << dm.edgeBase.back()
+           << " flat edges but the plan holds "
+           << plan.flatEdgeActions.size();
+        error(os.str());
+        return diagnostics.errorCount() == before;
+    }
+
+    // 9b. Every pc maps to a template that re-encodes exactly that
+    // instruction: opcode, block, the block's flat base and the
+    // version's branch layout.
+    if (dm.pcToTemplate.size() != code.code.size()) {
+        error("pcToTemplate has wrong arity");
+        return diagnostics.errorCount() == before;
+    }
+    for (bytecode::Pc pc = 0; pc < code.code.size(); ++pc) {
+        const std::uint32_t tpl = dm.pcToTemplate[pc];
+        if (tpl >= dm.stream.size()) {
+            std::ostringstream os;
+            os << "pc " << pc << " maps to template " << tpl
+               << " outside the stream";
+            error(os.str());
+            return diagnostics.errorCount() == before;
+        }
+        const vm::Template &t = dm.stream[tpl];
+        const cfg::BlockId block = cfg.blockOfPc[pc];
+        if ((t.pc != pc ||
+             t.op != static_cast<std::uint8_t>(code.code[pc].op) ||
+             t.block != block || t.flatBase != dm.edgeBase[block] ||
+             t.layout != cm.layoutFor(block)) &&
+            !capped()) {
+            std::ostringstream os;
+            os << "template for pc " << pc
+               << " disagrees with the instruction it pre-decodes "
+                  "(stale translation?)";
+            error(os.str());
+        }
+    }
+
+    // 9c. Control transfers must resolve to their targets' templates,
+    // and injected fall-through boundaries must address their block's
+    // single CFG edge.
+    const auto check_target = [&](const vm::Template &t,
+                                  bytecode::Pc target_pc,
+                                  std::uint32_t target_tpl,
+                                  cfg::BlockId target_block,
+                                  const char *what) {
+        if (target_pc >= code.code.size()) {
+            if (!capped())
+                error(std::string(what) + " target pc out of range");
+            return;
+        }
+        if ((target_tpl != dm.pcToTemplate[target_pc] ||
+             target_block != cfg.blockOfPc[target_pc]) &&
+            !capped()) {
+            std::ostringstream os;
+            os << what << " target of the template at pc " << t.pc
+               << " does not resolve to pc " << target_pc
+               << "'s template";
+            error(os.str());
+        }
+    };
+    for (const vm::Template &t : dm.stream) {
+        const auto op = static_cast<bytecode::Opcode>(t.op);
+        if (static_cast<std::size_t>(t.block) + 1 >=
+                dm.edgeBase.size() ||
+            t.flatBase != dm.edgeBase[t.block]) {
+            if (!capped()) {
+                std::ostringstream os;
+                os << "template at pc " << t.pc
+                   << " carries flat base " << t.flatBase
+                   << " for block " << t.block;
+                error(os.str());
+            }
+            continue;
+        }
+        if (t.op == vm::kTopFallEdge) {
+            check_target(t, t.fallPc, t.fall, t.fallBlock,
+                         "fall-through");
+            if (cfg.graph.succs(t.block).size() != 1 && !capped()) {
+                std::ostringstream os;
+                os << "fall-edge template at pc " << t.pc
+                   << " fires edge " << t.flatBase
+                   << " but block " << t.block << " has "
+                   << cfg.graph.succs(t.block).size() << " successors";
+                error(os.str());
+            }
+        } else if (op == bytecode::Opcode::Goto) {
+            check_target(t, t.takenPc, t.taken, t.takenBlock, "taken");
+        } else if (op == bytecode::Opcode::Tableswitch) {
+            if (t.swFirst + t.swCount + 1 > dm.switchCases.size()) {
+                if (!capped())
+                    error("switch case slice out of range");
+                continue;
+            }
+            for (std::uint32_t i = 0; i <= t.swCount; ++i) {
+                const vm::SwitchCase &sc =
+                    dm.switchCases[t.swFirst + i];
+                check_target(t, sc.pc, sc.tpl, sc.block, "switch");
+            }
+        } else if (bytecode::isCondBranch(op)) {
+            check_target(t, t.takenPc, t.taken, t.takenBlock, "taken");
+            check_target(t, t.fallPc, t.fall, t.fallBlock,
+                         "fall-through");
+        }
+    }
+
+    // 9d. Segment folding conserves the version's scaled costs: the
+    // stream charges exactly the cycles and instruction count the
+    // switch engine would charge one instruction at a time.
+    std::uint64_t want_cost = 0;
+    for (const bytecode::Instr &instr : code.code)
+        want_cost += cm.scaledCost[static_cast<std::size_t>(instr.op)];
+    std::uint64_t got_cost = 0;
+    std::uint64_t got_ninstr = 0;
+    for (const vm::Template &t : dm.stream) {
+        got_cost += t.cost;
+        got_ninstr += t.ninstr;
+    }
+    if (got_cost != want_cost || got_ninstr != code.code.size()) {
+        std::ostringstream os;
+        os << "segment charges sum to " << got_cost << " cycles / "
+           << got_ninstr << " instructions but the code costs "
+           << want_cost << " / " << code.code.size();
+        error(os.str());
+    }
+
+    return diagnostics.errorCount() == before;
 }
 
 } // namespace pep::analysis

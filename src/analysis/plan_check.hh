@@ -33,6 +33,15 @@
  *     the interpreter executes agrees memberwise with the nested
  *     edgeActions the checks above reason about, and edgeBase holds
  *     exact prefix sums of the CFG's successor counts.
+ *  9. Template-stream fidelity (checkTemplateStream, docs/ENGINE.md):
+ *     the threaded engine's pre-decoded template stream agrees
+ *     memberwise with the plan's flattened tables — the structural
+ *     flat-edge base burned into every template equals the plan's
+ *     edgeBase prefix sums (so `flatBase + successor` indexes
+ *     flatEdgeActions exactly like `edgeBase[src] + index`), every pc
+ *     maps to a template carrying its opcode, block and branch layout,
+ *     control transfers resolve to their targets' templates, and the
+ *     folded segment charges conserve the version's scaled costs.
  *
  * All violations are reported as diagnostics (pass "plan-check"), not
  * panics, so a lint run can show every broken invariant at once.
@@ -47,6 +56,10 @@
 #include "profile/numbering.hh"
 #include "profile/pdag.hh"
 #include "profile/spanning_placement.hh"
+
+namespace pep::vm {
+struct DecodedMethod;
+}
 
 namespace pep::analysis {
 
@@ -82,6 +95,30 @@ struct PlanCheckInput
  */
 bool checkInstrumentationPlan(const PlanCheckInput &input,
                               DiagnosticList &diagnostics);
+
+/** Everything the template-stream check inspects (check 9). `code`
+ *  and `cfg` must be the code the stream executes (the inlined body's
+ *  when the version has one). */
+struct TemplateCheckInput
+{
+    const bytecode::Method *code = nullptr;
+    const bytecode::MethodCfg *cfg = nullptr;
+    const profile::InstrumentationPlan *plan = nullptr;
+    const vm::DecodedMethod *decoded = nullptr;
+
+    /** Method name used in diagnostics. */
+    std::string methodName;
+};
+
+/**
+ * Check 9: prove a translated template stream (vm/decoded_method.hh)
+ * is memberwise-consistent with the plan's flattened tables. Static
+ * counterpart of the fuzzer's engine cross-check, exactly as check 8
+ * is the static counterpart of its flat/nested dispatch check.
+ * Returns true if no errors were added.
+ */
+bool checkTemplateStream(const TemplateCheckInput &input,
+                         DiagnosticList &diagnostics);
 
 } // namespace pep::analysis
 

@@ -103,6 +103,8 @@ class PathEngine : public vm::ExecutionHooks, public vm::CompileObserver
     void onMethodEntry(const vm::FrameView &frame) override;
     void onMethodExit(const vm::FrameView &frame) override;
     void onEdge(const vm::FrameView &frame, cfg::EdgeRef edge) override;
+    void onEdgeFast(const vm::FrameView &frame, cfg::EdgeRef edge,
+                    std::uint32_t flat_id) override;
     void onLoopHeader(const vm::FrameView &frame,
                       cfg::BlockId block) override;
     void onOsr(const vm::FrameView &frame, cfg::BlockId header) override;
@@ -189,6 +191,12 @@ class PathEngine : public vm::ExecutionHooks, public vm::CompileObserver
             headers = plan.headerActions.data();
         }
     };
+
+    /** Shared tail of onEdge/onEdgeFast: execute one edge action
+     *  against the frame's path register. */
+    void applyEdgeAction(FrameState &fs,
+                         const profile::EdgeAction &action,
+                         std::uint32_t thread);
 
     /** Version with an enabled-or-disabled plan, nullptr if the engine
      *  never saw (method, version) compile. */

@@ -87,7 +87,41 @@ applyInjection(vm::Machine &machine, core::FullPathProfiler &full,
             }
             break;
           }
+          case InjectKind::StaleTemplate:
+            // Applied inside the engine cross-check (check 7), where
+            // two machines exist to diverge; the main run's profilers
+            // all observe one consistent event stream and stay clean.
+            break;
         }
+    }
+}
+
+/**
+ * The stale-template fault: flip the branch layout of every installed
+ * version in place and deliberately skip Machine::invalidateDecoded().
+ * The switch engine reads branchLayout live and sees the flip at the
+ * next branch; the threaded engine keeps dispatching templates with
+ * the old layout baked in, so miss counts — and therefore cycles —
+ * diverge. The correct protocol (flip + invalidate, byte-identical
+ * again) is unit-tested in tests/vm/engine_test.cc.
+ */
+void
+flipInstalledLayouts(vm::Machine &machine,
+                     std::set<core::VersionKey> &done)
+{
+    for (std::size_t m = 0; m < machine.numMethods(); ++m) {
+        const bytecode::MethodId method =
+            static_cast<bytecode::MethodId>(m);
+        const vm::CompiledMethod *current =
+            machine.currentVersion(method);
+        if (!current)
+            continue;
+        if (!done.insert({method, current->version}).second)
+            continue;
+        vm::CompiledMethod *cm =
+            machine.versionForUpdate(method, current->version);
+        for (std::int16_t &layout : cm->branchLayout)
+            layout = layout == 1 ? 0 : 1;
     }
 }
 
@@ -206,6 +240,195 @@ segmentsFromProfile(const core::MethodProfilingState &state,
     return result;
 }
 
+/** Dump one edge-profile set as whitespace-separated counts. */
+void
+dumpEdgeSet(std::ostringstream &os, const profile::EdgeProfileSet &set,
+            const char *tag)
+{
+    os << tag << '\n';
+    for (std::size_t m = 0; m < set.perMethod.size(); ++m) {
+        for (const auto &per_block : set.perMethod[m].counts()) {
+            for (std::uint64_t count : per_block)
+                os << count << ' ';
+        }
+        os << '\n';
+    }
+}
+
+/**
+ * Serialize everything observable about one engine's run — simulated
+ * clock, machine stats, ground truth, one-time profile, full BLPP path
+ * tables, PEP path tables and sampling stats. Byte-equality of two
+ * such strings is the docs/ENGINE.md determinism contract; the
+ * engine-specific methodsDecoded/templateInvalidations counters are
+ * deliberately excluded (they differ by design).
+ */
+std::string
+serializeEngineRun(const vm::Machine &machine, const ExactOracle &oracle,
+                   const core::FullPathProfiler &full,
+                   const core::PepProfiler &pep)
+{
+    std::ostringstream os;
+    dumpEdgeSet(os, machine.truthEdges(), "truth");
+    dumpEdgeSet(os, machine.oneTimeEdges(), "one-time");
+    dumpEdgeSet(os, pep.edgeProfile(), "pep-edges");
+
+    const auto dump_paths = [&os](const auto &profiles,
+                                  const char *tag) {
+        os << tag << '\n';
+        for (const auto &[key, vp] : profiles) {
+            os << key.first << " v" << key.second << ':';
+            std::map<std::uint64_t, std::uint64_t> ordered;
+            for (const auto &[number, record] : vp->paths.paths())
+                ordered[number] = record.count;
+            for (const auto &[number, count] : ordered)
+                os << ' ' << number << '=' << count;
+            os << '\n';
+        }
+    };
+    dump_paths(full.versionProfiles(), "full-paths");
+    dump_paths(pep.versionProfiles(), "pep-paths");
+
+    const vm::MachineStats &stats = machine.stats();
+    const core::PepStats &pep_stats = pep.pepStats();
+    os << "oracle " << oracle.totalSegments() << '\n'
+       << "stats " << stats.instructionsExecuted << ' '
+       << stats.methodInvocations << ' ' << stats.yieldpointsExecuted
+       << ' ' << stats.timerTicks << ' ' << stats.compileCycles << ' '
+       << stats.compiles << ' ' << stats.osrs << ' '
+       << stats.layoutMisses << ' ' << stats.branchesExecuted << '\n'
+       << "pep-stats " << pep_stats.pathsCompleted << ' '
+       << pep_stats.samplesTaken << ' ' << pep_stats.samplesRecorded
+       << '\n'
+       << "clock " << machine.now() << '\n';
+    return os.str();
+}
+
+/** One engine's complete outcome: the serialized observables, or the
+ *  panic/fatal that killed the run. */
+struct EngineRun
+{
+    std::string blob;
+    std::string death;
+};
+
+/** Run the program on a fresh machine pinned to `kind`, with the same
+ *  hook set either engine run gets. */
+EngineRun
+runEngineOnce(const bytecode::Program &program, const DiffOptions &opts,
+              vm::EngineKind kind)
+{
+    EngineRun result;
+
+    vm::SimParams params;
+    params.engine = kind;
+    params.tickCycles = opts.tickCycles;
+    params.enableOsr = opts.enableOsr;
+    params.yieldpointsOnBackEdges = opts.yieldpointsOnBackEdges;
+    params.enableInlining = opts.enableInlining;
+    params.maxCyclesPerIteration = opts.maxCyclesPerIteration;
+    vm::Machine machine(program, params);
+
+    ExactOracle oracle(machine, opts.mode);
+    core::FullPathProfiler full(machine, opts.mode,
+                                /*charge_costs=*/false, opts.scheme,
+                                core::PathStoreKind::Array,
+                                opts.placement);
+    const PepConfig pep_config =
+        opts.pepConfigs.empty() ? PepConfig{} : opts.pepConfigs.front();
+    core::SimplifiedArnoldGrove controller(pep_config.samples,
+                                           pep_config.stride);
+    core::PepOptions pep_options;
+    pep_options.scheme = opts.scheme;
+    pep_options.mode = opts.mode;
+    pep_options.placement = opts.placement;
+    core::PepProfiler pep(machine, controller, pep_options);
+
+    machine.addHooks(&oracle);
+    machine.addCompileObserver(&oracle);
+    machine.addHooks(&full);
+    machine.addCompileObserver(&full);
+    machine.addHooks(&pep);
+    machine.addCompileObserver(&pep);
+
+    std::set<core::VersionKey> flipped;
+    try {
+        for (std::uint32_t it = 0; it < opts.iterations; ++it) {
+            machine.runIteration();
+            if (opts.inject == InjectKind::StaleTemplate &&
+                it + 1 < opts.iterations) {
+                flipInstalledLayouts(machine, flipped);
+            }
+        }
+    } catch (const support::PanicError &e) {
+        result.death = std::string("panic: ") + e.what();
+        return result;
+    } catch (const support::FatalError &e) {
+        result.death = std::string("fatal: ") + e.what();
+        return result;
+    }
+    result.blob = serializeEngineRun(machine, oracle, full, pep);
+    return result;
+}
+
+/** First line two serialized runs disagree on, truncated for the
+ *  violation message. */
+std::string
+firstBlobDiff(const std::string &a, const std::string &b)
+{
+    std::istringstream as(a);
+    std::istringstream bs(b);
+    std::string la;
+    std::string lb;
+    const auto trim = [](const std::string &line) {
+        return line.size() > 48 ? line.substr(0, 48) + "..." : line;
+    };
+    while (true) {
+        const bool more_a = static_cast<bool>(std::getline(as, la));
+        const bool more_b = static_cast<bool>(std::getline(bs, lb));
+        if (!more_a && !more_b)
+            return "<identical>";
+        if (la != lb || more_a != more_b) {
+            return "switch [" + trim(more_a ? la : "<eof>") +
+                   "] vs threaded [" + trim(more_b ? lb : "<eof>") +
+                   ']';
+        }
+    }
+}
+
+/**
+ * Check 7: run the program once per execution engine on otherwise-
+ * identical machines and byte-compare every observable. A run that
+ * dies (e.g. the runaway-cycle guard) must die identically on both
+ * engines; the stale-template injection makes the flip visible to
+ * switch dispatch only, so this check must report a divergence.
+ */
+void
+runEngineCrossCheck(const bytecode::Program &program,
+                    const DiffOptions &opts, DiffReport &report)
+{
+    const EngineRun sw =
+        runEngineOnce(program, opts, vm::EngineKind::Switch);
+    const EngineRun th =
+        runEngineOnce(program, opts, vm::EngineKind::Threaded);
+    if (sw.death != th.death) {
+        addViolation(report,
+                     "engines: switch run [" +
+                         (sw.death.empty() ? "clean" : sw.death) +
+                         "] but threaded run [" +
+                         (th.death.empty() ? "clean" : th.death) + ']');
+    } else if (!sw.death.empty()) {
+        report.notes.push_back(
+            "engines: both engine runs died identically (" + sw.death +
+            "); byte comparison skipped");
+    } else if (sw.blob != th.blob) {
+        addViolation(report,
+                     "engines: switch and threaded observables "
+                     "diverge: " +
+                         firstBlobDiff(sw.blob, th.blob));
+    }
+}
+
 } // namespace
 
 std::string
@@ -218,6 +441,8 @@ injectKindName(InjectKind kind)
         return "stale-flat";
       case InjectKind::CorruptFlatIncrement:
         return "corrupt-increment";
+      case InjectKind::StaleTemplate:
+        return "stale-template";
     }
     return "none";
 }
@@ -231,6 +456,8 @@ parseInjectKind(const std::string &name, InjectKind &out)
         out = InjectKind::StaleFlatAfterSpanning;
     } else if (name == "corrupt-increment") {
         out = InjectKind::CorruptFlatIncrement;
+    } else if (name == "stale-template") {
+        out = InjectKind::StaleTemplate;
     } else {
         return false;
     }
@@ -357,6 +584,11 @@ runDiff(const bytecode::Program &program, const DiffOptions &opts)
         // sizes programs so this never happens in practice.
         report.notes.push_back(
             "numbering overflow: segment checks skipped");
+        if (opts.crossCheckEngines &&
+            (opts.inject == InjectKind::None ||
+             opts.inject == InjectKind::StaleTemplate)) {
+            runEngineCrossCheck(program, opts, report);
+        }
         return report;
     }
 
@@ -529,6 +761,15 @@ runDiff(const bytecode::Program &program, const DiffOptions &opts)
                                      "reconstruction panicked: ") +
                              e.what());
         }
+    }
+
+    // Check 7: switch vs threaded engine byte-identity. The other
+    // injections corrupt the main run's profiler state, which doesn't
+    // exist on the cross-check machines — skip the redundant runs.
+    if (opts.crossCheckEngines &&
+        (opts.inject == InjectKind::None ||
+         opts.inject == InjectKind::StaleTemplate)) {
+        runEngineCrossCheck(program, opts, report);
     }
 
     return report;

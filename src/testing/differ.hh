@@ -21,11 +21,18 @@
  *     ground truth and flow-conserved at non-header blocks;
  *  6. the edge profile derived from full BLPP is bounded by ground
  *     truth and flow-conserved (at loop headers too while no frame was
- *     dropped mid-path).
+ *     dropped mid-path);
+ *  7. the switch-dispatch and threaded (pre-decoded template)
+ *     execution engines are byte-identical: the same program run on
+ *     two otherwise-identical machines, one per engine, produces the
+ *     same cycles, stats, ground truth, one-time profile, BLPP path
+ *     tables and PEP samples (docs/ENGINE.md determinism contract).
  *
  * Fault injection (for harness self-tests and CI) deliberately breaks
  * the flat/nested mirror invariant after a warm-up iteration, modelling
- * the "forgot rebuildFlat() after applySpanningPlacement" bug class.
+ * the "forgot rebuildFlat() after applySpanningPlacement" bug class —
+ * or, for `stale-template`, mutates installed branch layouts without
+ * Machine::invalidateDecoded(), which check 7 must catch.
  */
 
 #include <cstdint>
@@ -59,6 +66,14 @@ enum class InjectKind : std::uint8_t
 
     /** Bump the first nonzero flat increment by one. */
     CorruptFlatIncrement,
+
+    /** Flip every installed version's branch layout in place without
+     *  calling Machine::invalidateDecoded(), as if a relayout forgot
+     *  the template-invalidation invariant. Switch dispatch reads the
+     *  new layout immediately while the threaded engine keeps
+     *  executing stale templates, so the engine cross-check (check 7)
+     *  must report a divergence. */
+    StaleTemplate,
 };
 
 /** Name for reports / CLI flags ("none", "stale-flat", ...). */
@@ -92,6 +107,11 @@ struct DiffOptions
     std::vector<PepConfig> pepConfigs = {{1, 1}, {64, 17}};
 
     InjectKind inject = InjectKind::None;
+
+    /** Check 7: run the program once per execution engine (switch and
+     *  threaded) on otherwise-identical machines and byte-compare
+     *  every observable. On for every standard config. */
+    bool crossCheckEngines = true;
 };
 
 /** Result of one differential run. */

@@ -1,0 +1,199 @@
+#include "vm/decoded_method.hh"
+
+#include "vm/compiled_method.hh"
+#include "vm/machine.hh"
+
+#include "support/panic.hh"
+
+namespace pep::vm {
+
+namespace {
+
+/** Segment-leader pcs: block leaders plus post-Invoke resume points
+ *  (pc 0 is always a leader — it starts the first segment). */
+std::vector<bool>
+segmentLeaders(const bytecode::Method &code, const MethodInfo &info)
+{
+    std::vector<bool> leader(code.code.size(), false);
+    if (!leader.empty())
+        leader[0] = true;
+    for (bytecode::Pc pc = 0; pc < code.code.size(); ++pc) {
+        if (info.leaderPc[pc])
+            leader[pc] = true;
+        if (code.code[pc].op == bytecode::Opcode::Invoke &&
+            pc + 1 < code.code.size()) {
+            leader[pc + 1] = true;
+        }
+    }
+    return leader;
+}
+
+} // namespace
+
+DecodedMethod
+translateMethod(const bytecode::Method &code, const MethodInfo &info,
+                const CompiledMethod &cm)
+{
+    using bytecode::Opcode;
+
+    DecodedMethod dm;
+    dm.source = &cm;
+    dm.code = &code;
+    dm.info = &info;
+
+    const cfg::Graph &graph = info.cfg.graph;
+    dm.edgeBase.resize(graph.numBlocks() + 1);
+    std::uint32_t next_edge = 0;
+    for (cfg::BlockId b = 0; b < graph.numBlocks(); ++b) {
+        dm.edgeBase[b] = next_edge;
+        next_edge += static_cast<std::uint32_t>(graph.succs(b).size());
+    }
+    dm.edgeBase.back() = next_edge;
+
+    const std::size_t n = code.code.size();
+    const std::vector<bool> seg_leader = segmentLeaders(code, info);
+    dm.pcToTemplate.assign(n, 0);
+    dm.stream.reserve(n + n / 4);
+
+    const auto is_header = [&](bytecode::Pc pc) {
+        return info.headerLeaderPc[pc] ? std::uint8_t{1} : std::uint8_t{0};
+    };
+
+    // Pass 1: emit templates in pc order (injecting a FallEdge after
+    // each fall-through block end), folding segment cost sums onto the
+    // segment leader's template.
+    std::uint32_t seg_tpl = 0;
+    for (bytecode::Pc pc = 0; pc < n; ++pc) {
+        const bytecode::Instr &instr = code.code[pc];
+        const auto op_index = static_cast<std::size_t>(instr.op);
+        const cfg::BlockId block = info.cfg.blockOfPc[pc];
+
+        Template t;
+        t.op = static_cast<std::uint8_t>(instr.op);
+        t.pc = pc;
+        t.block = block;
+        t.flatBase = dm.edgeBase[block];
+        t.a = instr.a;
+        t.b = instr.b;
+        t.layout = cm.layoutFor(block);
+        if (cm.baselineEdgeInstr)
+            t.flags |= kTplBaselineEdge;
+
+        const std::uint32_t tpl =
+            static_cast<std::uint32_t>(dm.stream.size());
+        dm.pcToTemplate[pc] = tpl;
+        if (seg_leader[pc])
+            seg_tpl = tpl;
+
+        switch (instr.op) {
+          case Opcode::Goto:
+            t.takenPc = static_cast<bytecode::Pc>(instr.a);
+            t.takenBlock = info.cfg.blockOfPc[t.takenPc];
+            if (is_header(t.takenPc))
+                t.flags |= kTplTakenHeader;
+            break;
+          case Opcode::Tableswitch: {
+            t.swFirst =
+                static_cast<std::uint32_t>(dm.switchCases.size());
+            t.swCount = static_cast<std::uint32_t>(instr.table.size());
+            for (std::size_t i = 0; i <= instr.table.size(); ++i) {
+                // Cases 0..k-1, then the default entry.
+                const auto target = static_cast<bytecode::Pc>(
+                    i < instr.table.size() ? instr.table[i] : instr.b);
+                SwitchCase sc;
+                sc.pc = target;
+                sc.block = info.cfg.blockOfPc[target];
+                sc.isHeader = is_header(target);
+                dm.switchCases.push_back(sc);
+            }
+            break;
+          }
+          case Opcode::Invoke:
+            PEP_ASSERT_MSG(pc + 1 < n,
+                           "Invoke at method end has no resume point");
+            t.fallPc = pc + 1;
+            if (info.leaderPc[pc + 1]) {
+                t.flags |= kTplEndsBlock;
+                t.fallBlock = info.cfg.blockOfPc[pc + 1];
+                if (is_header(pc + 1))
+                    t.flags |= kTplFallHeader;
+            }
+            break;
+          case Opcode::Return:
+          case Opcode::Ireturn:
+            break;
+          default:
+            if (bytecode::isCondBranch(instr.op)) {
+                t.takenPc = static_cast<bytecode::Pc>(instr.a);
+                t.takenBlock = info.cfg.blockOfPc[t.takenPc];
+                if (is_header(t.takenPc))
+                    t.flags |= kTplTakenHeader;
+                t.fallPc = pc + 1;
+                PEP_ASSERT(pc + 1 < n);
+                t.fallBlock = info.cfg.blockOfPc[pc + 1];
+                if (is_header(pc + 1))
+                    t.flags |= kTplFallHeader;
+            }
+            break;
+        }
+        dm.stream.push_back(t);
+
+        // Fold this instruction into its segment's charge.
+        PEP_ASSERT(op_index < cm.scaledCost.size());
+        const std::uint64_t folded =
+            static_cast<std::uint64_t>(dm.stream[seg_tpl].cost) +
+            cm.scaledCost[op_index];
+        PEP_ASSERT_MSG(folded <= UINT32_MAX, "segment cost overflow");
+        dm.stream[seg_tpl].cost = static_cast<std::uint32_t>(folded);
+        dm.stream[seg_tpl].ninstr += 1;
+
+        // Inject the fall-through block-end boundary: a non-terminator,
+        // non-Invoke instruction whose successor pc starts a new block
+        // takes the block's single CFG edge and transfers.
+        const bool falls_into_leader = !bytecode::isTerminator(instr.op) &&
+                                       instr.op != Opcode::Invoke &&
+                                       pc + 1 < n && info.leaderPc[pc + 1];
+        if (falls_into_leader) {
+            Template fe;
+            fe.op = kTopFallEdge;
+            fe.pc = pc;
+            fe.block = block;
+            fe.flatBase = dm.edgeBase[block];
+            fe.fallPc = pc + 1;
+            fe.fallBlock = info.cfg.blockOfPc[pc + 1];
+            if (is_header(pc + 1))
+                fe.flags |= kTplFallHeader;
+            dm.stream.push_back(fe);
+        } else if (!bytecode::isTerminator(instr.op) &&
+                   instr.op != Opcode::Invoke) {
+            PEP_ASSERT_MSG(pc + 1 < n,
+                           "control falls off the end of the method");
+        }
+    }
+
+    // Pass 2: resolve control-transfer targets to template indices.
+    for (Template &t : dm.stream) {
+        switch (t.op) {
+          case static_cast<std::uint8_t>(Opcode::Goto):
+            t.taken = dm.pcToTemplate[t.takenPc];
+            break;
+          case static_cast<std::uint8_t>(Opcode::Invoke):
+          case kTopFallEdge:
+            t.fall = dm.pcToTemplate[t.fallPc];
+            break;
+          default:
+            if (bytecode::isCondBranch(
+                    static_cast<Opcode>(t.op))) {
+                t.taken = dm.pcToTemplate[t.takenPc];
+                t.fall = dm.pcToTemplate[t.fallPc];
+            }
+            break;
+        }
+    }
+    for (SwitchCase &sc : dm.switchCases)
+        sc.tpl = dm.pcToTemplate[sc.pc];
+
+    return dm;
+}
+
+} // namespace pep::vm

@@ -1,0 +1,156 @@
+#ifndef PEP_VM_DECODED_METHOD_HH
+#define PEP_VM_DECODED_METHOD_HH
+
+/**
+ * @file
+ * Pre-decoded template streams for the threaded execution engine
+ * (docs/ENGINE.md). At install time each compiled version is translated
+ * into a contiguous array of Templates: operands resolved, branch
+ * targets turned into template indices, the version's branch layout and
+ * the structural flat-edge base (`InstrumentationPlan::edgeBase`) burned
+ * into block-boundary templates, and per-op scaled costs folded into
+ * per-segment sums so straight-line block bodies execute with zero
+ * profiling branches.
+ *
+ * A *segment* is a run of instructions charged as one unit: it starts
+ * at a block-leader pc or immediately after an Invoke, and ends with
+ * the block's terminator, an Invoke, or the block's fall-through end.
+ * Cycles and the instruction counter are only observable at segment
+ * boundaries (yieldpoints, hooks, and branch bookkeeping all fire
+ * there), so charging the whole sum on the segment's first template is
+ * indistinguishable from the switch engine's per-instruction charging —
+ * and every park/resume pc the cooperative scheduler can produce is a
+ * segment leader, so `pcToTemplate` round-trips frames exactly.
+ *
+ * Translation is a pure function of (code, tables, compiled version):
+ * it charges no simulated cycles and consults no mutable VM state.
+ * Whenever a version's plan mutates after install (recompilation
+ * installs a fresh version naturally; relayout mutates in place), the
+ * cached stream MUST be invalidated via Machine::invalidateDecoded —
+ * the template-stream mirror of the PR-2 `rebuildFlat()` invariant.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "bytecode/method.hh"
+#include "cfg/graph.hh"
+
+namespace pep::vm {
+
+class CompiledMethod;
+struct MethodInfo;
+
+/**
+ * Threaded-engine opcodes. Values 0..kNumOpcodes-1 are exactly
+ * bytecode::Opcode (so translation of plain ops is a cast); the
+ * synthetic entries follow.
+ */
+constexpr std::uint8_t kTopFallEdge =
+    static_cast<std::uint8_t>(bytecode::kNumOpcodes);
+
+/** Size of the threaded engine's dispatch table. */
+constexpr std::size_t kNumTops = bytecode::kNumOpcodes + 1;
+
+/** Template flag bits. */
+enum : std::uint8_t
+{
+    /** The instruction is the last of its block (Invoke only: its
+     *  fall-through is a block-end CFG edge). */
+    kTplEndsBlock = 1u << 0,
+
+    /** The taken / fall-through target is a loop-header leader. */
+    kTplTakenHeader = 1u << 1,
+    kTplFallHeader = 1u << 2,
+
+    /** Version carries baseline one-time edge instrumentation. */
+    kTplBaselineEdge = 1u << 3,
+};
+
+/** One Tableswitch case (or default) with its target pre-resolved. */
+struct SwitchCase
+{
+    std::uint32_t tpl = 0;     ///< target template index
+    bytecode::Pc pc = 0;       ///< target pc
+    cfg::BlockId block = 0;    ///< target block
+    std::uint8_t isHeader = 0; ///< target is a loop-header leader
+};
+
+/**
+ * One pre-decoded instruction (or injected boundary op). Fields are
+ * meaningful per kind; unused ones stay zero. `cost`/`ninstr` are the
+ * segment sums, nonzero only on segment-leader templates and charged
+ * unconditionally (a branch-free `+= 0` elsewhere).
+ */
+struct Template
+{
+    std::uint8_t op = 0;     ///< TOp (bytecode::Opcode value or synthetic)
+    std::uint8_t flags = 0;
+    std::int16_t layout = -1; ///< CompiledMethod::branchLayout[block]
+    std::uint32_t cost = 0;   ///< segment scaled-cost sum
+    std::uint32_t ninstr = 0; ///< segment instruction count
+
+    std::int32_t a = 0; ///< operand (local / constant / callee / sw low)
+    std::int32_t b = 0; ///< operand
+
+    cfg::BlockId block = 0;    ///< block this instruction belongs to
+    std::uint32_t flatBase = 0; ///< structural edgeBase[block]
+
+    /** Taken target (branches/Goto) — template, pc, block. */
+    std::uint32_t taken = 0;
+    bytecode::Pc takenPc = 0;
+    cfg::BlockId takenBlock = 0;
+
+    /** Fall-through target (branches/FallEdge/Invoke). */
+    std::uint32_t fall = 0;
+    bytecode::Pc fallPc = 0;
+    cfg::BlockId fallBlock = 0;
+
+    /** Tableswitch slice into DecodedMethod::switchCases
+     *  (swCount cases followed by the default entry). */
+    std::uint32_t swFirst = 0;
+    std::uint32_t swCount = 0;
+
+    bytecode::Pc pc = 0; ///< source pc (FallEdge: pc of the block end)
+};
+
+/** The translated form of one compiled version. */
+struct DecodedMethod
+{
+    /** Version this stream was translated from (not owned). */
+    const CompiledMethod *source = nullptr;
+
+    /** Code/tables the stream executes (the inlined body's when the
+     *  version has one; not owned). */
+    const bytecode::Method *code = nullptr;
+    const MethodInfo *info = nullptr;
+
+    std::vector<Template> stream;
+
+    /** pc -> template index (injected FallEdge templates shift the
+     *  stream, so the mapping is not the identity). */
+    std::vector<std::uint32_t> pcToTemplate;
+
+    std::vector<SwitchCase> switchCases;
+
+    /**
+     * Structural prefix sums of per-block CFG successor counts
+     * (numBlocks + 1 entries). Identical to every enabled
+     * InstrumentationPlan's `edgeBase` for this CFG — the plan
+     * checker's template check proves it memberwise.
+     */
+    std::vector<std::uint32_t> edgeBase;
+};
+
+/**
+ * Translate one compiled version into a template stream. `code` and
+ * `info` must be the code the version executes (its inlined body's
+ * when present) and must outlive the result; so must `cm`.
+ */
+DecodedMethod translateMethod(const bytecode::Method &code,
+                              const MethodInfo &info,
+                              const CompiledMethod &cm);
+
+} // namespace pep::vm
+
+#endif // PEP_VM_DECODED_METHOD_HH

@@ -1,0 +1,53 @@
+#include "vm/engine.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "support/panic.hh"
+
+namespace pep::vm {
+
+const char *
+engineKindName(EngineKind kind)
+{
+    switch (kind) {
+      case EngineKind::Switch:
+        return "switch";
+      case EngineKind::Threaded:
+        return "threaded";
+    }
+    return "<bad>";
+}
+
+bool
+parseEngineKind(std::string_view text, EngineKind &out)
+{
+    if (text == "switch") {
+        out = EngineKind::Switch;
+        return true;
+    }
+    if (text == "threaded") {
+        out = EngineKind::Threaded;
+        return true;
+    }
+    return false;
+}
+
+EngineKind
+defaultEngineKind()
+{
+    static const EngineKind kind = [] {
+        const char *env = std::getenv("PEP_ENGINE");
+        if (!env || !*env)
+            return EngineKind::Switch;
+        EngineKind parsed;
+        if (!parseEngineKind(env, parsed)) {
+            support::fatal(std::string("PEP_ENGINE: unknown engine \"") +
+                           env + "\" (expected switch|threaded)");
+        }
+        return parsed;
+    }();
+    return kind;
+}
+
+} // namespace pep::vm

@@ -1,0 +1,48 @@
+#ifndef PEP_VM_ENGINE_HH
+#define PEP_VM_ENGINE_HH
+
+/**
+ * @file
+ * Execution-engine selection. The machine can run bytecode through two
+ * backends with identical observable behaviour (profiles, samples,
+ * simulated cycles — docs/ENGINE.md):
+ *
+ *  - Switch: the classic per-instruction decode + switch dispatch
+ *    (src/vm/interpreter.cc, Interpreter::loop).
+ *  - Threaded: per-version pre-decoded template streams dispatched via
+ *    computed goto (Interpreter::loopThreaded, decoded_method.hh).
+ *
+ * The default comes from the PEP_ENGINE environment variable
+ * ("switch" | "threaded"; unset means switch), so the whole test suite
+ * can be swept under either engine without recompiling. Tests and
+ * benchmarks pin SimParams::engine explicitly instead.
+ */
+
+#include <cstdint>
+#include <string_view>
+
+namespace pep::vm {
+
+enum class EngineKind : std::uint8_t
+{
+    Switch,
+    Threaded,
+};
+
+/** Human-readable engine name ("switch" / "threaded"). */
+const char *engineKindName(EngineKind kind);
+
+/** Parse an engine name; returns false on unknown input. */
+bool parseEngineKind(std::string_view text, EngineKind &out);
+
+/**
+ * Engine selected by the PEP_ENGINE environment variable, read once
+ * per process; Switch when unset or empty. An unrecognized value is a
+ * fatal error (a CI matrix typo must fail loudly, not silently fall
+ * back to the engine it meant to avoid).
+ */
+EngineKind defaultEngineKind();
+
+} // namespace pep::vm
+
+#endif // PEP_VM_ENGINE_HH

@@ -89,6 +89,22 @@ class ExecutionHooks
         (void)edge;
     }
 
+    /**
+     * Same event with the edge's dense flat id (edgeBase[src] + index,
+     * the structural numbering every InstrumentationPlan's flat tables
+     * use) precomputed by the threaded engine's templates. The default
+     * forwards to onEdge; hooks that dispatch on flat tables override
+     * it to skip the base lookup. Overriders MUST behave identically to
+     * their onEdge — the engines' byte-identity contract depends on it.
+     */
+    virtual void
+    onEdgeFast(const FrameView &frame, cfg::EdgeRef edge,
+               std::uint32_t flat_id)
+    {
+        (void)flat_id;
+        onEdge(frame, edge);
+    }
+
     /** Control entered a loop-header block (fired after the incoming
      *  edge's onEdge, before the header yieldpoint). */
     virtual void

@@ -220,20 +220,8 @@ inlineLeafCalls(const bytecode::Program &program,
     }
 
     // CFG + execution tables for the synthesized code.
-    body->info.cfg = bytecode::buildCfg(out);
+    body->info = buildMethodInfo(out);
     const cfg::Graph &graph = body->info.cfg.graph;
-    body->info.headerLeaderPc.assign(out.code.size(), false);
-    body->info.leaderPc.assign(out.code.size(), false);
-    for (cfg::BlockId b = 2; b < graph.numBlocks(); ++b) {
-        body->info.leaderPc[body->info.cfg.firstPc[b]] = true;
-        if (body->info.cfg.isLoopHeader[b])
-            body->info.headerLeaderPc[body->info.cfg.firstPc[b]] = true;
-    }
-    body->info.isBackEdge.resize(graph.numBlocks());
-    for (cfg::BlockId b = 0; b < graph.numBlocks(); ++b)
-        body->info.isBackEdge[b].assign(graph.succs(b).size(), false);
-    for (const cfg::EdgeRef &back : body->info.cfg.backEdges)
-        body->info.isBackEdge[back.src][back.index] = true;
 
     // Block origins: a block inherits the provenance of its
     // terminator instruction (what layout and branch counters key on).

@@ -258,7 +258,7 @@ Interpreter::yieldpoint(YieldpointKind kind, cfg::BlockId block)
 }
 
 void
-Interpreter::edgeTaken(const Frame &frame, cfg::EdgeRef edge)
+Interpreter::recordEdgeTruth(const Frame &frame, cfg::EdgeRef edge)
 {
     const InlinedBody *inlined = frame.version->inlinedBody.get();
     if (!inlined) {
@@ -278,6 +278,12 @@ Interpreter::edgeTaken(const Frame &frame, cfg::EdgeRef edge)
             }
         }
     }
+}
+
+void
+Interpreter::edgeTaken(const Frame &frame, cfg::EdgeRef edge)
+{
+    recordEdgeTruth(frame, edge);
     const FrameView fv = view(frames_.back());
     for (ExecutionHooks *hooks : vm_.hooks_)
         hooks->onEdge(fv, edge);
@@ -285,6 +291,21 @@ Interpreter::edgeTaken(const Frame &frame, cfg::EdgeRef edge)
     // Alternative yieldpoint placement (paper Section 3.2): on back
     // edges instead of loop headers. Fired after onEdge so a
     // back-edge-truncating profiler has already completed the path.
+    if (vm_.params_.yieldpointsOnBackEdges &&
+        frame.info->isBackEdge[edge.src][edge.index]) {
+        yieldpoint(YieldpointKind::BackEdge);
+    }
+}
+
+void
+Interpreter::edgeTakenFast(const Frame &frame, cfg::EdgeRef edge,
+                           std::uint32_t flat_id)
+{
+    recordEdgeTruth(frame, edge);
+    const FrameView fv = view(frames_.back());
+    for (ExecutionHooks *hooks : vm_.hooks_)
+        hooks->onEdgeFast(fv, edge, flat_id);
+
     if (vm_.params_.yieldpointsOnBackEdges &&
         frame.info->isBackEdge[edge.src][edge.index]) {
         yieldpoint(YieldpointKind::BackEdge);
@@ -346,8 +367,12 @@ Interpreter::start(bytecode::MethodId entry,
 bool
 Interpreter::resume()
 {
-    if (!frames_.empty())
-        loop();
+    if (!frames_.empty()) {
+        if (vm_.params_.engine == EngineKind::Threaded)
+            loopThreaded();
+        else
+            loop();
+    }
     return frames_.empty();
 }
 

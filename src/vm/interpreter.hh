@@ -78,8 +78,16 @@ class Interpreter
 
   private:
     /** Execute instructions until the frame stack empties or a thread
-     *  switch is requested. */
+     *  switch is requested (switch-dispatch backend). */
     void loop();
+
+    /**
+     * The threaded backend: same contract as loop(), executing each
+     * frame's pre-decoded template stream (decoded_method.hh) with
+     * computed-goto dispatch where the compiler supports it. Byte-
+     * identical observable behaviour to loop() — see docs/ENGINE.md.
+     */
+    void loopThreaded();
 
     /** Push a frame for `m`, taking numArgs arguments from `caller`'s
      *  operand stack, or from `entry_args` when this is the root frame
@@ -98,6 +106,14 @@ class Interpreter
      *  are in the frame's executing CFG; ground truth maps inlined
      *  branch edges back to their original bytecode branch). */
     void edgeTaken(const Frame &frame, cfg::EdgeRef edge);
+
+    /** edgeTaken with the edge's dense flat id precomputed by the
+     *  threaded engine's templates (fires onEdgeFast). */
+    void edgeTakenFast(const Frame &frame, cfg::EdgeRef edge,
+                       std::uint32_t flat_id);
+
+    /** Ground-truth recording shared by edgeTaken/edgeTakenFast. */
+    void recordEdgeTruth(const Frame &frame, cfg::EdgeRef edge);
 
     /** Transfer control to `target` pc, firing header events. */
     void transferTo(Frame &frame, bytecode::Pc target);

@@ -1,0 +1,449 @@
+#include "vm/interpreter.hh"
+
+#include "vm/decoded_method.hh"
+#include "vm/inliner.hh"
+
+#include "support/panic.hh"
+
+/**
+ * @file
+ * The threaded execution backend (docs/ENGINE.md): executes the
+ * pre-decoded template stream of each frame's compiled version.
+ * Straight-line template handlers are a charge (+= the segment sum,
+ * zero off segment leaders), the operation itself, and an indirect
+ * jump — no per-instruction decode, cost lookup, leader test, or
+ * park check. All boundary work (edges, yieldpoints, frame push/pop,
+ * OSR) funnels through the same helpers as the switch backend, which
+ * is what makes the two engines byte-identical on profiles, samples,
+ * and simulated cycles.
+ *
+ * Dispatch is computed goto on GCC/Clang; defining
+ * PEP_THREADED_FORCE_SWITCH selects the portable switch fallback
+ * (same templates, same behaviour).
+ */
+
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(PEP_THREADED_FORCE_SWITCH)
+#define PEP_THREADED_COMPUTED_GOTO 1
+#else
+#define PEP_THREADED_COMPUTED_GOTO 0
+#endif
+
+namespace pep::vm {
+
+#if PEP_THREADED_COMPUTED_GOTO
+#define PEP_OP(name) L_##name:
+#define PEP_OP_FALLEDGE() L_FallEdge:
+#define PEP_DISPATCH() goto *kLabels[ts[tp].op]
+#else
+#define PEP_OP(name) case static_cast<std::uint8_t>(bytecode::Opcode::name):
+#define PEP_OP_FALLEDGE() case kTopFallEdge:
+#define PEP_DISPATCH() goto dispatch_top
+#endif
+
+/** Charge the segment sums carried by template `t` (zero off segment
+ *  leaders: a branch-free no-op). */
+#define PEP_CHARGE(t)                                                  \
+    vm_.cycles_ += (t).cost;                                           \
+    vm_.stats_.instructionsExecuted += (t).ninstr
+
+/**
+ * Transfer control to a pre-resolved target: set the resume pc, fire
+ * header events (and the header yieldpoint under the default
+ * placement, where OSR may swap the frame's version — then everything
+ * cached is stale and we rebind from f->pc), honour a pending park
+ * request, and dispatch the target template.
+ */
+#define PEP_TRANSFER(TGT_TPL, TGT_PC, HDR, TGT_BLOCK)                  \
+    do {                                                               \
+        f->pc = (TGT_PC);                                              \
+        if (HDR) {                                                     \
+            const FrameView fv = view(*f);                             \
+            for (ExecutionHooks *hooks : vm_.hooks_)                   \
+                hooks->onLoopHeader(fv, (TGT_BLOCK));                  \
+            if (!yp_on_backedges) {                                    \
+                const CompiledMethod *before = f->version;             \
+                yieldpoint(YieldpointKind::LoopHeader, (TGT_BLOCK));   \
+                if (f->version != before)                              \
+                    goto rebind;                                       \
+            }                                                          \
+        }                                                              \
+        if (switchRequested_) {                                        \
+            switchRequested_ = false;                                  \
+            return;                                                    \
+        }                                                              \
+        tp = (TGT_TPL);                                                \
+    } while (0);                                                       \
+    PEP_DISPATCH()
+
+/** Shared body of the twelve conditional-branch handlers. */
+#define PEP_COND_TAIL(TAKEN_EXPR)                                      \
+    const bool taken = (TAKEN_EXPR);                                   \
+    ++vm_.stats_.branchesExecuted;                                     \
+    if (taken != (t.layout == 1)) {                                    \
+        vm_.cycles_ += cost.layoutMissPenalty;                         \
+        ++vm_.stats_.layoutMisses;                                     \
+    }                                                                  \
+    const std::uint32_t succ = taken ? 0u : 1u;                        \
+    if (t.flags & kTplBaselineEdge) {                                  \
+        vm_.cycles_ += cost.edgeCounterCost;                           \
+        vm_.oneTime_.perMethod[f->method].addEdge(                     \
+            cfg::EdgeRef{t.block, succ});                              \
+    }                                                                  \
+    edgeTakenFast(*f, cfg::EdgeRef{t.block, succ}, t.flatBase + succ); \
+    if (taken) {                                                       \
+        PEP_TRANSFER(t.taken, t.takenPc, t.flags & kTplTakenHeader,    \
+                     t.takenBlock);                                    \
+    } else {                                                           \
+        PEP_TRANSFER(t.fall, t.fallPc, t.flags & kTplFallHeader,       \
+                     t.fallBlock);                                     \
+    }
+
+/** Zero-compare branch: pop one operand. */
+#define PEP_COND_ZERO(name, CMP)                                       \
+    PEP_OP(name)                                                       \
+    {                                                                  \
+        const Template &t = ts[tp];                                    \
+        PEP_CHARGE(t);                                                 \
+        const std::int32_t v = f->stack.back();                        \
+        f->stack.pop_back();                                           \
+        PEP_COND_TAIL(v CMP 0)                                         \
+    }
+
+/** Two-operand compare branch: pop two (lhs pushed first). */
+#define PEP_COND_CMP(name, CMP)                                        \
+    PEP_OP(name)                                                       \
+    {                                                                  \
+        const Template &t = ts[tp];                                    \
+        PEP_CHARGE(t);                                                 \
+        const std::int32_t b = f->stack.back();                        \
+        f->stack.pop_back();                                           \
+        const std::int32_t a = f->stack.back();                        \
+        f->stack.pop_back();                                           \
+        PEP_COND_TAIL(a CMP b)                                         \
+    }
+
+/** Wrapping binary arithmetic on the top two stack slots. */
+#define PEP_BINOP(name, EXPR)                                          \
+    PEP_OP(name)                                                       \
+    {                                                                  \
+        const Template &t = ts[tp];                                    \
+        PEP_CHARGE(t);                                                 \
+        const std::int32_t b = f->stack.back();                        \
+        f->stack.pop_back();                                           \
+        const std::int32_t a = f->stack.back();                        \
+        const auto ua = static_cast<std::uint32_t>(a);                 \
+        const auto ub = static_cast<std::uint32_t>(b);                 \
+        (void)ua;                                                      \
+        (void)ub;                                                      \
+        f->stack.back() = (EXPR);                                      \
+        ++tp;                                                          \
+        PEP_DISPATCH();                                                \
+    }
+
+/** Method return (shared by Return/Ireturn). */
+#define PEP_RETURN_BODY(HAS_RESULT)                                    \
+    const Template &t = ts[tp];                                        \
+    PEP_CHARGE(t);                                                     \
+    std::int32_t result = 0;                                           \
+    if (HAS_RESULT) {                                                  \
+        result = f->stack.back();                                      \
+        f->stack.pop_back();                                           \
+    }                                                                  \
+    edgeTakenFast(*f, cfg::EdgeRef{t.block, 0}, t.flatBase);           \
+    {                                                                  \
+        const FrameView fv = view(*f);                                 \
+        for (ExecutionHooks *hooks : vm_.hooks_)                       \
+            hooks->onMethodExit(fv);                                   \
+    }                                                                  \
+    yieldpoint(YieldpointKind::MethodExit);                            \
+    frames_.pop_back();                                                \
+    if (!frames_.empty() && (HAS_RESULT))                              \
+        frames_.back().stack.push_back(result);                        \
+    goto rebind
+
+void
+Interpreter::loopThreaded()
+{
+    const CostModel &cost = vm_.params_.cost;
+    const bool yp_on_backedges = vm_.params_.yieldpointsOnBackEdges;
+
+    Frame *f = nullptr;
+    const Template *ts = nullptr;
+    const SwitchCase *sw = nullptr;
+    std::int32_t *locals = nullptr;
+    std::uint32_t tp = 0;
+
+#if PEP_THREADED_COMPUTED_GOTO
+    // Indexed by TOp: bytecode::Opcode values, then kTopFallEdge.
+    static const void *const kLabels[kNumTops] = {
+        &&L_Iconst,      &&L_Iload,    &&L_Istore,   &&L_Iinc,
+        &&L_Dup,         &&L_Pop,      &&L_Swap,     &&L_Iadd,
+        &&L_Isub,        &&L_Imul,     &&L_Idiv,     &&L_Irem,
+        &&L_Iand,        &&L_Ior,      &&L_Ixor,     &&L_Ishl,
+        &&L_Ishr,        &&L_Ineg,     &&L_Gload,    &&L_Gstore,
+        &&L_Irnd,        &&L_Goto,     &&L_Ifeq,     &&L_Ifne,
+        &&L_Iflt,        &&L_Ifge,     &&L_Ifgt,     &&L_Ifle,
+        &&L_IfIcmpeq,    &&L_IfIcmpne, &&L_IfIcmplt, &&L_IfIcmpge,
+        &&L_IfIcmpgt,    &&L_IfIcmple, &&L_Tableswitch, &&L_Invoke,
+        &&L_Return,      &&L_Ireturn,  &&L_FallEdge,
+    };
+#endif
+
+rebind:
+    // Boundary state: derive everything from the top frame's
+    // (version, pc). Parks land here with the frame stack intact, and
+    // every parkable pc is a segment leader, so pcToTemplate resumes
+    // the stream exactly where the switch engine would.
+    if (frames_.empty())
+        return;
+    if (switchRequested_) {
+        switchRequested_ = false;
+        return;
+    }
+    {
+        f = &frames_.back();
+        const DecodedMethod &dm = vm_.decodedFor(*f->version);
+        ts = dm.stream.data();
+        sw = dm.switchCases.data();
+        locals = f->locals.data();
+        tp = dm.pcToTemplate[f->pc];
+    }
+    PEP_DISPATCH();
+
+#if !PEP_THREADED_COMPUTED_GOTO
+dispatch_top:
+    switch (ts[tp].op) {
+#endif
+
+    PEP_OP(Iconst)
+    {
+        const Template &t = ts[tp];
+        PEP_CHARGE(t);
+        f->stack.push_back(t.a);
+        ++tp;
+        PEP_DISPATCH();
+    }
+    PEP_OP(Iload)
+    {
+        const Template &t = ts[tp];
+        PEP_CHARGE(t);
+        f->stack.push_back(locals[t.a]);
+        ++tp;
+        PEP_DISPATCH();
+    }
+    PEP_OP(Istore)
+    {
+        const Template &t = ts[tp];
+        PEP_CHARGE(t);
+        locals[t.a] = f->stack.back();
+        f->stack.pop_back();
+        ++tp;
+        PEP_DISPATCH();
+    }
+    PEP_OP(Iinc)
+    {
+        const Template &t = ts[tp];
+        PEP_CHARGE(t);
+        locals[t.a] = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(locals[t.a]) +
+            static_cast<std::uint32_t>(t.b));
+        ++tp;
+        PEP_DISPATCH();
+    }
+    PEP_OP(Dup)
+    {
+        const Template &t = ts[tp];
+        PEP_CHARGE(t);
+        f->stack.push_back(f->stack.back());
+        ++tp;
+        PEP_DISPATCH();
+    }
+    PEP_OP(Pop)
+    {
+        const Template &t = ts[tp];
+        PEP_CHARGE(t);
+        f->stack.pop_back();
+        ++tp;
+        PEP_DISPATCH();
+    }
+    PEP_OP(Swap)
+    {
+        const Template &t = ts[tp];
+        PEP_CHARGE(t);
+        std::swap(f->stack[f->stack.size() - 1],
+                  f->stack[f->stack.size() - 2]);
+        ++tp;
+        PEP_DISPATCH();
+    }
+    PEP_BINOP(Iadd, static_cast<std::int32_t>(ua + ub))
+    PEP_BINOP(Isub, static_cast<std::int32_t>(ua - ub))
+    PEP_BINOP(Imul, static_cast<std::int32_t>(ua * ub))
+    PEP_BINOP(Idiv, b == 0                          ? 0
+                    : (a == INT32_MIN && b == -1)   ? a
+                                                    : a / b)
+    PEP_BINOP(Irem, b == 0                          ? 0
+                    : (a == INT32_MIN && b == -1)   ? 0
+                                                    : a % b)
+    PEP_BINOP(Iand, static_cast<std::int32_t>(ua & ub))
+    PEP_BINOP(Ior, static_cast<std::int32_t>(ua | ub))
+    PEP_BINOP(Ixor, static_cast<std::int32_t>(ua ^ ub))
+    PEP_BINOP(Ishl, static_cast<std::int32_t>(ua << (ub & 31)))
+    PEP_BINOP(Ishr, a >> (ub & 31))
+    PEP_OP(Ineg)
+    {
+        const Template &t = ts[tp];
+        PEP_CHARGE(t);
+        f->stack.back() = static_cast<std::int32_t>(
+            -static_cast<std::uint32_t>(f->stack.back()));
+        ++tp;
+        PEP_DISPATCH();
+    }
+    PEP_OP(Gload)
+    {
+        const Template &t = ts[tp];
+        PEP_CHARGE(t);
+        const std::int32_t idx = f->stack.back();
+        if (idx < 0 ||
+            static_cast<std::size_t>(idx) >= vm_.globals_.size()) {
+            support::fatal("gload index out of bounds");
+        }
+        f->stack.back() = vm_.globals_[idx];
+        ++tp;
+        PEP_DISPATCH();
+    }
+    PEP_OP(Gstore)
+    {
+        const Template &t = ts[tp];
+        PEP_CHARGE(t);
+        const std::int32_t idx = f->stack.back();
+        f->stack.pop_back();
+        const std::int32_t value = f->stack.back();
+        f->stack.pop_back();
+        if (idx < 0 ||
+            static_cast<std::size_t>(idx) >= vm_.globals_.size()) {
+            support::fatal("gstore index out of bounds");
+        }
+        vm_.globals_[idx] = value;
+        ++tp;
+        PEP_DISPATCH();
+    }
+    PEP_OP(Irnd)
+    {
+        const Template &t = ts[tp];
+        PEP_CHARGE(t);
+        f->stack.push_back(static_cast<std::int32_t>(rng_->next()));
+        ++tp;
+        PEP_DISPATCH();
+    }
+    PEP_OP(Goto)
+    {
+        const Template &t = ts[tp];
+        PEP_CHARGE(t);
+        edgeTakenFast(*f, cfg::EdgeRef{t.block, 0}, t.flatBase);
+        PEP_TRANSFER(t.taken, t.takenPc, t.flags & kTplTakenHeader,
+                     t.takenBlock);
+    }
+    PEP_COND_ZERO(Ifeq, ==)
+    PEP_COND_ZERO(Ifne, !=)
+    PEP_COND_ZERO(Iflt, <)
+    PEP_COND_ZERO(Ifge, >=)
+    PEP_COND_ZERO(Ifgt, >)
+    PEP_COND_ZERO(Ifle, <=)
+    PEP_COND_CMP(IfIcmpeq, ==)
+    PEP_COND_CMP(IfIcmpne, !=)
+    PEP_COND_CMP(IfIcmplt, <)
+    PEP_COND_CMP(IfIcmpge, >=)
+    PEP_COND_CMP(IfIcmpgt, >)
+    PEP_COND_CMP(IfIcmple, <=)
+    PEP_OP(Tableswitch)
+    {
+        const Template &t = ts[tp];
+        PEP_CHARGE(t);
+        const std::int32_t v = f->stack.back();
+        f->stack.pop_back();
+        const std::int64_t rel = static_cast<std::int64_t>(v) - t.a;
+        const std::uint32_t succ =
+            (rel >= 0 && rel < static_cast<std::int64_t>(t.swCount))
+                ? static_cast<std::uint32_t>(rel)
+                : t.swCount;
+        ++vm_.stats_.branchesExecuted;
+        const std::uint32_t predicted =
+            t.layout >= 0 ? static_cast<std::uint32_t>(t.layout)
+                          : t.swCount;
+        if (succ != predicted) {
+            vm_.cycles_ += cost.layoutMissPenalty;
+            ++vm_.stats_.layoutMisses;
+        }
+        if (t.flags & kTplBaselineEdge) {
+            vm_.cycles_ += cost.edgeCounterCost;
+            vm_.oneTime_.perMethod[f->method].addEdge(
+                cfg::EdgeRef{t.block, succ});
+        }
+        const SwitchCase &c = sw[t.swFirst + succ];
+        edgeTakenFast(*f, cfg::EdgeRef{t.block, succ},
+                      t.flatBase + succ);
+        PEP_TRANSFER(c.tpl, c.pc, c.isHeader, c.block);
+    }
+    PEP_OP(Invoke)
+    {
+        const Template &t = ts[tp];
+        PEP_CHARGE(t);
+        const auto callee = static_cast<bytecode::MethodId>(t.a);
+        vm_.truthCalls_.addCall(f->method, callee);
+        // Resume point for the caller; when the Invoke ends its block,
+        // its fall-through is a CFG edge (possibly into a header, whose
+        // yieldpoint may OSR this frame — pushFrame then proceeds
+        // against the remapped pc, and the post-return rebind re-derives
+        // the template from it).
+        f->pc = t.fallPc;
+        if (t.flags & kTplEndsBlock) {
+            edgeTakenFast(*f, cfg::EdgeRef{t.block, 0}, t.flatBase);
+            if (t.flags & kTplFallHeader) {
+                const FrameView fv = view(*f);
+                for (ExecutionHooks *hooks : vm_.hooks_)
+                    hooks->onLoopHeader(fv, t.fallBlock);
+                if (!yp_on_backedges)
+                    yieldpoint(YieldpointKind::LoopHeader, t.fallBlock);
+            }
+        }
+        pushFrame(callee, f);
+        goto rebind;
+    }
+    PEP_OP(Return)
+    {
+        PEP_RETURN_BODY(false);
+    }
+    PEP_OP(Ireturn)
+    {
+        PEP_RETURN_BODY(true);
+    }
+    PEP_OP_FALLEDGE()
+    {
+        // Injected fall-through block end: the block's single CFG edge
+        // plus the transfer (cost/ninstr are zero — no instruction).
+        const Template &t = ts[tp];
+        edgeTakenFast(*f, cfg::EdgeRef{t.block, 0}, t.flatBase);
+        PEP_TRANSFER(t.fall, t.fallPc, t.flags & kTplFallHeader,
+                     t.fallBlock);
+    }
+
+#if !PEP_THREADED_COMPUTED_GOTO
+      default:
+        PEP_PANIC("bad template opcode");
+    }
+#endif
+}
+
+#undef PEP_OP
+#undef PEP_OP_FALLEDGE
+#undef PEP_DISPATCH
+#undef PEP_CHARGE
+#undef PEP_TRANSFER
+#undef PEP_COND_TAIL
+#undef PEP_COND_ZERO
+#undef PEP_COND_CMP
+#undef PEP_BINOP
+#undef PEP_RETURN_BODY
+
+} // namespace pep::vm

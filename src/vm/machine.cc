@@ -3,10 +3,32 @@
 #include <cmath>
 
 #include "bytecode/verifier.hh"
+#include "vm/decoded_method.hh"
 #include "vm/inliner.hh"
 #include "support/panic.hh"
 
 namespace pep::vm {
+
+MethodInfo
+buildMethodInfo(const bytecode::Method &method)
+{
+    MethodInfo info;
+    info.cfg = bytecode::buildCfg(method);
+    info.headerLeaderPc.assign(method.code.size(), false);
+    info.leaderPc.assign(method.code.size(), false);
+    const cfg::Graph &graph = info.cfg.graph;
+    for (cfg::BlockId b = 2; b < graph.numBlocks(); ++b) {
+        info.leaderPc[info.cfg.firstPc[b]] = true;
+        if (info.cfg.isLoopHeader[b])
+            info.headerLeaderPc[info.cfg.firstPc[b]] = true;
+    }
+    info.isBackEdge.resize(graph.numBlocks());
+    for (cfg::BlockId b = 0; b < graph.numBlocks(); ++b)
+        info.isBackEdge[b].assign(graph.succs(b).size(), false);
+    for (const cfg::EdgeRef &back : info.cfg.backEdges)
+        info.isBackEdge[back.src][back.index] = true;
+    return info;
+}
 
 const char *
 optLevelName(OptLevel level)
@@ -39,26 +61,11 @@ Machine::Machine(const bytecode::Program &program, const SimParams &params)
 
     const std::size_t n = program_.methods.size();
     infos_.reserve(n);
-    for (const bytecode::Method &method : program_.methods) {
-        MethodInfo info;
-        info.cfg = bytecode::buildCfg(method);
-        info.headerLeaderPc.assign(method.code.size(), false);
-        info.leaderPc.assign(method.code.size(), false);
-        const cfg::Graph &graph = info.cfg.graph;
-        for (cfg::BlockId b = 2; b < graph.numBlocks(); ++b) {
-            info.leaderPc[info.cfg.firstPc[b]] = true;
-            if (info.cfg.isLoopHeader[b])
-                info.headerLeaderPc[info.cfg.firstPc[b]] = true;
-        }
-        info.isBackEdge.resize(graph.numBlocks());
-        for (cfg::BlockId b = 0; b < graph.numBlocks(); ++b)
-            info.isBackEdge[b].assign(graph.succs(b).size(), false);
-        for (const cfg::EdgeRef &back : info.cfg.backEdges)
-            info.isBackEdge[back.src][back.index] = true;
-        infos_.push_back(std::move(info));
-    }
+    for (const bytecode::Method &method : program_.methods)
+        infos_.push_back(buildMethodInfo(method));
 
     versions_.resize(n);
+    decoded_.resize(n);
     methodSamples_.assign(n, 0);
 
     std::vector<const bytecode::MethodCfg *> cfg_refs;
@@ -153,6 +160,15 @@ Machine::currentVersion(bytecode::MethodId m) const
     return versions_[m].back().get();
 }
 
+CompiledMethod *
+Machine::versionForUpdate(bytecode::MethodId m, std::uint32_t version)
+{
+    PEP_ASSERT(m < versions_.size());
+    if (version >= versions_[m].size())
+        return nullptr;
+    return versions_[m][version].get();
+}
+
 ReplayAdvice
 Machine::recordAdvice() const
 {
@@ -240,7 +256,44 @@ Machine::compile(bytecode::MethodId m, OptLevel level)
         for (CompileObserver *observer : observers_)
             observer->onCompile(m, result);
     }
+
+    // Threaded engine: translate at install time so invocation and OSR
+    // never hit the lazy path mid-run.
+    if (params_.engine == EngineKind::Threaded)
+        decodedFor(result);
     return result;
+}
+
+const DecodedMethod &
+Machine::decodedFor(const CompiledMethod &cm)
+{
+    PEP_ASSERT(cm.method < decoded_.size());
+    std::vector<std::unique_ptr<DecodedMethod>> &slots =
+        decoded_[cm.method];
+    if (slots.size() <= cm.version)
+        slots.resize(cm.version + 1);
+    std::unique_ptr<DecodedMethod> &slot = slots[cm.version];
+    if (!slot) {
+        const bytecode::Method &code =
+            cm.inlinedBody ? cm.inlinedBody->method
+                           : program_.methods[cm.method];
+        const MethodInfo &info =
+            cm.inlinedBody ? cm.inlinedBody->info : infos_[cm.method];
+        slot = std::make_unique<DecodedMethod>(
+            translateMethod(code, info, cm));
+        ++stats_.methodsDecoded;
+    }
+    return *slot;
+}
+
+void
+Machine::invalidateDecoded(bytecode::MethodId m, std::uint32_t version)
+{
+    PEP_ASSERT(m < decoded_.size());
+    if (version < decoded_[m].size() && decoded_[m][version]) {
+        decoded_[m][version].reset();
+        ++stats_.templateInvalidations;
+    }
 }
 
 void

@@ -31,14 +31,24 @@
 #include "vm/call_graph.hh"
 #include "vm/compiled_method.hh"
 #include "vm/cost_model.hh"
+#include "vm/engine.hh"
 #include "vm/hooks.hh"
 
 namespace pep::vm {
+
+struct DecodedMethod;
 
 /** Simulation parameters. */
 struct SimParams
 {
     CostModel cost;
+
+    /**
+     * Execution engine (docs/ENGINE.md). Defaults from the PEP_ENGINE
+     * environment variable so the suite can be swept under either
+     * backend; both produce byte-identical observable behaviour.
+     */
+    EngineKind engine = defaultEngineKind();
 
     /** Timer tick period in cycles (the paper's ~20 ms interrupt). */
     std::uint64_t tickCycles = 2'500'000;
@@ -128,6 +138,11 @@ struct MethodInfo
     std::vector<std::vector<bool>> isBackEdge;
 };
 
+/** Build the execution tables for one method (CFG, leader/header pc
+ *  maps, back-edge marks). Used for loaded methods, inlined bodies,
+ *  and standalone analysis of synthesized code. */
+MethodInfo buildMethodInfo(const bytecode::Method &method);
+
 /** Counters the benchmarks read after a run. */
 struct MachineStats
 {
@@ -140,6 +155,11 @@ struct MachineStats
     std::uint64_t osrs = 0;
     std::uint64_t layoutMisses = 0;
     std::uint64_t branchesExecuted = 0;
+
+    /** Threaded engine: versions translated into template streams, and
+     *  streams invalidated after a plan mutation (docs/ENGINE.md). */
+    std::uint64_t methodsDecoded = 0;
+    std::uint64_t templateInvalidations = 0;
 };
 
 /** The virtual machine. */
@@ -229,6 +249,16 @@ class Machine
     /** Latest compiled version of a method (nullptr if never run). */
     const CompiledMethod *currentVersion(bytecode::MethodId m) const;
 
+    /**
+     * Mutable access to an installed version, for in-place plan
+     * mutations (relayout experiments, fault injection). Any change to
+     * state the threaded engine bakes into templates MUST be followed
+     * by invalidateDecoded() — see docs/ENGINE.md. Returns nullptr if
+     * the version was never compiled.
+     */
+    CompiledMethod *versionForUpdate(bytecode::MethodId m,
+                                     std::uint32_t version);
+
     /** Record advice from a completed adaptive run (Section 5). */
     ReplayAdvice recordAdvice() const;
 
@@ -260,6 +290,26 @@ class Machine
     const CompiledMethod &compileNow(bytecode::MethodId m,
                                      OptLevel level);
 
+    // ---- Threaded engine (docs/ENGINE.md) -----------------------------
+
+    /**
+     * The template stream of a compiled version, translating on first
+     * use (compile() translates eagerly under EngineKind::Threaded, so
+     * this is a cache hit on the hot path). Translation charges no
+     * simulated cycles — the stream is a harness artifact, and both
+     * engines must report identical cycle counts.
+     */
+    const DecodedMethod &decodedFor(const CompiledMethod &cm);
+
+    /**
+     * Drop the cached template stream of one version. REQUIRED after
+     * any in-place mutation of an installed version's plan (e.g.
+     * relayout); a forgotten invalidation leaves the threaded engine
+     * executing stale templates — the fuzzer's `stale-template`
+     * injection proves that fails loudly.
+     */
+    void invalidateDecoded(bytecode::MethodId m, std::uint32_t version);
+
   private:
     friend class Interpreter;
 
@@ -284,6 +334,10 @@ class Machine
     /** All versions ever compiled, per method (old frames may still
      *  reference superseded versions). */
     std::vector<std::vector<std::unique_ptr<CompiledMethod>>> versions_;
+
+    /** Template streams, parallel to versions_ (null until translated
+     *  or after invalidation; see decodedFor). */
+    std::vector<std::vector<std::unique_ptr<DecodedMethod>>> decoded_;
 
     /** Adaptive state. */
     std::vector<std::uint32_t> methodSamples_;

@@ -189,6 +189,43 @@ TEST(RuntimeCoopSchedulerTest, SingleThreadMatchesDirectInterpreter)
     }
 }
 
+TEST(RuntimeCoopSchedulerTest, ThreadedEngineMatchesSwitchUnderCoop)
+{
+    // The pre-decoded threaded engine (docs/ENGINE.md) must park and
+    // resume virtual threads exactly like the switch interpreter:
+    // identical ground truth, simulated clock, and scheduler activity.
+    runtime::RequestStream stream(smallSpec(19, 52));
+    profile::EdgeProfileSet first;
+    std::uint64_t first_now = 0;
+    std::uint64_t first_switches = 0;
+    const vm::EngineKind kinds[2] = {vm::EngineKind::Switch,
+                                     vm::EngineKind::Threaded};
+    for (int run = 0; run < 2; ++run) {
+        vm::SimParams params = fastTickParams();
+        params.engine = kinds[run];
+        vm::Machine machine(stream.program(), params);
+        runtime::CoopScheduler scheduler(machine, {4, 23});
+        scheduler.assignRoundRobin(stream);
+        scheduler.run();
+        EXPECT_EQ(scheduler.stats().requestsCompleted, 52u);
+        if (run == 0) {
+            first = machine.truthEdges();
+            first_now = machine.now();
+            first_switches = scheduler.stats().contextSwitches;
+        } else {
+            EXPECT_EQ(machine.now(), first_now);
+            EXPECT_EQ(scheduler.stats().contextSwitches,
+                      first_switches);
+            for (std::size_t m = 0; m < first.perMethod.size(); ++m) {
+                EXPECT_EQ(machine.truthEdges().perMethod[m].counts(),
+                          first.perMethod[m].counts())
+                    << "method " << m;
+            }
+        }
+    }
+    EXPECT_GT(first_switches, 0u);
+}
+
 class RuntimeShardedProfileTest : public ::testing::Test
 {
   protected:
@@ -294,6 +331,36 @@ TEST(RuntimeThroughputTest, ShardedAndMutexProduceIdenticalProfiles)
             << "method " << m;
     }
     EXPECT_EQ(sharded.paths, mutex_global.paths);
+}
+
+TEST(RuntimeThroughputTest, ThreadedEngineMatchesSwitchTotals)
+{
+    // Same partitioning, same seeds, different execution engine per
+    // worker machine: merged profiles must agree count-for-count (and
+    // TSan runs this under real OS threads with the threaded engine).
+    runtime::RequestStream stream(smallSpec(41, 96));
+    runtime::ThroughputOptions options;
+    options.workers = 4;
+    options.epochRequests = 8;
+    options.params = fastTickParams();
+
+    options.params.engine = vm::EngineKind::Switch;
+    const runtime::ThroughputResult sw =
+        runtime::runThroughput(stream, options);
+    options.params.engine = vm::EngineKind::Threaded;
+    const runtime::ThroughputResult th =
+        runtime::runThroughput(stream, options);
+
+    EXPECT_EQ(sw.requestsCompleted, 96u);
+    EXPECT_EQ(th.requestsCompleted, 96u);
+    EXPECT_EQ(sw.pathRecords, th.pathRecords);
+    EXPECT_EQ(sw.edgeRecords, th.edgeRecords);
+    EXPECT_EQ(sw.paths, th.paths);
+    for (std::size_t m = 0; m < sw.edges.perMethod.size(); ++m) {
+        EXPECT_EQ(sw.edges.perMethod[m].counts(),
+                  th.edges.perMethod[m].counts())
+            << "method " << m;
+    }
 }
 
 TEST(RuntimeThroughputTest, RepeatRunsProduceIdenticalTotals)

@@ -189,6 +189,34 @@ TEST(Differ, CorruptIncrementInjectionIsCaught)
         << "no seed in 1..20 caught the corrupt-increment injection";
 }
 
+TEST(Differ, StaleTemplateInjectionDivergesTheEngines)
+{
+    const fz::DiffOptions *base =
+        fz::findConfig("headersplit-direct");
+    ASSERT_NE(base, nullptr);
+    fz::DiffOptions opts = *base;
+    opts.inject = fz::InjectKind::StaleTemplate;
+
+    const std::uint64_t seed = findCaughtSeed(opts);
+    ASSERT_NE(seed, 0u)
+        << "no seed in 1..20 caught the stale-template injection";
+
+    // The violation must come from the engine cross-check — every
+    // single-machine invariant still holds (the main run's event
+    // stream is self-consistent even with flipped layouts).
+    fz::FuzzSpec spec;
+    spec.seed = seed;
+    const bytecode::Program program = fz::generateProgram(spec);
+    const fz::DiffReport caught = fz::runDiff(program, opts);
+    ASSERT_FALSE(caught.ok());
+    EXPECT_NE(caught.violations.front().find("engines:"),
+              std::string::npos)
+        << caught.violations.front();
+
+    const fz::DiffReport clean = fz::runDiff(program, *base);
+    EXPECT_TRUE(clean.ok()) << clean.violations.front();
+}
+
 TEST(Shrinker, ReducesInjectedFailureWhileItStillFails)
 {
     const fz::DiffOptions *base =
