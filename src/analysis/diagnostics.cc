@@ -1,6 +1,8 @@
 #include "analysis/diagnostics.hh"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 
 namespace pep::analysis {
 
@@ -77,14 +79,39 @@ DiagnosticList::merge(const DiagnosticList &other)
                         other.diagnostics_.end());
 }
 
+bool
+diagnosticLess(const Diagnostic &a, const Diagnostic &b)
+{
+    const auto key = [](const Diagnostic &d) {
+        return std::make_tuple(
+            std::cref(d.method), d.hasVersion, d.version,
+            std::cref(d.pass), std::cref(d.check), d.hasPc, d.pc,
+            d.hasEdge, d.edge.src, d.edge.index,
+            static_cast<int>(d.severity), std::cref(d.message));
+    };
+    return key(a) < key(b);
+}
+
+void
+sortDiagnostics(std::vector<Diagnostic> &diagnostics)
+{
+    std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                     diagnosticLess);
+}
+
 std::string
 formatDiagnostic(const Diagnostic &diagnostic)
 {
     std::ostringstream os;
     os << severityName(diagnostic.severity) << ": ["
-       << diagnostic.pass << "]";
+       << diagnostic.pass;
+    if (!diagnostic.check.empty())
+        os << '/' << diagnostic.check;
+    os << "]";
     if (!diagnostic.method.empty())
         os << " method '" << diagnostic.method << "'";
+    if (diagnostic.hasVersion)
+        os << " v" << diagnostic.version;
     if (diagnostic.hasPc)
         os << " pc " << diagnostic.pc;
     if (diagnostic.hasEdge) {
@@ -143,8 +170,14 @@ diagnosticsToJson(const std::vector<Diagnostic> &diagnostics)
         os << "\"severity\": \"" << severityName(d.severity) << "\", ";
         os << "\"pass\": ";
         appendJsonString(os, d.pass);
+        if (!d.check.empty()) {
+            os << ", \"check\": ";
+            appendJsonString(os, d.check);
+        }
         os << ", \"method\": ";
         appendJsonString(os, d.method);
+        if (d.hasVersion)
+            os << ", \"version\": " << d.version;
         if (d.hasPc)
             os << ", \"pc\": " << d.pc;
         if (d.hasEdge) {

@@ -39,8 +39,17 @@ struct Diagnostic
     /** Pass that produced the finding (e.g. "verify", "plan-check"). */
     std::string pass;
 
+    /** Check within the pass (e.g. "flow-conservation"); empty when
+     *  the pass has a single check. Part of the sort key. */
+    std::string check;
+
     /** Method the finding applies to; empty for program-level. */
     std::string method;
+
+    /** Compiled version the finding applies to, when it has one
+     *  (the verify passes inspect per-version state). */
+    bool hasVersion = false;
+    std::uint32_t version = 0;
 
     /** Bytecode location, when the finding has one. */
     bool hasPc = false;
@@ -52,6 +61,16 @@ struct Diagnostic
 
     std::string message;
 };
+
+/**
+ * Deterministic ordering: (method, version, pass, check, pc, edge,
+ * severity, message). Tools sort with this before emitting so CI diffs
+ * and corpus replays are stable regardless of pass scheduling.
+ */
+bool diagnosticLess(const Diagnostic &a, const Diagnostic &b);
+
+/** Stable-sort a diagnostic vector with diagnosticLess. */
+void sortDiagnostics(std::vector<Diagnostic> &diagnostics);
 
 /** Accumulates diagnostics across passes, preserving insertion order. */
 class DiagnosticList

@@ -1,6 +1,7 @@
 #include "analysis/lint.hh"
 
 #include "analysis/liveness.hh"
+#include "analysis/verify/engine_equiv.hh"
 #include "analysis/plan_check.hh"
 #include "analysis/stack_const.hh"
 #include "analysis/unreachable.hh"
@@ -81,8 +82,8 @@ checkOnePlan(const bytecode::Method &method,
  */
 void
 checkTemplates(const bytecode::Method &method,
-               const bytecode::MethodCfg &cfg,
-               DiagnosticList &diagnostics)
+               const bytecode::MethodCfg &cfg, bool check_stream,
+               bool check_equivalence, DiagnosticList &diagnostics)
 {
     const profile::PDag pdag =
         profile::buildPDag(cfg, DagMode::HeaderSplit);
@@ -104,13 +105,27 @@ checkTemplates(const bytecode::Method &method,
     const vm::DecodedMethod decoded =
         translateMethod(method, info, cm);
 
-    TemplateCheckInput input;
-    input.code = &method;
-    input.cfg = &cfg;
-    input.plan = &plan;
-    input.decoded = &decoded;
-    input.methodName = method.name;
-    checkTemplateStream(input, diagnostics);
+    if (check_stream) {
+        TemplateCheckInput input;
+        input.code = &method;
+        input.cfg = &cfg;
+        input.plan = &plan;
+        input.decoded = &decoded;
+        input.methodName = method.name;
+        checkTemplateStream(input, diagnostics);
+    }
+
+    // The symbolic engine-equivalence pass (verify pass 1) on the
+    // same canonical translation.
+    if (check_equivalence) {
+        EngineEquivInput input;
+        input.code = &method;
+        input.info = &info;
+        input.cm = &cm;
+        input.decoded = &decoded;
+        input.methodName = method.name;
+        checkEngineEquivalence(input, diagnostics);
+    }
 }
 
 } // namespace
@@ -135,7 +150,8 @@ lintProgram(bytecode::Program &program, const LintOptions &options)
             return diagnostics;
     }
 
-    if (!options.runMethodPasses && !options.runPlanChecks)
+    if (!options.runMethodPasses && !options.runPlanChecks &&
+        !options.runVerifyPasses)
         return diagnostics;
 
     for (const bytecode::Method &method : program.methods) {
@@ -168,7 +184,11 @@ lintProgram(bytecode::Program &program, const LintOptions &options)
                              PlacementKind::Direct,
                              options.simulateLimit, diagnostics);
             }
-            checkTemplates(method, cfg, diagnostics);
+        }
+
+        if (options.runPlanChecks || options.runVerifyPasses) {
+            checkTemplates(method, cfg, options.runPlanChecks,
+                           options.runVerifyPasses, diagnostics);
         }
     }
     return diagnostics;

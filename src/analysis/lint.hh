@@ -34,6 +34,11 @@ struct LintOptions
     bool runMethodPasses = true;
     bool runPlanChecks = true;
 
+    /** Also run the symbolic engine-equivalence pass over the threaded
+     *  engine's canonical translation of every method
+     *  (analysis/verify/engine_equiv.hh, `pep_lint --verify`). */
+    bool runVerifyPasses = false;
+
     /** Path-enumeration budget for the plan checker's semantic proof. */
     std::uint64_t simulateLimit = 4096;
 };

@@ -1,0 +1,220 @@
+#include "analysis/verify/invariants.hh"
+
+#include <sstream>
+
+#include "vm/compiled_method.hh"
+#include "vm/decoded_method.hh"
+#include "vm/machine.hh"
+
+namespace pep::analysis {
+
+namespace {
+
+constexpr std::size_t kMaxPerCategory = 8;
+constexpr char kPass[] = "invariants";
+
+Diagnostic &
+reportError(DiagnosticList &diags, const char *check,
+            const std::string &method, bool has_version,
+            std::uint32_t version, const std::string &message)
+{
+    Diagnostic &d =
+        diags.report(Severity::Error, kPass, method, message);
+    d.check = check;
+    d.hasVersion = has_version;
+    d.version = version;
+    return d;
+}
+
+bool
+sameAction(const profile::EdgeAction &a, const profile::EdgeAction &b)
+{
+    return a.increment == b.increment && a.endsPath == b.endsPath &&
+           a.endAdd == b.endAdd && a.restart == b.restart;
+}
+
+std::string
+describeAction(const profile::EdgeAction &a)
+{
+    std::ostringstream os;
+    os << "{increment " << a.increment << ", endsPath "
+       << (a.endsPath ? "true" : "false") << ", endAdd " << a.endAdd
+       << ", restart " << a.restart << "}";
+    return os.str();
+}
+
+bool
+sameTemplate(const vm::Template &a, const vm::Template &b)
+{
+    return a.op == b.op && a.flags == b.flags && a.layout == b.layout &&
+           a.cost == b.cost && a.ninstr == b.ninstr && a.a == b.a &&
+           a.b == b.b && a.block == b.block &&
+           a.flatBase == b.flatBase && a.taken == b.taken &&
+           a.takenPc == b.takenPc && a.takenBlock == b.takenBlock &&
+           a.fall == b.fall && a.fallPc == b.fallPc &&
+           a.fallBlock == b.fallBlock && a.swFirst == b.swFirst &&
+           a.swCount == b.swCount && a.pc == b.pc;
+}
+
+/** First difference between a cached stream and a fresh translation,
+ *  or the empty string when they are identical. */
+std::string
+firstStreamDiff(const vm::DecodedMethod &cached,
+                const vm::DecodedMethod &fresh)
+{
+    std::ostringstream os;
+    if (cached.stream.size() != fresh.stream.size()) {
+        os << "cached stream has " << cached.stream.size()
+           << " templates, fresh translation " << fresh.stream.size();
+        return os.str();
+    }
+    for (std::size_t i = 0; i < cached.stream.size(); ++i) {
+        if (!sameTemplate(cached.stream[i], fresh.stream[i])) {
+            const vm::Template &c = cached.stream[i];
+            const vm::Template &f = fresh.stream[i];
+            os << "template " << i << " (pc " << f.pc
+               << ") differs from a fresh translation";
+            if (c.layout != f.layout) {
+                os << ": cached layout " << c.layout << ", fresh "
+                   << f.layout;
+            } else if (c.cost != f.cost) {
+                os << ": cached cost " << c.cost << ", fresh " << f.cost;
+            } else if (c.flags != f.flags) {
+                os << ": cached flags " << int(c.flags) << ", fresh "
+                   << int(f.flags);
+            }
+            return os.str();
+        }
+    }
+    if (cached.pcToTemplate != fresh.pcToTemplate)
+        return "pcToTemplate differs from a fresh translation";
+    if (cached.edgeBase != fresh.edgeBase)
+        return "edgeBase differs from a fresh translation";
+    if (cached.switchCases.size() != fresh.switchCases.size())
+        return "switchCases differs from a fresh translation";
+    for (std::size_t i = 0; i < cached.switchCases.size(); ++i) {
+        const vm::SwitchCase &c = cached.switchCases[i];
+        const vm::SwitchCase &f = fresh.switchCases[i];
+        if (c.tpl != f.tpl || c.pc != f.pc || c.block != f.block ||
+            c.isHeader != f.isHeader) {
+            os << "switch case " << i
+               << " differs from a fresh translation";
+            return os.str();
+        }
+    }
+    return {};
+}
+
+} // namespace
+
+bool
+auditPlanMirror(const profile::InstrumentationPlan &plan,
+                const std::string &method_name, bool has_version,
+                std::uint32_t version, DiagnosticList &diagnostics)
+{
+    const std::size_t before = diagnostics.errorCount();
+
+    // rebuildFlat is a pure function of edgeActions: re-derive on a
+    // copy and require the installed mirror to match memberwise.
+    profile::InstrumentationPlan derived = plan;
+    derived.rebuildFlat();
+
+    if (plan.edgeBase != derived.edgeBase) {
+        reportError(diagnostics, "flat-mirror", method_name,
+                    has_version, version,
+                    "plan edgeBase is not what rebuildFlat() derives "
+                    "from edgeActions (stale flat mirror)");
+        return false;
+    }
+    if (plan.flatEdgeActions.size() != derived.flatEdgeActions.size()) {
+        std::ostringstream os;
+        os << "plan holds " << plan.flatEdgeActions.size()
+           << " flat edge actions, rebuildFlat() derives "
+           << derived.flatEdgeActions.size();
+        reportError(diagnostics, "flat-mirror", method_name,
+                    has_version, version, os.str());
+        return false;
+    }
+    std::size_t findings = 0;
+    for (std::size_t i = 0; i < plan.flatEdgeActions.size(); ++i) {
+        if (sameAction(plan.flatEdgeActions[i],
+                       derived.flatEdgeActions[i]))
+            continue;
+        if (findings++ >= kMaxPerCategory)
+            break;
+        std::ostringstream os;
+        os << "flat action " << i << " is "
+           << describeAction(plan.flatEdgeActions[i])
+           << " but the nested edgeActions derive "
+           << describeAction(derived.flatEdgeActions[i])
+           << " (edgeActions mutated without rebuildFlat())";
+        reportError(diagnostics, "flat-mirror", method_name,
+                    has_version, version, os.str());
+    }
+    return diagnostics.errorCount() == before;
+}
+
+bool
+auditMachineDecoded(const vm::Machine &machine,
+                    DiagnosticList &diagnostics)
+{
+    const std::size_t before = diagnostics.errorCount();
+    for (bytecode::MethodId m = 0; m < machine.numMethods(); ++m) {
+        const std::string &name = machine.program().methods[m].name;
+        for (std::uint32_t v = 0; v < machine.numVersions(m); ++v) {
+            const vm::DecodedMethod *cached = machine.cachedDecoded(m, v);
+            if (cached == nullptr)
+                continue;
+            const vm::CompiledMethod *cm = machine.versionAt(m, v);
+            const vm::DecodedMethod fresh = vm::translateMethod(
+                *cached->code, *cached->info, *cm);
+            const std::string diff = firstStreamDiff(*cached, fresh);
+            if (!diff.empty()) {
+                reportError(diagnostics, "stale-template", name,
+                            /*has_version=*/true, v,
+                            "cached template stream is stale: " + diff +
+                                " (version mutated without "
+                                "invalidateDecoded)");
+            }
+        }
+    }
+    return diagnostics.errorCount() == before;
+}
+
+bool
+auditMutationJournal(const vm::Machine &machine,
+                     DiagnosticList &diagnostics)
+{
+    const std::size_t before = diagnostics.errorCount();
+    const std::vector<vm::PlanMutationEvent> &journal =
+        machine.mutationJournal();
+    std::size_t findings = 0;
+    for (std::size_t i = 0; i < journal.size(); ++i) {
+        const vm::PlanMutationEvent &event = journal[i];
+        if (event.sanitize)
+            continue;
+        bool discharged = false;
+        for (std::size_t j = i + 1; j < journal.size(); ++j) {
+            if (journal[j].sanitize &&
+                journal[j].method == event.method &&
+                journal[j].version == event.version) {
+                discharged = true;
+                break;
+            }
+        }
+        if (discharged)
+            continue;
+        if (findings++ >= kMaxPerCategory)
+            break;
+        std::ostringstream os;
+        os << "versionForUpdate escape (journal entry " << i
+           << ") was never followed by invalidateDecoded for this "
+              "version";
+        reportError(diagnostics, "escape-unsanitized",
+                    machine.program().methods[event.method].name,
+                    /*has_version=*/true, event.version, os.str());
+    }
+    return diagnostics.errorCount() == before;
+}
+
+} // namespace pep::analysis

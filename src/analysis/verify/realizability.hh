@@ -1,0 +1,111 @@
+#ifndef PEP_ANALYSIS_VERIFY_REALIZABILITY_HH
+#define PEP_ANALYSIS_VERIFY_REALIZABILITY_HH
+
+/**
+ * @file
+ * Pass 2 of pep-verify: profile realizability (docs/ANALYSIS.md). Any
+ * edge profile a correct run can record satisfies flow-conservation
+ * constraints over its CFG; any path profile satisfies numbering-range
+ * constraints against its instrumentation plan. This pass checks a
+ * *recorded* profile against those constraints and statically rejects
+ * impossible ones — profiles no execution could have produced, i.e.
+ * corrupted counters, misfired flat-edge ids, or broken sampling
+ * bookkeeping.
+ *
+ * Edge-profile constraints:
+ *  - shape: the count table must parallel the CFG's successor lists;
+ *  - Kirchhoff flow conservation: at every non-header code block,
+ *    inflow equals outflow. Full-frame truth profiles also conserve at
+ *    loop headers (opt-in, `requireHeaderConservation`) — sampled and
+ *    path-derived profiles do not, because paths start/end at headers;
+ *  - reachability: edges leaving statically-unreachable blocks must
+ *    have zero counts;
+ *  - walk bounds (when `maxWalks` is known): each sampled path is an
+ *    acyclic P-DAG walk, so it uses a CFG edge at most once. With at
+ *    most `maxWalks` recorded walks, every edge count is at most
+ *    `maxWalks`, as are the method-entry outflow and method-exit
+ *    inflow.
+ *
+ * Path-profile constraints:
+ *  - every recorded path number is in [0, plan.totalPaths);
+ *  - every recorded path number reconstructs to a valid P-DAG walk
+ *    (the reconstructor panics otherwise);
+ *  - when `maxTotal` is known, the summed counts fit the sample budget.
+ *
+ * Findings are reported under pass "realizability".
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/diagnostics.hh"
+#include "bytecode/cfg_builder.hh"
+#include "profile/edge_profile.hh"
+#include "profile/instr_plan.hh"
+#include "profile/path_profile.hh"
+
+namespace pep::vm {
+class Machine;
+}
+
+namespace pep::analysis {
+
+/** Which constraints apply to the profile being checked. */
+struct RealizabilityOptions
+{
+    /**
+     * Require inflow == outflow at loop headers too. Sound only for
+     * complete-frame edge counts (ground truth with no dropped or
+     * adopted frames); path-derived profiles conserve only at
+     * non-header blocks.
+     */
+    bool requireHeaderConservation = false;
+
+    /**
+     * Upper bound on the number of recorded walks (e.g. the sampler's
+     * samplesRecorded, or a full profiler's pathsStored). 0 = unknown,
+     * bounds are skipped.
+     */
+    std::uint64_t maxWalks = 0;
+
+    /** Label describing the profile's origin, used in messages
+     *  (e.g. "truth", "pep-sampled"). */
+    std::string what = "profile";
+};
+
+/**
+ * Check one method's recorded edge profile against its CFG's flow
+ * constraints. Returns true if no errors were added.
+ */
+bool checkEdgeProfileRealizability(
+    const bytecode::MethodCfg &cfg,
+    const profile::MethodEdgeProfile &profile,
+    const RealizabilityOptions &options, const std::string &method_name,
+    DiagnosticList &diagnostics);
+
+/**
+ * Check every method of a recorded EdgeProfileSet against the
+ * machine's CFGs. Returns true if no errors were added.
+ */
+bool checkEdgeSetRealizability(const vm::Machine &machine,
+                               const profile::EdgeProfileSet &set,
+                               const RealizabilityOptions &options,
+                               DiagnosticList &diagnostics);
+
+/**
+ * Check a recorded path profile against the plan it was collected
+ * under. Returns true if no errors were added.
+ *
+ * @param maxTotal  upper bound on summed path counts (0 = unknown).
+ */
+bool checkPathProfileRealizability(
+    const profile::InstrumentationPlan &plan,
+    const profile::PathReconstructor &reconstructor,
+    const profile::MethodPathProfile &paths,
+    const RealizabilityOptions &options, std::uint64_t max_total,
+    const std::string &method_name, bool has_version,
+    std::uint32_t version, DiagnosticList &diagnostics);
+
+} // namespace pep::analysis
+
+#endif // PEP_ANALYSIS_VERIFY_REALIZABILITY_HH

@@ -1,0 +1,111 @@
+#include "analysis/verify/verify.hh"
+
+#include "analysis/verify/engine_equiv.hh"
+#include "analysis/verify/invariants.hh"
+#include "bytecode/cfg_builder.hh"
+#include "bytecode/verifier.hh"
+#include "vm/compiled_method.hh"
+#include "vm/cost_model.hh"
+#include "vm/decoded_method.hh"
+#include "vm/inliner.hh"
+#include "vm/machine.hh"
+
+namespace pep::analysis {
+
+namespace {
+
+/** The canonical translation pep_lint's check 9 also uses: full-opt
+ *  costs, no layout information, no baseline instrumentation. */
+vm::CompiledMethod
+canonicalVersion(const bytecode::MethodCfg &cfg)
+{
+    vm::CompiledMethod cm;
+    cm.level = vm::OptLevel::Opt2;
+    const vm::CostModel cost;
+    cm.scaledCost.resize(bytecode::kNumOpcodes);
+    for (std::size_t op = 0; op < bytecode::kNumOpcodes; ++op)
+        cm.scaledCost[op] =
+            cost.instrCost(static_cast<bytecode::Opcode>(op));
+    cm.branchLayout.assign(cfg.graph.numBlocks(), -1);
+    return cm;
+}
+
+} // namespace
+
+bool
+verifyProgram(bytecode::Program &program, DiagnosticList &diagnostics)
+{
+    const std::size_t before = diagnostics.errorCount();
+
+    const bytecode::VerifyResult verified =
+        bytecode::verifyProgram(program);
+    for (const bytecode::VerifyDiagnostic &d : verified.diagnostics) {
+        Diagnostic &out = diagnostics.report(Severity::Error, "verify",
+                                             d.method, d.message);
+        out.hasPc = d.hasPc;
+        out.pc = d.pc;
+    }
+    // The CFG builder panics on unverified code; stop here.
+    if (!verified.ok)
+        return false;
+
+    for (const bytecode::Method &method : program.methods) {
+        const vm::MethodInfo info = vm::buildMethodInfo(method);
+        const vm::CompiledMethod cm = canonicalVersion(info.cfg);
+        const vm::DecodedMethod decoded =
+            vm::translateMethod(method, info, cm);
+
+        EngineEquivInput input;
+        input.code = &method;
+        input.info = &info;
+        input.cm = &cm;
+        input.decoded = &decoded;
+        input.methodName = method.name;
+        checkEngineEquivalence(input, diagnostics);
+    }
+    return diagnostics.errorCount() == before;
+}
+
+bool
+verifyMachine(const vm::Machine &machine, DiagnosticList &diagnostics,
+              const VerifyOptions &options)
+{
+    const std::size_t before = diagnostics.errorCount();
+
+    if (options.checkEquivalence) {
+        for (bytecode::MethodId m = 0; m < machine.numMethods(); ++m) {
+            for (std::uint32_t v = 0; v < machine.numVersions(m); ++v) {
+                const vm::CompiledMethod *cm = machine.versionAt(m, v);
+                // The version executes its inlined body's code when it
+                // has one; all block ids refer to that CFG.
+                const bytecode::Method *code =
+                    cm->inlinedBody ? &cm->inlinedBody->method
+                                    : &machine.program().methods[m];
+                const vm::MethodInfo *info = cm->inlinedBody
+                                                 ? &cm->inlinedBody->info
+                                                 : &machine.info(m);
+                const vm::DecodedMethod decoded =
+                    vm::translateMethod(*code, *info, *cm);
+
+                EngineEquivInput input;
+                input.code = code;
+                input.info = info;
+                input.cm = cm;
+                input.decoded = &decoded;
+                input.methodName = machine.program().methods[m].name;
+                input.hasVersion = true;
+                input.version = v;
+                checkEngineEquivalence(input, diagnostics);
+            }
+        }
+    }
+
+    if (options.checkCachedStreams)
+        auditMachineDecoded(machine, diagnostics);
+    if (options.checkJournal)
+        auditMutationJournal(machine, diagnostics);
+
+    return diagnostics.errorCount() == before;
+}
+
+} // namespace pep::analysis

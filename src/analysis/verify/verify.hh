@@ -1,0 +1,68 @@
+#ifndef PEP_ANALYSIS_VERIFY_VERIFY_HH
+#define PEP_ANALYSIS_VERIFY_VERIFY_HH
+
+/**
+ * @file
+ * Driver for the pep-verify passes (docs/ANALYSIS.md):
+ *
+ *  1. engine equivalence  (verify/engine_equiv.hh)
+ *  2. profile realizability (verify/realizability.hh)
+ *  3. invariant escape audits (verify/invariants.hh)
+ *
+ * Two entry points:
+ *
+ *  - verifyProgram: static, no VM. Runs the bytecode verifier, then
+ *    translates every method for the threaded engine exactly as the
+ *    VM would at full opt (no layout information) and proves the
+ *    template stream equivalent to the bytecode. This is what
+ *    `pep_lint --verify` and `pep-verify --static-only` run.
+ *
+ *  - verifyMachine: inspects a live VM after (or during) a run. For
+ *    every installed compiled version it re-translates the version
+ *    (using the inlined body's code when the version has one) and
+ *    proves engine equivalence against the *installed* state — baked
+ *    layouts included — then audits cached template streams and the
+ *    escape/sanitize journal. Realizability of recorded profiles is
+ *    checked by the callers that own the profilers (the pep-verify
+ *    tool and the differ), since the analysis layer does not depend
+ *    on the profiler runtime.
+ */
+
+#include "analysis/diagnostics.hh"
+#include "bytecode/method.hh"
+
+namespace pep::vm {
+class Machine;
+}
+
+namespace pep::analysis {
+
+/** Which verifyMachine audits to run (all on by default). */
+struct VerifyOptions
+{
+    bool checkEquivalence = true;
+    bool checkCachedStreams = true;
+    bool checkJournal = true;
+};
+
+/**
+ * Static verification of a program: bytecode verifier + engine
+ * equivalence of the canonical full-opt translation of every method.
+ * The program is mutated only the way verification mutates it
+ * (maxStack is filled in). Returns true if no errors were added.
+ */
+bool verifyProgram(bytecode::Program &program,
+                   DiagnosticList &diagnostics);
+
+/**
+ * Verify a live machine's installed versions: engine equivalence per
+ * version, cached-stream freshness, journal discipline. Returns true
+ * if no errors were added.
+ */
+bool verifyMachine(const vm::Machine &machine,
+                   DiagnosticList &diagnostics,
+                   const VerifyOptions &options = {});
+
+} // namespace pep::analysis
+
+#endif // PEP_ANALYSIS_VERIFY_VERIFY_HH

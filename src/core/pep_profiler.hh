@@ -79,6 +79,14 @@ class PepProfiler final : public PathEngine, public vm::LayoutSource
     /** The continuous edge profile derived from sampled paths. */
     const profile::EdgeProfileSet &edgeProfile() const { return edges_; }
 
+    /**
+     * Mutable access to the continuous edge profile, for fault
+     * injection only (the differ's `impossible-profile` self-test
+     * corrupts one count to prove the realizability checker rejects
+     * it). Mirrors Machine::versionForUpdate's role for plan state.
+     */
+    profile::EdgeProfileSet &edgeProfileForInjection() { return edges_; }
+
     const PepStats &pepStats() const { return stats_; }
 
     /** Drop collected profiles (e.g., between replay iterations). */

@@ -5,6 +5,10 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/diagnostics.hh"
+#include "analysis/verify/invariants.hh"
+#include "analysis/verify/realizability.hh"
+#include "analysis/verify/verify.hh"
 #include "bytecode/disassembler.hh"
 #include "core/baseline_profilers.hh"
 #include "core/pep_profiler.hh"
@@ -92,6 +96,13 @@ applyInjection(vm::Machine &machine, core::FullPathProfiler &full,
             // two machines exist to diverge; the main run's profilers
             // all observe one consistent event stream and stay clean.
             break;
+          case InjectKind::ImpossibleProfile:
+          case InjectKind::SkippedInvalidate:
+            // Applied after the final iteration (see runDiff): these
+            // model corruption that happens when nothing further
+            // executes, which is exactly what the static verify
+            // passes exist to catch.
+            break;
         }
     }
 }
@@ -122,6 +133,33 @@ flipInstalledLayouts(vm::Machine &machine,
             machine.versionForUpdate(method, current->version);
         for (std::int16_t &layout : cm->branchLayout)
             layout = layout == 1 ? 0 : 1;
+    }
+}
+
+/**
+ * The impossible-profile fault: bump one count of a PEP profiler's
+ * recorded continuous edge profile. The extra crossing appears out of
+ * nowhere — inflow and outflow no longer balance at the edge's source
+ * block — so no execution could have recorded the resulting profile.
+ * Both the dynamic conservation check (check 5) and the static
+ * realizability pass must reject it.
+ */
+void
+corruptPepEdgeProfile(const vm::Machine &machine,
+                      core::PepProfiler &pep)
+{
+    profile::EdgeProfileSet &edges = pep.edgeProfileForInjection();
+    for (std::size_t m = 0; m < edges.perMethod.size(); ++m) {
+        const bytecode::MethodCfg &cfg =
+            machine.info(static_cast<bytecode::MethodId>(m)).cfg;
+        for (cfg::BlockId b = 0; b < cfg.graph.numBlocks(); ++b) {
+            if (!cfg.isCodeBlock(b) || cfg.isLoopHeader[b])
+                continue;
+            if (cfg.graph.succs(b).empty())
+                continue;
+            edges.perMethod[m].addEdge({b, 0}, 1);
+            return;
+        }
     }
 }
 
@@ -355,7 +393,8 @@ runEngineOnce(const bytecode::Program &program, const DiffOptions &opts,
     try {
         for (std::uint32_t it = 0; it < opts.iterations; ++it) {
             machine.runIteration();
-            if (opts.inject == InjectKind::StaleTemplate &&
+            if ((opts.inject == InjectKind::StaleTemplate ||
+                 opts.inject == InjectKind::SkippedInvalidate) &&
                 it + 1 < opts.iterations) {
                 flipInstalledLayouts(machine, flipped);
             }
@@ -429,6 +468,73 @@ runEngineCrossCheck(const bytecode::Program &program,
     }
 }
 
+/**
+ * The static mirror of the dynamic oracles: run the verify passes
+ * (docs/ANALYSIS.md) over the machine's installed versions, both
+ * profilers' plans, and every recorded profile, turning error
+ * diagnostics into violations. Running this inside every fuzz
+ * iteration continuously proves the static layer agrees with the
+ * dynamic checks — no false alarms on clean runs, and the
+ * impossible-profile / skipped-invalidate injections are rejected
+ * without executing another instruction.
+ */
+void
+runStaticVerifyPasses(
+    const vm::Machine &machine, core::FullPathProfiler &full,
+    const std::vector<std::unique_ptr<core::PepProfiler>> &peps,
+    const DiffOptions &opts, DiffReport &report)
+{
+    analysis::DiagnosticList diags;
+    analysis::verifyMachine(machine, diags);
+
+    const auto audit_engine = [&](core::PathEngine &engine,
+                                  const std::string &what,
+                                  std::uint64_t max_total) {
+        analysis::RealizabilityOptions ropts;
+        ropts.what = what;
+        for (auto &[key, vp] : engine.versionProfiles()) {
+            if (!vp->state)
+                continue;
+            const std::string &name =
+                machine.program().methods[key.first].name;
+            analysis::auditPlanMirror(vp->state->plan, name,
+                                      /*has_version=*/true, key.second,
+                                      diags);
+            analysis::checkPathProfileRealizability(
+                vp->state->plan, *vp->state->reconstructor, vp->paths,
+                ropts, max_total, name, /*has_version=*/true,
+                key.second, diags);
+        }
+    };
+    audit_engine(full, "full-path profile", full.pathsStored());
+    for (std::size_t p = 0; p < peps.size(); ++p) {
+        std::ostringstream tag;
+        tag << "pep(" << opts.pepConfigs[p].samples << ','
+            << opts.pepConfigs[p].stride << ')';
+        audit_engine(*peps[p], tag.str() + " paths",
+                     peps[p]->pepStats().samplesRecorded);
+        // The continuous edge profile's conservation/bounds only
+        // apply at bytecode level when no inlined CFG is folded in,
+        // mirroring the dynamic check-5 gate.
+        if (!opts.enableInlining) {
+            analysis::RealizabilityOptions ropts;
+            ropts.what = tag.str() + " edges";
+            ropts.maxWalks = peps[p]->pepStats().samplesRecorded;
+            analysis::checkEdgeSetRealizability(
+                machine, peps[p]->edgeProfile(), ropts, diags);
+        }
+    }
+
+    std::vector<analysis::Diagnostic> sorted = diags.all();
+    analysis::sortDiagnostics(sorted);
+    for (const analysis::Diagnostic &d : sorted) {
+        if (d.severity == analysis::Severity::Error) {
+            addViolation(report,
+                         "verify: " + analysis::formatDiagnostic(d));
+        }
+    }
+}
+
 } // namespace
 
 std::string
@@ -443,6 +549,10 @@ injectKindName(InjectKind kind)
         return "corrupt-increment";
       case InjectKind::StaleTemplate:
         return "stale-template";
+      case InjectKind::ImpossibleProfile:
+        return "impossible-profile";
+      case InjectKind::SkippedInvalidate:
+        return "skipped-invalidate";
     }
     return "none";
 }
@@ -458,6 +568,10 @@ parseInjectKind(const std::string &name, InjectKind &out)
         out = InjectKind::CorruptFlatIncrement;
     } else if (name == "stale-template") {
         out = InjectKind::StaleTemplate;
+    } else if (name == "impossible-profile") {
+        out = InjectKind::ImpossibleProfile;
+    } else if (name == "skipped-invalidate") {
+        out = InjectKind::SkippedInvalidate;
     } else {
         return false;
     }
@@ -564,6 +678,19 @@ runDiff(const bytecode::Program &program, const DiffOptions &opts)
             applyInjection(machine, full, opts, injected);
     }
 
+    // Post-run injections: corruption after the final iteration, when
+    // nothing further executes. impossible-profile is still caught
+    // dynamically (check 5 inspects the recorded profile), but
+    // skipped-invalidate is invisible to every dynamic check on this
+    // machine — only the static verify passes below (and check 7's
+    // cross-check machines, which flip mid-run) reject it.
+    if (opts.inject == InjectKind::ImpossibleProfile && !peps.empty())
+        corruptPepEdgeProfile(machine, *peps.front());
+    if (opts.inject == InjectKind::SkippedInvalidate) {
+        std::set<core::VersionKey> flipped;
+        flipInstalledLayouts(machine, flipped);
+    }
+
     // Check 1: the oracle read the interpreter's event stream the way
     // the interpreter meant it.
     checkEdgeTablesEqual(oracle.edges(), machine.truthEdges(),
@@ -586,7 +713,8 @@ runDiff(const bytecode::Program &program, const DiffOptions &opts)
             "numbering overflow: segment checks skipped");
         if (opts.crossCheckEngines &&
             (opts.inject == InjectKind::None ||
-             opts.inject == InjectKind::StaleTemplate)) {
+             opts.inject == InjectKind::StaleTemplate ||
+             opts.inject == InjectKind::SkippedInvalidate)) {
             runEngineCrossCheck(program, opts, report);
         }
         return report;
@@ -768,9 +896,14 @@ runDiff(const bytecode::Program &program, const DiffOptions &opts)
     // exist on the cross-check machines — skip the redundant runs.
     if (opts.crossCheckEngines &&
         (opts.inject == InjectKind::None ||
-         opts.inject == InjectKind::StaleTemplate)) {
+         opts.inject == InjectKind::StaleTemplate ||
+         opts.inject == InjectKind::SkippedInvalidate)) {
         runEngineCrossCheck(program, opts, report);
     }
+
+    // The static verify passes see everything the dynamic checks saw.
+    if (opts.runStaticVerify)
+        runStaticVerifyPasses(machine, full, peps, opts, report);
 
     return report;
 }

@@ -74,6 +74,22 @@ enum class InjectKind : std::uint8_t
      *  executing stale templates, so the engine cross-check (check 7)
      *  must report a divergence. */
     StaleTemplate,
+
+    /** Corrupt one count of the first PEP profiler's recorded
+     *  continuous edge profile after the run: an edge gains a crossing
+     *  no execution could have produced. The dynamic bound/conservation
+     *  checks (check 5) and the static realizability pass
+     *  (analysis/verify/realizability.hh) must both reject it. */
+    ImpossibleProfile,
+
+    /** Flip every installed version's branch layout *after* the final
+     *  iteration, without invalidateDecoded(). Nothing further
+     *  executes, so no dynamic check can see it — only the static
+     *  invariant audits (analysis/verify/invariants.hh: the mutation
+     *  journal and the cached-stream retranslation) catch it. On the
+     *  engine cross-check machines the flip happens mid-run like
+     *  stale-template, so check 7 diverges there too. */
+    SkippedInvalidate,
 };
 
 /** Name for reports / CLI flags ("none", "stale-flat", ...). */
@@ -112,6 +128,14 @@ struct DiffOptions
      *  threaded) on otherwise-identical machines and byte-compare
      *  every observable. On for every standard config. */
     bool crossCheckEngines = true;
+
+    /** Run the static verify passes (analysis/verify/) over the
+     *  machine, the profilers' plans and every recorded profile at the
+     *  end of the run; their error diagnostics become violations. This
+     *  is the static mirror of checks 5-7 — on for every standard
+     *  config, so the fuzzer continuously proves the static layer
+     *  raises no false alarms. */
+    bool runStaticVerify = true;
 };
 
 /** Result of one differential run. */

@@ -166,7 +166,33 @@ Machine::versionForUpdate(bytecode::MethodId m, std::uint32_t version)
     PEP_ASSERT(m < versions_.size());
     if (version >= versions_[m].size())
         return nullptr;
+    mutationJournal_.push_back({m, version, /*sanitize=*/false});
     return versions_[m][version].get();
+}
+
+std::size_t
+Machine::numVersions(bytecode::MethodId m) const
+{
+    PEP_ASSERT(m < versions_.size());
+    return versions_[m].size();
+}
+
+const CompiledMethod *
+Machine::versionAt(bytecode::MethodId m, std::uint32_t version) const
+{
+    PEP_ASSERT(m < versions_.size());
+    if (version >= versions_[m].size())
+        return nullptr;
+    return versions_[m][version].get();
+}
+
+const DecodedMethod *
+Machine::cachedDecoded(bytecode::MethodId m, std::uint32_t version) const
+{
+    PEP_ASSERT(m < decoded_.size());
+    if (version >= decoded_[m].size())
+        return nullptr;
+    return decoded_[m][version].get();
 }
 
 ReplayAdvice
@@ -290,6 +316,9 @@ void
 Machine::invalidateDecoded(bytecode::MethodId m, std::uint32_t version)
 {
     PEP_ASSERT(m < decoded_.size());
+    // Journal unconditionally: the call discharges the escape's
+    // invalidation obligation whether or not a stream was cached.
+    mutationJournal_.push_back({m, version, /*sanitize=*/true});
     if (version < decoded_[m].size() && decoded_[m][version]) {
         decoded_[m][version].reset();
         ++stats_.templateInvalidations;

@@ -143,6 +143,24 @@ struct MethodInfo
  *  and standalone analysis of synthesized code. */
 MethodInfo buildMethodInfo(const bytecode::Method &method);
 
+/**
+ * One entry of the plan-mutation journal. versionForUpdate() hands out
+ * mutable access to an installed version (an *escape*: from that point
+ * the caller may mutate state the threaded engine bakes into
+ * templates); invalidateDecoded() re-establishes the template
+ * invariant for the version (a *sanitize*). The invariant-escape audit
+ * (analysis/verify/invariants.hh) proves every escape is eventually
+ * followed by a matching sanitize.
+ */
+struct PlanMutationEvent
+{
+    bytecode::MethodId method = 0;
+    std::uint32_t version = 0;
+
+    /** False for an escape, true for a sanitize. */
+    bool sanitize = false;
+};
+
 /** Counters the benchmarks read after a run. */
 struct MachineStats
 {
@@ -310,6 +328,31 @@ class Machine
      */
     void invalidateDecoded(bytecode::MethodId m, std::uint32_t version);
 
+    // ---- Verification support (analysis/verify, docs/ANALYSIS.md) -----
+
+    /** Number of versions ever compiled for a method. */
+    std::size_t numVersions(bytecode::MethodId m) const;
+
+    /** A compiled version by number (nullptr if out of range). */
+    const CompiledMethod *versionAt(bytecode::MethodId m,
+                                    std::uint32_t version) const;
+
+    /**
+     * The cached template stream of a version — unlike decodedFor()
+     * this never translates on a miss, so an auditor can distinguish
+     * "no stream cached" (nullptr; nothing stale to execute) from a
+     * cached stream that must match a fresh translation.
+     */
+    const DecodedMethod *cachedDecoded(bytecode::MethodId m,
+                                       std::uint32_t version) const;
+
+    /** Every escape/sanitize event since construction, in order. */
+    const std::vector<PlanMutationEvent> &
+    mutationJournal() const
+    {
+        return mutationJournal_;
+    }
+
   private:
     friend class Interpreter;
 
@@ -362,6 +405,9 @@ class Machine
 
     MachineStats stats_;
     support::Rng rng_;
+
+    /** In-place plan mutation journal (see PlanMutationEvent). */
+    std::vector<PlanMutationEvent> mutationJournal_;
 
     /** Irnd streams of virtual threads >= 1, created on first use. */
     std::vector<std::unique_ptr<support::Rng>> threadRngs_;

@@ -13,14 +13,21 @@
  *     --werror        exit nonzero on warnings too
  *     --no-plan       skip the instrumentation-plan checker
  *     --no-passes     skip the dataflow lints
+ *     --verify        also run the symbolic engine-equivalence pass
+ *                     (analysis/verify/engine_equiv.hh)
  *     --quiet         print errors only (text mode)
  *     --max-paths N   path-enumeration budget for the semantic proof
  *                     (default 4096)
+ *
+ * Findings are emitted in a deterministic order — sorted by (file,
+ * method, version, pass, check, location) — so CI diffs are stable
+ * regardless of pass scheduling.
  *
  * Exit status: 0 clean, 1 diagnostics at the failing severity, 2 usage
  * or file errors.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -58,6 +65,8 @@ parseArgs(int argc, char **argv, Options &options)
             options.lint.runPlanChecks = false;
         } else if (arg == "--no-passes") {
             options.lint.runMethodPasses = false;
+        } else if (arg == "--verify") {
+            options.lint.runVerifyPasses = true;
         } else if (arg == "--max-paths") {
             if (i + 1 >= argc)
                 return false;
@@ -96,7 +105,8 @@ main(int argc, char **argv)
         std::fprintf(
             stderr,
             "usage: pep_lint [--json] [--werror] [--quiet] [--no-plan]"
-            " [--no-passes] [--max-paths N] <program.pepasm>...\n");
+            " [--no-passes] [--verify] [--max-paths N]"
+            " <program.pepasm>...\n");
         return 2;
     }
 
@@ -132,6 +142,16 @@ main(int argc, char **argv)
         for (const Diagnostic &d : diagnostics.all())
             findings.emplace_back(path, d);
     }
+
+    // Deterministic output order regardless of pass scheduling.
+    std::stable_sort(
+        findings.begin(), findings.end(),
+        [](const std::pair<std::string, Diagnostic> &a,
+           const std::pair<std::string, Diagnostic> &b) {
+            if (a.first != b.first)
+                return a.first < b.first;
+            return pep::analysis::diagnosticLess(a.second, b.second);
+        });
 
     if (options.json) {
         // One top-level array; each entry gains a "file" key.
