@@ -17,7 +17,11 @@
  *      aggregator: requests/second per worker count;
  *   3. sharded vs. mutex-global aggregation at N workers — the
  *      throughput ratio, plus a count-for-count identity check of the
- *      merged edge and path profiles (divergence is a hard failure).
+ *      merged edge and path profiles (divergence is a hard failure) —
+ *      and a ring-transport row (requests/second, drop rate, and the
+ *      produced == consumed + dropped conservation law, also a hard
+ *      failure; tab_transport / BENCH_PR7.json measures the ring in
+ *      depth).
  *
  * Usage: tab_concurrency [output.json]   (default BENCH_PR4.json)
  * PEP_BENCH_SCALE scales the request count.
@@ -277,10 +281,19 @@ main(int argc, char **argv)
         runtime::ThroughputOptions::Aggregation::Mutex;
     const runtime::ThroughputResult mutex_global =
         runtime::runThroughput(stream, t_options);
+    t_options.aggregation =
+        runtime::ThroughputOptions::Aggregation::Ring;
+    const runtime::ThroughputResult ring =
+        runtime::runThroughput(stream, t_options);
 
     const bool identical =
         edgesIdentical(sharded.edges, mutex_global.edges) &&
         sharded.paths == mutex_global.paths;
+    // The ring transport's own invariant: every sample offered is
+    // either applied or counted as dropped (see docs/RUNTIME.md).
+    const bool ring_conserved =
+        ring.transport.produced ==
+        ring.transport.consumed + ring.transport.dropped;
     const double agg_speedup =
         mutex_global.requestsPerSecond > 0.0
             ? sharded.requestsPerSecond /
@@ -291,6 +304,11 @@ main(int argc, char **argv)
                 sharded.requestsPerSecond,
                 mutex_global.requestsPerSecond, agg_speedup,
                 identical ? "identical" : "DIVERGE");
+    std::printf("  ring    %9.0f req/s (drop-rate %.4f%%, "
+                "conservation %s)\n",
+                ring.requestsPerSecond,
+                100.0 * ring.transport.dropRate(),
+                ring_conserved ? "ok" : "VIOLATED");
 
     // ---- JSON -------------------------------------------------------
     FILE *json = std::fopen(json_path.c_str(), "w");
@@ -352,8 +370,16 @@ main(int argc, char **argv)
                  mutex_global.requestsPerSecond);
     std::fprintf(json, "    \"sharded_speedup\": %.4f,\n",
                  agg_speedup);
-    std::fprintf(json, "    \"profiles_identical\": %s\n",
+    std::fprintf(json, "    \"profiles_identical\": %s,\n",
                  identical ? "true" : "false");
+    std::fprintf(json, "    \"ring_requests_per_sec\": %.1f,\n",
+                 ring.requestsPerSecond);
+    std::fprintf(json, "    \"ring_drop_rate\": %.6f,\n",
+                 ring.transport.dropRate());
+    std::fprintf(json, "    \"ring_window_staleness_epochs\": %.6f,\n",
+                 ring.windowStalenessEpochs);
+    std::fprintf(json, "    \"ring_conservation_ok\": %s\n",
+                 ring_conserved ? "true" : "false");
     std::fprintf(json, "  },\n");
     std::fprintf(json, "  \"coop_deterministic\": %s\n",
                  all_deterministic ? "true" : "false");
@@ -361,5 +387,5 @@ main(int argc, char **argv)
     std::fclose(json);
     std::printf("tab_concurrency: wrote %s\n", json_path.c_str());
 
-    return (identical && all_deterministic) ? 0 : 1;
+    return (identical && ring_conserved && all_deterministic) ? 0 : 1;
 }

@@ -4,11 +4,15 @@
 # parallel suite runs, plus the flattened-dispatch microbenchmark),
 # BENCH_PR5.json (switch vs pre-decoded threaded engine dispatch:
 # ns/instruction, edges/sec, and the observable byte-identity check —
-# see docs/ENGINE.md), and BENCH_PR4.json (cooperative-scheduler PEP
+# see docs/ENGINE.md), BENCH_PR4.json (cooperative-scheduler PEP
 # overhead/accuracy per virtual-thread count, throughput worker
-# scaling, and the sharded-vs-mutex aggregation comparison).
+# scaling, and the sharded-vs-mutex-vs-ring aggregation comparison),
+# and BENCH_PR7.json (the SPSC ring sample transport under sustained
+# load: requests/sec at >= 16 workers, drop rate vs ring capacity,
+# window staleness, and memory flatness — see docs/RUNTIME.md).
 #
 # Usage: scripts/bench.sh [perf.json] [concurrency.json] [engine.json]
+#                         [transport.json]
 # Environment: PEP_BENCH_SCALE, PEP_BENCH_ONLY, PEP_BENCH_THREADS.
 set -euo pipefail
 
@@ -17,10 +21,13 @@ cd "$(dirname "$0")/.."
 OUT=${1:-BENCH_PR2.json}
 OUT_CONCURRENCY=${2:-BENCH_PR4.json}
 OUT_ENGINE=${3:-BENCH_PR5.json}
+OUT_TRANSPORT=${4:-BENCH_PR7.json}
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)" --target perf_suite tab_concurrency
+cmake --build build -j "$(nproc)" --target perf_suite tab_concurrency \
+    tab_transport
 
 ./build/bench/perf_suite "$OUT" "$OUT_ENGINE"
 ./build/bench/tab_concurrency "$OUT_CONCURRENCY"
-echo "bench.sh: results in $OUT, $OUT_ENGINE and $OUT_CONCURRENCY"
+./build/bench/tab_transport "$OUT_TRANSPORT"
+echo "bench.sh: results in $OUT, $OUT_ENGINE, $OUT_CONCURRENCY and $OUT_TRANSPORT"

@@ -20,6 +20,9 @@ ShardedAggregator::recordEdge(std::uint32_t shard,
                               bytecode::MethodId method,
                               cfg::EdgeRef edge, std::uint64_t n)
 {
+    // An out-of-range worker index is a caller bug; indexing shards_
+    // unchecked would be silent UB, so every entry point asserts.
+    PEP_ASSERT(shard < shards_.size());
     Shard &s = shards_[shard];
     s.edges.perMethod[method].addEdge(edge, n);
     ++s.records;
@@ -30,6 +33,7 @@ ShardedAggregator::recordPath(std::uint32_t shard,
                               bytecode::MethodId method,
                               std::uint64_t path_number, std::uint64_t n)
 {
+    PEP_ASSERT(shard < shards_.size());
     Shard &s = shards_[shard];
     s.paths[PathKey{method, path_number}] += n;
     ++s.records;
@@ -38,6 +42,7 @@ ShardedAggregator::recordPath(std::uint32_t shard,
 void
 ShardedAggregator::flush(std::uint32_t shard)
 {
+    PEP_ASSERT(shard < shards_.size());
     Shard &s = shards_[shard];
     if (s.records == 0)
         return;
@@ -46,7 +51,7 @@ ShardedAggregator::flush(std::uint32_t shard)
         globalEdges_.merge(s.edges);
         for (const auto &[key, count] : s.paths)
             globalPaths_[key] += count;
-        ++flushes_;
+        flushes_.fetch_add(1, std::memory_order_relaxed);
     }
     s.edges.clear();
     s.paths.clear();

@@ -23,6 +23,7 @@
  * *what* is counted, only how fast.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -98,8 +99,16 @@ class ProfileAggregator
      *  worker must flush its shard once more after its last record. */
     virtual void flush(std::uint32_t shard) = 0;
 
+    /** Drain any background collection and stop it. Must be called
+     *  after every producer has flushed and stopped, before reading
+     *  the global profiles. A no-op for synchronous aggregators; the
+     *  ring transport (ring_transport.hh) drains its collector thread
+     *  here. */
+    virtual void quiesce() {}
+
     /** Global profiles. Only meaningful when all workers have flushed
-     *  and stopped (quiescence); not synchronized with recording. */
+     *  and stopped and quiesce() ran; not synchronized with
+     *  recording. */
     virtual const profile::EdgeProfileSet &globalEdges() const = 0;
     virtual const PathTotals &globalPaths() const = 0;
 
@@ -131,8 +140,16 @@ class ShardedAggregator final : public ProfileAggregator
 
     std::string name() const override { return "sharded"; }
 
-    /** Completed epoch flushes across all shards. */
-    std::uint64_t flushes() const { return flushes_; }
+    /** Completed epoch flushes across all shards. Safe to poll from a
+     *  monitor thread mid-run: the counter is atomic (workers
+     *  increment it under flushMutex_, but readers do not take the
+     *  lock — a plain std::uint64_t here was a data race, torn/stale
+     *  under TSan, when stats were sampled while workers flushed). */
+    std::uint64_t
+    flushes() const
+    {
+        return flushes_.load(std::memory_order_relaxed);
+    }
 
   private:
     /**
@@ -153,7 +170,7 @@ class ShardedAggregator final : public ProfileAggregator
     profile::EdgeProfileSet globalEdges_;
     PathTotals globalPaths_;
     std::mutex flushMutex_;
-    std::uint64_t flushes_ = 0;
+    std::atomic<std::uint64_t> flushes_{0};
 };
 
 /** One global table, one lock, every record synchronized. */

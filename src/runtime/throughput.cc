@@ -149,11 +149,18 @@ runThroughput(const RequestStream &stream,
         cfg_ptrs.push_back(&method_cfg);
 
     std::unique_ptr<ProfileAggregator> aggregator;
-    if (options.aggregation == ThroughputOptions::Aggregation::Sharded) {
+    switch (options.aggregation) {
+      case ThroughputOptions::Aggregation::Sharded:
         aggregator = std::make_unique<ShardedAggregator>(
             cfg_ptrs, options.workers);
-    } else {
+        break;
+      case ThroughputOptions::Aggregation::Mutex:
         aggregator = std::make_unique<MutexAggregator>(cfg_ptrs);
+        break;
+      case ThroughputOptions::Aggregation::Ring:
+        aggregator = std::make_unique<RingAggregator>(
+            cfg_ptrs, options.workers, options.ring);
+        break;
     }
 
     std::vector<WorkerTally> tallies(options.workers);
@@ -170,6 +177,10 @@ runThroughput(const RequestStream &stream,
         for (std::thread &worker : workers)
             worker.join();
     }
+    // Producers are done; drain and stop any background collection
+    // before the wall clock stops (the collector's backlog is part of
+    // the cost of the run) and before the profiles are read.
+    aggregator->quiesce();
     const auto wall_end = std::chrono::steady_clock::now();
 
     ThroughputResult result;
@@ -187,6 +198,17 @@ runThroughput(const RequestStream &stream,
             : 0.0;
     result.edges = aggregator->globalEdges();
     result.paths = aggregator->globalPaths();
+    if (const auto *sharded =
+            dynamic_cast<const ShardedAggregator *>(aggregator.get())) {
+        result.shardFlushes = sharded->flushes();
+    } else if (const auto *ring = dynamic_cast<const RingAggregator *>(
+                   aggregator.get())) {
+        result.transport = ring->stats();
+        const WindowedProfile &window = ring->mergedWindow();
+        result.windowAdvances = window.advances();
+        result.windowStalenessEpochs = window.stalenessEpochs();
+        result.windowMass = window.mass();
+    }
     return result;
 }
 

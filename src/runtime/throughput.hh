@@ -22,6 +22,7 @@
 #include <memory>
 
 #include "runtime/request_stream.hh"
+#include "runtime/ring_transport.hh"
 #include "runtime/sharded_profile.hh"
 #include "vm/machine.hh"
 
@@ -34,6 +35,10 @@ struct ThroughputOptions
     {
         Sharded,
         Mutex,
+
+        /** Per-worker SPSC rings to a collector thread; producers
+         *  never block, drops are counted (ring_transport.hh). */
+        Ring,
     };
 
     /** OS worker threads (= shards; worker w owns stream shard w). */
@@ -43,6 +48,9 @@ struct ThroughputOptions
     std::uint32_t epochRequests = 64;
 
     Aggregation aggregation = Aggregation::Sharded;
+
+    /** Ring-transport knobs (Aggregation::Ring only). */
+    RingOptions ring;
 
     /** Per-worker machine parameters (seed etc.). */
     vm::SimParams params;
@@ -60,6 +68,19 @@ struct ThroughputResult
     /** Merged global profiles (quiescent). */
     profile::EdgeProfileSet edges;
     PathTotals paths;
+
+    /** ShardedAggregator epoch flushes (Sharded only, else 0). */
+    std::uint64_t shardFlushes = 0;
+
+    /** Ring-transport observables (Ring only, else zeros): the
+     *  conservation law `produced == consumed + dropped` holds at
+     *  quiescence unless the transport lost samples silently. */
+    RingTransportStats transport;
+
+    /** Merged windowed-profile observables (Ring only). */
+    std::uint64_t windowAdvances = 0;
+    double windowStalenessEpochs = 0.0;
+    double windowMass = 0.0;
 };
 
 /** Run the stream over `workers` OS threads; blocks until done. */

@@ -103,6 +103,10 @@ applyInjection(vm::Machine &machine, core::FullPathProfiler &full,
             // executes, which is exactly what the static verify
             // passes exist to catch.
             break;
+          case InjectKind::RingLostSample:
+            // Threaded differ only: applied inside runThreadedDiff's
+            // ring-transport check, never to single-machine plans.
+            break;
         }
     }
 }
@@ -553,6 +557,8 @@ injectKindName(InjectKind kind)
         return "impossible-profile";
       case InjectKind::SkippedInvalidate:
         return "skipped-invalidate";
+      case InjectKind::RingLostSample:
+        return "ring-lost-sample";
     }
     return "none";
 }
@@ -572,6 +578,8 @@ parseInjectKind(const std::string &name, InjectKind &out)
         out = InjectKind::ImpossibleProfile;
     } else if (name == "skipped-invalidate") {
         out = InjectKind::SkippedInvalidate;
+    } else if (name == "ring-lost-sample") {
+        out = InjectKind::RingLostSample;
     } else {
         return false;
     }
@@ -957,6 +965,25 @@ serializeCoopRun(const vm::Machine &machine,
     return os.str();
 }
 
+/** Check 5: every sample offered to the ring transport is either
+ *  applied by the collector or counted as dropped — never lost
+ *  silently. */
+void
+checkRingConservation(const runtime::ThroughputResult &result,
+                      const std::string &label, DiffReport &report)
+{
+    const runtime::RingTransportStats &transport = result.transport;
+    if (transport.produced !=
+        transport.consumed + transport.dropped) {
+        std::ostringstream os;
+        os << label << ": sample conservation violated — produced "
+           << transport.produced << " != consumed "
+           << transport.consumed << " + dropped "
+           << transport.dropped;
+        addViolation(report, os.str());
+    }
+}
+
 } // namespace
 
 const std::vector<ThreadedDiffOptions> &
@@ -991,6 +1018,20 @@ standardThreadedConfigs()
         sparse.requests = 80;
         sparse.pep = PepConfig{64, 17};
         all.push_back(sparse);
+
+        // Ring-transport stress: small epochs make every worker
+        // enqueue many epoch marks (lots of window advances), and the
+        // tight secondary ring is tiny enough that nearly everything
+        // drops — conservation and boundedness must hold regardless.
+        ThreadedDiffOptions ring;
+        ring.name = "ring-small-epoch";
+        ring.threads = 4;
+        ring.seed = 43;
+        ring.requests = 96;
+        ring.workers = 4;
+        ring.epochRequests = 4;
+        ring.tightRingCapacity = 16;
+        all.push_back(ring);
 
         return all;
     }();
@@ -1124,6 +1165,75 @@ runThreadedDiff(const ThreadedDiffOptions &opts)
                          "sharded vs mutex path totals diverge");
         }
         report.blppPaths = sharded.pathRecords;
+
+        // Checks 5-6: the ring transport. Ample capacity first — the
+        // run should be drop-free, making the mutex identity check
+        // applicable; then a deliberately tiny ring, which must drop
+        // (and count every drop) while staying bounded by the mutex
+        // totals. Conservation is checked on both: a transport that
+        // loses a sample without counting it (the ring-lost-sample
+        // injection, or a real accounting bug) fails here.
+        if (opts.checkRing) {
+            t_options.aggregation =
+                runtime::ThroughputOptions::Aggregation::Ring;
+            t_options.ring.capacity = opts.ringCapacity;
+            t_options.ring.injectLoseAt =
+                opts.inject == InjectKind::RingLostSample ? 10 : 0;
+            const runtime::ThroughputResult ring =
+                runtime::runThroughput(stream, t_options);
+
+            checkRingConservation(ring, "ring (ample)", report);
+            if (ring.transport.dropped == 0) {
+                checkEdgeTablesEqual(ring.edges, mutex_global.edges,
+                                     "drop-free ring vs mutex edge "
+                                     "totals",
+                                     report);
+                if (ring.paths != mutex_global.paths) {
+                    addViolation(report,
+                                 "drop-free ring vs mutex path totals "
+                                 "diverge");
+                }
+            } else {
+                std::ostringstream os;
+                os << "ring (ample) dropped "
+                   << ring.transport.dropped
+                   << " samples; identity check skipped";
+                report.notes.push_back(os.str());
+            }
+            if (ring.windowAdvances == 0 &&
+                ring.transport.epochMarks >
+                    ring.transport.droppedEpochMarks) {
+                addViolation(report,
+                             "ring windows never advanced despite "
+                             "delivered epoch marks");
+            }
+
+            if (opts.tightRingCapacity > 0) {
+                t_options.ring.capacity = opts.tightRingCapacity;
+                t_options.ring.injectLoseAt = 0;
+                const runtime::ThroughputResult tight =
+                    runtime::runThroughput(stream, t_options);
+                checkRingConservation(tight, "ring (tight)", report);
+                checkEdgeTablesBounded(tight.edges, mutex_global.edges,
+                                       "ring (tight)", report);
+                for (const auto &[key, count] : tight.paths) {
+                    const auto it = mutex_global.paths.find(key);
+                    const std::uint64_t reference =
+                        it == mutex_global.paths.end() ? 0
+                                                       : it->second;
+                    if (count > reference) {
+                        std::ostringstream os;
+                        os << "ring (tight): path " << key.number
+                           << " of method " << key.method
+                           << " counted " << count << " > mutex "
+                           << reference
+                           << " — drops invented counts";
+                        addViolation(report, os.str());
+                        break;
+                    }
+                }
+            }
+        }
     }
 
     return report;

@@ -90,6 +90,14 @@ enum class InjectKind : std::uint8_t
      *  engine cross-check machines the flip happens mid-run like
      *  stale-template, so check 7 diverges there too. */
     SkippedInvalidate,
+
+    /** Threaded differ only (runThreadedDiff): the ring transport
+     *  silently discards one of shard 0's samples without bumping the
+     *  drop counter — the corrupt-drop-accounting bug class. The
+     *  conservation law produced == consumed + dropped (check 5) and
+     *  the drop-free ring-vs-mutex identity (check 6) must both
+     *  report it. */
+    RingLostSample,
 };
 
 /** Name for reports / CLI flags ("none", "stale-flat", ...). */
@@ -197,6 +205,22 @@ struct ThreadedDiffOptions
     bool checkAggregation = true;
     std::uint32_t workers = 3;
     std::uint32_t epochRequests = 16;
+
+    /**
+     * Checks 5-6: the SPSC ring transport. An ample-capacity ring run
+     * must satisfy sample conservation (produced == consumed +
+     * dropped) and, when its drop count is zero, match the mutex
+     * baseline count for count; a deliberately tiny ring must still
+     * satisfy conservation and stay bounded by the mutex totals
+     * (drops remove whole records, they never invent counts).
+     * Requires checkAggregation (the mutex run is the reference).
+     */
+    bool checkRing = true;
+    std::uint32_t ringCapacity = 1u << 16;
+    std::uint32_t tightRingCapacity = 128;
+
+    /** Only InjectKind::None and RingLostSample are meaningful here. */
+    InjectKind inject = InjectKind::None;
 };
 
 /** The standard multi-threaded configuration matrix. */
@@ -216,7 +240,12 @@ const ThreadedDiffOptions *findThreadedConfig(const std::string &name);
  *     the sum of K per-thread exact-oracle solo runs (thread t replays
  *     its request subsequence alone, same thread id, fresh machine);
  *  4. (optional) sharded and mutex-global aggregation over OS worker
- *     threads produce count-for-count identical edge and path totals.
+ *     threads produce count-for-count identical edge and path totals;
+ *  5. (optional) the ring transport conserves samples — produced ==
+ *     consumed + dropped at quiescence, for both ample and tiny rings
+ *     (drops must be *counted*, never silent);
+ *  6. (optional) a drop-free ring run is count-for-count identical to
+ *     mutex aggregation, and a drop-heavy run stays bounded by it.
  */
 DiffReport runThreadedDiff(const ThreadedDiffOptions &opts);
 

@@ -7,16 +7,23 @@
  *               scheduler with K virtual mutator threads and a PEP
  *               profiler; print cycles, switches, and sample counts.
  *               Runs twice and verifies the byte-determinism contract.
- *   throughput  shard the stream over N OS worker threads with both
- *               aggregation strategies; print requests/second and
- *               verify the merged profiles match count-for-count.
+ *   throughput  shard the stream over N OS worker threads with all
+ *               three aggregation strategies (sharded, mutex, SPSC
+ *               ring transport); print requests/second, drop
+ *               accounting and window staleness, and verify the
+ *               merged profiles match count-for-count (ring must
+ *               match whenever its drop count is zero, and its
+ *               produced == consumed + dropped conservation law must
+ *               hold always).
  *   differ      run one (or all) of the standard multi-threaded
  *               differential configurations from src/testing/differ.
  *
  * Usage:
  *   pep_runtime [--mode coop|throughput|differ] [--threads K]
  *               [--workers N] [--requests R] [--seed S] [--epoch E]
- *               [--config name|all]
+ *               [--config name|all] [--ring-capacity C] [--decay D]
+ *               [--inject kind]   (differ mode: fault injection, e.g.
+ *                                  ring-lost-sample — must FAIL)
  *
  * Exits nonzero when any invariant check fails.
  */
@@ -50,6 +57,9 @@ struct CliOptions
     std::uint64_t seed = 1;
     std::uint32_t epoch = 64;
     std::string config = "all";
+    std::uint32_t ringCapacity = 1u << 14;
+    double decay = 0.5;
+    std::string inject = "none";
 };
 
 void
@@ -58,7 +68,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--mode coop|throughput|differ] "
                  "[--threads K] [--workers N] [--requests R] "
-                 "[--seed S] [--epoch E] [--config name|all]\n",
+                 "[--seed S] [--epoch E] [--config name|all] "
+                 "[--ring-capacity C] [--decay D] [--inject kind]\n",
                  argv0);
 }
 
@@ -165,6 +176,20 @@ runCoop(const CliOptions &cli)
     return 0;
 }
 
+bool
+profilesIdentical(const runtime::ThroughputResult &a,
+                  const runtime::ThroughputResult &b)
+{
+    if (a.paths != b.paths ||
+        a.edges.perMethod.size() != b.edges.perMethod.size())
+        return false;
+    for (std::size_t m = 0; m < a.edges.perMethod.size(); ++m)
+        if (a.edges.perMethod[m].counts() !=
+            b.edges.perMethod[m].counts())
+            return false;
+    return true;
+}
+
 int
 runThroughputMode(const CliOptions &cli)
 {
@@ -174,6 +199,8 @@ runThroughputMode(const CliOptions &cli)
     options.workers = cli.workers;
     options.epochRequests = cli.epoch;
     options.params = makeParams(cli);
+    options.ring.capacity = cli.ringCapacity;
+    options.ring.windowDecay = cli.decay;
 
     options.aggregation =
         runtime::ThroughputOptions::Aggregation::Sharded;
@@ -183,38 +210,81 @@ runThroughputMode(const CliOptions &cli)
         runtime::ThroughputOptions::Aggregation::Mutex;
     const runtime::ThroughputResult mutex_global =
         runtime::runThroughput(stream, options);
+    options.aggregation =
+        runtime::ThroughputOptions::Aggregation::Ring;
+    const runtime::ThroughputResult ring =
+        runtime::runThroughput(stream, options);
 
     std::printf("throughput: workers=%u requests=%zu epoch=%u\n",
                 cli.workers, stream.requests().size(), cli.epoch);
-    std::printf("  sharded: %9.0f req/s (%llu path records)\n",
+    std::printf("  sharded: %9.0f req/s (%llu path records, "
+                "%llu flushes)\n",
                 sharded.requestsPerSecond,
-                static_cast<unsigned long long>(sharded.pathRecords));
+                static_cast<unsigned long long>(sharded.pathRecords),
+                static_cast<unsigned long long>(sharded.shardFlushes));
     std::printf("  mutex:   %9.0f req/s (%llu path records)\n",
                 mutex_global.requestsPerSecond,
                 static_cast<unsigned long long>(
                     mutex_global.pathRecords));
+    std::printf("  ring:    %9.0f req/s (capacity=%u produced=%llu "
+                "consumed=%llu dropped=%llu drop-rate=%.4f%%)\n",
+                ring.requestsPerSecond, cli.ringCapacity,
+                static_cast<unsigned long long>(
+                    ring.transport.produced),
+                static_cast<unsigned long long>(
+                    ring.transport.consumed),
+                static_cast<unsigned long long>(
+                    ring.transport.dropped),
+                100.0 * ring.transport.dropRate());
+    std::printf("  ring window: advances=%llu staleness=%.3f epochs "
+                "(decay=%.2f)\n",
+                static_cast<unsigned long long>(ring.windowAdvances),
+                ring.windowStalenessEpochs, cli.decay);
 
-    bool identical = sharded.paths == mutex_global.paths &&
-                     sharded.edges.perMethod.size() ==
-                         mutex_global.edges.perMethod.size();
-    for (std::size_t m = 0;
-         identical && m < sharded.edges.perMethod.size(); ++m) {
-        identical = sharded.edges.perMethod[m].counts() ==
-                    mutex_global.edges.perMethod[m].counts();
+    bool ok = true;
+    if (!profilesIdentical(sharded, mutex_global)) {
+        std::printf("  sharded vs mutex profiles DIVERGE\n");
+        ok = false;
     }
-    std::printf("  merged profiles %s\n",
-                identical ? "identical" : "DIVERGE");
-    return identical ? 0 : 1;
+    if (ring.transport.produced !=
+        ring.transport.consumed + ring.transport.dropped) {
+        std::printf("  ring conservation VIOLATED: produced != "
+                    "consumed + dropped\n");
+        ok = false;
+    }
+    if (ring.transport.dropped == 0) {
+        if (!profilesIdentical(ring, mutex_global)) {
+            std::printf("  ring (drop-free) vs mutex profiles "
+                        "DIVERGE\n");
+            ok = false;
+        } else {
+            std::printf("  merged profiles identical (ring "
+                        "drop-free)\n");
+        }
+    } else {
+        std::printf("  merged profiles identical (sharded vs mutex); "
+                    "ring dropped %llu samples (not compared)\n",
+                    static_cast<unsigned long long>(
+                        ring.transport.dropped));
+    }
+    return ok ? 0 : 1;
 }
 
 int
 runDifferMode(const CliOptions &cli)
 {
+    testing::InjectKind inject = testing::InjectKind::None;
+    if (!testing::parseInjectKind(cli.inject, inject)) {
+        std::fprintf(stderr, "pep_runtime: unknown --inject '%s'\n",
+                     cli.inject.c_str());
+        return 2;
+    }
     int failures = 0;
-    for (const testing::ThreadedDiffOptions &config :
+    for (testing::ThreadedDiffOptions config :
          testing::standardThreadedConfigs()) {
         if (cli.config != "all" && cli.config != config.name)
             continue;
+        config.inject = inject;
         const testing::DiffReport report =
             testing::runThreadedDiff(config);
         std::printf("differ: %-24s %s (segments=%llu samples=%llu)\n",
@@ -260,6 +330,12 @@ main(int argc, char **argv)
             cli.epoch = std::strtoul(next(), nullptr, 10);
         } else if (arg == "--config") {
             cli.config = next();
+        } else if (arg == "--ring-capacity") {
+            cli.ringCapacity = std::strtoul(next(), nullptr, 10);
+        } else if (arg == "--decay") {
+            cli.decay = std::atof(next());
+        } else if (arg == "--inject") {
+            cli.inject = next();
         } else {
             usage(argv[0]);
             return 2;
