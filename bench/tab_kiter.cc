@@ -1,0 +1,229 @@
+/**
+ * @file
+ * k-BLPP table (docs/KBLPP.md), emitted as BENCH_PR8.json: what
+ * multi-iteration windows buy on the loop-heavy suite. For each
+ * benchmark and k in {1, 2, 4, 8} a zero-cost windowed profiler runs
+ * under replay and we measure:
+ *
+ *   - distinct k-paths vs distinct acyclic paths — how much cyclic
+ *     structure 1-BLPP was conflating (the paper's core claim is that
+ *     this ratio is substantial on loopy code);
+ *   - the fraction of recorded windows that are composite (length > 1),
+ *     i.e. actually cross a loop-header boundary;
+ *   - hot-path concentration (weight of the ten hottest ids) — longer
+ *     windows should spread weight over more distinct contexts;
+ *   - agreement between the k-path-derived edge profile and the
+ *     machine's ground-truth edges. Windowing regroups segments but
+ *     never invents or loses flow, so this must not move with k —
+ *     a k-dependent divergence is a correctness failure, not a
+ *     finding;
+ *   - measured-iteration cycles with a cost-charging windowed profiler,
+ *     relative to k=1 — the runtime price of window bookkeeping on top
+ *     of identical instrumentation (the plan never depends on k).
+ *
+ * Usage: tab_kiter [output.json]   (default BENCH_PR8.json)
+ * PEP_BENCH_SCALE scales the suite.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/harness.hh"
+#include "metrics/overlap.hh"
+#include "support/table.hh"
+
+using namespace pep;
+
+namespace {
+
+constexpr std::uint32_t kValues[] = {1, 2, 4, 8};
+
+struct KRow
+{
+    std::uint64_t distinct = 0;
+    std::uint64_t windows = 0;
+    double compositeFraction = 0.0;
+    double top10Coverage = 0.0;
+    double edgeAgreement = 0.0;
+    std::uint64_t chargedCycles = 0;
+};
+
+struct BenchResult
+{
+    std::string name;
+    KRow rows[std::size(kValues)];
+};
+
+/** Zero-cost windowed run: profile shape + derived-edge agreement. */
+KRow
+measureShape(const bench::Prepared &prepared,
+             const vm::SimParams &params, std::uint32_t k)
+{
+    bench::ReplayRun run(prepared, params);
+    core::FullPathProfiler full(
+        run.machine(), profile::DagMode::HeaderSplit,
+        /*charge_costs=*/false, profile::NumberingScheme::BallLarus,
+        core::PathStoreKind::Hash, profile::PlacementKind::Direct, k);
+    run.machine().addHooks(&full);
+    run.machine().addCompileObserver(&full);
+
+    run.runCompileIteration();
+    run.clearCollectedProfiles();
+    full.clearPathProfiles();
+    run.runMeasuredIteration();
+
+    KRow row;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t composite_weight = 0;
+    for (const auto &[key, vp] : full.versionProfiles()) {
+        if (!vp->state->plan.enabled)
+            continue;
+        const profile::KPathScheme &kpath = vp->state->kpath;
+        for (const auto &[id, record] : vp->paths.paths()) {
+            ++row.distinct;
+            row.windows += record.count;
+            counts.push_back(record.count);
+            if (id >= kpath.base())
+                composite_weight += record.count;
+        }
+    }
+    if (row.windows > 0) {
+        row.compositeFraction =
+            static_cast<double>(composite_weight) /
+            static_cast<double>(row.windows);
+        std::sort(counts.rbegin(), counts.rend());
+        std::uint64_t top = 0;
+        for (std::size_t i = 0; i < counts.size() && i < 10; ++i)
+            top += counts[i];
+        row.top10Coverage = static_cast<double>(top) /
+                            static_cast<double>(row.windows);
+    }
+    row.edgeAgreement = metrics::relativeOverlap(
+        bench::allCfgs(run.machine()), run.machine().truthEdges(),
+        core::edgeProfileFromPaths(run.machine(), full));
+    return row;
+}
+
+/** Cost-charging run: the price of window bookkeeping. */
+std::uint64_t
+measureCharged(const bench::Prepared &prepared,
+               const vm::SimParams &params, std::uint32_t k)
+{
+    bench::ReplayRun run(prepared, params);
+    core::FullPathProfiler full(
+        run.machine(), profile::DagMode::HeaderSplit,
+        /*charge_costs=*/true, profile::NumberingScheme::BallLarus,
+        core::PathStoreKind::Hash, profile::PlacementKind::Direct, k);
+    run.machine().addHooks(&full);
+    run.machine().addCompileObserver(&full);
+    run.runCompileIteration();
+    run.clearCollectedProfiles();
+    full.clearPathProfiles();
+    return run.runMeasuredIteration();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string json_path =
+        argc > 1 ? argv[1] : "BENCH_PR8.json";
+    const vm::SimParams params = bench::defaultParams();
+
+    const std::vector<BenchResult> results = bench::mapSuite(
+        bench::benchSuite(), [&](const workload::WorkloadSpec &spec) {
+            const bench::Prepared prepared =
+                bench::prepare(spec, params);
+            BenchResult result;
+            result.name = spec.name;
+            for (std::size_t i = 0; i < std::size(kValues); ++i) {
+                result.rows[i] =
+                    measureShape(prepared, params, kValues[i]);
+                result.rows[i].chargedCycles =
+                    measureCharged(prepared, params, kValues[i]);
+            }
+            return result;
+        });
+
+    support::Table table;
+    table.header({"benchmark", "k", "distinct", "windows",
+                  "composite", "top10", "edge-agree", "overhead"});
+    std::vector<double> ratios[std::size(kValues)];
+    for (const BenchResult &result : results) {
+        const KRow &base = result.rows[0];
+        for (std::size_t i = 0; i < std::size(kValues); ++i) {
+            const KRow &row = result.rows[i];
+            const double overhead =
+                base.chargedCycles > 0
+                    ? static_cast<double>(row.chargedCycles) /
+                          static_cast<double>(base.chargedCycles)
+                    : 1.0;
+            const double refinement =
+                base.distinct > 0
+                    ? static_cast<double>(row.distinct) /
+                          static_cast<double>(base.distinct)
+                    : 1.0;
+            ratios[i].push_back(refinement);
+            table.row({i == 0 ? result.name : "",
+                       std::to_string(kValues[i]),
+                       std::to_string(row.distinct),
+                       std::to_string(row.windows),
+                       bench::pct(row.compositeFraction),
+                       bench::pct(row.top10Coverage),
+                       bench::pct(row.edgeAgreement, 2),
+                       std::to_string(overhead).substr(0, 5) + "x"});
+        }
+    }
+    std::printf("k-BLPP: multi-iteration path windows vs classic "
+                "BLPP (docs/KBLPP.md)\n\n%s\n",
+                table.str().c_str());
+
+    FILE *json = std::fopen(json_path.c_str(), "w");
+    if (json == nullptr) {
+        std::fprintf(stderr, "tab_kiter: cannot write %s\n",
+                     json_path.c_str());
+        return 1;
+    }
+    std::fprintf(json, "{\n  \"benchmarks\": [\n");
+    for (std::size_t b = 0; b < results.size(); ++b) {
+        const BenchResult &result = results[b];
+        std::fprintf(json, "    {\"name\": \"%s\", \"rows\": [\n",
+                     result.name.c_str());
+        for (std::size_t i = 0; i < std::size(kValues); ++i) {
+            const KRow &row = result.rows[i];
+            std::fprintf(
+                json,
+                "      {\"k\": %u, \"distinct_paths\": %llu, "
+                "\"windows\": %llu, \"composite_fraction\": %.6f, "
+                "\"top10_coverage\": %.6f, \"edge_agreement\": %.6f, "
+                "\"charged_cycles\": %llu}%s\n",
+                kValues[i],
+                static_cast<unsigned long long>(row.distinct),
+                static_cast<unsigned long long>(row.windows),
+                row.compositeFraction, row.top10Coverage,
+                row.edgeAgreement,
+                static_cast<unsigned long long>(row.chargedCycles),
+                i + 1 < std::size(kValues) ? "," : "");
+        }
+        std::fprintf(json, "    ]}%s\n",
+                     b + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"refinement_avg\": {");
+    for (std::size_t i = 0; i < std::size(kValues); ++i) {
+        double sum = 0.0;
+        for (const double r : ratios[i])
+            sum += r;
+        const double avg =
+            ratios[i].empty() ? 1.0 : sum / ratios[i].size();
+        std::fprintf(json, "\"k%u\": %.4f%s", kValues[i], avg,
+                     i + 1 < std::size(kValues) ? ", " : "");
+    }
+    std::fprintf(json, "}\n}\n");
+    std::fclose(json);
+    std::printf("tab_kiter: results in %s\n", json_path.c_str());
+    return 0;
+}

@@ -7,12 +7,15 @@
 # see docs/ENGINE.md), BENCH_PR4.json (cooperative-scheduler PEP
 # overhead/accuracy per virtual-thread count, throughput worker
 # scaling, and the sharded-vs-mutex-vs-ring aggregation comparison),
-# and BENCH_PR7.json (the SPSC ring sample transport under sustained
+# BENCH_PR7.json (the SPSC ring sample transport under sustained
 # load: requests/sec at >= 16 workers, drop rate vs ring capacity,
-# window staleness, and memory flatness — see docs/RUNTIME.md).
+# window staleness, and memory flatness — see docs/RUNTIME.md), and
+# BENCH_PR8.json (k-BLPP: distinct k-paths vs acyclic paths, composite
+# window fraction, hot concentration, and the window-bookkeeping
+# overhead across k — see docs/KBLPP.md).
 #
 # Usage: scripts/bench.sh [perf.json] [concurrency.json] [engine.json]
-#                         [transport.json]
+#                         [transport.json] [kiter.json]
 # Environment: PEP_BENCH_SCALE, PEP_BENCH_ONLY, PEP_BENCH_THREADS.
 set -euo pipefail
 
@@ -22,12 +25,14 @@ OUT=${1:-BENCH_PR2.json}
 OUT_CONCURRENCY=${2:-BENCH_PR4.json}
 OUT_ENGINE=${3:-BENCH_PR5.json}
 OUT_TRANSPORT=${4:-BENCH_PR7.json}
+OUT_KITER=${5:-BENCH_PR8.json}
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)" --target perf_suite tab_concurrency \
-    tab_transport
+    tab_transport tab_kiter
 
 ./build/bench/perf_suite "$OUT" "$OUT_ENGINE"
 ./build/bench/tab_concurrency "$OUT_CONCURRENCY"
 ./build/bench/tab_transport "$OUT_TRANSPORT"
-echo "bench.sh: results in $OUT, $OUT_ENGINE, $OUT_CONCURRENCY and $OUT_TRANSPORT"
+./build/bench/tab_kiter "$OUT_KITER"
+echo "bench.sh: results in $OUT, $OUT_ENGINE, $OUT_CONCURRENCY, $OUT_TRANSPORT and $OUT_KITER"

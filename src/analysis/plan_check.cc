@@ -16,6 +16,7 @@ namespace {
 using profile::DagEdgeKind;
 using profile::DagMode;
 using profile::InstrumentationPlan;
+using profile::KPathScheme;
 using profile::Numbering;
 using profile::PDag;
 using profile::PlacementKind;
@@ -992,6 +993,117 @@ checkTemplateStream(const TemplateCheckInput &in,
            << got_ninstr << " instructions but the code costs "
            << want_cost << " / " << code.code.size();
         error(os.str());
+    }
+
+    return diagnostics.errorCount() == before;
+}
+
+bool
+checkKPathScheme(const KPathCheckInput &in, DiagnosticList &diagnostics)
+{
+    PEP_ASSERT(in.plan && in.kpath);
+    const std::size_t before = diagnostics.errorCount();
+    const auto error = [&](const std::string &message) {
+        diagnostics.report(Severity::Error, "plan-check",
+                           in.methodName, message);
+    };
+
+    const InstrumentationPlan &plan = *in.plan;
+    const KPathScheme &kpath = *in.kpath;
+    const std::uint64_t want_base = plan.enabled ? plan.totalPaths : 0;
+    const std::uint32_t k_requested =
+        in.kRequested == 0 ? 1 : in.kRequested;
+
+    // 10a. The scheme is layered over exactly this plan: base ==
+    // totalPaths (0 for a disabled plan), and the requested k is the
+    // profiler's.
+    if (kpath.base() != want_base) {
+        std::ostringstream os;
+        os << "k-path scheme base " << kpath.base()
+           << " disagrees with the plan's totalPaths " << want_base;
+        error(os.str());
+        return false;
+    }
+    if (kpath.kRequested() != k_requested) {
+        std::ostringstream os;
+        os << "k-path scheme was built for k=" << kpath.kRequested()
+           << " but the profiler requested k=" << k_requested;
+        error(os.str());
+        return false;
+    }
+
+    // 10b. Offsets are exact prefix sums of base^l with no wrap, and
+    // the whole id space sits under the cap.
+    const std::vector<std::uint64_t> &offsets = kpath.offsets();
+    if (offsets.size() != kpath.kEffective() + 1 || offsets[0] != 0) {
+        error("k-path offsets table has the wrong shape");
+        return false;
+    }
+    std::uint64_t power = 1;
+    for (std::uint32_t l = 1; l < offsets.size(); ++l) {
+        power *= kpath.base();
+        if (offsets[l] != offsets[l - 1] + power) {
+            std::ostringstream os;
+            os << "k-path offset for length " << l << " is "
+               << offsets[l] << ", want " << offsets[l - 1] + power;
+            error(os.str());
+            return false;
+        }
+    }
+    if (kpath.maxId() > profile::kKPathIdCap) {
+        std::ostringstream os;
+        os << "k-path id space " << kpath.maxId()
+           << " exceeds the id cap " << profile::kKPathIdCap;
+        error(os.str());
+    }
+
+    // 10c. kEffective is in range and *maximal*: shrinking the window
+    // below the requested k is legal only when one more length would
+    // blow the id cap. A scheme quietly built for a smaller k would
+    // pass every arithmetic check yet profile shorter windows than
+    // configured — this is the check that catches it.
+    if (kpath.kEffective() < 1 || kpath.kEffective() > k_requested) {
+        std::ostringstream os;
+        os << "kEffective " << kpath.kEffective()
+           << " outside [1, " << k_requested << "]";
+        error(os.str());
+        return false;
+    }
+    if (kpath.kEffective() !=
+        profile::kEffectiveFor(kpath.base(), k_requested)) {
+        std::ostringstream os;
+        os << "kEffective " << kpath.kEffective()
+           << " is not the maximal window length for base "
+           << kpath.base() << " and k=" << k_requested << " (want "
+           << profile::kEffectiveFor(kpath.base(), k_requested) << ")";
+        error(os.str());
+    }
+
+    // 10d. k=1 degeneracy: length-1 ids coincide with the raw
+    // Ball-Larus numbers, and encode/decode round-trip at the id-space
+    // corners (all-zero digits — the Smart-numbering all-hot window —
+    // and all base-1 digits).
+    if (plan.enabled && kpath.base() > 0) {
+        const std::uint64_t probe = kpath.base() - 1;
+        if (kpath.encode(&probe, 1) != probe) {
+            error("length-1 k-path ids do not equal raw Ball-Larus "
+                  "numbers — the k=1 degeneracy guarantee is broken");
+        }
+        for (std::uint32_t l = 1; l <= kpath.kEffective(); ++l) {
+            const std::vector<std::uint64_t> zeros(l, 0);
+            const std::vector<std::uint64_t> tops(l, probe);
+            for (const auto &digits : {zeros, tops}) {
+                const std::uint64_t id = kpath.encode(digits);
+                if (id >= kpath.maxId() || kpath.decode(id) != digits) {
+                    std::ostringstream os;
+                    os << "k-path encode/decode round-trip fails at a "
+                          "length-"
+                       << l << " id-space corner";
+                    error(os.str());
+                    break;
+                }
+            }
+        }
     }
 
     return diagnostics.errorCount() == before;

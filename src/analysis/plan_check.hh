@@ -42,6 +42,14 @@
  *     maps to a template carrying its opcode, block and branch layout,
  *     control transfers resolve to their targets' templates, and the
  *     folded segment charges conserve the version's scaled costs.
+ * 10. k-path id-space audit (checkKPathScheme, docs/KBLPP.md): a
+ *     version's KPathScheme must be the arithmetically exact id space
+ *     over its plan — base equals the enabled plan's totalPaths, the
+ *     length offsets are precise prefix sums of base^l, kEffective is
+ *     the *maximal* length fitting under the id cap (never less, so no
+ *     silent window shrinkage), length-1 ids coincide with raw
+ *     Ball-Larus numbers (the k=1 degeneracy guarantee), and
+ *     encode/decode round-trip at the id-space corners.
  *
  * All violations are reported as diagnostics (pass "plan-check"), not
  * panics, so a lint run can show every broken invariant at once.
@@ -53,6 +61,7 @@
 #include "analysis/diagnostics.hh"
 #include "bytecode/cfg_builder.hh"
 #include "profile/instr_plan.hh"
+#include "profile/kpath.hh"
 #include "profile/numbering.hh"
 #include "profile/pdag.hh"
 #include "profile/spanning_placement.hh"
@@ -119,6 +128,27 @@ struct TemplateCheckInput
  */
 bool checkTemplateStream(const TemplateCheckInput &input,
                          DiagnosticList &diagnostics);
+
+/** Everything the k-path id-space audit inspects (check 10). */
+struct KPathCheckInput
+{
+    const profile::InstrumentationPlan *plan = nullptr;
+    const profile::KPathScheme *kpath = nullptr;
+
+    /** The window length the profiler was configured with; kEffective
+     *  may be lower only when forced by the id cap. */
+    std::uint32_t kRequested = 1;
+
+    /** Method name used in diagnostics. */
+    std::string methodName;
+};
+
+/**
+ * Check 10: audit one version's k-path id space against its plan
+ * (docs/KBLPP.md). Returns true if no errors were added.
+ */
+bool checkKPathScheme(const KPathCheckInput &input,
+                      DiagnosticList &diagnostics);
 
 } // namespace pep::analysis
 

@@ -193,15 +193,24 @@ class EdgeChecker
             return;
         std::size_t findings = 0;
         const auto &counts = profile_.counts();
+        // A k-BLPP window concatenates up to `walkMultiplicity` acyclic
+        // segments, so one walk may cross an edge that many times.
+        const std::uint64_t multiplicity =
+            opts_.walkMultiplicity == 0 ? 1 : opts_.walkMultiplicity;
+        const std::uint64_t per_edge = opts_.maxWalks * multiplicity;
         for (cfg::BlockId b = 0; b < cfg_.graph.numBlocks(); ++b) {
             for (std::size_t i = 0; i < counts[b].size(); ++i) {
-                if (counts[b][i] > opts_.maxWalks &&
+                if (counts[b][i] > per_edge &&
                     !capped("walk-bound", findings)) {
                     std::ostringstream os;
                     os << opts_.what << " counts "
                        << counts[b][i] << " crossings of one edge but "
                           "only "
                        << opts_.maxWalks << " walks were recorded";
+                    if (multiplicity > 1) {
+                        os << " (x" << multiplicity
+                           << " segments per window)";
+                    }
                     errorAtEdge("walk-bound",
                                 {b, static_cast<std::uint32_t>(i)},
                                 os.str());
@@ -284,7 +293,8 @@ checkPathProfileRealizability(
     const profile::MethodPathProfile &paths,
     const RealizabilityOptions &options, std::uint64_t max_total,
     const std::string &method_name, bool has_version,
-    std::uint32_t version, DiagnosticList &diagnostics)
+    std::uint32_t version, DiagnosticList &diagnostics,
+    const profile::KPathScheme *kpath)
 {
     const std::size_t before = diagnostics.errorCount();
     const auto report = [&](const char *check,
@@ -315,17 +325,80 @@ checkPathProfileRealizability(
         numbers.push_back(entry.first);
     std::sort(numbers.begin(), numbers.end());
 
+    // Under a k-BLPP scheme, composite window ids extend the valid
+    // range past the per-segment numbering.
+    const std::uint64_t id_limit =
+        kpath != nullptr ? kpath->maxId() : plan.totalPaths;
+
     std::size_t range_findings = 0;
     std::uint64_t total = 0;
     for (const std::uint64_t number : numbers) {
         total += paths.find(number)->count;
-        if (number >= plan.totalPaths) {
+        if (number >= id_limit) {
             if (range_findings++ < kMaxPerCategory) {
                 std::ostringstream os;
                 os << options.what << " records path number " << number
                    << " but the numbering has only " << plan.totalPaths
                    << " paths";
+                if (kpath != nullptr) {
+                    os << " (k=" << kpath->kEffective()
+                       << " id space ends at " << id_limit << ")";
+                }
                 report("path-range", os.str());
+            }
+            continue;
+        }
+        if (kpath != nullptr && number >= kpath->base()) {
+            // Composite id: every digit must reconstruct, and the
+            // digits must chain — segment j ends at the header segment
+            // j+1 starts from, and only the final segment may end at
+            // method exit (exits always flush the window).
+            const std::vector<std::uint64_t> digits =
+                kpath->decode(number);
+            cfg::BlockId prev_end = cfg::kInvalidBlock;
+            for (std::size_t j = 0; j < digits.size(); ++j) {
+                profile::ReconstructedPath segment;
+                try {
+                    segment = reconstructor.reconstruct(digits[j]);
+                } catch (const support::PanicError &e) {
+                    if (range_findings++ < kMaxPerCategory) {
+                        std::ostringstream os;
+                        os << options.what << " k-path id " << number
+                           << " digit " << j << " (" << digits[j]
+                           << ") does not reconstruct: " << e.what();
+                        report("path-reconstruct", os.str());
+                    }
+                    break;
+                }
+                if (j > 0) {
+                    if (prev_end == cfg::kInvalidBlock) {
+                        if (range_findings++ < kMaxPerCategory) {
+                            std::ostringstream os;
+                            os << options.what << " k-path id "
+                               << number << " has a segment ending at "
+                                  "method exit before digit "
+                               << j
+                               << " — exits always close the window";
+                            report("kpath-chain", os.str());
+                        }
+                        break;
+                    }
+                    if (segment.startHeader != prev_end) {
+                        if (range_findings++ < kMaxPerCategory) {
+                            std::ostringstream os;
+                            os << options.what << " k-path id "
+                               << number << " digit " << j
+                               << " starts at header "
+                               << segment.startHeader
+                               << " but the previous segment ended at "
+                               << prev_end
+                               << " — no frame walks this window";
+                            report("kpath-chain", os.str());
+                        }
+                        break;
+                    }
+                }
+                prev_end = segment.endHeader;
             }
             continue;
         }

@@ -27,9 +27,14 @@
  *    inflow.
  *
  * Path-profile constraints:
- *  - every recorded path number is in [0, plan.totalPaths);
+ *  - every recorded path number is in [0, plan.totalPaths) — or, when
+ *    the profile was collected under a k-BLPP scheme, in
+ *    [0, kpath.maxId());
  *  - every recorded path number reconstructs to a valid P-DAG walk
- *    (the reconstructor panics otherwise);
+ *    (the reconstructor panics otherwise); composite k-path ids must
+ *    reconstruct digit by digit *and* chain — each non-final segment
+ *    ends at the header the next segment starts from, and never at
+ *    method exit (a frame's exit always closes its window);
  *  - when `maxTotal` is known, the summed counts fit the sample budget.
  *
  * Findings are reported under pass "realizability".
@@ -42,6 +47,7 @@
 #include "bytecode/cfg_builder.hh"
 #include "profile/edge_profile.hh"
 #include "profile/instr_plan.hh"
+#include "profile/kpath.hh"
 #include "profile/path_profile.hh"
 
 namespace pep::vm {
@@ -67,6 +73,16 @@ struct RealizabilityOptions
      * bounds are skipped.
      */
     std::uint64_t maxWalks = 0;
+
+    /**
+     * Per-edge crossings one recorded walk may contribute. 1 for
+     * single-segment paths (acyclic walks use an edge at most once);
+     * k for k-BLPP windows, which concatenate up to k acyclic
+     * segments and so may cross one CFG edge up to k times. Method
+     * entry/exit bounds are unaffected — every walk still enters and
+     * leaves the method at most once.
+     */
+    std::uint64_t walkMultiplicity = 1;
 
     /** Label describing the profile's origin, used in messages
      *  (e.g. "truth", "pep-sampled"). */
@@ -97,6 +113,8 @@ bool checkEdgeSetRealizability(const vm::Machine &machine,
  * under. Returns true if no errors were added.
  *
  * @param maxTotal  upper bound on summed path counts (0 = unknown).
+ * @param kpath     the k-BLPP id scheme the profile was collected
+ *                  under; null means classic single-iteration ids.
  */
 bool checkPathProfileRealizability(
     const profile::InstrumentationPlan &plan,
@@ -104,7 +122,8 @@ bool checkPathProfileRealizability(
     const profile::MethodPathProfile &paths,
     const RealizabilityOptions &options, std::uint64_t max_total,
     const std::string &method_name, bool has_version,
-    std::uint32_t version, DiagnosticList &diagnostics);
+    std::uint32_t version, DiagnosticList &diagnostics,
+    const profile::KPathScheme *kpath = nullptr);
 
 } // namespace pep::analysis
 

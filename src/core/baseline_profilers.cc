@@ -7,8 +7,10 @@ FullPathProfiler::FullPathProfiler(vm::Machine &machine,
                                    bool charge_costs,
                                    profile::NumberingScheme scheme,
                                    PathStoreKind store,
-                                   profile::PlacementKind placement)
-    : PathEngine(machine, mode, scheme, charge_costs, placement),
+                                   profile::PlacementKind placement,
+                                   std::uint32_t k_iterations)
+    : PathEngine(machine, mode, scheme, charge_costs, placement,
+                 k_iterations),
       store_(store)
 {
 }
@@ -73,7 +75,8 @@ edgeProfileFromPaths(vm::Machine &machine, PathEngine &engine)
             continue;
         profile::accumulateEdgeProfile(result.perMethod[key.first],
                                        vp->paths,
-                                       *vp->state->reconstructor);
+                                       *vp->state->reconstructor,
+                                       &vp->state->kpath);
     }
     return result;
 }

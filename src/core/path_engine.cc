@@ -12,7 +12,8 @@ buildProfilingState(const bytecode::MethodCfg &method_cfg,
                     profile::DagMode mode,
                     profile::NumberingScheme scheme,
                     const profile::MethodEdgeProfile *freq_profile,
-                    profile::PlacementKind placement)
+                    profile::PlacementKind placement,
+                    std::uint32_t k_iterations)
 {
     auto state = std::make_unique<MethodProfilingState>();
     state->method = method;
@@ -55,15 +56,21 @@ buildProfilingState(const bytecode::MethodCfg &method_cfg,
             std::make_unique<profile::PathReconstructor>(
                 method_cfg, state->pdag, state->numbering);
     }
+    // The k-path id space is layered over the finished plan; the plan
+    // itself is identical for every k (k=1 degeneracy guarantee).
+    state->kpath = profile::KPathScheme(
+        state->plan.enabled ? state->plan.totalPaths : 0, k_iterations);
     return state;
 }
 
 PathEngine::PathEngine(vm::Machine &machine, profile::DagMode mode,
                        profile::NumberingScheme scheme,
                        bool charge_costs,
-                       profile::PlacementKind placement)
+                       profile::PlacementKind placement,
+                       std::uint32_t k_iterations)
     : vm_(machine), mode_(mode), scheme_(scheme),
-      chargeCosts_(charge_costs), placement_(placement)
+      chargeCosts_(charge_costs), placement_(placement),
+      kIterations_(k_iterations == 0 ? 1 : k_iterations)
 {
 }
 
@@ -87,7 +94,7 @@ PathEngine::onCompile(bytecode::MethodId method,
     auto state = buildProfilingState(
         version_cfg, method, version.version, mode_, scheme_,
         version.inlinedBody ? nullptr : freqProfileFor(method),
-        placement_);
+        placement_, kIterations_);
     state->compiled = &version;
     if (!state->plan.enabled)
         ++overflowCount_;
@@ -206,8 +213,11 @@ PathEngine::onMethodExit(const vm::FrameView &frame)
     FrameState &fs = stack.back();
     if (fs.vp) {
         // Path ends at method exit; its number is r (the return edge's
-        // increment was applied by onEdge).
-        pathCompleted(*fs.vp, fs.reg, frame.thread);
+        // increment was applied by onEdge). A partial k-BLPP window is
+        // flushed as a short k-path — a frame exits once, so
+        // exit-ending segments are always the last digit of a window.
+        segmentCompleted(fs, fs.reg, frame.thread);
+        flushWindow(fs, frame.thread);
     }
     stack.pop_back();
 }
@@ -249,7 +259,7 @@ PathEngine::applyEdgeAction(FrameState &fs,
         const vm::CostModel &cost = vm_.params().cost;
         if (action.endAdd != 0)
             charge(cost.pathRegAddCost);
-        pathCompleted(*fs.vp, fs.reg + action.endAdd, thread);
+        segmentCompleted(fs, fs.reg + action.endAdd, thread);
         fs.reg = action.restart;
         charge(cost.pathRegResetCost);
     } else if (action.increment != 0) {
@@ -268,7 +278,11 @@ PathEngine::onOsr(const vm::FrameView &frame, cfg::BlockId header)
     if (mode_ != profile::DagMode::HeaderSplit) {
         // Back-edge truncation has the frame mid-path at a header; the
         // old register is meaningless under the new plan, so stop
-        // profiling this frame conservatively.
+        // profiling this frame conservatively. The already-completed
+        // segments of a partial k-window are still valid — flush them
+        // against the old version before dropping the frame.
+        if (fs.vp)
+            flushWindow(fs, frame.thread);
         fs.vp = nullptr;
         return;
     }
@@ -277,6 +291,12 @@ PathEngine::onOsr(const vm::FrameView &frame, cfg::BlockId header)
     // ended at this header, so rebinding to the new version's plan and
     // restarting the register is exactly what a fresh entry through
     // this header would do.
+    // Segment numbers are only meaningful against one version's
+    // numbering, so a partial k-window cannot straddle the switch:
+    // flush it against the old version first (its segments completed
+    // before the OSR fired).
+    if (fs.vp)
+        flushWindow(fs, frame.thread);
     VersionProfile *vp =
         findVersion(frame.method, frame.version->version);
     if (!vp || !vp->state->plan.enabled ||
@@ -304,9 +324,39 @@ PathEngine::onLoopHeader(const vm::FrameView &frame, cfg::BlockId block)
     const vm::CostModel &cost = vm_.params().cost;
     if (action.endAdd != 0)
         charge(cost.pathRegAddCost);
-    pathCompleted(*fs.vp, fs.reg + action.endAdd, frame.thread);
+    segmentCompleted(fs, fs.reg + action.endAdd, frame.thread);
     fs.reg = action.restart;
     charge(cost.pathRegResetCost);
+}
+
+void
+PathEngine::segmentCompleted(FrameState &fs, std::uint64_t number,
+                             std::uint32_t thread)
+{
+    const profile::KPathScheme &kpath = fs.vp->state->kpath;
+    if (kpath.kEffective() == 1) {
+        // Degenerate fast path: classic BLPP, bit-for-bit — the
+        // composite id of a length-1 window IS the raw number.
+        pathCompleted(*fs.vp, number, thread);
+        return;
+    }
+    fs.win.push_back(number);
+    if (fs.win.size() == kpath.kEffective()) {
+        pathCompleted(*fs.vp, kpath.encode(fs.win), thread);
+        fs.win.clear();
+    }
+}
+
+void
+PathEngine::flushWindow(FrameState &fs, std::uint32_t thread)
+{
+    if (fs.win.empty())
+        return;
+    if (!truncateWindowInjection_) {
+        pathCompleted(*fs.vp, fs.vp->state->kpath.encode(fs.win),
+                      thread);
+    }
+    fs.win.clear();
 }
 
 } // namespace pep::core

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "profile/instr_plan.hh"
+#include "profile/kpath.hh"
 #include "profile/numbering.hh"
 #include "profile/path_profile.hh"
 #include "profile/pdag.hh"
@@ -45,6 +46,12 @@ struct MethodProfilingState
     profile::Numbering numbering;
     profile::InstrumentationPlan plan;
 
+    /** k-iteration id space over the plan's path numbers (docs/
+     *  KBLPP.md). Degenerate (kEffective()==1) unless the engine was
+     *  built with k_iterations > 1 and the plan is enabled. The plan
+     *  itself never depends on k — the degeneracy guarantee. */
+    profile::KPathScheme kpath;
+
     /** Built last; holds references into this struct and the CFG. */
     std::unique_ptr<profile::PathReconstructor> reconstructor;
 };
@@ -57,7 +64,8 @@ buildProfilingState(const bytecode::MethodCfg &method_cfg,
                     profile::NumberingScheme scheme,
                     const profile::MethodEdgeProfile *freq_profile,
                     profile::PlacementKind placement =
-                        profile::PlacementKind::Direct);
+                        profile::PlacementKind::Direct,
+                    std::uint32_t k_iterations = 1);
 
 /**
  * One compiled version's profiling state plus the path frequencies
@@ -89,11 +97,15 @@ class PathEngine : public vm::ExecutionHooks, public vm::CompileObserver
      * @param scheme     numbering scheme
      * @param charge_costs false for zero-overhead ground-truth use
      * @param placement  increment placement strategy
+     * @param k_iterations k-BLPP window length (1 = classic BLPP;
+     *                   per-version kEffective may be lower when the
+     *                   composite id space would overflow)
      */
     PathEngine(vm::Machine &machine, profile::DagMode mode,
                profile::NumberingScheme scheme, bool charge_costs,
                profile::PlacementKind placement =
-                   profile::PlacementKind::Direct);
+                   profile::PlacementKind::Direct,
+               std::uint32_t k_iterations = 1);
 
     // CompileObserver
     void onCompile(bytecode::MethodId method,
@@ -129,6 +141,23 @@ class PathEngine : public vm::ExecutionHooks, public vm::CompileObserver
 
     /** Number of methods whose numbering overflowed. */
     std::size_t overflowCount() const { return overflowCount_; }
+
+    /** The requested k-BLPP window length this engine was built with. */
+    std::uint32_t kIterations() const { return kIterations_; }
+
+    /**
+     * Fault injection (testing/differ.hh InjectKind::TruncatedWindow):
+     * silently discard partial windows at flush points (method exit,
+     * OSR) instead of emitting the short k-path. The exact oracle keeps
+     * counting those windows, so the differ's totals/segment checks
+     * must catch the discrepancy. Meaningless when kEffective == 1
+     * everywhere (there are no partial windows to drop).
+     */
+    void
+    setTruncateWindowInjection(bool enabled)
+    {
+        truncateWindowInjection_ = enabled;
+    }
 
   protected:
     /**
@@ -180,6 +209,12 @@ class PathEngine : public vm::ExecutionHooks, public vm::CompileObserver
         const profile::HeaderAction *headers = nullptr;
         std::uint64_t reg = 0;
 
+        /** k-BLPP iteration window: the completed segment numbers not
+         *  yet folded into a composite id. Always empty while the
+         *  version's kEffective is 1 (the degenerate fast path never
+         *  touches it). */
+        std::vector<std::uint64_t> win;
+
         void
         bind(VersionProfile &profile)
         {
@@ -198,6 +233,17 @@ class PathEngine : public vm::ExecutionHooks, public vm::CompileObserver
                          const profile::EdgeAction &action,
                          std::uint32_t thread);
 
+    /** One Ball-Larus segment completed: with kEffective == 1 this is
+     *  pathCompleted verbatim; otherwise the number joins the frame's
+     *  window, which emits one composite id per kEffective segments. */
+    void segmentCompleted(FrameState &fs, std::uint64_t number,
+                          std::uint32_t thread);
+
+    /** Emit the frame's partial window (method exit, OSR) as a short
+     *  k-path — or silently drop it under the truncated-window
+     *  injection. */
+    void flushWindow(FrameState &fs, std::uint32_t thread);
+
     /** Version with an enabled-or-disabled plan, nullptr if the engine
      *  never saw (method, version) compile. */
     VersionProfile *findVersion(bytecode::MethodId method,
@@ -215,6 +261,8 @@ class PathEngine : public vm::ExecutionHooks, public vm::CompileObserver
      *  the FrameStates), indexed by FrameView::thread. */
     std::vector<std::vector<FrameState>> stacks_;
     std::size_t overflowCount_ = 0;
+    const std::uint32_t kIterations_;
+    bool truncateWindowInjection_ = false;
 };
 
 } // namespace pep::core

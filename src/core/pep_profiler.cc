@@ -8,7 +8,8 @@ PepProfiler::PepProfiler(vm::Machine &machine,
                          SamplingController &controller,
                          const PepOptions &options)
     : PathEngine(machine, options.mode, options.scheme,
-                 /*charge_costs=*/true, options.placement),
+                 /*charge_costs=*/true, options.placement,
+                 options.kIterations),
       controller_(controller)
 {
     std::vector<const bytecode::MethodCfg *> cfgs;
@@ -79,7 +80,8 @@ PepProfiler::onYieldpoint(const vm::FrameView &frame,
                 ++stats_.firstTimeExpansions;
                 profile::expandRecord(record,
                                       *pending.vp->state->reconstructor,
-                                      pending.pathNumber);
+                                      pending.pathNumber,
+                                      &pending.vp->state->kpath);
             }
             recordEdges(*pending.vp->state, record.cfgEdges);
         }

@@ -53,6 +53,10 @@ struct PepOptions
     /** Increment placement (Direct, or Ball-Larus spanning-tree event
      *  counting; see profile/spanning_placement.hh). */
     profile::PlacementKind placement = profile::PlacementKind::Direct;
+
+    /** k-BLPP window length (docs/KBLPP.md): sampled path ids cover
+     *  windows of up to k consecutive iterations. 1 = classic PEP. */
+    std::uint32_t kIterations = 1;
 };
 
 /** The hybrid instrumentation + sampling profiler. */

@@ -24,7 +24,8 @@ canonicalize(core::PathEngine &engine)
     for (auto &[version_key, vp] : engine.versionProfiles()) {
         if (!vp->state->reconstructor)
             continue;
-        vp->paths.ensureExpanded(*vp->state->reconstructor);
+        vp->paths.ensureExpanded(*vp->state->reconstructor,
+                                 &vp->state->kpath);
         const bool inlined =
             vp->state->compiled && vp->state->compiled->inlinedBody;
         for (const auto &[number, record] : vp->paths.paths()) {

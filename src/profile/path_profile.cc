@@ -21,11 +21,12 @@ MethodPathProfile::totalCount() const
 }
 
 void
-MethodPathProfile::ensureExpanded(const PathReconstructor &reconstructor)
+MethodPathProfile::ensureExpanded(const PathReconstructor &reconstructor,
+                                  const KPathScheme *kpath)
 {
     for (auto &[number, record] : paths_) {
         if (!record.expanded)
-            expandRecord(record, reconstructor, number);
+            expandRecord(record, reconstructor, number, kpath);
     }
 }
 
@@ -38,9 +39,12 @@ PathProfileSet::clear()
 
 void
 expandRecord(PathRecord &record, const PathReconstructor &reconstructor,
-             std::uint64_t path_number)
+             std::uint64_t path_number, const KPathScheme *kpath)
 {
-    ReconstructedPath path = reconstructor.reconstruct(path_number);
+    ReconstructedPath path =
+        kpath != nullptr && path_number >= kpath->base()
+            ? reconstructKPath(*kpath, reconstructor, path_number)
+            : reconstructor.reconstruct(path_number);
     record.cfgEdges = std::move(path.cfgEdges);
     record.numBranches = path.numBranches;
     record.expanded = true;
@@ -49,9 +53,10 @@ expandRecord(PathRecord &record, const PathReconstructor &reconstructor,
 void
 accumulateEdgeProfile(MethodEdgeProfile &edge_profile,
                       MethodPathProfile &path_profile,
-                      const PathReconstructor &reconstructor)
+                      const PathReconstructor &reconstructor,
+                      const KPathScheme *kpath)
 {
-    path_profile.ensureExpanded(reconstructor);
+    path_profile.ensureExpanded(reconstructor, kpath);
     for (const auto &[number, record] : path_profile.paths()) {
         for (const cfg::EdgeRef &edge : record.cfgEdges)
             edge_profile.addEdge(edge, record.count);

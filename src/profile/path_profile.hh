@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "profile/kpath.hh"
 #include "profile/reconstruct.hh"
 
 namespace pep::profile {
@@ -67,9 +68,12 @@ class MethodPathProfile
 
     /**
      * Expand every record that is not yet expanded (used by the metrics
-     * code, which needs numBranches for every path).
+     * code, which needs numBranches for every path). Pass the version's
+     * KPathScheme when composite k-path ids may be present; null keeps
+     * the single-iteration behavior.
      */
-    void ensureExpanded(const PathReconstructor &reconstructor);
+    void ensureExpanded(const PathReconstructor &reconstructor,
+                        const KPathScheme *kpath = nullptr);
 
     /** Drop all records. */
     void clear() { paths_.clear(); }
@@ -93,11 +97,14 @@ struct PathProfileSet
 
 /**
  * Fill `record` from a reconstruction (first-sample slow path of the
- * paper's handler).
+ * paper's handler). With a KPathScheme, composite ids (>= base) expand
+ * through reconstructKPath; raw Ball-Larus numbers and the null-scheme
+ * case take the legacy single-segment reconstruction.
  */
 void expandRecord(PathRecord &record,
                   const PathReconstructor &reconstructor,
-                  std::uint64_t path_number);
+                  std::uint64_t path_number,
+                  const KPathScheme *kpath = nullptr);
 
 /**
  * Accumulate a path profile into an edge profile: each path contributes
@@ -107,7 +114,8 @@ void expandRecord(PathRecord &record,
  */
 void accumulateEdgeProfile(class MethodEdgeProfile &edge_profile,
                            MethodPathProfile &path_profile,
-                           const PathReconstructor &reconstructor);
+                           const PathReconstructor &reconstructor,
+                           const KPathScheme *kpath = nullptr);
 
 } // namespace pep::profile
 

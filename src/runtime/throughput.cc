@@ -46,7 +46,7 @@ class StreamRecorder final : public core::PathEngine
         profile::PathRecord &record = vp.paths.addSample(path_number);
         if (!record.expanded) {
             profile::expandRecord(record, *vp.state->reconstructor,
-                                  path_number);
+                                  path_number, &vp.state->kpath);
         }
         sink_.recordPath(shard_, vp.state->method, path_number);
         ++pathRecords;

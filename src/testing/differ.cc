@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "analysis/diagnostics.hh"
+#include "analysis/plan_check.hh"
 #include "analysis/verify/invariants.hh"
 #include "analysis/verify/realizability.hh"
 #include "analysis/verify/verify.hh"
@@ -13,6 +14,7 @@
 #include "core/baseline_profilers.hh"
 #include "core/pep_profiler.hh"
 #include "core/sampling.hh"
+#include "profile/kpath.hh"
 #include "runtime/coop_scheduler.hh"
 #include "runtime/request_stream.hh"
 #include "runtime/throughput.hh"
@@ -106,6 +108,11 @@ applyInjection(vm::Machine &machine, core::FullPathProfiler &full,
           case InjectKind::RingLostSample:
             // Threaded differ only: applied inside runThreadedDiff's
             // ring-transport check, never to single-machine plans.
+            break;
+          case InjectKind::TruncatedWindow:
+            // Applied in runDiff via setTruncateWindowInjection: the
+            // fault lives in the engine's window flush, not in any
+            // per-version plan.
             break;
         }
     }
@@ -250,7 +257,11 @@ checkConservation(const profile::EdgeProfileSet &edges,
 /**
  * Map an engine's number->count table for one version to exact segment
  * counts via its reconstructor. Out-of-range numbers and reconstruction
- * panics are violations (a corrupt register produces them).
+ * panics are violations (a corrupt register produces them). Composite
+ * k-path ids expand to the concatenated CFG-edge sequence of their
+ * window, which is exactly the oracle's key for that window; when
+ * kEffective is 1, maxId() equals totalPaths and this degenerates to
+ * the classic single-segment mapping.
  */
 SegmentCounts
 segmentsFromProfile(const core::MethodProfilingState &state,
@@ -259,17 +270,20 @@ segmentsFromProfile(const core::MethodProfilingState &state,
 {
     SegmentCounts result;
     for (const auto &[number, record] : paths.paths()) {
-        if (number >= state.plan.totalPaths) {
+        if (number >= state.kpath.maxId()) {
             std::ostringstream os;
             os << what << ": " << keyName({state.method, state.version})
                << " recorded path number " << number
-               << " >= totalPaths " << state.plan.totalPaths;
+               << " >= id space " << state.kpath.maxId()
+               << " (totalPaths " << state.plan.totalPaths
+               << ", kEffective " << state.kpath.kEffective() << ')';
             addViolation(report, os.str());
             continue;
         }
         try {
             const profile::ReconstructedPath path =
-                state.reconstructor->reconstruct(number);
+                profile::reconstructKPath(state.kpath,
+                                          *state.reconstructor, number);
             result[encodeEdges(path.cfgEdges)] += record.count;
         } catch (const support::PanicError &e) {
             std::ostringstream os;
@@ -371,11 +385,11 @@ runEngineOnce(const bytecode::Program &program, const DiffOptions &opts,
     params.maxCyclesPerIteration = opts.maxCyclesPerIteration;
     vm::Machine machine(program, params);
 
-    ExactOracle oracle(machine, opts.mode);
+    ExactOracle oracle(machine, opts.mode, opts.kIterations);
     core::FullPathProfiler full(machine, opts.mode,
                                 /*charge_costs=*/false, opts.scheme,
                                 core::PathStoreKind::Array,
-                                opts.placement);
+                                opts.placement, opts.kIterations);
     const PepConfig pep_config =
         opts.pepConfigs.empty() ? PepConfig{} : opts.pepConfigs.front();
     core::SimplifiedArnoldGrove controller(pep_config.samples,
@@ -384,6 +398,7 @@ runEngineOnce(const bytecode::Program &program, const DiffOptions &opts,
     pep_options.scheme = opts.scheme;
     pep_options.mode = opts.mode;
     pep_options.placement = opts.placement;
+    pep_options.kIterations = opts.kIterations;
     core::PepProfiler pep(machine, controller, pep_options);
 
     machine.addHooks(&oracle);
@@ -472,6 +487,76 @@ runEngineCrossCheck(const bytecode::Program &program,
     }
 }
 
+/** Memberwise dump of everything an instrumentation plan carries, for
+ *  byte-comparing independently built plans. */
+std::string
+serializePlan(const profile::InstrumentationPlan &plan)
+{
+    std::ostringstream os;
+    const auto dump_action = [&os](const profile::EdgeAction &a) {
+        os << a.increment << ',' << a.endsPath << ',' << a.endAdd << ','
+           << a.restart << ' ';
+    };
+    os << static_cast<int>(plan.mode) << ' ' << plan.enabled << ' '
+       << plan.totalPaths << ' ' << plan.numInstrumentedEdges << '\n';
+    for (const auto &per_block : plan.edgeActions) {
+        for (const profile::EdgeAction &a : per_block)
+            dump_action(a);
+        os << '\n';
+    }
+    for (const profile::HeaderAction &h : plan.headerActions)
+        os << h.endsPath << ',' << h.endAdd << ',' << h.restart << ' ';
+    os << '\n';
+    for (const profile::EdgeAction &a : plan.flatEdgeActions)
+        dump_action(a);
+    os << '\n';
+    for (const std::uint32_t base : plan.edgeBase)
+        os << base << ' ';
+    os << '\n';
+    return os.str();
+}
+
+/**
+ * Check 8 (k-BLPP degeneracy, docs/KBLPP.md): instrumentation plans
+ * are a pure function of the CFG, mode, scheme and placement — never
+ * of k. Rebuild every method's profiling state from pristine inputs at
+ * k = 1 and k = kIterations and byte-compare the serialized plans
+ * (flat mirrors included), then prove the k = 1 id space *is* the raw
+ * Ball-Larus range [0, totalPaths).
+ */
+void
+checkKDegeneracy(const vm::Machine &machine, const DiffOptions &opts,
+                 DiffReport &report)
+{
+    for (std::size_t m = 0; m < machine.numMethods(); ++m) {
+        const bytecode::MethodId method =
+            static_cast<bytecode::MethodId>(m);
+        const bytecode::MethodCfg &cfg = machine.info(method).cfg;
+        const auto legacy = core::buildProfilingState(
+            cfg, method, 0, opts.mode, opts.scheme, nullptr,
+            opts.placement, 1);
+        const auto kstate = core::buildProfilingState(
+            cfg, method, 0, opts.mode, opts.scheme, nullptr,
+            opts.placement, opts.kIterations);
+        if (serializePlan(legacy->plan) !=
+            serializePlan(kstate->plan)) {
+            addViolation(report,
+                         "k-degeneracy: method " + std::to_string(m) +
+                             " plan built at k=" +
+                             std::to_string(opts.kIterations) +
+                             " differs from the k=1 plan");
+        }
+        if (legacy->plan.enabled &&
+            legacy->kpath.maxId() != legacy->plan.totalPaths) {
+            std::ostringstream os;
+            os << "k-degeneracy: method " << m << " k=1 id space "
+               << legacy->kpath.maxId() << " != totalPaths "
+               << legacy->plan.totalPaths;
+            addViolation(report, os.str());
+        }
+    }
+}
+
 /**
  * The static mirror of the dynamic oracles: run the verify passes
  * (docs/ANALYSIS.md) over the machine's installed versions, both
@@ -496,6 +581,7 @@ runStaticVerifyPasses(
                                   std::uint64_t max_total) {
         analysis::RealizabilityOptions ropts;
         ropts.what = what;
+        ropts.walkMultiplicity = opts.kIterations;
         for (auto &[key, vp] : engine.versionProfiles()) {
             if (!vp->state)
                 continue;
@@ -504,10 +590,16 @@ runStaticVerifyPasses(
             analysis::auditPlanMirror(vp->state->plan, name,
                                       /*has_version=*/true, key.second,
                                       diags);
+            analysis::KPathCheckInput kinput;
+            kinput.plan = &vp->state->plan;
+            kinput.kpath = &vp->state->kpath;
+            kinput.kRequested = engine.kIterations();
+            kinput.methodName = name;
+            analysis::checkKPathScheme(kinput, diags);
             analysis::checkPathProfileRealizability(
                 vp->state->plan, *vp->state->reconstructor, vp->paths,
                 ropts, max_total, name, /*has_version=*/true,
-                key.second, diags);
+                key.second, diags, &vp->state->kpath);
         }
     };
     audit_engine(full, "full-path profile", full.pathsStored());
@@ -524,6 +616,7 @@ runStaticVerifyPasses(
             analysis::RealizabilityOptions ropts;
             ropts.what = tag.str() + " edges";
             ropts.maxWalks = peps[p]->pepStats().samplesRecorded;
+            ropts.walkMultiplicity = opts.kIterations;
             analysis::checkEdgeSetRealizability(
                 machine, peps[p]->edgeProfile(), ropts, diags);
         }
@@ -559,6 +652,8 @@ injectKindName(InjectKind kind)
         return "skipped-invalidate";
       case InjectKind::RingLostSample:
         return "ring-lost-sample";
+      case InjectKind::TruncatedWindow:
+        return "truncated-window";
     }
     return "none";
 }
@@ -580,6 +675,8 @@ parseInjectKind(const std::string &name, InjectKind &out)
         out = InjectKind::SkippedInvalidate;
     } else if (name == "ring-lost-sample") {
         out = InjectKind::RingLostSample;
+    } else if (name == "truncated-window") {
+        out = InjectKind::TruncatedWindow;
     } else {
         return false;
     }
@@ -615,6 +712,31 @@ standardConfigs()
         inlined.enableInlining = true;
         v.push_back(inlined);
 
+        // k-BLPP legs (docs/KBLPP.md): the same oracle-exact checks
+        // over multi-iteration window ids, crossed with the features
+        // that interrupt windows mid-frame (OSR) and change the CFGs
+        // they form over (inlining).
+        DiffOptions kiter2;
+        kiter2.name = "kiter2-smart-osr";
+        kiter2.kIterations = 2;
+        kiter2.scheme = profile::NumberingScheme::Smart;
+        kiter2.enableOsr = true;
+        v.push_back(kiter2);
+
+        DiffOptions kiter4;
+        kiter4.name = "kiter4-backedge";
+        kiter4.kIterations = 4;
+        kiter4.mode = profile::DagMode::BackEdgeTruncate;
+        kiter4.yieldpointsOnBackEdges = true;
+        v.push_back(kiter4);
+
+        DiffOptions kiter4_inline;
+        kiter4_inline.name = "kiter4-inline";
+        kiter4_inline.kIterations = 4;
+        kiter4_inline.scheme = profile::NumberingScheme::Smart;
+        kiter4_inline.enableInlining = true;
+        v.push_back(kiter4_inline);
+
         return v;
     }();
     return configs;
@@ -643,13 +765,13 @@ runDiff(const bytecode::Program &program, const DiffOptions &opts)
     params.maxCyclesPerIteration = opts.maxCyclesPerIteration;
     vm::Machine machine(program, params);
 
-    ExactOracle oracle(machine, opts.mode);
+    ExactOracle oracle(machine, opts.mode, opts.kIterations);
     core::FullPathProfiler full(machine, opts.mode,
                                 /*charge_costs=*/false, opts.scheme,
                                 core::PathStoreKind::Array,
-                                opts.placement);
+                                opts.placement, opts.kIterations);
     NestedDispatchProfiler nested(machine, opts.mode, opts.scheme,
-                                  opts.placement);
+                                  opts.placement, opts.kIterations);
 
     std::vector<std::unique_ptr<core::SimplifiedArnoldGrove>>
         controllers;
@@ -662,6 +784,7 @@ runDiff(const bytecode::Program &program, const DiffOptions &opts)
         pep_options.scheme = opts.scheme;
         pep_options.mode = opts.mode;
         pep_options.placement = opts.placement;
+        pep_options.kIterations = opts.kIterations;
         peps.push_back(std::make_unique<core::PepProfiler>(
             machine, *controllers.back(), pep_options));
     }
@@ -684,6 +807,10 @@ runDiff(const bytecode::Program &program, const DiffOptions &opts)
         // execute in the following ones.
         if (opts.inject != InjectKind::None && it + 1 < opts.iterations)
             applyInjection(machine, full, opts, injected);
+        if (opts.inject == InjectKind::TruncatedWindow &&
+            it + 1 < opts.iterations) {
+            full.setTruncateWindowInjection(true);
+        }
     }
 
     // Post-run injections: corruption after the final iteration, when
@@ -703,6 +830,10 @@ runDiff(const bytecode::Program &program, const DiffOptions &opts)
     // the interpreter meant it.
     checkEdgeTablesEqual(oracle.edges(), machine.truthEdges(),
                          "oracle edge mirror", report);
+
+    // Check 8: k never changes what gets instrumented.
+    if (opts.kIterations > 1)
+        checkKDegeneracy(machine, opts, report);
 
     report.oracleSegments = oracle.totalSegments();
     report.blppPaths = full.pathsStored();
@@ -1019,6 +1150,17 @@ standardThreadedConfigs()
         sparse.pep = PepConfig{64, 17};
         all.push_back(sparse);
 
+        // k-BLPP under the cooperative scheduler: per-frame window
+        // state must survive context switches (frames park mid-window)
+        // and the two interleaved runs must stay byte-identical.
+        ThreadedDiffOptions kiter;
+        kiter.name = "coop-k3-kiter2";
+        kiter.threads = 3;
+        kiter.seed = 17;
+        kiter.requests = 72;
+        kiter.kIterations = 2;
+        all.push_back(kiter);
+
         // Ring-transport stress: small epochs make every worker
         // enqueue many epoch marks (lots of window advances), and the
         // tight secondary ring is tiny enough that nearly everything
@@ -1070,7 +1212,9 @@ runThreadedDiff(const ThreadedDiffOptions &opts)
         vm::Machine machine(stream.program(), params);
         core::SimplifiedArnoldGrove controller(opts.pep.samples,
                                                opts.pep.stride);
-        core::PepProfiler pep(machine, controller);
+        core::PepOptions pep_options;
+        pep_options.kIterations = opts.kIterations;
+        core::PepProfiler pep(machine, controller, pep_options);
         machine.addHooks(&pep);
         machine.addCompileObserver(&pep);
 
@@ -1113,7 +1257,8 @@ runThreadedDiff(const ThreadedDiffOptions &opts)
     profile::EdgeProfileSet oracle_sum;
     for (std::uint32_t t = 0; t < opts.threads; ++t) {
         vm::Machine machine(stream.program(), params);
-        ExactOracle oracle(machine, profile::DagMode::HeaderSplit);
+        ExactOracle oracle(machine, profile::DagMode::HeaderSplit,
+                           opts.kIterations);
         machine.addHooks(&oracle);
         machine.addCompileObserver(&oracle);
         vm::Interpreter interp(machine, t);

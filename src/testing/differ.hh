@@ -26,7 +26,15 @@
  *     execution engines are byte-identical: the same program run on
  *     two otherwise-identical machines, one per engine, produces the
  *     same cycles, stats, ground truth, one-time profile, BLPP path
- *     tables and PEP samples (docs/ENGINE.md determinism contract).
+ *     tables and PEP samples (docs/ENGINE.md determinism contract);
+ *  8. (kIterations > 1, docs/KBLPP.md) every comparison above runs
+ *     over k-path window ids instead of raw Ball-Larus numbers — the
+ *     oracle records literal k-iteration segment concatenations and
+ *     the engines' composite ids must reconstruct to *exactly* those
+ *     sequences with exactly those counts — and the k=1 degeneracy
+ *     check proves the instrumentation layer is untouched: plans
+ *     built at k = kIterations are byte-identical to plans built at
+ *     k = 1 (k-BLPP is pure post-processing of segment numbers).
  *
  * Fault injection (for harness self-tests and CI) deliberately breaks
  * the flat/nested mirror invariant after a warm-up iteration, modelling
@@ -98,6 +106,16 @@ enum class InjectKind : std::uint8_t
      *  the drop-free ring-vs-mutex identity (check 6) must both
      *  report it. */
     RingLostSample,
+
+    /** k-BLPP only (kIterations > 1): after a warm-up iteration the
+     *  full profiler silently drops partial windows at method exit and
+     *  OSR instead of emitting them — the truncated-window bug class
+     *  (a frame dies and its accumulated segments vanish). The oracle
+     *  still counts every window, so the totals check (check 4), the
+     *  missed-path check (check 2) and the flat/nested mirror
+     *  (check 3, the nested profiler flushes correctly) must all
+     *  report it. */
+    TruncatedWindow,
 };
 
 /** Name for reports / CLI flags ("none", "stale-flat", ...). */
@@ -118,6 +136,15 @@ struct DiffOptions
     bool yieldpointsOnBackEdges = false;
     bool enableOsr = false;
     bool enableInlining = false;
+
+    /**
+     * k-BLPP window length (docs/KBLPP.md): every profiler groups up
+     * to kIterations consecutive Ball-Larus segments per frame into
+     * one composite k-path id, and the oracle records the literal
+     * concatenated segment sequences. 1 (the default) is bit-for-bit
+     * classic BLPP.
+     */
+    std::uint32_t kIterations = 1;
 
     /** Short tick period so sampling/OSR fire on small programs. */
     std::uint64_t tickCycles = 9'000;
@@ -200,6 +227,10 @@ struct ThreadedDiffOptions
     std::uint64_t tickCycles = 9'000;
 
     PepConfig pep = {8, 3};
+
+    /** k-BLPP window length for the PEP profiler and the solo oracles
+     *  (docs/KBLPP.md); 1 = classic single-segment paths. */
+    std::uint32_t kIterations = 1;
 
     /** Also cross-check sharded vs mutex aggregation (OS threads). */
     bool checkAggregation = true;

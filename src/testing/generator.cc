@@ -103,6 +103,13 @@ class BodyGen
     stmt(std::uint32_t depth)
     {
         const bool nested_ok = depth < spec_.maxDepth;
+        // Loop-bias pre-roll: guarded so bias 0.0 draws nothing and the
+        // RNG stream (hence every generated program) stays byte-stable.
+        if (spec_.loopBias > 0 && nested_ok &&
+            rng_.nextBool(spec_.loopBias)) {
+            loop(depth);
+            return;
+        }
         switch (rng_.nextBounded(10)) {
           case 0:
           case 1:
@@ -208,8 +215,16 @@ class BodyGen
     loop(std::uint32_t depth)
     {
         const std::uint32_t counter = b_.newLocal();
+        // Under loop bias, trip counts get irregular (1..13ish) so
+        // k-windows close at varying phases; the legacy expression is
+        // kept verbatim at bias 0 for byte-stable streams.
         const std::int32_t trips =
-            static_cast<std::int32_t>(2 + rng_.nextBounded(5));
+            spec_.loopBias > 0
+                ? static_cast<std::int32_t>(
+                      1 + rng_.nextBounded(
+                              2 + static_cast<std::uint64_t>(
+                                      12 * spec_.loopBias)))
+                : static_cast<std::int32_t>(2 + rng_.nextBounded(5));
         const Label header = b_.newLabel();
         const Label done = b_.newLabel();
 
@@ -221,7 +236,7 @@ class BodyGen
         b_.branch(Opcode::IfIcmpge, done);
         stmtList(depth + 1);
         b_.iinc(counter, 1);
-        if (rng_.nextBool(0.4)) {
+        if (rng_.nextBool(0.4 + 0.4 * spec_.loopBias)) {
             // Two distinct back edges into one loop header — the
             // shared-header shape that stresses header splitting.
             const Label alt = b_.newLabel();
@@ -405,6 +420,19 @@ fuzzItersFromEnv(std::uint64_t fallback)
     if (end == env || *end != '\0' || value == 0)
         return fallback;
     return static_cast<std::uint64_t>(value);
+}
+
+std::uint32_t
+kIterationsFromEnv(std::uint32_t fallback)
+{
+    const char *env = std::getenv("PEP_KITER");
+    if (!env || !*env)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0' || value == 0)
+        return fallback;
+    return static_cast<std::uint32_t>(value);
 }
 
 } // namespace pep::testing

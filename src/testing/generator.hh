@@ -45,6 +45,16 @@ struct FuzzSpec
     /** Iterations of main's driver loop (controls hotness: enough
      *  timer ticks must land to promote methods to optimizing tiers). */
     std::uint32_t mainTrips = 48;
+
+    /**
+     * Loop-heaviness bias in [0, 1]: the extra probability that any
+     * statement slot becomes a loop before the regular shape roll, with
+     * wider (irregular) trip counts and a raised shared-header rate.
+     * 0.0 draws nothing extra from the RNG, so programs are
+     * byte-identical to the legacy generator — k-BLPP tests raise it to
+     * get deep nesting and many cross-iteration windows per run.
+     */
+    double loopBias = 0.0;
 };
 
 /** Generate a verified program from the spec (deterministic). */
@@ -56,6 +66,14 @@ bytecode::Program generateProgram(const FuzzSpec &spec);
  * uses the small default; nightly runs export a large override.
  */
 std::uint64_t fuzzItersFromEnv(std::uint64_t fallback);
+
+/**
+ * k-BLPP window length for fuzz-style tests: the PEP_KITER environment
+ * variable when set to a positive integer, else `fallback`. Consumed
+ * only by tools/tests that opt in (pep_fuzz --kiter default, dedicated
+ * k-iteration tests) — never by golden tests or corpus replay.
+ */
+std::uint32_t kIterationsFromEnv(std::uint32_t fallback);
 
 } // namespace pep::testing
 

@@ -8,8 +8,10 @@ namespace pep::testing {
 
 NestedDispatchProfiler::NestedDispatchProfiler(
     vm::Machine &machine, profile::DagMode mode,
-    profile::NumberingScheme scheme, profile::PlacementKind placement)
-    : vm_(machine), mode_(mode), scheme_(scheme), placement_(placement)
+    profile::NumberingScheme scheme, profile::PlacementKind placement,
+    std::uint32_t k_iterations)
+    : vm_(machine), mode_(mode), scheme_(scheme), placement_(placement),
+      kIterations_(k_iterations == 0 ? 1 : k_iterations)
 {
 }
 
@@ -33,7 +35,8 @@ NestedDispatchProfiler::onCompile(bytecode::MethodId method,
         versions_[core::VersionKey{method, version.version}];
     vc.state = core::buildProfilingState(version_cfg, method,
                                          version.version, mode_,
-                                         scheme_, freq, placement_);
+                                         scheme_, freq, placement_,
+                                         kIterations_);
     vc.state->compiled = &version;
     if (!vc.state->plan.enabled)
         ++overflow_;
@@ -56,6 +59,31 @@ NestedDispatchProfiler::pathCompleted(VersionCounts &vc,
 }
 
 void
+NestedDispatchProfiler::segmentCompleted(FrameRec &rec,
+                                         std::uint64_t number)
+{
+    const profile::KPathScheme &kpath = rec.vc->state->kpath;
+    if (kpath.kEffective() == 1) {
+        pathCompleted(*rec.vc, number);
+        return;
+    }
+    rec.win.push_back(number);
+    if (rec.win.size() == kpath.kEffective()) {
+        pathCompleted(*rec.vc, kpath.encode(rec.win));
+        rec.win.clear();
+    }
+}
+
+void
+NestedDispatchProfiler::flushWindow(FrameRec &rec)
+{
+    if (rec.win.empty())
+        return;
+    pathCompleted(*rec.vc, rec.vc->state->kpath.encode(rec.win));
+    rec.win.clear();
+}
+
+void
 NestedDispatchProfiler::onMethodEntry(const vm::FrameView &frame)
 {
     FrameRec rec;
@@ -71,8 +99,10 @@ NestedDispatchProfiler::onMethodExit(const vm::FrameView &frame)
 {
     PEP_ASSERT(stack_.size() == frame.depth + 1);
     FrameRec &rec = stack_.back();
-    if (rec.vc)
-        pathCompleted(*rec.vc, rec.reg);
+    if (rec.vc) {
+        segmentCompleted(rec, rec.reg);
+        flushWindow(rec);
+    }
     stack_.pop_back();
 }
 
@@ -89,7 +119,7 @@ NestedDispatchProfiler::onEdge(const vm::FrameView &frame,
     const profile::EdgeAction &action =
         rec.vc->state->plan.edgeActions[edge.src][edge.index];
     if (action.endsPath) {
-        pathCompleted(*rec.vc, rec.reg + action.endAdd);
+        segmentCompleted(rec, rec.reg + action.endAdd);
         rec.reg = action.restart;
     } else if (action.increment != 0) {
         rec.reg += action.increment;
@@ -108,7 +138,7 @@ NestedDispatchProfiler::onLoopHeader(const vm::FrameView &frame,
         rec.vc->state->plan.headerActions[block];
     if (!action.endsPath)
         return;
-    pathCompleted(*rec.vc, rec.reg + action.endAdd);
+    segmentCompleted(rec, rec.reg + action.endAdd);
     rec.reg = action.restart;
 }
 
@@ -118,9 +148,15 @@ NestedDispatchProfiler::onOsr(const vm::FrameView &frame,
 {
     FrameRec &rec = stack_.back();
     if (mode_ != profile::DagMode::HeaderSplit) {
+        if (rec.vc)
+            flushWindow(rec);
         rec.vc = nullptr;
         return;
     }
+    // Flush the partial window against the old version before any
+    // rebind/drop (mirrors PathEngine::onOsr).
+    if (rec.vc)
+        flushWindow(rec);
     VersionCounts *vc = find(frame.method, frame.version->version);
     if (!vc || !vc->state->plan.enabled ||
         !vc->state->plan.headerActions[header].endsPath) {

@@ -30,7 +30,8 @@ class NestedDispatchProfiler final : public vm::ExecutionHooks,
   public:
     NestedDispatchProfiler(vm::Machine &machine, profile::DagMode mode,
                            profile::NumberingScheme scheme,
-                           profile::PlacementKind placement);
+                           profile::PlacementKind placement,
+                           std::uint32_t k_iterations = 1);
 
     /** Per-version state plus the path-number frequencies counted. */
     struct VersionCounts
@@ -67,16 +68,25 @@ class NestedDispatchProfiler final : public vm::ExecutionHooks,
     {
         VersionCounts *vc = nullptr;
         std::uint64_t reg = 0;
+
+        /** k-BLPP iteration window (mirrors PathEngine::FrameState). */
+        std::vector<std::uint64_t> win;
     };
 
     VersionCounts *find(bytecode::MethodId method,
                         std::uint32_t version);
     void pathCompleted(VersionCounts &vc, std::uint64_t number);
 
+    /** Mirror of PathEngine::segmentCompleted / flushWindow: fold the
+     *  segment into the frame's window under the version's kpath. */
+    void segmentCompleted(FrameRec &rec, std::uint64_t number);
+    void flushWindow(FrameRec &rec);
+
     vm::Machine &vm_;
     const profile::DagMode mode_;
     const profile::NumberingScheme scheme_;
     const profile::PlacementKind placement_;
+    const std::uint32_t kIterations_;
 
     std::map<core::VersionKey, VersionCounts> versions_;
     std::vector<FrameRec> stack_;

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "profile/kpath.hh"
+#include "profile/numbering.hh"
 #include "support/panic.hh"
 #include "vm/compiled_method.hh"
 #include "vm/inliner.hh"
@@ -31,8 +33,10 @@ formatEdgeSeq(const EdgeSeq &seq)
     return os.str();
 }
 
-ExactOracle::ExactOracle(vm::Machine &machine, profile::DagMode mode)
-    : vm_(machine), mode_(mode)
+ExactOracle::ExactOracle(vm::Machine &machine, profile::DagMode mode,
+                         std::uint32_t k_iterations)
+    : vm_(machine), mode_(mode),
+      k_(k_iterations == 0 ? 1 : k_iterations)
 {
     std::vector<const bytecode::MethodCfg *> cfgs;
     cfgs.reserve(machine.numMethods());
@@ -52,6 +56,19 @@ ExactOracle::onCompile(bytecode::MethodId method,
     vt.compiled = &version;
     vt.info = version.inlinedBody ? &version.inlinedBody->info
                                   : &vm_.info(method);
+    vt.kEff = 1;
+    if (k_ > 1) {
+        // Derive kEffective from the version's *structural* path count
+        // (scheme-independent), not from any engine's plan: the oracle
+        // must predict the engines' window length without trusting
+        // their numbering machinery.
+        const profile::PDag pdag =
+            profile::buildPDag(vt.info->cfg, mode_);
+        const profile::Numbering numbering = profile::numberPaths(
+            pdag, profile::NumberingScheme::BallLarus);
+        if (!numbering.overflow)
+            vt.kEff = profile::kEffectiveFor(numbering.totalPaths, k_);
+    }
 }
 
 VersionTruth *
@@ -64,10 +81,26 @@ ExactOracle::find(bytecode::MethodId method, std::uint32_t version)
 void
 ExactOracle::complete(FrameRec &frame)
 {
-    ++frame.vt->segments[frame.seg];
+    // The segment joins the frame's tumbling window; the window is
+    // counted once it holds kEff segments (immediately for kEff == 1).
+    frame.win.insert(frame.win.end(), frame.seg.begin(),
+                     frame.seg.end());
+    ++frame.winLen;
+    frame.seg.clear();
+    if (frame.winLen == frame.vt->kEff)
+        commitWindow(frame);
+}
+
+void
+ExactOracle::commitWindow(FrameRec &frame)
+{
+    if (frame.winLen == 0)
+        return;
+    ++frame.vt->segments[frame.win];
     ++frame.vt->completed;
     ++totalSegments_;
-    frame.seg.clear();
+    frame.win.clear();
+    frame.winLen = 0;
 }
 
 void
@@ -86,8 +119,10 @@ ExactOracle::onMethodExit(const vm::FrameView &frame)
     FrameRec &rec = stack_.back();
     if (rec.vt) {
         // The return-block -> exit edge was already appended by its
-        // onEdge; the segment is the full path to method exit.
+        // onEdge; the segment is the full path to method exit. A
+        // partial k-window is counted short (the engines flush it).
         complete(rec);
+        commitWindow(rec);
     }
     stack_.pop_back();
 }
@@ -145,8 +180,11 @@ ExactOracle::onOsr(const vm::FrameView &frame, cfg::BlockId header)
     FrameRec &rec = stack_.back();
     if (mode_ != profile::DagMode::HeaderSplit) {
         // Mid-path frame under a new plan: mirror the engines, which
-        // stop profiling the frame.
+        // stop profiling the frame — but first count the partial
+        // window's already-completed segments, as the engines flush
+        // them before dropping the frame.
         if (rec.vt) {
+            commitWindow(rec);
             ++dropped_;
             rec.vt = nullptr;
             rec.seg.clear();
@@ -156,6 +194,11 @@ ExactOracle::onOsr(const vm::FrameView &frame, cfg::BlockId header)
     // Header splitting: the old version's segment just completed at
     // this header (onLoopHeader fired before the switch); rebind to the
     // new version if a fresh segment can start at the header.
+    // A window cannot straddle the version switch (segment streams are
+    // per version); flush the partial window against the old version
+    // first, mirroring the engines.
+    if (rec.vt)
+        commitWindow(rec);
     VersionTruth *vt = find(frame.method, frame.version->version);
     if (!vt || !vt->info->cfg.isLoopHeader[header]) {
         if (rec.vt)

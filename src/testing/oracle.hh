@@ -18,6 +18,17 @@
  * them. The edge mirror must equal the Machine's own truthEdges(),
  * which pins the oracle's reading of the event stream to the
  * interpreter's.
+ *
+ * With k_iterations > 1 the oracle records literal *k-windows*: the
+ * concatenated edge sequences of up to kEffective consecutive segments
+ * of one frame (tumbling, flushed short at method exit and OSR —
+ * docs/KBLPP.md). It derives each version's kEffective independently
+ * from the structural path count of the version's CFG, never from the
+ * engines' plans, so it stays an oracle for the engines' composite-id
+ * windowing too. Window keys are unambiguous: segment boundaries are
+ * recoverable from the concatenated walk itself (a single segment
+ * cannot pass through a split header or contain an interior back
+ * edge), so two distinct windows never share a key.
  */
 
 #include <cstdint>
@@ -61,10 +72,16 @@ struct VersionTruth
      *  when inlining produced one). */
     const vm::MethodInfo *info = nullptr;
 
+    /** With k == 1 these are per-segment counts; with k > 1 each key
+     *  is one k-window's concatenated edge sequence. */
     SegmentCounts segments;
 
-    /** Total segments completed (sum of segment counts). */
+    /** Total windows completed (== segments for k == 1). */
     std::uint64_t completed = 0;
+
+    /** Effective k-BLPP window length for this version, derived from
+     *  the structural path count (independent of the engines). */
+    std::uint32_t kEff = 1;
 };
 
 /** The oracle; attach with both addHooks() and addCompileObserver(). */
@@ -72,7 +89,8 @@ class ExactOracle final : public vm::ExecutionHooks,
                           public vm::CompileObserver
 {
   public:
-    ExactOracle(vm::Machine &machine, profile::DagMode mode);
+    ExactOracle(vm::Machine &machine, profile::DagMode mode,
+                std::uint32_t k_iterations = 1);
 
     // CompileObserver
     void onCompile(bytecode::MethodId method,
@@ -96,7 +114,8 @@ class ExactOracle final : public vm::ExecutionHooks,
     /** Bytecode-level edge mirror (must equal Machine::truthEdges()). */
     const profile::EdgeProfileSet &edges() const { return edges_; }
 
-    /** Total completed segments across all versions. */
+    /** Total completed windows across all versions (== completed
+     *  segments when k == 1). */
     std::uint64_t totalSegments() const { return totalSegments_; }
 
     /**
@@ -119,13 +138,21 @@ class ExactOracle final : public vm::ExecutionHooks,
     {
         VersionTruth *vt = nullptr;
         EdgeSeq seg;
+
+        /** Concatenated edges of the window's completed segments. */
+        EdgeSeq win;
+        std::uint32_t winLen = 0;
     };
 
     VersionTruth *find(bytecode::MethodId method, std::uint32_t version);
     void complete(FrameRec &frame);
 
+    /** Count the frame's (possibly short) window; no-op when empty. */
+    void commitWindow(FrameRec &frame);
+
     vm::Machine &vm_;
     const profile::DagMode mode_;
+    const std::uint32_t k_;
     std::map<core::VersionKey, VersionTruth> versions_;
     std::vector<FrameRec> stack_;
     profile::EdgeProfileSet edges_;

@@ -557,6 +557,90 @@ TEST(PlanCheck, ReportsMultipleViolationsAtOnce)
     EXPECT_GE(diagnostics.errorCount(), 2u) << renderAll(diagnostics);
 }
 
+TEST(PlanCheck, KPathSchemeAuditAcceptsRealSchemes)
+{
+    // Check 10 accepts the scheme the engine actually layers over a
+    // pipeline-built plan, for the degenerate and windowed ks alike.
+    const Built b = build(test::figure1Program(), DagMode::HeaderSplit,
+                          NumberingScheme::BallLarus,
+                          PlacementKind::Direct);
+    for (const std::uint32_t k : {1u, 2u, 4u}) {
+        const profile::KPathScheme kpath(b.plan.totalPaths, k);
+        KPathCheckInput input;
+        input.plan = &b.plan;
+        input.kpath = &kpath;
+        input.kRequested = k;
+        input.methodName = "main";
+        DiagnosticList diagnostics;
+        EXPECT_TRUE(checkKPathScheme(input, diagnostics))
+            << "k=" << k << "\n"
+            << renderAll(diagnostics);
+    }
+}
+
+TEST(PlanCheck, KPathSchemeAuditRejectsMismatchedBase)
+{
+    // A scheme built over another plan's path count would decode every
+    // composite id into the wrong digits.
+    const Built b = build(test::figure1Program(), DagMode::HeaderSplit,
+                          NumberingScheme::BallLarus,
+                          PlacementKind::Direct);
+    const profile::KPathScheme kpath(b.plan.totalPaths + 1, 2);
+    KPathCheckInput input;
+    input.plan = &b.plan;
+    input.kpath = &kpath;
+    input.kRequested = 2;
+    input.methodName = "main";
+    DiagnosticList diagnostics;
+    EXPECT_FALSE(checkKPathScheme(input, diagnostics));
+    EXPECT_TRUE(
+        hasError(diagnostics, "disagrees with the plan's totalPaths"))
+        << renderAll(diagnostics);
+}
+
+TEST(PlanCheck, KPathSchemeAuditRejectsWrongRequestedK)
+{
+    // A scheme quietly built for a smaller k would profile shorter
+    // windows than configured while passing every arithmetic check.
+    const Built b = build(test::figure1Program(), DagMode::HeaderSplit,
+                          NumberingScheme::BallLarus,
+                          PlacementKind::Direct);
+    const profile::KPathScheme kpath(b.plan.totalPaths, 2);
+    KPathCheckInput input;
+    input.plan = &b.plan;
+    input.kpath = &kpath;
+    input.kRequested = 4;
+    input.methodName = "main";
+    DiagnosticList diagnostics;
+    EXPECT_FALSE(checkKPathScheme(input, diagnostics));
+    EXPECT_TRUE(hasError(diagnostics, "but the profiler requested"))
+        << renderAll(diagnostics);
+}
+
+TEST(PlanCheck, KPathSchemeAuditRequiresBaseZeroForDisabledPlans)
+{
+    Built b = build(test::figure1Program(), DagMode::HeaderSplit,
+                    NumberingScheme::BallLarus, PlacementKind::Direct);
+    b.plan.enabled = false;
+
+    const profile::KPathScheme degenerate(0, 3);
+    KPathCheckInput input;
+    input.plan = &b.plan;
+    input.kpath = &degenerate;
+    input.kRequested = 3;
+    input.methodName = "main";
+    DiagnosticList clean;
+    EXPECT_TRUE(checkKPathScheme(input, clean)) << renderAll(clean);
+
+    const profile::KPathScheme stale(b.plan.totalPaths, 3);
+    input.kpath = &stale;
+    DiagnosticList diagnostics;
+    EXPECT_FALSE(checkKPathScheme(input, diagnostics));
+    EXPECT_TRUE(
+        hasError(diagnostics, "disagrees with the plan's totalPaths"))
+        << renderAll(diagnostics);
+}
+
 /** Replay machine with every method pinned at Opt2 (no inlining). */
 struct OptMachine
 {

@@ -30,7 +30,9 @@
 #include "bytecode/assembler.hh"
 #include "bytecode/cfg_builder.hh"
 #include "bytecode/verifier.hh"
+#include "common/fixtures.hh"
 #include "profile/instr_plan.hh"
+#include "profile/kpath.hh"
 #include "profile/numbering.hh"
 #include "profile/path_profile.hh"
 #include "profile/pdag.hh"
@@ -487,6 +489,82 @@ TEST(Realizability, RejectsOutOfRangePathNumberAndOverBudget)
         method.name, false, 0, budget));
     EXPECT_TRUE(hasError(budget, "realizability", "walk-bound"))
         << describe(budget);
+}
+
+TEST(Realizability, KPathWindowsMustChainThroughLoopHeaders)
+{
+    // Composite k-path ids are accepted only when their decoded
+    // segments chain: digit j ends at the loop header digit j+1 starts
+    // from, and nothing follows a segment that reached method exit.
+    const bytecode::Program program = test::figure1Program();
+    const bytecode::Method &method =
+        program.methods[program.mainMethod];
+    const bytecode::MethodCfg cfg = bytecode::buildCfg(method);
+    const profile::PDag pdag =
+        profile::buildPDag(cfg, profile::DagMode::HeaderSplit);
+    const profile::Numbering numbering = profile::numberPaths(
+        pdag, profile::NumberingScheme::BallLarus, nullptr);
+    const profile::InstrumentationPlan plan =
+        profile::buildInstrumentationPlan(cfg, pdag, numbering);
+    ASSERT_TRUE(plan.enabled);
+    const profile::PathReconstructor reconstructor(cfg, pdag,
+                                                   numbering);
+    const profile::KPathScheme kpath(plan.totalPaths, 2);
+    ASSERT_EQ(kpath.kEffective(), 2u);
+
+    // A body segment loops header->header; an exit segment ends the
+    // frame (endHeader == kInvalidBlock).
+    std::uint64_t body = plan.totalPaths, exit_segment = plan.totalPaths;
+    for (std::uint64_t n = 0; n < plan.totalPaths; ++n) {
+        const profile::ReconstructedPath r =
+            reconstructor.reconstruct(n);
+        if (r.endHeader != cfg::kInvalidBlock &&
+            r.startHeader == r.endHeader && body == plan.totalPaths)
+            body = n;
+        if (r.endHeader == cfg::kInvalidBlock &&
+            exit_segment == plan.totalPaths)
+            exit_segment = n;
+    }
+    ASSERT_LT(body, plan.totalPaths);
+    ASSERT_LT(exit_segment, plan.totalPaths);
+
+    analysis::RealizabilityOptions options;
+    options.what = "k-path profile";
+    options.walkMultiplicity = 2;
+
+    // [body, body] chains and must verify clean.
+    const std::vector<std::uint64_t> chained = {body, body};
+    profile::MethodPathProfile valid;
+    valid.addSample(kpath.encode(chained));
+    DiagnosticList clean;
+    EXPECT_TRUE(analysis::checkPathProfileRealizability(
+        plan, reconstructor, valid, options, /*max_total=*/1,
+        method.name, false, 0, clean, &kpath))
+        << describe(clean);
+
+    // [exit, body] claims a segment after the frame ended — no
+    // execution produces that window.
+    const std::vector<std::uint64_t> broken = {exit_segment, body};
+    profile::MethodPathProfile unwalkable;
+    unwalkable.addSample(kpath.encode(broken));
+    DiagnosticList chain;
+    EXPECT_FALSE(analysis::checkPathProfileRealizability(
+        plan, reconstructor, unwalkable, options, /*max_total=*/1,
+        method.name, false, 0, chain, &kpath));
+    EXPECT_TRUE(hasError(chain, "realizability", "kpath-chain"))
+        << describe(chain);
+
+    // Ids past the composite id space are rejected with the k-aware
+    // range message, and ids the raw numbering would reject are legal
+    // composite windows under the scheme.
+    profile::MethodPathProfile out_of_range;
+    out_of_range.addSample(kpath.maxId() + 1);
+    DiagnosticList range;
+    EXPECT_FALSE(analysis::checkPathProfileRealizability(
+        plan, reconstructor, out_of_range, options, /*max_total=*/1,
+        method.name, false, 0, range, &kpath));
+    EXPECT_TRUE(hasError(range, "realizability", "path-range"))
+        << describe(range);
 }
 
 // ---- Pass 3 seeded bugs: invariant escape audits ---------------------

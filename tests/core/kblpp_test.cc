@@ -1,0 +1,323 @@
+/**
+ * @file
+ * k-BLPP tests at the core layer (docs/KBLPP.md): golden window counts
+ * on a straight-line loop under a pinned-replay machine, exact-oracle
+ * equality on nested-loop and shared-header methods across k and both
+ * DAG modes (via the differ), the digit-multiset identity between a
+ * k-windowed run and the k=1 run of the same program, and per-window
+ * chain/flow-conservation over loop-heavy generated programs.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bytecode/assembler.hh"
+#include "common/fixtures.hh"
+#include "core/baseline_profilers.hh"
+#include "profile/kpath.hh"
+#include "testing/differ.hh"
+#include "testing/generator.hh"
+#include "vm/machine.hh"
+
+namespace pep::core {
+namespace {
+
+namespace fz = pep::testing;
+
+vm::SimParams
+fastTick()
+{
+    vm::SimParams params;
+    params.tickCycles = 9'000;
+    return params;
+}
+
+/** A loop whose body is straight-line: the steady-state full window is
+ *  unique, so window counts are an exact arithmetic golden. */
+bytecode::Program
+straightLineLoopProgram()
+{
+    return bytecode::assembleOrDie(R"(
+.globals 1
+.method main 0 1
+    iconst 10
+    istore 0
+header:
+    iload 0
+    ifle done
+    iinc 0 -1
+    goto header
+done:
+    return
+.end
+.main main
+)");
+}
+
+/** Two nested loops with a data-dependent diamond in the inner body. */
+bytecode::Program
+nestedLoopProgram()
+{
+    return bytecode::assembleOrDie(R"(
+.globals 1
+.method main 0 3
+    iconst 6
+    istore 0
+outer:
+    iload 0
+    ifle exit
+    iconst 4
+    istore 1
+inner:
+    iload 1
+    ifle next
+    irnd
+    iconst 1
+    iand
+    ifeq skip
+    iinc 2 1
+skip:
+    iinc 1 -1
+    goto inner
+next:
+    iinc 0 -1
+    goto outer
+exit:
+    return
+.end
+.main main
+)");
+}
+
+/** One loop header entered by two distinct back edges. */
+bytecode::Program
+sharedHeaderProgram()
+{
+    return bytecode::assembleOrDie(R"(
+.globals 1
+.method main 0 2
+    iconst 8
+    istore 0
+header:
+    iload 0
+    ifle exit
+    iinc 0 -1
+    irnd
+    iconst 1
+    iand
+    ifeq alt
+    goto header
+alt:
+    iinc 1 1
+    goto header
+exit:
+    return
+.end
+.main main
+)");
+}
+
+/** Replay machine pinned at Opt2 with one k-windowed full profiler:
+ *  deterministic (no tiering churn), so goldens are exact. */
+struct ReplayK
+{
+    ReplayK(const bytecode::Program &program, std::uint32_t k)
+        : machine(program, fastTick())
+    {
+        advice.finalLevel.assign(machine.numMethods(),
+                                 vm::OptLevel::Opt2);
+        advice.oneTimeEdges = machine.truthEdges(); // empty, shaped
+        machine.enableReplay(&advice);
+        full = std::make_unique<FullPathProfiler>(
+            machine, profile::DagMode::HeaderSplit,
+            /*charge_costs=*/false,
+            profile::NumberingScheme::BallLarus, PathStoreKind::Hash,
+            profile::PlacementKind::Direct, k);
+        machine.addHooks(full.get());
+        machine.addCompileObserver(full.get());
+    }
+
+    vm::ReplayAdvice advice;
+    vm::Machine machine;
+    std::unique_ptr<FullPathProfiler> full;
+};
+
+/** All recorded (id, count) pairs of every enabled version, plus the
+ *  window lengths decoded through each version's scheme. */
+std::vector<std::uint64_t>
+sortedCounts(const FullPathProfiler &full)
+{
+    std::vector<std::uint64_t> counts;
+    for (const auto &[key, vp] : full.versionProfiles()) {
+        if (!vp->state->plan.enabled)
+            continue;
+        for (const auto &[id, record] : vp->paths.paths())
+            counts.push_back(record.count);
+    }
+    std::sort(counts.begin(), counts.end());
+    return counts;
+}
+
+TEST(KBlpp, ZeroSampleProfileIsEmpty)
+{
+    ReplayK run(straightLineLoopProgram(), 2);
+    EXPECT_EQ(run.full->pathsStored(), 0u);
+    EXPECT_EQ(sortedCounts(*run.full), std::vector<std::uint64_t>{});
+}
+
+TEST(KBlpp, StraightLineLoopGoldenWindowCounts)
+{
+    // 10 trips under HeaderSplit: 1 entry segment, 10 identical body
+    // segments, 1 exit segment = 12 segments per invocation.
+    {
+        // k=2: [entry,body] + 4x[body,body] + [body,exit] = 6 windows.
+        ReplayK run(straightLineLoopProgram(), 2);
+        run.machine.runIteration();
+        EXPECT_EQ(run.full->pathsStored(), 6u);
+        const std::vector<std::uint64_t> want = {1, 1, 4};
+        EXPECT_EQ(sortedCounts(*run.full), want);
+    }
+    {
+        // k=4: [e,b,b,b] + [b,b,b,b] + [b,b,b,exit] = 3 windows.
+        ReplayK run(straightLineLoopProgram(), 4);
+        run.machine.runIteration();
+        EXPECT_EQ(run.full->pathsStored(), 3u);
+        const std::vector<std::uint64_t> want = {1, 1, 1};
+        EXPECT_EQ(sortedCounts(*run.full), want);
+    }
+    {
+        // The steady-state full window is unique: exactly one distinct
+        // id per window length shows up when the body is straight-line.
+        ReplayK run(straightLineLoopProgram(), 3);
+        run.machine.runIteration();
+        // 12 segments -> 4 windows: [e,b,b], 2x[b,b,b], [b,exit].
+        EXPECT_EQ(run.full->pathsStored(), 4u);
+        const std::vector<std::uint64_t> want = {1, 1, 2};
+        EXPECT_EQ(sortedCounts(*run.full), want);
+    }
+}
+
+TEST(KBlpp, GoldenShapesMatchOracleExactlyAcrossKAndModes)
+{
+    const bytecode::Program programs[] = {nestedLoopProgram(),
+                                          sharedHeaderProgram()};
+    const char *configs[] = {"headersplit-direct", "kiter2-smart-osr",
+                             "kiter4-backedge"};
+    for (const bytecode::Program &program : programs) {
+        for (const char *name : configs) {
+            for (const std::uint32_t k : {1u, 2u, 4u}) {
+                const fz::DiffOptions *base = fz::findConfig(name);
+                ASSERT_NE(base, nullptr);
+                fz::DiffOptions opts = *base;
+                opts.kIterations = k;
+                const fz::DiffReport report =
+                    fz::runDiff(program, opts);
+                EXPECT_TRUE(report.ok())
+                    << name << " k=" << k << ": "
+                    << (report.violations.empty()
+                            ? ""
+                            : report.violations.front());
+                EXPECT_EQ(report.blppPaths, report.oracleSegments)
+                    << name << " k=" << k;
+            }
+        }
+    }
+}
+
+/** Per-version digit->count multiset of a k-windowed run. */
+std::map<core::VersionKey, std::map<std::uint64_t, std::uint64_t>>
+digitMultisets(const FullPathProfiler &full)
+{
+    std::map<core::VersionKey, std::map<std::uint64_t, std::uint64_t>>
+        result;
+    for (const auto &[key, vp] : full.versionProfiles()) {
+        if (!vp->state->plan.enabled)
+            continue;
+        auto &digits = result[key];
+        for (const auto &[id, record] : vp->paths.paths()) {
+            for (const std::uint64_t digit :
+                 vp->state->kpath.decode(id)) {
+                digits[digit] += record.count;
+            }
+        }
+    }
+    return result;
+}
+
+TEST(KBlpp, WindowDigitsAreExactlyTheK1SegmentCounts)
+{
+    // Windowing only regroups segments: decoding every k-run id back
+    // into digits must reproduce the k=1 run's per-segment counts
+    // exactly (same deterministic machine, observation-only hooks).
+    const bytecode::Program programs[] = {test::figure1Program(),
+                                          test::callSwitchProgram(),
+                                          nestedLoopProgram()};
+    for (const bytecode::Program &program : programs) {
+        auto run = [&](std::uint32_t k) {
+            auto result = std::make_unique<ReplayK>(program, k);
+            for (int i = 0; i < 3; ++i)
+                result->machine.runIteration();
+            return result;
+        };
+        const auto k1 = run(1);
+        const auto k3 = run(3);
+        const auto want = digitMultisets(*k1->full);
+        const auto got = digitMultisets(*k3->full);
+        EXPECT_FALSE(want.empty());
+        EXPECT_EQ(got, want);
+    }
+}
+
+TEST(KBlpp, WindowsChainAndConserveFlowOnLoopHeavyPrograms)
+{
+    // Cross-iteration flow conservation: inside every recorded window,
+    // segment j must end at the loop header segment j+1 starts from,
+    // and only the final segment may end at method exit.
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        fz::FuzzSpec spec;
+        spec.seed = seed;
+        spec.loopBias = 0.7;
+        const bytecode::Program program = fz::generateProgram(spec);
+
+        ReplayK run(program, 3);
+        for (int i = 0; i < 3; ++i)
+            run.machine.runIteration();
+
+        std::uint64_t composite = 0;
+        for (const auto &[key, vp] : run.full->versionProfiles()) {
+            if (!vp->state->plan.enabled)
+                continue;
+            const profile::KPathScheme &kpath = vp->state->kpath;
+            for (const auto &[id, record] : vp->paths.paths()) {
+                if (id < kpath.base())
+                    continue;
+                ++composite;
+                const std::vector<std::uint64_t> digits =
+                    kpath.decode(id);
+                cfg::BlockId prev_end = cfg::kInvalidBlock;
+                for (std::size_t j = 0; j < digits.size(); ++j) {
+                    const profile::ReconstructedPath segment =
+                        vp->state->reconstructor->reconstruct(
+                            digits[j]);
+                    if (j > 0) {
+                        ASSERT_NE(prev_end, cfg::kInvalidBlock)
+                            << "window continues past a method exit";
+                        EXPECT_EQ(segment.startHeader, prev_end)
+                            << "segments do not chain";
+                    }
+                    prev_end = segment.endHeader;
+                }
+            }
+        }
+        // The bias knob must actually produce cross-iteration windows.
+        EXPECT_GT(composite, 0u) << "seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace pep::core

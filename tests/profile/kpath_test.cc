@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Arithmetic tests of the k-BLPP composite id space (profile/kpath.hh):
+ * offsets are exact prefix sums of base^l, length-1 ids coincide with
+ * raw Ball-Larus numbers (the k=1 degeneracy guarantee), encode/decode
+ * round-trip densely over the whole id space, kEffective caps at the
+ * id ceiling instead of overflowing, and the degenerate bases (0 for
+ * disabled plans, 1 for single-path methods) stay well defined.
+ */
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "profile/kpath.hh"
+#include "support/panic.hh"
+
+namespace pep::profile {
+namespace {
+
+TEST(KPathScheme, OffsetsArePrefixSumsOfBasePowers)
+{
+    const KPathScheme scheme(3, 3);
+    EXPECT_EQ(scheme.base(), 3u);
+    EXPECT_EQ(scheme.kRequested(), 3u);
+    EXPECT_EQ(scheme.kEffective(), 3u);
+    const std::vector<std::uint64_t> want = {0, 3, 12, 39};
+    EXPECT_EQ(scheme.offsets(), want);
+    EXPECT_EQ(scheme.maxId(), 39u);
+}
+
+TEST(KPathScheme, LengthOneIdsAreRawBallLarusNumbers)
+{
+    const KPathScheme scheme(7, 4);
+    for (std::uint64_t n = 0; n < 7; ++n) {
+        EXPECT_EQ(scheme.encode(&n, 1), n);
+        EXPECT_EQ(scheme.lengthOf(n), 1u);
+        EXPECT_EQ(scheme.decode(n), std::vector<std::uint64_t>{n});
+    }
+}
+
+TEST(KPathScheme, DegenerateK1IdSpaceIsExactlyTheRawRange)
+{
+    const KPathScheme scheme(5, 1);
+    EXPECT_EQ(scheme.kEffective(), 1u);
+    EXPECT_EQ(scheme.maxId(), 5u);
+}
+
+TEST(KPathScheme, EncodeDecodeRoundTripCoversTheWholeIdSpace)
+{
+    const KPathScheme scheme(3, 3);
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t id = 0; id < scheme.maxId(); ++id) {
+        const std::vector<std::uint64_t> digits = scheme.decode(id);
+        ASSERT_GE(digits.size(), 1u);
+        ASSERT_LE(digits.size(), scheme.kEffective());
+        EXPECT_EQ(digits.size(), scheme.lengthOf(id));
+        for (const std::uint64_t digit : digits)
+            EXPECT_LT(digit, scheme.base());
+        EXPECT_EQ(scheme.encode(digits), id);
+        seen.insert(id);
+    }
+    // Dense: every id below maxId is a valid window, no gaps.
+    EXPECT_EQ(seen.size(), scheme.maxId());
+}
+
+TEST(KPathScheme, AllZeroWindowsEncodeToTheLengthOffsets)
+{
+    // Smart numbering gives the hottest segment number 0, so the
+    // all-hot window of any length must cost a single constant.
+    const KPathScheme scheme(6, 4);
+    for (std::uint32_t length = 1; length <= scheme.kEffective();
+         ++length) {
+        const std::vector<std::uint64_t> zeros(length, 0);
+        EXPECT_EQ(scheme.encode(zeros), scheme.offsets()[length - 1]);
+    }
+}
+
+TEST(KPathScheme, KEffectiveCapsAtTheIdCeiling)
+{
+    // base 2: offset(l+1) = 2^(l+1) - 2, largest fit under 2^62 is 61.
+    EXPECT_EQ(kEffectiveFor(2, 100), 61u);
+    // A huge base can never square under the cap.
+    EXPECT_EQ(kEffectiveFor(1ull << 32, 4), 1u);
+    // Small schemes keep the full request.
+    EXPECT_EQ(kEffectiveFor(10, 8), 8u);
+    // k = 0 normalizes to 1.
+    EXPECT_EQ(kEffectiveFor(10, 0), 1u);
+
+    const KPathScheme capped(2, 100);
+    EXPECT_EQ(capped.kRequested(), 100u);
+    EXPECT_EQ(capped.kEffective(), 61u);
+    EXPECT_LE(capped.maxId(), kKPathIdCap);
+}
+
+TEST(KPathScheme, DisabledPlanBaseZeroHasEmptyIdSpace)
+{
+    const KPathScheme scheme(0, 4);
+    EXPECT_EQ(scheme.maxId(), 0u);
+    for (const std::uint64_t offset : scheme.offsets())
+        EXPECT_EQ(offset, 0u);
+}
+
+TEST(KPathScheme, BaseOneGrowsLinearly)
+{
+    // One acyclic path: every window is all-zero, ids count lengths.
+    const KPathScheme scheme(1, 4);
+    EXPECT_EQ(scheme.kEffective(), 4u);
+    const std::vector<std::uint64_t> want = {0, 1, 2, 3, 4};
+    EXPECT_EQ(scheme.offsets(), want);
+    for (std::uint32_t length = 1; length <= 4; ++length) {
+        const std::vector<std::uint64_t> zeros(length, 0);
+        const std::uint64_t id = scheme.encode(zeros);
+        EXPECT_EQ(id, length - 1u);
+        EXPECT_EQ(scheme.decode(id), zeros);
+    }
+}
+
+TEST(KPathScheme, PanicsOnMalformedWindowsAndIds)
+{
+    const KPathScheme scheme(3, 2);
+    const std::uint64_t bad_digit = 3;
+    EXPECT_THROW(scheme.encode(&bad_digit, 1), support::PanicError);
+    const std::vector<std::uint64_t> too_long = {0, 0, 0};
+    EXPECT_THROW(scheme.encode(too_long), support::PanicError);
+    EXPECT_THROW(scheme.encode(nullptr, 0), support::PanicError);
+    EXPECT_THROW(scheme.decode(scheme.maxId()), support::PanicError);
+    EXPECT_THROW(scheme.lengthOf(scheme.maxId()),
+                 support::PanicError);
+}
+
+} // namespace
+} // namespace pep::profile

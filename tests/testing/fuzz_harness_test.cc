@@ -119,6 +119,60 @@ TEST(FuzzGenerator, ItersEnvOverride)
     ::unsetenv("PEP_FUZZ_ITERS");
 }
 
+TEST(FuzzGenerator, KIterEnvOverride)
+{
+    ::unsetenv("PEP_KITER");
+    EXPECT_EQ(fz::kIterationsFromEnv(1), 1u);
+    ::setenv("PEP_KITER", "4", 1);
+    EXPECT_EQ(fz::kIterationsFromEnv(1), 4u);
+    ::setenv("PEP_KITER", "0", 1);
+    EXPECT_EQ(fz::kIterationsFromEnv(1), 1u);
+    ::setenv("PEP_KITER", "nonsense", 1);
+    EXPECT_EQ(fz::kIterationsFromEnv(1), 1u);
+    ::unsetenv("PEP_KITER");
+}
+
+TEST(FuzzGenerator, ZeroLoopBiasIsByteIdenticalToLegacyStream)
+{
+    // The knob must not perturb the RNG stream when off: corpus seeds
+    // recorded before the knob existed must replay unchanged.
+    fz::FuzzSpec legacy;
+    legacy.seed = 77;
+    fz::FuzzSpec biased = legacy;
+    biased.loopBias = 0.0;
+    const bytecode::Program a = fz::generateProgram(legacy);
+    const bytecode::Program b = fz::generateProgram(biased);
+    ASSERT_EQ(a.methods.size(), b.methods.size());
+    for (std::size_t m = 0; m < a.methods.size(); ++m) {
+        ASSERT_EQ(a.methods[m].code.size(), b.methods[m].code.size());
+        for (std::size_t pc = 0; pc < a.methods[m].code.size(); ++pc) {
+            EXPECT_EQ(a.methods[m].code[pc].op,
+                      b.methods[m].code[pc].op);
+            EXPECT_EQ(a.methods[m].code[pc].a, b.methods[m].code[pc].a);
+        }
+    }
+}
+
+TEST(FuzzGenerator, LoopBiasProducesLoopHeavierCleanPrograms)
+{
+    std::size_t plain_loops = 0;
+    std::size_t biased_loops = 0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        fz::FuzzSpec spec;
+        spec.seed = seed;
+        const bytecode::Program plain = fz::generateProgram(spec);
+        spec.loopBias = 0.8;
+        bytecode::Program biased = fz::generateProgram(spec);
+        EXPECT_TRUE(bytecode::verifyProgram(biased).ok)
+            << "seed " << seed;
+        for (const bytecode::Method &method : plain.methods)
+            plain_loops += bytecode::buildCfg(method).backEdges.size();
+        for (const bytecode::Method &method : biased.methods)
+            biased_loops += bytecode::buildCfg(method).backEdges.size();
+    }
+    EXPECT_GT(biased_loops, plain_loops);
+}
+
 TEST(Differ, CleanAcrossStandardConfigMatrix)
 {
     std::size_t instrumented = 0;
@@ -215,6 +269,43 @@ TEST(Differ, StaleTemplateInjectionDivergesTheEngines)
 
     const fz::DiffReport clean = fz::runDiff(program, *base);
     EXPECT_TRUE(clean.ok()) << clean.violations.front();
+}
+
+TEST(Differ, StandardConfigMatrixCoversKIterations)
+{
+    std::set<std::uint32_t> ks;
+    for (const fz::DiffOptions &config : fz::standardConfigs())
+        ks.insert(config.kIterations);
+    EXPECT_TRUE(ks.count(1)) << "matrix lost the classic k=1 configs";
+    EXPECT_TRUE(ks.count(2)) << "matrix lost the k=2 config";
+    EXPECT_TRUE(ks.count(4)) << "matrix lost the k=4 configs";
+}
+
+TEST(Differ, TruncatedWindowInjectionIsCaughtAndCleanWithout)
+{
+    const fz::DiffOptions *base = fz::findConfig("kiter2-smart-osr");
+    ASSERT_NE(base, nullptr);
+    ASSERT_GT(base->kIterations, 1u)
+        << "injection needs partial windows to drop";
+    fz::DiffOptions opts = *base;
+    opts.inject = fz::InjectKind::TruncatedWindow;
+
+    const std::uint64_t seed = findCaughtSeed(opts);
+    ASSERT_NE(seed, 0u)
+        << "no seed in 1..20 caught the truncated-window injection";
+
+    fz::FuzzSpec spec;
+    spec.seed = seed;
+    const bytecode::Program program = fz::generateProgram(spec);
+    const fz::DiffReport clean = fz::runDiff(program, *base);
+    EXPECT_TRUE(clean.ok()) << clean.violations.front();
+
+    // At k=1 every window is a single segment: there is nothing to
+    // truncate, so the same injection must be invisible.
+    fz::DiffOptions degenerate = opts;
+    degenerate.kIterations = 1;
+    const fz::DiffReport k1 = fz::runDiff(program, degenerate);
+    EXPECT_TRUE(k1.ok()) << k1.violations.front();
 }
 
 TEST(Shrinker, ReducesInjectedFailureWhileItStillFails)

@@ -17,10 +17,20 @@
  *     --seed-from-run-id   derive the seed from $GITHUB_RUN_ID
  *     --configs a,b,c      comma-separated standard configs (default
  *                          all: headersplit-direct, smart-spanning-osr,
- *                          backedge, inline-smart)
- *     --inject KIND        none | stale-flat | corrupt-increment —
- *                          deliberately corrupt the full profiler's
- *                          flat plan mirror (harness self-test)
+ *                          backedge, inline-smart, kiter2-smart-osr,
+ *                          kiter4-backedge, kiter4-inline)
+ *     --kiter N            override every selected config's k-BLPP
+ *                          window length (default: $PEP_KITER if set,
+ *                          else each config's own kIterations). Avoid
+ *                          with --corpus-dir: corpus replay rebuilds
+ *                          options from the config name alone
+ *     --loop-bias X        generator loop-heaviness in [0,1] (deeper
+ *                          nesting, irregular trips, shared headers);
+ *                          0 is the legacy byte-identical stream
+ *     --inject KIND        none | stale-flat | corrupt-increment |
+ *                          truncated-window | ... — deliberately
+ *                          corrupt the full profiler (harness
+ *                          self-test)
  *     --expect-caught      exit 0 iff at least one violation was found
  *     --no-shrink          skip reduction of failing programs
  *     --corpus-dir DIR     where to write reproducers (none by default)
@@ -60,6 +70,8 @@ struct Options
     std::uint64_t seed = 1;
     bool seedFromRunId = false;
     std::vector<std::string> configs;
+    std::uint32_t kiter = 0; // 0 = keep each config's kIterations
+    double loopBias = 0.0;
     InjectKind inject = InjectKind::None;
     bool expectCaught = false;
     bool shrink = true;
@@ -95,6 +107,17 @@ parseArgs(int argc, char **argv, Options &options)
             while (std::getline(list, name, ','))
                 if (!name.empty())
                     options.configs.push_back(name);
+        } else if (arg == "--kiter") {
+            std::uint64_t kiter = 0;
+            if (!next(kiter))
+                return false;
+            options.kiter = static_cast<std::uint32_t>(kiter);
+        } else if (arg == "--loop-bias") {
+            if (i + 1 >= argc)
+                return false;
+            options.loopBias = std::strtod(argv[++i], nullptr);
+            if (options.loopBias < 0.0 || options.loopBias > 1.0)
+                return false;
         } else if (arg == "--inject") {
             if (i + 1 >= argc ||
                 !pep::testing::parseInjectKind(argv[++i],
@@ -207,6 +230,8 @@ main(int argc, char **argv)
             options.seed = std::strtoull(run_id, nullptr, 10);
     }
     options.iters = pep::testing::fuzzItersFromEnv(options.iters);
+    if (options.kiter == 0)
+        options.kiter = pep::testing::kIterationsFromEnv(0);
 
     std::vector<const DiffOptions *> configs;
     if (options.configs.empty()) {
@@ -235,11 +260,14 @@ main(int argc, char **argv)
         outcome.seed = mixSeed(options.seed, index);
         pep::testing::FuzzSpec spec;
         spec.seed = outcome.seed;
+        spec.loopBias = options.loopBias;
         const pep::bytecode::Program program =
             pep::testing::generateProgram(spec);
         for (const DiffOptions *config : configs) {
             DiffOptions opts = *config;
             opts.inject = options.inject;
+            if (options.kiter > 0)
+                opts.kIterations = options.kiter;
             const DiffReport report = runGuarded(program, opts);
             outcome.instrumentedVersions +=
                 report.instrumentedVersions;
@@ -308,12 +336,15 @@ main(int argc, char **argv)
     if (options.shrink || !options.corpusDir.empty()) {
         pep::testing::FuzzSpec spec;
         spec.seed = first_failure->seed;
+        spec.loopBias = options.loopBias;
         pep::bytecode::Program failing =
             pep::testing::generateProgram(spec);
         const DiffOptions *config =
             pep::testing::findConfig(first_failure->config);
         DiffOptions opts = *config;
         opts.inject = options.inject;
+        if (options.kiter > 0)
+            opts.kIterations = options.kiter;
         std::string violation = first_failure->firstViolation;
         if (options.shrink) {
             const pep::testing::FailPredicate still_fails =

@@ -25,6 +25,11 @@
  *     --quiet         print errors only (text mode)
  *     --static-only   skip the dynamic run (pass 1 + bytecode verify)
  *     --iters N       iterations of the dynamic run (default 3)
+ *     --kiter N       k-BLPP window length of the dynamic profilers
+ *                     (default 1 = classic BLPP); path profiles are
+ *                     then checked against the composite k-path id
+ *                     space, including per-digit reconstruction and
+ *                     window chaining (docs/KBLPP.md)
  *
  * Exit status: 0 clean, 1 diagnostics at the failing severity, 2 usage
  * or file errors.
@@ -40,6 +45,7 @@
 #include <vector>
 
 #include "analysis/diagnostics.hh"
+#include "analysis/plan_check.hh"
 #include "analysis/verify/invariants.hh"
 #include "analysis/verify/realizability.hh"
 #include "analysis/verify/verify.hh"
@@ -60,6 +66,7 @@ struct Options
     bool quiet = false;
     bool staticOnly = false;
     std::uint32_t iters = 3;
+    std::uint32_t kiter = 1;
 };
 
 bool
@@ -80,6 +87,13 @@ parseArgs(int argc, char **argv, Options &options)
                 return false;
             options.iters = static_cast<std::uint32_t>(
                 std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--kiter") {
+            if (i + 1 >= argc)
+                return false;
+            options.kiter = static_cast<std::uint32_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+            if (options.kiter == 0)
+                return false;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "pep-verify: unknown option '%s'\n",
                          arg.c_str());
@@ -103,7 +117,8 @@ readFile(const std::string &path, std::string &out)
     return true;
 }
 
-/** Audit one path engine's plans and path profiles. */
+/** Audit one path engine's plans, k-path id spaces and path
+ *  profiles. */
 void
 verifyEngineProfiles(const pep::vm::Machine &machine,
                      const pep::core::PathEngine &engine,
@@ -112,16 +127,23 @@ verifyEngineProfiles(const pep::vm::Machine &machine,
 {
     pep::analysis::RealizabilityOptions opts;
     opts.what = what;
+    opts.walkMultiplicity = engine.kIterations();
     for (const auto &[key, vp] : engine.versionProfiles()) {
         const std::string &name =
             machine.program().methods[key.first].name;
         pep::analysis::auditPlanMirror(vp->state->plan, name,
                                        /*has_version=*/true, key.second,
                                        diagnostics);
+        pep::analysis::KPathCheckInput kinput;
+        kinput.plan = &vp->state->plan;
+        kinput.kpath = &vp->state->kpath;
+        kinput.kRequested = engine.kIterations();
+        kinput.methodName = name;
+        pep::analysis::checkKPathScheme(kinput, diagnostics);
         pep::analysis::checkPathProfileRealizability(
             vp->state->plan, *vp->state->reconstructor, vp->paths, opts,
             max_total, name, /*has_version=*/true, key.second,
-            diagnostics);
+            diagnostics, &vp->state->kpath);
     }
 }
 
@@ -129,7 +151,7 @@ verifyEngineProfiles(const pep::vm::Machine &machine,
  *  and every recorded profile. */
 void
 dynamicVerify(const pep::bytecode::Program &program,
-              std::uint32_t iters,
+              std::uint32_t iters, std::uint32_t kiter,
               pep::analysis::DiagnosticList &diagnostics)
 {
     using pep::analysis::Severity;
@@ -143,12 +165,15 @@ dynamicVerify(const pep::bytecode::Program &program,
     pep::core::FullPathProfiler full(
         machine, pep::profile::DagMode::HeaderSplit,
         /*charge_costs=*/false, pep::profile::NumberingScheme::BallLarus,
-        pep::core::PathStoreKind::Array);
+        pep::core::PathStoreKind::Array,
+        pep::profile::PlacementKind::Direct, kiter);
     machine.addHooks(&full);
     machine.addCompileObserver(&full);
 
     pep::core::SimplifiedArnoldGrove controller(1, 1);
-    pep::core::PepProfiler pep(machine, controller);
+    pep::core::PepOptions pep_options;
+    pep_options.kIterations = kiter;
+    pep::core::PepProfiler pep(machine, controller, pep_options);
     machine.addHooks(&pep);
     machine.addCompileObserver(&pep);
 
@@ -183,11 +208,13 @@ dynamicVerify(const pep::bytecode::Program &program,
         pep::analysis::checkEdgeSetRealizability(
             machine, machine.truthEdges(), opts, diagnostics);
     }
-    // PEP's continuous edge profile: sums of sampled acyclic walks.
+    // PEP's continuous edge profile: sums of sampled walks (k-windows
+    // may cross one edge up to k times).
     {
         pep::analysis::RealizabilityOptions opts;
         opts.what = "pep-sampled edges";
         opts.maxWalks = pep.pepStats().samplesRecorded;
+        opts.walkMultiplicity = kiter;
         pep::analysis::checkEdgeSetRealizability(
             machine, pep.edgeProfile(), opts, diagnostics);
     }
@@ -196,6 +223,7 @@ dynamicVerify(const pep::bytecode::Program &program,
         pep::analysis::RealizabilityOptions opts;
         opts.what = "path-derived edges";
         opts.maxWalks = full.pathsStored();
+        opts.walkMultiplicity = kiter;
         const pep::profile::EdgeProfileSet derived =
             pep::core::edgeProfileFromPaths(machine, full);
         pep::analysis::checkEdgeSetRealizability(machine, derived, opts,
@@ -213,7 +241,8 @@ main(int argc, char **argv)
         std::fprintf(
             stderr,
             "usage: pep_verify [--json] [--werror] [--quiet]"
-            " [--static-only] [--iters N] <program.pepasm>...\n");
+            " [--static-only] [--iters N] [--kiter N]"
+            " <program.pepasm>...\n");
         return 2;
     }
 
@@ -244,7 +273,7 @@ main(int argc, char **argv)
                 assembled.program, diagnostics);
             if (clean && !options.staticOnly) {
                 dynamicVerify(assembled.program, options.iters,
-                              diagnostics);
+                              options.kiter, diagnostics);
             }
         }
 
