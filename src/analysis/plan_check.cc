@@ -8,6 +8,7 @@
 #include "support/panic.hh"
 #include "vm/compiled_method.hh"
 #include "vm/decoded_method.hh"
+#include "vm/inliner.hh"
 
 namespace pep::analysis {
 
@@ -1103,6 +1104,129 @@ checkKPathScheme(const KPathCheckInput &in, DiagnosticList &diagnostics)
                     break;
                 }
             }
+        }
+    }
+
+    return diagnostics.errorCount() == before;
+}
+
+// ---- check 11: cloned-body origin audit -------------------------------
+
+bool
+checkClonedBody(const CloneCheckInput &in, DiagnosticList &diagnostics)
+{
+    PEP_ASSERT(in.originalCfg && in.body);
+    const std::size_t before = diagnostics.errorCount();
+    const auto error = [&](const std::string &message) {
+        diagnostics.report(Severity::Error, "plan-check",
+                           in.methodName, message);
+    };
+
+    const bytecode::MethodCfg &original = *in.originalCfg;
+    const bytecode::MethodCfg &cloned = in.body->info.cfg;
+    const cfg::Graph &graph = cloned.graph;
+
+    if (in.body->blockOrigin.size() != graph.numBlocks()) {
+        error("cloned body's blockOrigin table does not cover its CFG");
+        return false;
+    }
+
+    // 11a. OSR contract: the original code region is unmoved, so the
+    // rootPcMap must be the identity over it.
+    const std::size_t original_size = original.blockOfPc.size();
+    if (in.body->rootPcMap.size() != original_size) {
+        std::ostringstream os;
+        os << "cloned body's rootPcMap covers "
+           << in.body->rootPcMap.size() << " pcs, the original method "
+           << original_size;
+        error(os.str());
+    } else {
+        for (bytecode::Pc pc = 0; pc < original_size; ++pc) {
+            if (in.body->rootPcMap[pc] != pc) {
+                std::ostringstream os;
+                os << "cloned body's rootPcMap[" << pc << "] is "
+                   << in.body->rootPcMap[pc]
+                   << "; clones keep original code in place, so the "
+                      "map must be the identity";
+                error(os.str());
+                break;
+            }
+        }
+    }
+
+    // 11b. Origin records: every Cond/Switch block needs one (that is
+    // where profile folding and layout sharing happen); only
+    // synthesized glue Gotos may go without. Valid origins must name a
+    // code block of this method with the same terminator kind and —
+    // for branches — the same successor arity, or per-index counter
+    // sharing would mix edges of different branches.
+    std::size_t findings = 0;
+    for (cfg::BlockId b = 2; b < graph.numBlocks(); ++b) {
+        if (!cloned.isCodeBlock(b))
+            continue;
+        if (findings >= kMaxPerCategory)
+            break;
+        const bytecode::TerminatorKind kind = cloned.terminator[b];
+        const vm::BlockOrigin &origin = in.body->blockOrigin[b];
+        if (!origin.valid()) {
+            if (kind == bytecode::TerminatorKind::Cond ||
+                kind == bytecode::TerminatorKind::Switch) {
+                std::ostringstream os;
+                os << "cloned block " << b
+                   << " branches but has no BlockOrigin — its "
+                      "taken/not-taken counters have nowhere to fold";
+                error(os.str());
+                ++findings;
+            }
+            continue;
+        }
+        if (origin.method != in.rootMethod) {
+            std::ostringstream os;
+            os << "cloned block " << b << " claims origin method "
+               << origin.method << " but clones never splice other "
+               << "methods (root is " << in.rootMethod << ")";
+            error(os.str());
+            ++findings;
+            continue;
+        }
+        if (origin.block >= original.graph.numBlocks() ||
+            !original.isCodeBlock(origin.block)) {
+            std::ostringstream os;
+            os << "cloned block " << b
+               << " names nonexistent origin block " << origin.block;
+            error(os.str());
+            ++findings;
+            continue;
+        }
+        if (kind == bytecode::TerminatorKind::Cond ||
+            kind == bytecode::TerminatorKind::Switch ||
+            kind == bytecode::TerminatorKind::Goto ||
+            kind == bytecode::TerminatorKind::Return) {
+            if (original.terminator[origin.block] != kind) {
+                std::ostringstream os;
+                os << "cloned block " << b << " (terminator kind "
+                   << static_cast<int>(kind)
+                   << ") folds onto original block " << origin.block
+                   << " of kind "
+                   << static_cast<int>(
+                          original.terminator[origin.block]);
+                error(os.str());
+                ++findings;
+                continue;
+            }
+        }
+        if ((kind == bytecode::TerminatorKind::Cond ||
+             kind == bytecode::TerminatorKind::Switch) &&
+            graph.succs(b).size() !=
+                original.graph.succs(origin.block).size()) {
+            std::ostringstream os;
+            os << "cloned block " << b << " has "
+               << graph.succs(b).size()
+               << " successors but its origin block " << origin.block
+               << " has " << original.graph.succs(origin.block).size()
+               << " — per-index counter sharing is ill-defined";
+            error(os.str());
+            ++findings;
         }
     }
 

@@ -50,6 +50,16 @@
  *     silent window shrinkage), length-1 ids coincide with raw
  *     Ball-Larus numbers (the k=1 degeneracy guarantee), and
  *     encode/decode round-trip at the id-space corners.
+ * 11. Cloned-body origin audit (checkClonedBody, docs/OPT.md): a
+ *     version whose body the path-cloning pass synthesized must fold
+ *     exactly onto the original CFG — every Cond/Switch block carries
+ *     a valid BlockOrigin naming an original block of the same
+ *     terminator kind and successor arity (so per-index counter
+ *     sharing is well-defined), only synthesized glue Gotos may lack
+ *     an origin, and the rootPcMap is the identity over the original
+ *     code region (the OSR contract for clones). Combined with checks
+ *     1-10 over the synthesized CFG's own plan, this validates
+ *     cloned-CFG instrumentation end to end.
  *
  * All violations are reported as diagnostics (pass "plan-check"), not
  * panics, so a lint run can show every broken invariant at once.
@@ -68,6 +78,7 @@
 
 namespace pep::vm {
 struct DecodedMethod;
+struct InlinedBody;
 }
 
 namespace pep::analysis {
@@ -149,6 +160,30 @@ struct KPathCheckInput
  */
 bool checkKPathScheme(const KPathCheckInput &input,
                       DiagnosticList &diagnostics);
+
+/** Everything the cloned-body audit inspects (check 11). */
+struct CloneCheckInput
+{
+    /** The method the cloned version belongs to. */
+    bytecode::MethodId rootMethod = 0;
+
+    /** That method's original CFG. */
+    const bytecode::MethodCfg *originalCfg = nullptr;
+
+    /** The synthesized body the version executes. */
+    const vm::InlinedBody *body = nullptr;
+
+    /** Method name used in diagnostics. */
+    std::string methodName;
+};
+
+/**
+ * Check 11: audit a clone-synthesized body's origin records against
+ * the original CFG (docs/OPT.md). Returns true if no errors were
+ * added.
+ */
+bool checkClonedBody(const CloneCheckInput &input,
+                     DiagnosticList &diagnostics);
 
 } // namespace pep::analysis
 

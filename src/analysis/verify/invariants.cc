@@ -1,6 +1,9 @@
 #include "analysis/verify/invariants.hh"
 
+#include <map>
 #include <sstream>
+
+#include "vm/inliner.hh"
 
 #include "vm/compiled_method.hh"
 #include "vm/decoded_method.hh"
@@ -213,6 +216,61 @@ auditMutationJournal(const vm::Machine &machine,
         reportError(diagnostics, "escape-unsanitized",
                     machine.program().methods[event.method].name,
                     /*has_version=*/true, event.version, os.str());
+    }
+    return diagnostics.errorCount() == before;
+}
+
+bool
+auditCloneJournal(const vm::Machine &machine,
+                  DiagnosticList &diagnostics)
+{
+    const std::size_t before = diagnostics.errorCount();
+
+    // Compile() appends exactly one journal entry per version, in
+    // order; index them for the cross-check.
+    std::map<std::pair<bytecode::MethodId, std::uint32_t>, bool>
+        recorded;
+    for (const vm::CompileEvent &event : machine.compileJournal())
+        recorded[{event.method, event.version}] = event.cloneApplied;
+
+    std::size_t findings = 0;
+    for (bytecode::MethodId m = 0; m < machine.numMethods(); ++m) {
+        const std::string &name = machine.program().methods[m].name;
+        for (std::uint32_t v = 0; v < machine.numVersions(m); ++v) {
+            if (findings >= kMaxPerCategory)
+                return diagnostics.errorCount() == before;
+            const vm::CompiledMethod *cm = machine.versionAt(m, v);
+            const auto it = recorded.find({m, v});
+            if (it == recorded.end()) {
+                reportError(diagnostics, "clone-journal", name,
+                            /*has_version=*/true, v,
+                            "installed version was never recorded in "
+                            "the compile journal — it did not come "
+                            "through Machine::compile()");
+                ++findings;
+                continue;
+            }
+            if (cm->cloneApplied != it->second) {
+                std::ostringstream os;
+                os << "installed version's cloneApplied is "
+                   << (cm->cloneApplied ? "true" : "false")
+                   << " but its compile was recorded with "
+                   << (it->second ? "true" : "false")
+                   << " — a cloned body that bypassed the pass "
+                      "pipeline (or a clone flag cleared in place)";
+                reportError(diagnostics, "clone-journal", name,
+                            /*has_version=*/true, v, os.str());
+                ++findings;
+                continue;
+            }
+            if (cm->cloneApplied && !cm->inlinedBody) {
+                reportError(diagnostics, "clone-journal", name,
+                            /*has_version=*/true, v,
+                            "clone-applied version carries no "
+                            "synthesized body");
+                ++findings;
+            }
+        }
     }
     return diagnostics.errorCount() == before;
 }

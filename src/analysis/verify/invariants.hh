@@ -30,7 +30,16 @@
  *    and proves every `versionForUpdate` escape was followed by a
  *    matching `invalidateDecoded` — the conservative source-discipline
  *    check: it flags a skipped invalidate even if the mutation happened
- *    to leave the baked-in state unchanged.
+ *    to leave the baked-in state unchanged;
+ *  - auditCloneJournal extends the discipline to the path-cloning
+ *    pass (src/opt/path_clone.hh): every installed version must appear
+ *    in the machine's compile journal with a matching cloneApplied
+ *    flag — a clone-applied version absent from the journal, or whose
+ *    installed flag disagrees with its recorded compile, acquired its
+ *    synthesized body outside Machine::compile()'s pass pipeline and
+ *    therefore outside the template rule the pipeline guarantees
+ *    (in-place mutations after the compile remain the mutation
+ *    journal's concern).
  *
  * Findings are reported under pass "invariants".
  */
@@ -71,6 +80,16 @@ bool auditMachineDecoded(const vm::Machine &machine,
  */
 bool auditMutationJournal(const vm::Machine &machine,
                           DiagnosticList &diagnostics);
+
+/**
+ * Prove every installed version's clone state matches the machine's
+ * compile journal: the version was recorded by compile(), its
+ * cloneApplied flag agrees with the record, and clone-applied versions
+ * really carry a synthesized body. Returns true if no errors were
+ * added.
+ */
+bool auditCloneJournal(const vm::Machine &machine,
+                       DiagnosticList &diagnostics);
 
 } // namespace pep::analysis
 

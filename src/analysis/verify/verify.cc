@@ -1,5 +1,6 @@
 #include "analysis/verify/verify.hh"
 
+#include "analysis/plan_check.hh"
 #include "analysis/verify/engine_equiv.hh"
 #include "analysis/verify/invariants.hh"
 #include "bytecode/cfg_builder.hh"
@@ -104,6 +105,22 @@ verifyMachine(const vm::Machine &machine, DiagnosticList &diagnostics,
         auditMachineDecoded(machine, diagnostics);
     if (options.checkJournal)
         auditMutationJournal(machine, diagnostics);
+    if (options.checkClones) {
+        auditCloneJournal(machine, diagnostics);
+        for (bytecode::MethodId m = 0; m < machine.numMethods(); ++m) {
+            for (std::uint32_t v = 0; v < machine.numVersions(m); ++v) {
+                const vm::CompiledMethod *cm = machine.versionAt(m, v);
+                if (!cm->cloneApplied || !cm->inlinedBody)
+                    continue;
+                CloneCheckInput input;
+                input.rootMethod = m;
+                input.originalCfg = &machine.info(m).cfg;
+                input.body = cm->inlinedBody.get();
+                input.methodName = machine.program().methods[m].name;
+                checkClonedBody(input, diagnostics);
+            }
+        }
+    }
 
     return diagnostics.errorCount() == before;
 }

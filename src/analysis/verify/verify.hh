@@ -43,6 +43,11 @@ struct VerifyOptions
     bool checkEquivalence = true;
     bool checkCachedStreams = true;
     bool checkJournal = true;
+
+    /** Clone discipline: compile-journal agreement for every version
+     *  (auditCloneJournal) plus the check-11 origin audit of every
+     *  clone-synthesized body. */
+    bool checkClones = true;
 };
 
 /**

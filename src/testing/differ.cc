@@ -14,6 +14,8 @@
 #include "core/baseline_profilers.hh"
 #include "core/pep_profiler.hh"
 #include "core/sampling.hh"
+#include "opt/pipeline.hh"
+#include "opt/profile_consumer.hh"
 #include "profile/kpath.hh"
 #include "runtime/coop_scheduler.hh"
 #include "runtime/request_stream.hh"
@@ -114,6 +116,11 @@ applyInjection(vm::Machine &machine, core::FullPathProfiler &full,
             // fault lives in the engine's window flush, not in any
             // per-version plan.
             break;
+          case InjectKind::BadCloneFold:
+            // Applied in runDiff via corruptCloneFold: the fault lives
+            // in an installed version's BlockOrigin map, not in any
+            // profiler's plan.
+            break;
         }
     }
 }
@@ -145,6 +152,93 @@ flipInstalledLayouts(vm::Machine &machine,
         for (std::int16_t &layout : cm->branchLayout)
             layout = layout == 1 ? 0 : 1;
     }
+}
+
+/**
+ * The bad-clone-fold fault: invalidate the BlockOrigin of one
+ * clone-region branch block of the first clone-applied version, as if
+ * the cloning pass lost track of where a duplicated branch's counters
+ * belong. The escape is discharged with invalidateDecoded so the
+ * mutation journal and template audits stay clean — only the fold
+ * checks (check 1 while the version keeps executing, check 9 always,
+ * and the static check-11 origin audit) may catch it. Returns false
+ * when no cloned version exists yet.
+ */
+bool
+corruptCloneFold(vm::Machine &machine)
+{
+    for (std::size_t m = 0; m < machine.numMethods(); ++m) {
+        const bytecode::MethodId method =
+            static_cast<bytecode::MethodId>(m);
+        const std::size_t original_size =
+            machine.program().methods[m].code.size();
+        for (std::uint32_t v = 0; v < machine.numVersions(method); ++v) {
+            const vm::CompiledMethod *cm = machine.versionAt(method, v);
+            if (!cm->cloneApplied || !cm->inlinedBody)
+                continue;
+            const bytecode::MethodCfg &cfg = cm->inlinedBody->info.cfg;
+            for (cfg::BlockId b = 0; b < cfg.graph.numBlocks(); ++b) {
+                if (!cfg.isCodeBlock(b) ||
+                    cfg.firstPc[b] < original_size)
+                    continue;
+                const auto kind = cfg.terminator[b];
+                if (kind != bytecode::TerminatorKind::Cond &&
+                    kind != bytecode::TerminatorKind::Switch)
+                    continue;
+                if (!cm->inlinedBody->blockOrigin[b].valid())
+                    continue;
+                vm::CompiledMethod *mut =
+                    machine.versionForUpdate(method, v);
+                mut->inlinedBody->blockOrigin[b] = vm::BlockOrigin{};
+                machine.invalidateDecoded(method, v);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+/** Branch counts of one original CFG, keyed by (block, successor
+ *  index) — the coordinate space both clone folds land in. */
+using FoldedBranchCounts =
+    std::map<std::pair<cfg::BlockId, std::uint32_t>, std::uint64_t>;
+
+/**
+ * Fold a cloned version's segment counts onto its root method's CFG:
+ * every Cond/Switch edge of the synthesized CFG contributes its count
+ * to the origin block's same-index edge, exactly the interpreter's
+ * ground-truth convention for synthesized frames. Edges whose origin
+ * is invalid or foreign fold nowhere — which is precisely what
+ * check 9's count-for-count comparison exposes.
+ */
+FoldedBranchCounts
+foldBranchCounts(const SegmentCounts &segments,
+                 const bytecode::MethodCfg &version_cfg,
+                 const std::vector<vm::BlockOrigin> &origin,
+                 bytecode::MethodId root)
+{
+    FoldedBranchCounts folded;
+    for (const auto &[seq, count] : segments) {
+        for (const std::uint64_t encoded : seq) {
+            const cfg::BlockId src =
+                static_cast<cfg::BlockId>(encoded >> 32);
+            const auto index =
+                static_cast<std::uint32_t>(encoded & 0xffffffffull);
+            if (src >= version_cfg.graph.numBlocks())
+                continue;
+            const auto kind = version_cfg.terminator[src];
+            if (kind != bytecode::TerminatorKind::Cond &&
+                kind != bytecode::TerminatorKind::Switch)
+                continue;
+            if (src >= origin.size())
+                continue;
+            const vm::BlockOrigin &o = origin[src];
+            if (!o.valid() || o.method != root)
+                continue;
+            folded[{o.block, index}] += count;
+        }
+    }
+    return folded;
 }
 
 /**
@@ -408,6 +502,18 @@ runEngineOnce(const bytecode::Program &program, const DiffOptions &opts,
     machine.addHooks(&pep);
     machine.addCompileObserver(&pep);
 
+    // Both engine machines install the identical reoptimization
+    // pipeline, fed by their own (deterministically identical) PEP
+    // profiler — layout and cloning decisions replay byte-for-byte,
+    // keeping the check-7 contract meaningful for optimized runs.
+    opt::PepConsumer consumer(pep);
+    opt::PipelineOptions pipeline_options;
+    pipeline_options.layout = opts.optLayout;
+    pipeline_options.clone = opts.optClone;
+    opt::OptPipeline pipeline(consumer, pipeline_options);
+    if (opts.optLayout || opts.optClone)
+        machine.addCompilePass(&pipeline);
+
     std::set<core::VersionKey> flipped;
     try {
         for (std::uint32_t it = 0; it < opts.iterations; ++it) {
@@ -571,7 +677,8 @@ void
 runStaticVerifyPasses(
     const vm::Machine &machine, core::FullPathProfiler &full,
     const std::vector<std::unique_ptr<core::PepProfiler>> &peps,
-    const DiffOptions &opts, DiffReport &report)
+    const DiffOptions &opts, bool bytecode_level_truth,
+    DiffReport &report)
 {
     analysis::DiagnosticList diags;
     analysis::verifyMachine(machine, diags);
@@ -610,9 +717,10 @@ runStaticVerifyPasses(
         audit_engine(*peps[p], tag.str() + " paths",
                      peps[p]->pepStats().samplesRecorded);
         // The continuous edge profile's conservation/bounds only
-        // apply at bytecode level when no inlined CFG is folded in,
-        // mirroring the dynamic check-5 gate.
-        if (!opts.enableInlining) {
+        // apply at bytecode level when no synthesized (inlined or
+        // cloned) CFG is folded in, mirroring the dynamic check-5
+        // gate.
+        if (bytecode_level_truth) {
             analysis::RealizabilityOptions ropts;
             ropts.what = tag.str() + " edges";
             ropts.maxWalks = peps[p]->pepStats().samplesRecorded;
@@ -654,6 +762,8 @@ injectKindName(InjectKind kind)
         return "ring-lost-sample";
       case InjectKind::TruncatedWindow:
         return "truncated-window";
+      case InjectKind::BadCloneFold:
+        return "bad-clone-fold";
     }
     return "none";
 }
@@ -677,6 +787,8 @@ parseInjectKind(const std::string &name, InjectKind &out)
         out = InjectKind::RingLostSample;
     } else if (name == "truncated-window") {
         out = InjectKind::TruncatedWindow;
+    } else if (name == "bad-clone-fold") {
+        out = InjectKind::BadCloneFold;
     } else {
         return false;
     }
@@ -736,6 +848,37 @@ standardConfigs()
         kiter4_inline.scheme = profile::NumberingScheme::Smart;
         kiter4_inline.enableInlining = true;
         v.push_back(kiter4_inline);
+
+        // The optimizer leg (PEP_OPT, .github/workflows/ci.yml): when
+        // the environment selects passes, every config above runs with
+        // the reoptimization pipeline installed — the whole oracle
+        // matrix must stay clean while layouts and clones land.
+        if (const std::optional<opt::PipelineOptions> env =
+                opt::pipelineOptionsFromEnv()) {
+            for (DiffOptions &config : v) {
+                config.optLayout = env->layout;
+                config.optClone = env->clone;
+            }
+        }
+
+        // Always-on clone configs, environment or not: check 9 and
+        // the bad-clone-fold corpus reproducers need a config that
+        // clones in the default sweep, and the k-iteration variant
+        // proves composite-id profiles fold just as exactly.
+        DiffOptions clone_smart;
+        clone_smart.name = "clone-smart";
+        clone_smart.scheme = profile::NumberingScheme::Smart;
+        clone_smart.optLayout = true;
+        clone_smart.optClone = true;
+        v.push_back(clone_smart);
+
+        DiffOptions clone_kiter2;
+        clone_kiter2.name = "clone-kiter2";
+        clone_kiter2.kIterations = 2;
+        clone_kiter2.scheme = profile::NumberingScheme::Smart;
+        clone_kiter2.optLayout = true;
+        clone_kiter2.optClone = true;
+        v.push_back(clone_kiter2);
 
         return v;
     }();
@@ -800,7 +943,24 @@ runDiff(const bytecode::Program &program, const DiffOptions &opts)
         machine.addCompileObserver(pep.get());
     }
 
+    // The profile-guided reoptimization pipeline (src/opt/), fed by
+    // the first PEP configuration's live profile. Installed before the
+    // first iteration so tier-up recompiles run through it.
+    std::unique_ptr<opt::PepConsumer> consumer;
+    std::unique_ptr<opt::OptPipeline> pipeline;
+    if ((opts.optLayout || opts.optClone) && !peps.empty()) {
+        consumer = std::make_unique<opt::PepConsumer>(*peps.front());
+        opt::PipelineOptions pipeline_options;
+        pipeline_options.layout = opts.optLayout;
+        pipeline_options.clone = opts.optClone;
+        pipeline =
+            std::make_unique<opt::OptPipeline>(*consumer,
+                                               pipeline_options);
+        machine.addCompilePass(pipeline.get());
+    }
+
     std::set<core::VersionKey> injected;
+    bool clone_fold_injected = false;
     for (std::uint32_t it = 0; it < opts.iterations; ++it) {
         machine.runIteration();
         // Inject after a warm-up iteration so corrupted plans actually
@@ -810,6 +970,10 @@ runDiff(const bytecode::Program &program, const DiffOptions &opts)
         if (opts.inject == InjectKind::TruncatedWindow &&
             it + 1 < opts.iterations) {
             full.setTruncateWindowInjection(true);
+        }
+        if (opts.inject == InjectKind::BadCloneFold &&
+            !clone_fold_injected && it + 1 < opts.iterations) {
+            clone_fold_injected = corruptCloneFold(machine);
         }
     }
 
@@ -824,6 +988,41 @@ runDiff(const bytecode::Program &program, const DiffOptions &opts)
     if (opts.inject == InjectKind::SkippedInvalidate) {
         std::set<core::VersionKey> flipped;
         flipInstalledLayouts(machine, flipped);
+    }
+    if (opts.inject == InjectKind::BadCloneFold) {
+        // A clone that only landed in the final iteration is corrupted
+        // here instead; check 9 and the static clone audit still see
+        // it (the fold comparison runs on recorded counts).
+        if (!clone_fold_injected)
+            clone_fold_injected = corruptCloneFold(machine);
+        if (!clone_fold_injected) {
+            report.notes.push_back(
+                "bad-clone-fold: no cloned version was installed; "
+                "nothing to corrupt");
+        }
+    }
+
+    // Once a version runs a synthesized body (inlined or cloned), its
+    // ground truth keeps bytecode-level *branch* edges only; the
+    // whole-CFG conservation checks below no longer apply, exactly as
+    // under enableInlining.
+    bool any_clone = false;
+    for (std::size_t m = 0; m < machine.numMethods() && !any_clone;
+         ++m) {
+        const bytecode::MethodId method =
+            static_cast<bytecode::MethodId>(m);
+        for (std::uint32_t v = 0; v < machine.numVersions(method); ++v) {
+            if (machine.versionAt(method, v)->cloneApplied) {
+                any_clone = true;
+                break;
+            }
+        }
+    }
+    const bool bytecode_level_truth = !opts.enableInlining && !any_clone;
+    if (any_clone && !opts.enableInlining) {
+        report.notes.push_back(
+            "cloned versions installed: bytecode-level conservation "
+            "checks skipped");
     }
 
     // Check 1: the oracle read the interpreter's event stream the way
@@ -997,17 +1196,18 @@ runDiff(const bytecode::Program &program, const DiffOptions &opts)
 
         checkEdgeTablesBounded(pep.edgeProfile(), machine.truthEdges(),
                                what + " edge profile", report);
-        if (!opts.enableInlining) {
+        if (bytecode_level_truth) {
             checkConservation(pep.edgeProfile(), machine,
                               /*include_headers=*/false,
                               what + " edge profile", report);
         }
     }
 
-    // Check 6: the edge profile derived from full BLPP paths. Inlined
-    // versions expand against the inlined CFG, which cannot be
-    // accumulated into root-method tables, so this is no-inlining only.
-    if (!opts.enableInlining) {
+    // Check 6: the edge profile derived from full BLPP paths. Versions
+    // running a synthesized body (inlined or cloned) expand against
+    // the synthesized CFG, which cannot be accumulated into
+    // root-method tables, so this needs pure bytecode-level truth.
+    if (bytecode_level_truth) {
         try {
             profile::EdgeProfileSet derived =
                 core::edgeProfileFromPaths(machine, full);
@@ -1030,6 +1230,53 @@ runDiff(const bytecode::Program &program, const DiffOptions &opts)
         }
     }
 
+    // Check 9: clone-fold exactness. The full profiler's counts for a
+    // cloned version live in the synthesized CFG; folded through the
+    // version's live BlockOrigin map they must agree count for count
+    // with the oracle's literal segments folded through the origin
+    // snapshot the oracle took at compile time. A live map corrupted
+    // after the compile (the bad-clone-fold injection) — or a fold
+    // that loses or misroutes a cloned branch's counters — breaks the
+    // agreement.
+    for (auto &[key, vp] : full.versionProfiles()) {
+        if (!vp->state->plan.enabled || !vp->state->compiled)
+            continue;
+        const vm::CompiledMethod *cm = vp->state->compiled;
+        if (!cm->cloneApplied || !cm->inlinedBody)
+            continue;
+        const VersionTruth *vt = oracle.truthFor(key);
+        if (!vt)
+            continue; // already a check-2 violation
+        const bytecode::MethodCfg &version_cfg =
+            cm->inlinedBody->info.cfg;
+        const SegmentCounts from_full = segmentsFromProfile(
+            *vp->state, vp->paths, "clone-fold", report);
+        const FoldedBranchCounts folded_profile =
+            foldBranchCounts(from_full, version_cfg,
+                             cm->inlinedBody->blockOrigin, key.first);
+        const FoldedBranchCounts folded_truth =
+            foldBranchCounts(vt->segments, version_cfg,
+                             vt->originSnapshot, key.first);
+        if (folded_profile != folded_truth) {
+            std::ostringstream os;
+            os << "clone-fold: " << keyName(key)
+               << " folded branch counts diverge from the oracle's "
+                  "compile-time fold";
+            for (const auto &[edge, count] : folded_truth) {
+                const auto it = folded_profile.find(edge);
+                const std::uint64_t got =
+                    it == folded_profile.end() ? 0 : it->second;
+                if (got != count) {
+                    os << " (edge " << edge.first << ':' << edge.second
+                       << " folded " << got << ", oracle " << count
+                       << ')';
+                    break;
+                }
+            }
+            addViolation(report, os.str());
+        }
+    }
+
     // Check 7: switch vs threaded engine byte-identity. The other
     // injections corrupt the main run's profiler state, which doesn't
     // exist on the cross-check machines — skip the redundant runs.
@@ -1041,8 +1288,10 @@ runDiff(const bytecode::Program &program, const DiffOptions &opts)
     }
 
     // The static verify passes see everything the dynamic checks saw.
-    if (opts.runStaticVerify)
-        runStaticVerifyPasses(machine, full, peps, opts, report);
+    if (opts.runStaticVerify) {
+        runStaticVerifyPasses(machine, full, peps, opts,
+                              bytecode_level_truth, report);
+    }
 
     return report;
 }

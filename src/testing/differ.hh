@@ -34,13 +34,22 @@
  *     sequences with exactly those counts — and the k=1 degeneracy
  *     check proves the instrumentation layer is untouched: plans
  *     built at k = kIterations are byte-identical to plans built at
- *     k = 1 (k-BLPP is pure post-processing of segment numbers).
+ *     k = 1 (k-BLPP is pure post-processing of segment numbers);
+ *  9. (optLayout/optClone, docs/OPT.md) for every version the cloning
+ *     pass synthesized, the full profiler's cloned-CFG path counts
+ *     folded through the version's live BlockOrigin map onto the
+ *     original CFG's branches agree *count for count* with the
+ *     oracle's literal segments folded through the origin snapshot it
+ *     took at compile time — a cloned branch whose counters fold to
+ *     the wrong (or no) bytecode-level branch cannot hide.
  *
  * Fault injection (for harness self-tests and CI) deliberately breaks
  * the flat/nested mirror invariant after a warm-up iteration, modelling
  * the "forgot rebuildFlat() after applySpanningPlacement" bug class —
  * or, for `stale-template`, mutates installed branch layouts without
- * Machine::invalidateDecoded(), which check 7 must catch.
+ * Machine::invalidateDecoded(), which check 7 must catch, or, for
+ * `bad-clone-fold`, invalidates a cloned branch block's BlockOrigin in
+ * place, which check 9 and the static clone audits must catch.
  */
 
 #include <cstdint>
@@ -116,6 +125,18 @@ enum class InjectKind : std::uint8_t
      *  (check 3, the nested profiler flushes correctly) must all
      *  report it. */
     TruncatedWindow,
+
+    /** Requires a config with optClone and a program hot enough to
+     *  clone: invalidate one cloned branch block's BlockOrigin in
+     *  place (through versionForUpdate + invalidateDecoded, so the
+     *  mutation journal stays discharged) after a warm-up iteration —
+     *  the block's counters no longer fold onto the original CFG.
+     *  The clone-fold exactness check (check 9, which folds against
+     *  the oracle's compile-time origin snapshot), the oracle's
+     *  bytecode mirror (check 1, while the corrupt version keeps
+     *  executing) and the static clone-body audit (plan-checker
+     *  check 11) must all reject it. */
+    BadCloneFold,
 };
 
 /** Name for reports / CLI flags ("none", "stale-flat", ...). */
@@ -156,6 +177,19 @@ struct DiffOptions
     std::uint32_t iterations = 3;
 
     std::vector<PepConfig> pepConfigs = {{1, 1}, {64, 17}};
+
+    /**
+     * Install the profile-guided reoptimization pipeline (src/opt/)
+     * as a compile pass on every machine of the run — the main one
+     * and both engine cross-check machines — feeding on the first PEP
+     * configuration's profiler. optLayout enables the Pettis-Hansen
+     * chain-layout pass, optClone hot-path cloning (which makes
+     * check 9 meaningful). Standard configs default these from the
+     * PEP_OPT environment variable when it is set; the clone-*
+     * configs pin both on so the optimizer legs run in every sweep.
+     */
+    bool optLayout = false;
+    bool optClone = false;
 
     InjectKind inject = InjectKind::None;
 

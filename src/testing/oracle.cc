@@ -56,6 +56,9 @@ ExactOracle::onCompile(bytecode::MethodId method,
     vt.compiled = &version;
     vt.info = version.inlinedBody ? &version.inlinedBody->info
                                   : &vm_.info(method);
+    vt.originSnapshot = version.inlinedBody
+                            ? version.inlinedBody->blockOrigin
+                            : std::vector<vm::BlockOrigin>{};
     vt.kEff = 1;
     if (k_ > 1) {
         // Derive kEffective from the version's *structural* path count
@@ -132,7 +135,10 @@ ExactOracle::onEdge(const vm::FrameView &frame, cfg::EdgeRef edge)
 {
     // Bytecode-level mirror, following the interpreter's own rule:
     // non-inlined frames record every edge against the method's CFG;
-    // inlined frames record branch edges through their block origin.
+    // synthesized frames record branch edges through their block
+    // origin — but through the *compile-time snapshot*, so a live map
+    // mutated after the compile diverges from the interpreter's fold
+    // and check 1 reports it.
     const vm::InlinedBody *inlined = frame.version->inlinedBody.get();
     if (!inlined) {
         edges_.perMethod[frame.method].addEdge(edge);
@@ -140,8 +146,12 @@ ExactOracle::onEdge(const vm::FrameView &frame, cfg::EdgeRef edge)
         const auto kind = inlined->info.cfg.terminator[edge.src];
         if (kind == bytecode::TerminatorKind::Cond ||
             kind == bytecode::TerminatorKind::Switch) {
-            const vm::BlockOrigin &origin =
-                inlined->blockOrigin[edge.src];
+            const VersionTruth *vt =
+                find(frame.method, frame.version->version);
+            const vm::BlockOrigin origin =
+                vt && edge.src < vt->originSnapshot.size()
+                    ? vt->originSnapshot[edge.src]
+                    : inlined->blockOrigin[edge.src];
             if (origin.valid()) {
                 edges_.perMethod[origin.method].addEdge(
                     cfg::EdgeRef{origin.block, edge.index});

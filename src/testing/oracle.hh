@@ -40,6 +40,7 @@
 #include "profile/edge_profile.hh"
 #include "profile/pdag.hh"
 #include "vm/hooks.hh"
+#include "vm/inliner.hh"
 #include "vm/machine.hh"
 
 namespace pep::testing {
@@ -82,6 +83,16 @@ struct VersionTruth
     /** Effective k-BLPP window length for this version, derived from
      *  the structural path count (independent of the engines). */
     std::uint32_t kEff = 1;
+
+    /** Snapshot of a synthesized (inlined or cloned) body's
+     *  block-origin fold map, taken at compile time. The oracle's
+     *  bytecode mirror folds through this snapshot — never the live
+     *  map — so an in-place BlockOrigin corruption after the compile
+     *  (the bad-clone-fold injection) diverges the interpreter's
+     *  ground truth from the oracle's mirror (check 1) and the
+     *  profile fold from the oracle fold (differ check 9). Empty for
+     *  versions running the method's own code. */
+    std::vector<vm::BlockOrigin> originSnapshot;
 };
 
 /** The oracle; attach with both addHooks() and addCompileObserver(). */

@@ -73,12 +73,25 @@ class CompiledMethod
 
     /**
      * Synthesized body with leaf calls inlined (optimizing tiers with
-     * SimParams::enableInlining; nullptr otherwise). When present, the
-     * frame executes this code and all block ids (branchLayout,
-     * instrumentation plans) refer to its CFG; bytecode-level branch
-     * counters are reached through its BlockOrigin map.
+     * SimParams::enableInlining; nullptr otherwise) or with a hot path
+     * cloned (src/opt/path_clone.hh). When present, the frame executes
+     * this code and all block ids (branchLayout, instrumentation
+     * plans) refer to its CFG; bytecode-level branch counters are
+     * reached through its BlockOrigin map.
      */
     std::unique_ptr<InlinedBody> inlinedBody;
+
+    /**
+     * Block order chosen by the chain-layout pass (src/opt/), empty
+     * when no layout pass ran. Pure metadata for tests and tools:
+     * cycle charging reads branchLayout, never this.
+     */
+    std::vector<cfg::BlockId> layoutOrder;
+
+    /** True when the path-cloning pass synthesized this version's
+     *  inlinedBody (recorded in the Machine's compile journal and
+     *  audited by analysis/verify/invariants.hh). */
+    bool cloneApplied = false;
 
     /** Layout choice for a block (-1 when unknown). */
     std::int16_t

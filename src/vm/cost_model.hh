@@ -37,6 +37,13 @@ struct CostModel
      *  style layout. */
     std::uint32_t layoutMissPenalty = 8;
 
+    /** Modeled i-cache refill for a hot edge that leaves its source
+     *  block's chain, used by the chain-layout pass's *static* scorer
+     *  (src/opt/chain_layout.hh) to compare candidate block orders.
+     *  The interpreter never charges this: runtime cycles realize a
+     *  layout exclusively through layoutMissPenalty. */
+    std::uint32_t icacheBreakPenalty = 24;
+
     /** Yieldpoint flag check; present in ALL code (base and PEP), so it
      *  never shows up as instrumentation overhead. */
     std::uint32_t yieldpointCheckCost = 1;

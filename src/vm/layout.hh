@@ -25,6 +25,12 @@ class FixedLayoutSource final : public LayoutSource
     const profile::MethodEdgeProfile *
     layoutProfile(bytecode::MethodId method) override
     {
+        // Snapshots may come from a different (smaller) program — e.g.
+        // a probe machine whose advice is replayed elsewhere — so an
+        // unknown method is "no information", not an out-of-bounds
+        // read.
+        if (method >= profiles_.perMethod.size())
+            return nullptr;
         const profile::MethodEdgeProfile &p =
             profiles_.perMethod[method];
         return p.totalCount() > 0 ? &p : nullptr;

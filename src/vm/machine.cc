@@ -105,6 +105,13 @@ Machine::setLayoutSource(LayoutSource *source)
 }
 
 void
+Machine::addCompilePass(CompilePass *pass)
+{
+    PEP_ASSERT(pass);
+    compilePasses_.push_back(pass);
+}
+
+void
 Machine::setScheduler(ThreadScheduler *scheduler)
 {
     scheduler_ = scheduler;
@@ -275,6 +282,17 @@ Machine::compile(bytecode::MethodId m, OptLevel level)
 
     versions_[m].push_back(std::move(cm));
     CompiledMethod &result = *versions_[m].back();
+
+    // Compiler passes (src/opt/) transform the installed version
+    // before anyone observes or translates it; the template rule
+    // holds for their changes by construction (see CompilePass).
+    if (level != OptLevel::Baseline) {
+        for (CompilePass *pass : compilePasses_)
+            pass->run(*this, result);
+    }
+
+    compileJournal_.push_back(
+        {m, result.version, level, result.cloneApplied});
 
     // Let profilers instrument opt-tier code (they charge their own
     // pass cost).

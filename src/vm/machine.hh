@@ -122,6 +122,27 @@ class LayoutSource
     layoutProfile(bytecode::MethodId method) = 0;
 };
 
+class Machine;
+
+/**
+ * A compiler pass over a freshly compiled optimizing-tier version
+ * (src/opt/ implements the real ones). Passes run inside
+ * Machine::compile() after the built-in layout predictor and *before*
+ * compile observers and template translation, so whatever they change
+ * — branchLayout, a cloned inlinedBody — is part of the version the
+ * engines execute from the first instruction. The template rule holds
+ * by construction: nothing was decoded yet, so no invalidateDecoded()
+ * is owed for pass-made changes.
+ */
+class CompilePass
+{
+  public:
+    virtual ~CompilePass() = default;
+
+    /** Transform one freshly compiled version in place. */
+    virtual void run(Machine &machine, CompiledMethod &cm) = 0;
+};
+
 /** Static, per-method data the VM derives once at load time. */
 struct MethodInfo
 {
@@ -159,6 +180,25 @@ struct PlanMutationEvent
 
     /** False for an escape, true for a sanitize. */
     bool sanitize = false;
+};
+
+/**
+ * One entry of the compile journal: every version the compiler ever
+ * produced, in order, with whether the path-cloning pass synthesized
+ * its body. The clone audit (analysis/verify/invariants.hh) proves
+ * every clone-applied version on record was really produced by
+ * compile() — a cloned body that appeared through any other door
+ * (e.g. in-place mutation) bypassed the pass pipeline and the
+ * template rule it guarantees.
+ */
+struct CompileEvent
+{
+    bytecode::MethodId method = 0;
+    std::uint32_t version = 0;
+    OptLevel level = OptLevel::Baseline;
+
+    /** True if the cloning pass ran on this version. */
+    bool cloneApplied = false;
 };
 
 /** Counters the benchmarks read after a run. */
@@ -205,6 +245,13 @@ class Machine
 
     /** Override the layout profile source (not owned). */
     void setLayoutSource(LayoutSource *source);
+
+    /**
+     * Register a compiler pass (not owned; may add several, run in
+     * registration order). Passes run on every optimizing-tier compile
+     * from then on — see CompilePass for the ordering contract.
+     */
+    void addCompilePass(CompilePass *pass);
 
     /**
      * Attach a cooperative thread scheduler (not owned; nullptr
@@ -353,6 +400,13 @@ class Machine
         return mutationJournal_;
     }
 
+    /** Every compile since construction, in order. */
+    const std::vector<CompileEvent> &
+    compileJournal() const
+    {
+        return compileJournal_;
+    }
+
   private:
     friend class Interpreter;
 
@@ -396,6 +450,7 @@ class Machine
     /** Attached components (not owned). */
     std::vector<ExecutionHooks *> hooks_;
     std::vector<CompileObserver *> observers_;
+    std::vector<CompilePass *> compilePasses_;
     LayoutSource *layoutSource_ = nullptr;
     ThreadScheduler *scheduler_ = nullptr;
 
@@ -408,6 +463,9 @@ class Machine
 
     /** In-place plan mutation journal (see PlanMutationEvent). */
     std::vector<PlanMutationEvent> mutationJournal_;
+
+    /** Compile journal (see CompileEvent). */
+    std::vector<CompileEvent> compileJournal_;
 
     /** Irnd streams of virtual threads >= 1, created on first use. */
     std::vector<std::unique_ptr<support::Rng>> threadRngs_;

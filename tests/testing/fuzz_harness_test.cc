@@ -347,6 +347,76 @@ TEST(Shrinker, ReducesInjectedFailureWhileItStillFails)
     EXPECT_TRUE(bytecode::verifyProgram(verified).ok);
 }
 
+TEST(Differ, StandardConfigMatrixCoversCloning)
+{
+    // The always-on cloning configurations: the full pipeline under
+    // the Smart scheme, and the same with k-iteration paths so cloned
+    // synthesized CFGs meet cross-iteration windows.
+    const fz::DiffOptions *smart = fz::findConfig("clone-smart");
+    ASSERT_NE(smart, nullptr);
+    EXPECT_TRUE(smart->optClone);
+    EXPECT_TRUE(smart->optLayout);
+
+    const fz::DiffOptions *kiter = fz::findConfig("clone-kiter2");
+    ASSERT_NE(kiter, nullptr);
+    EXPECT_TRUE(kiter->optClone);
+    EXPECT_EQ(kiter->kIterations, 2u);
+}
+
+TEST(Differ, BadCloneFoldInjectionIsCaughtAndCleanWithout)
+{
+    const fz::DiffOptions *base = fz::findConfig("clone-smart");
+    ASSERT_NE(base, nullptr);
+
+    // Seed 1 is known to tier a hot method to Opt2 with PEP profile
+    // data in time for the cloning pass (the shrunk reproducer in
+    // tests/corpus/ came from it). The clean run must install a clone
+    // — otherwise this test proves nothing — and stay violation-free.
+    fz::FuzzSpec spec;
+    spec.seed = 1;
+    const bytecode::Program program = fz::generateProgram(spec);
+    const fz::DiffReport clean = fz::runDiff(program, *base);
+    EXPECT_TRUE(clean.ok()) << clean.violations.front();
+    bool cloned = false;
+    for (const std::string &note : clean.notes)
+        cloned = cloned ||
+                 note.find("cloned versions") != std::string::npos;
+    ASSERT_TRUE(cloned)
+        << "seed 1 no longer installs a clone under clone-smart";
+
+    // Corrupting the installed clone's origin map mid-run must be
+    // caught: the interpreter's fold and the oracle's compile-time
+    // snapshot fold diverge (check 1 / check 9).
+    fz::DiffOptions opts = *base;
+    opts.inject = fz::InjectKind::BadCloneFold;
+    const fz::DiffReport caught = fz::runDiff(program, opts);
+    EXPECT_FALSE(caught.ok())
+        << "bad-clone-fold injection went unnoticed";
+}
+
+TEST(Differ, BadCloneFoldWithoutACloneIsANoOp)
+{
+    const fz::DiffOptions *base = fz::findConfig("clone-smart");
+    ASSERT_NE(base, nullptr);
+    fz::DiffOptions opts = *base;
+    opts.inject = fz::InjectKind::BadCloneFold;
+
+    // Seed 2 never promotes anything far enough to clone: the
+    // injection finds nothing to corrupt and must say so instead of
+    // reporting a phantom violation.
+    fz::FuzzSpec spec;
+    spec.seed = 2;
+    const bytecode::Program program = fz::generateProgram(spec);
+    const fz::DiffReport report = fz::runDiff(program, opts);
+    EXPECT_TRUE(report.ok())
+        << report.violations.front();
+    bool noted = false;
+    for (const std::string &note : report.notes)
+        noted = noted ||
+                note.find("nothing to corrupt") != std::string::npos;
+    EXPECT_TRUE(noted);
+}
+
 TEST(Differ, CorpusHeaderRoundTrip)
 {
     fz::FuzzSpec spec;

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Regression tests for FixedLayoutSource (vm/layout.hh): a snapshot
+ * recorded on a different (smaller) program must answer "no
+ * information" for methods it never saw, not read out of bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/fixtures.hh"
+#include "profile/edge_profile.hh"
+#include "vm/layout.hh"
+#include "vm/machine.hh"
+
+namespace {
+
+using namespace pep;
+
+TEST(FixedLayoutSource, EmptyProfileHasNoInformation)
+{
+    vm::FixedLayoutSource source{profile::EdgeProfileSet{}};
+    EXPECT_EQ(source.layoutProfile(0), nullptr);
+    EXPECT_EQ(source.layoutProfile(7), nullptr);
+}
+
+TEST(FixedLayoutSource, OutOfRangeMethodIsNoInformation)
+{
+    // Snapshot of a one-method program queried for method ids beyond
+    // it — the shape of replaying a probe machine's advice in a larger
+    // program. This used to index perMethod out of bounds.
+    vm::Machine probe(test::simpleLoopProgram(), vm::SimParams{});
+    probe.runIteration();
+    vm::FixedLayoutSource source(probe.truthEdges());
+
+    const auto methods = source.profiles().perMethod.size();
+    EXPECT_EQ(source.layoutProfile(
+                  static_cast<bytecode::MethodId>(methods)),
+              nullptr);
+    EXPECT_EQ(source.layoutProfile(
+                  static_cast<bytecode::MethodId>(methods + 41)),
+              nullptr);
+}
+
+TEST(FixedLayoutSource, PopulatedMethodServesItsCounts)
+{
+    vm::Machine probe(test::simpleLoopProgram(), vm::SimParams{});
+    probe.runIteration();
+    const profile::EdgeProfileSet snapshot = probe.truthEdges();
+    vm::FixedLayoutSource source(snapshot);
+
+    const bytecode::MethodId main = 0;
+    const profile::MethodEdgeProfile *served =
+        source.layoutProfile(main);
+    ASSERT_NE(served, nullptr);
+    EXPECT_GT(served->totalCount(), 0u);
+    EXPECT_EQ(served->counts(), snapshot.perMethod[main].counts());
+
+    // A method that exists but recorded nothing is also "no
+    // information" (totalCount gate), same contract as out-of-range.
+    profile::EdgeProfileSet padded = snapshot;
+    padded.perMethod.emplace_back();
+    vm::FixedLayoutSource gated(padded);
+    EXPECT_EQ(gated.layoutProfile(static_cast<bytecode::MethodId>(
+                  padded.perMethod.size() - 1)),
+              nullptr);
+}
+
+} // namespace
