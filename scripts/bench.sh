@@ -12,10 +12,14 @@
 # window staleness, and memory flatness — see docs/RUNTIME.md), and
 # BENCH_PR8.json (k-BLPP: distinct k-paths vs acyclic paths, composite
 # window fraction, hot concentration, and the window-bookkeeping
-# overhead across k — see docs/KBLPP.md).
+# overhead across k — see docs/KBLPP.md), and BENCH_PR10.json (the
+# PEP_ENGINE x PEP_FUSE dispatch matrix: superinstruction pairs and
+# straightened hot traces vs the plain threaded engine, ns/instruction,
+# edges/sec, stream anatomy, and the observable byte-identity plus
+# 1.20x speedup gates — see docs/ENGINE.md).
 #
 # Usage: scripts/bench.sh [perf.json] [concurrency.json] [engine.json]
-#                         [transport.json] [kiter.json]
+#                         [transport.json] [kiter.json] [fusion.json]
 # Environment: PEP_BENCH_SCALE, PEP_BENCH_ONLY, PEP_BENCH_THREADS.
 set -euo pipefail
 
@@ -26,13 +30,15 @@ OUT_CONCURRENCY=${2:-BENCH_PR4.json}
 OUT_ENGINE=${3:-BENCH_PR5.json}
 OUT_TRANSPORT=${4:-BENCH_PR7.json}
 OUT_KITER=${5:-BENCH_PR8.json}
+OUT_FUSION=${6:-BENCH_PR10.json}
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)" --target perf_suite tab_concurrency \
-    tab_transport tab_kiter
+    tab_transport tab_kiter tab_fusion
 
 ./build/bench/perf_suite "$OUT" "$OUT_ENGINE"
 ./build/bench/tab_concurrency "$OUT_CONCURRENCY"
 ./build/bench/tab_transport "$OUT_TRANSPORT"
 ./build/bench/tab_kiter "$OUT_KITER"
-echo "bench.sh: results in $OUT, $OUT_ENGINE, $OUT_CONCURRENCY, $OUT_TRANSPORT and $OUT_KITER"
+./build/bench/tab_fusion "$OUT_FUSION"
+echo "bench.sh: results in $OUT, $OUT_ENGINE, $OUT_CONCURRENCY, $OUT_TRANSPORT, $OUT_KITER and $OUT_FUSION"

@@ -28,7 +28,7 @@ run_suite build-sanitize -DPEP_SANITIZE=ON
 echo "== check.sh: TSan build (runtime suites) =="
 cmake -B build-tsan -S . -DPEP_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$(nproc)" --target runtime_test \
-    workload_test
+    workload_test fusion_test
 ctest --test-dir build-tsan --output-on-failure \
     -R 'Runtime|ParallelRunner' "${CTEST_ARGS[@]}"
 

@@ -102,29 +102,42 @@ checkTemplates(const bytecode::Method &method,
             cost.instrCost(static_cast<bytecode::Opcode>(op));
     cm.branchLayout.assign(cfg.graph.numBlocks(), -1);
 
-    const vm::DecodedMethod decoded =
-        translateMethod(method, info, cm);
+    // One translation per fusion selection: checks 9 and 12 plus the
+    // symbolic engine-equivalence pass must hold across the whole
+    // PEP_FUSE matrix (the canonical no-information layout predicts
+    // fall-through everywhere, so `traces` forms real chains here).
+    const vm::FuseOptions fuse_matrix[] = {
+        {false, false}, {true, false}, {false, true}, {true, true}};
+    for (const vm::FuseOptions &fuse : fuse_matrix) {
+        const vm::DecodedMethod decoded =
+            translateMethod(method, info, cm, fuse);
 
-    if (check_stream) {
-        TemplateCheckInput input;
-        input.code = &method;
-        input.cfg = &cfg;
-        input.plan = &plan;
-        input.decoded = &decoded;
-        input.methodName = method.name;
-        checkTemplateStream(input, diagnostics);
-    }
+        if (check_stream) {
+            TemplateCheckInput input;
+            input.code = &method;
+            input.cfg = &cfg;
+            input.plan = &plan;
+            input.decoded = &decoded;
+            input.methodName = method.name;
+            checkTemplateStream(input, diagnostics);
 
-    // The symbolic engine-equivalence pass (verify pass 1) on the
-    // same canonical translation.
-    if (check_equivalence) {
-        EngineEquivInput input;
-        input.code = &method;
-        input.info = &info;
-        input.cm = &cm;
-        input.decoded = &decoded;
-        input.methodName = method.name;
-        checkEngineEquivalence(input, diagnostics);
+            FusedCheckInput fused;
+            fused.decoded = &decoded;
+            fused.methodName = method.name;
+            checkFusedStream(fused, diagnostics);
+        }
+
+        // The symbolic engine-equivalence pass (verify pass 1) on the
+        // same canonical translation.
+        if (check_equivalence) {
+            EngineEquivInput input;
+            input.code = &method;
+            input.info = &info;
+            input.cm = &cm;
+            input.decoded = &decoded;
+            input.methodName = method.name;
+            checkEngineEquivalence(input, diagnostics);
+        }
     }
 }
 

@@ -60,6 +60,16 @@
  *     code region (the OSR contract for clones). Combined with checks
  *     1-10 over the synthesized CFG's own plan, this validates
  *     cloned-CFG instrumentation end to end.
+ * 12. Fused-stream composition (checkFusedStream, docs/ENGINE.md): a
+ *     stream translated under PEP_FUSE must compose exactly from its
+ *     constituents — every fused superinstruction is the deterministic
+ *     fusion-menu match at its pc with the constituents' operands
+ *     burned in and every constituent pc mapping back to it; trace
+ *     selection is reproducible from (code, layout, fuse); trace
+ *     charge batching conserves the switch engine's per-block costs
+ *     (head carries the chain total, interiors zero, guards refund
+ *     exactly the unexecuted suffix); and synthetic tops appear only
+ *     under the fusion mode that produces them.
  *
  * All violations are reported as diagnostics (pass "plan-check"), not
  * panics, so a lint run can show every broken invariant at once.
@@ -184,6 +194,26 @@ struct CloneCheckInput
  */
 bool checkClonedBody(const CloneCheckInput &input,
                      DiagnosticList &diagnostics);
+
+/** Everything the fused-stream audit inspects (check 12). The
+ *  DecodedMethod's own `code`/`info`/`source` back-pointers supply the
+ *  constituents the composition is proved against. */
+struct FusedCheckInput
+{
+    const vm::DecodedMethod *decoded = nullptr;
+
+    /** Method name used in diagnostics. */
+    std::string methodName;
+};
+
+/**
+ * Check 12: prove a fused/straightened template stream composes
+ * exactly from its constituent opcode templates (docs/ENGINE.md).
+ * Complements check 9, which validates the per-instruction fields
+ * fusion leaves untouched. Returns true if no errors were added.
+ */
+bool checkFusedStream(const FusedCheckInput &input,
+                      DiagnosticList &diagnostics);
 
 } // namespace pep::analysis
 

@@ -52,10 +52,12 @@ class EquivChecker
             return diags_.errorCount() == before;
         checkEdgeBase();
         sumTemplateCharges();
+        checkTraceShape();
         for (cfg::BlockId b = 0; b < cfg_.graph.numBlocks(); ++b) {
             if (cfg_.isCodeBlock(b))
                 checkBlock(b);
         }
+        checkTraces();
         return diags_.errorCount() == before;
     }
 
@@ -186,7 +188,10 @@ class EquivChecker
 
     /** Segment charges are folded onto segment-leader templates, and a
      *  segment never crosses a block boundary (every block leader is a
-     *  segment leader), so summing per owning block is exact. */
+     *  segment leader), so summing per owning block is exact. Trace
+     *  batching moves whole-block sums onto the trace head, so blocks
+     *  inside a trace are excluded here and compared at trace
+     *  granularity by checkTraces() instead. */
     void
     sumTemplateCharges()
     {
@@ -197,8 +202,165 @@ class EquivChecker
             const vm::Template &t = dm_.stream[i];
             tplCost_[t.block] += t.cost;
             tplNinstr_[t.block] += t.ninstr;
-            if (t.op == vm::kTopFallEdge && fallEdgeTpl_[t.block] < 0)
+            if ((t.op == vm::kTopFallEdge || t.op == vm::kTopTraceFall) &&
+                fallEdgeTpl_[t.block] < 0)
                 fallEdgeTpl_[t.block] = static_cast<std::int64_t>(i);
+        }
+    }
+
+    /** The switch engine's cost of one block (scaled per-instruction
+     *  sums) and its instruction count. */
+    std::uint64_t
+    refBlockCost(cfg::BlockId b) const
+    {
+        std::uint64_t cost = 0;
+        for (bytecode::Pc pc = cfg_.firstPc[b]; pc <= cfg_.lastPc[b];
+             ++pc) {
+            cost += cm_.scaledCost[static_cast<std::size_t>(
+                code_.code[pc].op)];
+        }
+        return cost;
+    }
+
+    bool
+    inTrace(cfg::BlockId b) const
+    {
+        return b < dm_.blockTrace.size() && dm_.blockTrace[b] >= 0;
+    }
+
+    /** traces / blockTrace must describe each other before the charge
+     *  comparisons lean on them. */
+    void
+    checkTraceShape()
+    {
+        tracesUsable_ = true;
+        if (dm_.traces.empty() && dm_.blockTrace.empty())
+            return;
+        if (dm_.blockTrace.size() != cfg_.graph.numBlocks()) {
+            std::ostringstream os;
+            os << "blockTrace has " << dm_.blockTrace.size()
+               << " entries for " << cfg_.graph.numBlocks() << " blocks";
+            error("trace-shape", os.str());
+            tracesUsable_ = false;
+            return;
+        }
+        std::vector<std::int32_t> expect(cfg_.graph.numBlocks(), -1);
+        for (std::size_t ti = 0; ti < dm_.traces.size(); ++ti) {
+            if (dm_.traces[ti].size() < 2) {
+                std::ostringstream os;
+                os << "trace " << ti << " has "
+                   << dm_.traces[ti].size()
+                   << " blocks (a trace straightens at least two)";
+                error("trace-shape", os.str());
+                tracesUsable_ = false;
+            }
+            for (cfg::BlockId b : dm_.traces[ti]) {
+                if (b >= cfg_.graph.numBlocks() || expect[b] != -1) {
+                    std::ostringstream os;
+                    os << "trace " << ti
+                       << " member block " << b
+                       << " is out of range or already in a trace";
+                    error("trace-shape", os.str());
+                    tracesUsable_ = false;
+                    continue;
+                }
+                expect[b] = static_cast<std::int32_t>(ti);
+            }
+        }
+        for (cfg::BlockId b = 0;
+             tracesUsable_ && b < cfg_.graph.numBlocks(); ++b) {
+            if (dm_.blockTrace[b] != expect[b]) {
+                std::ostringstream os;
+                os << "blockTrace[" << b << "] = " << dm_.blockTrace[b]
+                   << " but the trace list implies " << expect[b];
+                error("trace-shape", os.str());
+                tracesUsable_ = false;
+            }
+        }
+    }
+
+    /**
+     * Trace-granularity charge equivalence: the head leader carries the
+     * whole chain's switch-engine cost, interior leaders carry zero,
+     * and every interior guard's stashed refund equals the
+     * switch-engine cost of the unexecuted suffix — so a mispredicted
+     * exit leaves the clock exactly where per-instruction charging
+     * would have.
+     */
+    void
+    checkTraces()
+    {
+        if (!tracesUsable_)
+            return;
+        for (std::size_t ti = 0; ti < dm_.traces.size(); ++ti) {
+            const std::vector<cfg::BlockId> &chain = dm_.traces[ti];
+            std::uint64_t total_cost = 0;
+            std::uint64_t total_ninstr = 0;
+            std::vector<std::uint64_t> member_cost(chain.size());
+            std::vector<std::uint64_t> member_ninstr(chain.size());
+            for (std::size_t i = 0; i < chain.size(); ++i) {
+                member_cost[i] = refBlockCost(chain[i]);
+                member_ninstr[i] =
+                    cfg_.lastPc[chain[i]] - cfg_.firstPc[chain[i]] + 1;
+                total_cost += member_cost[i];
+                total_ninstr += member_ninstr[i];
+            }
+            const cfg::BlockId head = chain[0];
+            if ((tplCost_[head] != total_cost ||
+                 tplNinstr_[head] != total_ninstr) &&
+                !capped(costMismatches_)) {
+                std::ostringstream os;
+                os << "trace " << ti << " head block " << head
+                   << " charges " << tplCost_[head] << " cycles / "
+                   << tplNinstr_[head]
+                   << " instructions but the chain's bytecode cost is "
+                   << total_cost << " / " << total_ninstr;
+                errorAtPc("trace-cost", cfg_.firstPc[head], os.str());
+            }
+            std::uint64_t suffix_cost = total_cost;
+            std::uint64_t suffix_ninstr = total_ninstr;
+            for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+                suffix_cost -= member_cost[i];
+                suffix_ninstr -= member_ninstr[i];
+                const cfg::BlockId b = chain[i + 1];
+                if ((tplCost_[b] != 0 || tplNinstr_[b] != 0) &&
+                    !capped(costMismatches_)) {
+                    std::ostringstream os;
+                    os << "trace " << ti << " interior block " << b
+                       << " still charges " << tplCost_[b]
+                       << " cycles (interior charges must be batched "
+                          "onto the head)";
+                    errorAtPc("trace-cost", cfg_.firstPc[b], os.str());
+                }
+                const cfg::BlockId exit_block = chain[i];
+                if (cfg_.terminator[exit_block] != TerminatorKind::Cond)
+                    continue;
+                const vm::Template &gt = dm_.stream[dm_.pcToTemplate[
+                    cfg_.lastPc[exit_block]]];
+                if (!vm::isGuardTop(gt.op)) {
+                    std::ostringstream os;
+                    os << "trace " << ti << " interior branch of block "
+                       << exit_block
+                       << " is not a guard template (top "
+                       << static_cast<unsigned>(gt.op) << ")";
+                    errorAtPc("trace-guard", cfg_.lastPc[exit_block],
+                              os.str());
+                    continue;
+                }
+                if ((gt.swFirst != suffix_cost ||
+                     gt.swCount != suffix_ninstr) &&
+                    !capped(costMismatches_)) {
+                    std::ostringstream os;
+                    os << "guard of block " << exit_block
+                       << " refunds " << gt.swFirst << " cycles / "
+                       << gt.swCount
+                       << " instructions but the unexecuted suffix "
+                          "costs "
+                       << suffix_cost << " / " << suffix_ninstr;
+                    errorAtPc("trace-guard", cfg_.lastPc[exit_block],
+                              os.str());
+                }
+            }
         }
     }
 
@@ -215,23 +377,23 @@ class EquivChecker
         // charges scaledCost per instruction; the threaded engine
         // charges the folded sums. Equal per block => equal on every
         // execution (both engines execute whole blocks between edges).
-        std::uint64_t ref_cost = 0;
-        for (bytecode::Pc pc = first; pc <= last; ++pc) {
-            ref_cost +=
-                cm_.scaledCost[static_cast<std::size_t>(code_.code[pc].op)];
-        }
-        const std::uint64_t ref_ninstr = last - first + 1;
-        if (ref_cost != tplCost_[b] && !capped(costMismatches_)) {
-            std::ostringstream os;
-            os << "block " << b << " bytecode cost " << ref_cost
-               << " != template segment sum " << tplCost_[b];
-            errorAtPc("segment-cost", first, os.str());
-        }
-        if (ref_ninstr != tplNinstr_[b] && !capped(costMismatches_)) {
-            std::ostringstream os;
-            os << "block " << b << " holds " << ref_ninstr
-               << " instructions but templates charge " << tplNinstr_[b];
-            errorAtPc("segment-cost", first, os.str());
+        if (!tracesUsable_ || !inTrace(b)) {
+            const std::uint64_t ref_cost = refBlockCost(b);
+            const std::uint64_t ref_ninstr = last - first + 1;
+            if (ref_cost != tplCost_[b] && !capped(costMismatches_)) {
+                std::ostringstream os;
+                os << "block " << b << " bytecode cost " << ref_cost
+                   << " != template segment sum " << tplCost_[b];
+                errorAtPc("segment-cost", first, os.str());
+            }
+            if (ref_ninstr != tplNinstr_[b] &&
+                !capped(costMismatches_)) {
+                std::ostringstream os;
+                os << "block " << b << " holds " << ref_ninstr
+                   << " instructions but templates charge "
+                   << tplNinstr_[b];
+                errorAtPc("segment-cost", first, os.str());
+            }
         }
 
         // Reference (bytecode) exits.
@@ -361,7 +523,10 @@ class EquivChecker
     {
         const bytecode::Pc last = cfg_.lastPc[b];
         const vm::Template &tt = dm_.stream[dm_.pcToTemplate[last]];
-        if (tt.pc != last || tt.block != b) {
+        // A fused template spans fuseLen constituent pcs starting at
+        // its pc; the terminator must be one of them.
+        if (!(tt.pc <= last && last < tt.pc + tt.fuseLen) ||
+            tt.block != b) {
             std::ostringstream os;
             os << "terminator template of block " << b
                << " carries pc " << tt.pc << " block " << tt.block;
@@ -380,7 +545,14 @@ class EquivChecker
 
         switch (kind) {
           case TerminatorKind::Cond: {
-            if (!bytecode::isCondBranch(static_cast<Opcode>(tt.op))) {
+            // Acceptable forms: the plain conditional-branch template,
+            // a fused compare-and-branch superinstruction, or (inside
+            // a trace) a guard — all carry the same exit fields.
+            const bool plain_cond =
+                tt.op < bytecode::kNumOpcodes &&
+                bytecode::isCondBranch(static_cast<Opcode>(tt.op));
+            if (!plain_cond && !vm::isGuardTop(tt.op) &&
+                !vm::isFusedBranchTop(tt.op)) {
                 errorAtPc("control-exit", last,
                           "terminator template is not a conditional "
                           "branch");
@@ -550,6 +722,7 @@ class EquivChecker
     std::vector<std::uint64_t> tplCost_;
     std::vector<std::uint64_t> tplNinstr_;
     std::vector<std::int64_t> fallEdgeTpl_;
+    bool tracesUsable_ = true;
 
     std::size_t costMismatches_ = 0;
     std::size_t cfgMismatches_ = 0;

@@ -49,7 +49,8 @@ describeAction(const profile::EdgeAction &a)
 bool
 sameTemplate(const vm::Template &a, const vm::Template &b)
 {
-    return a.op == b.op && a.flags == b.flags && a.layout == b.layout &&
+    return a.op == b.op && a.flags == b.flags && a.sub == b.sub &&
+           a.fuseLen == b.fuseLen && a.layout == b.layout &&
            a.cost == b.cost && a.ninstr == b.ninstr && a.a == b.a &&
            a.b == b.b && a.block == b.block &&
            a.flatBase == b.flatBase && a.taken == b.taken &&
@@ -66,6 +67,12 @@ firstStreamDiff(const vm::DecodedMethod &cached,
                 const vm::DecodedMethod &fresh)
 {
     std::ostringstream os;
+    if (cached.fuse != fresh.fuse)
+        return "fusion options differ from a fresh translation";
+    if (cached.traces != fresh.traces)
+        return "trace selection differs from a fresh translation";
+    if (cached.blockTrace != fresh.blockTrace)
+        return "blockTrace differs from a fresh translation";
     if (cached.stream.size() != fresh.stream.size()) {
         os << "cached stream has " << cached.stream.size()
            << " templates, fresh translation " << fresh.stream.size();
@@ -169,8 +176,11 @@ auditMachineDecoded(const vm::Machine &machine,
             if (cached == nullptr)
                 continue;
             const vm::CompiledMethod *cm = machine.versionAt(m, v);
+            // Re-translate under the cached stream's own fusion tuple:
+            // a fuse-option change is a cache *key* difference (the
+            // machine drops the slot), not staleness.
             const vm::DecodedMethod fresh = vm::translateMethod(
-                *cached->code, *cached->info, *cm);
+                *cached->code, *cached->info, *cm, cached->fuse);
             const std::string diff = firstStreamDiff(*cached, fresh);
             if (!diff.empty()) {
                 reportError(diagnostics, "stale-template", name,

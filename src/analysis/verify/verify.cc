@@ -50,19 +50,31 @@ verifyProgram(bytecode::Program &program, DiagnosticList &diagnostics)
     if (!verified.ok)
         return false;
 
+    // The equivalence proof must hold under every fusion selection —
+    // fused segments included (under the canonical all-fall-through
+    // layout `traces` straightens real chains).
+    const vm::FuseOptions fuse_matrix[] = {
+        {false, false}, {true, false}, {false, true}, {true, true}};
     for (const bytecode::Method &method : program.methods) {
         const vm::MethodInfo info = vm::buildMethodInfo(method);
         const vm::CompiledMethod cm = canonicalVersion(info.cfg);
-        const vm::DecodedMethod decoded =
-            vm::translateMethod(method, info, cm);
+        for (const vm::FuseOptions &fuse : fuse_matrix) {
+            const vm::DecodedMethod decoded =
+                vm::translateMethod(method, info, cm, fuse);
 
-        EngineEquivInput input;
-        input.code = &method;
-        input.info = &info;
-        input.cm = &cm;
-        input.decoded = &decoded;
-        input.methodName = method.name;
-        checkEngineEquivalence(input, diagnostics);
+            EngineEquivInput input;
+            input.code = &method;
+            input.info = &info;
+            input.cm = &cm;
+            input.decoded = &decoded;
+            input.methodName = method.name;
+            checkEngineEquivalence(input, diagnostics);
+
+            FusedCheckInput fused;
+            fused.decoded = &decoded;
+            fused.methodName = method.name;
+            checkFusedStream(fused, diagnostics);
+        }
     }
     return diagnostics.errorCount() == before;
 }
@@ -85,8 +97,10 @@ verifyMachine(const vm::Machine &machine, DiagnosticList &diagnostics,
                 const vm::MethodInfo *info = cm->inlinedBody
                                                  ? &cm->inlinedBody->info
                                                  : &machine.info(m);
-                const vm::DecodedMethod decoded =
-                    vm::translateMethod(*code, *info, *cm);
+                // Verify under the machine's live fusion selection —
+                // the streams the threaded engine actually executes.
+                const vm::DecodedMethod decoded = vm::translateMethod(
+                    *code, *info, *cm, machine.params().fuse);
 
                 EngineEquivInput input;
                 input.code = code;
@@ -97,6 +111,11 @@ verifyMachine(const vm::Machine &machine, DiagnosticList &diagnostics,
                 input.hasVersion = true;
                 input.version = v;
                 checkEngineEquivalence(input, diagnostics);
+
+                FusedCheckInput fused;
+                fused.decoded = &decoded;
+                fused.methodName = machine.program().methods[m].name;
+                checkFusedStream(fused, diagnostics);
             }
         }
     }

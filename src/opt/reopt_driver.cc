@@ -121,7 +121,39 @@ ReoptDriver::poll()
                               options_.minAdvancesBetween)
             continue;
 
-        machine_.compileNow(method, current->level);
+        // In-place relayout writes original-method block ids; a
+        // version compiled with an inlined body has its own block
+        // numbering, so only a full recompile can retarget it.
+        if (options_.action == ReoptAction::Recompile ||
+            current->inlinedBody) {
+            machine_.compileNow(method, current->level);
+            ++stats_.recompiles;
+        } else {
+            // Retranslate: install the window's hot directions as the
+            // current version's branch layout in place, then discharge
+            // the escape with an invalidation so the threaded engine
+            // retranslates (and re-straightens its traces) against
+            // them. Branches the window has no mass for keep their
+            // installed prediction.
+            vm::CompiledMethod *cm =
+                machine_.versionForUpdate(method, current->version);
+            for (cfg::BlockId b = 0; b < hot_dir.size(); ++b) {
+                if (hot_dir[b] < 0 || b >= cm->branchLayout.size())
+                    continue;
+                if (method_cfg.terminator[b] ==
+                    bytecode::TerminatorKind::Cond) {
+                    // quantizedHotDir speaks successor indices
+                    // (0 = taken); layout speaks prediction
+                    // (1 = predict taken).
+                    cm->branchLayout[b] = hot_dir[b] == 0 ? 1 : 0;
+                } else {
+                    cm->branchLayout[b] =
+                        static_cast<std::int16_t>(hot_dir[b]);
+                }
+            }
+            machine_.invalidateDecoded(method, current->version);
+            ++stats_.retranslations;
+        }
         if (shift)
             ++stats_.phaseShifts;
         snap.hotDir = std::move(hot_dir);
@@ -130,7 +162,6 @@ ReoptDriver::poll()
         ++recompiled;
     }
 
-    stats_.recompiles += recompiled;
     return recompiled;
 }
 

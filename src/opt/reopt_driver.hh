@@ -27,12 +27,34 @@
 
 namespace pep::opt {
 
+/**
+ * What the driver does when it decides a method's phase changed.
+ *
+ *  - Recompile: Machine::compileNow() — re-runs the whole pass
+ *    pipeline (layout, chain layout, cloning) and installs a fresh
+ *    version.
+ *  - Retranslate: rewrite the *installed* version's branch layout in
+ *    place from the window's hot directions and invalidate its cached
+ *    template stream (the escape/sanitize pair). The next execution
+ *    retranslates against the new layout, so the threaded engine's
+ *    fused traces re-straighten along the current phase's hot paths —
+ *    without paying for a full recompile or creating a new version.
+ */
+enum class ReoptAction : std::uint8_t
+{
+    Recompile,
+    Retranslate,
+};
+
 /** Phase-change detection knobs. */
 struct ReoptOptions
 {
     /** Recompile when more than this fraction of a method's branch
      *  mass changed its hot direction since the last applied layout. */
     double shiftThreshold = 0.25;
+
+    /** Response to a detected shift (and to a first sighting). */
+    ReoptAction action = ReoptAction::Recompile;
 
     /** Ignore methods whose windowed branch mass is below this. */
     double minMass = 1.0;
@@ -53,6 +75,11 @@ class ReoptDriver
          *  first, snapshot-establishing recompile is not a shift). */
         std::uint64_t phaseShifts = 0;
         std::uint64_t recompiles = 0;
+
+        /** In-place relayout + template invalidations (the
+         *  ReoptAction::Retranslate response; counted in `recompiles`'
+         *  place, never in addition to it). */
+        std::uint64_t retranslations = 0;
     };
 
     /** Both the machine and the window must outlive the driver. */

@@ -121,6 +121,12 @@ applyInjection(vm::Machine &machine, core::FullPathProfiler &full,
             // in an installed version's BlockOrigin map, not in any
             // profiler's plan.
             break;
+          case InjectKind::StaleFusion:
+            // Applied like stale-template (mid-run on the engine
+            // cross-check machines) plus post-run on the main machine
+            // (see runDiff), so both check 7 and the static
+            // cached-stream audit reject the skipped retranslation.
+            break;
         }
     }
 }
@@ -477,6 +483,7 @@ runEngineOnce(const bytecode::Program &program, const DiffOptions &opts,
     params.yieldpointsOnBackEdges = opts.yieldpointsOnBackEdges;
     params.enableInlining = opts.enableInlining;
     params.maxCyclesPerIteration = opts.maxCyclesPerIteration;
+    params.fuse = opts.fuse;
     vm::Machine machine(program, params);
 
     ExactOracle oracle(machine, opts.mode, opts.kIterations);
@@ -519,7 +526,8 @@ runEngineOnce(const bytecode::Program &program, const DiffOptions &opts,
         for (std::uint32_t it = 0; it < opts.iterations; ++it) {
             machine.runIteration();
             if ((opts.inject == InjectKind::StaleTemplate ||
-                 opts.inject == InjectKind::SkippedInvalidate) &&
+                 opts.inject == InjectKind::SkippedInvalidate ||
+                 opts.inject == InjectKind::StaleFusion) &&
                 it + 1 < opts.iterations) {
                 flipInstalledLayouts(machine, flipped);
             }
@@ -764,6 +772,8 @@ injectKindName(InjectKind kind)
         return "truncated-window";
       case InjectKind::BadCloneFold:
         return "bad-clone-fold";
+      case InjectKind::StaleFusion:
+        return "stale-fusion";
     }
     return "none";
 }
@@ -789,6 +799,8 @@ parseInjectKind(const std::string &name, InjectKind &out)
         out = InjectKind::TruncatedWindow;
     } else if (name == "bad-clone-fold") {
         out = InjectKind::BadCloneFold;
+    } else if (name == "stale-fusion") {
+        out = InjectKind::StaleFusion;
     } else {
         return false;
     }
@@ -880,6 +892,25 @@ standardConfigs()
         clone_kiter2.optClone = true;
         v.push_back(clone_kiter2);
 
+        // Fusion legs (docs/ENGINE.md): superinstruction pairs alone,
+        // then pairs + straightened traces with the layout pass
+        // installed (so retranslation re-specializes real chains) and
+        // a k-iteration window — the whole oracle matrix plus check 7
+        // must stay clean while the threaded engine executes fused and
+        // batch-charged streams.
+        DiffOptions fuse_pairs;
+        fuse_pairs.name = "fuse-pairs";
+        fuse_pairs.fuse = {true, false};
+        v.push_back(fuse_pairs);
+
+        DiffOptions fuse_traces;
+        fuse_traces.name = "fuse-traces-kiter2";
+        fuse_traces.fuse = {true, true};
+        fuse_traces.kIterations = 2;
+        fuse_traces.scheme = profile::NumberingScheme::Smart;
+        fuse_traces.optLayout = true;
+        v.push_back(fuse_traces);
+
         return v;
     }();
     return configs;
@@ -906,6 +937,7 @@ runDiff(const bytecode::Program &program, const DiffOptions &opts)
     params.yieldpointsOnBackEdges = opts.yieldpointsOnBackEdges;
     params.enableInlining = opts.enableInlining;
     params.maxCyclesPerIteration = opts.maxCyclesPerIteration;
+    params.fuse = opts.fuse;
     vm::Machine machine(program, params);
 
     ExactOracle oracle(machine, opts.mode, opts.kIterations);
@@ -985,7 +1017,8 @@ runDiff(const bytecode::Program &program, const DiffOptions &opts)
     // cross-check machines, which flip mid-run) reject it.
     if (opts.inject == InjectKind::ImpossibleProfile && !peps.empty())
         corruptPepEdgeProfile(machine, *peps.front());
-    if (opts.inject == InjectKind::SkippedInvalidate) {
+    if (opts.inject == InjectKind::SkippedInvalidate ||
+        opts.inject == InjectKind::StaleFusion) {
         std::set<core::VersionKey> flipped;
         flipInstalledLayouts(machine, flipped);
     }
@@ -1052,7 +1085,8 @@ runDiff(const bytecode::Program &program, const DiffOptions &opts)
         if (opts.crossCheckEngines &&
             (opts.inject == InjectKind::None ||
              opts.inject == InjectKind::StaleTemplate ||
-             opts.inject == InjectKind::SkippedInvalidate)) {
+             opts.inject == InjectKind::SkippedInvalidate ||
+             opts.inject == InjectKind::StaleFusion)) {
             runEngineCrossCheck(program, opts, report);
         }
         return report;
@@ -1283,7 +1317,8 @@ runDiff(const bytecode::Program &program, const DiffOptions &opts)
     if (opts.crossCheckEngines &&
         (opts.inject == InjectKind::None ||
          opts.inject == InjectKind::StaleTemplate ||
-         opts.inject == InjectKind::SkippedInvalidate)) {
+         opts.inject == InjectKind::SkippedInvalidate ||
+         opts.inject == InjectKind::StaleFusion)) {
         runEngineCrossCheck(program, opts, report);
     }
 

@@ -60,6 +60,7 @@
 #include "profile/instr_plan.hh"
 #include "profile/numbering.hh"
 #include "profile/pdag.hh"
+#include "vm/engine.hh"
 
 namespace pep::testing {
 
@@ -137,6 +138,17 @@ enum class InjectKind : std::uint8_t
      *  executing) and the static clone-body audit (plan-checker
      *  check 11) must all reject it. */
     BadCloneFold,
+
+    /** Requires a config with fuse.traces: flip every installed
+     *  version's branch layout in place without invalidateDecoded(),
+     *  modelling a retranslation skipped after a profile-direction
+     *  phase shift — the threaded engine keeps executing hot-trace
+     *  segments straightened for the *old* directions (stale guard
+     *  refunds and prepaid chains included) while switch dispatch
+     *  follows the new layout, so the engine cross-check (check 7)
+     *  must diverge and the static cached-stream audit
+     *  (analysis/verify/invariants.hh) must flag the stale stream. */
+    StaleFusion,
 };
 
 /** Name for reports / CLI flags ("none", "stale-flat", ...). */
@@ -190,6 +202,16 @@ struct DiffOptions
      */
     bool optLayout = false;
     bool optClone = false;
+
+    /**
+     * Fusion selection (docs/ENGINE.md) installed on every machine of
+     * the run via Machine::setFuseOptions — superinstruction pairs
+     * and/or straightened hot-trace segments in the threaded engine's
+     * template streams. Switch dispatch ignores it entirely, so the
+     * engine cross-check (check 7) proves fusion is observation-
+     * equivalent. The fuse-* standard configs pin these on.
+     */
+    vm::FuseOptions fuse = {};
 
     InjectKind inject = InjectKind::None;
 

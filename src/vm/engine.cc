@@ -50,4 +50,59 @@ defaultEngineKind()
     return kind;
 }
 
+const char *
+fuseOptionsName(const FuseOptions &fuse)
+{
+    if (fuse.pairs && fuse.traces)
+        return "pairs,traces";
+    if (fuse.pairs)
+        return "pairs";
+    if (fuse.traces)
+        return "traces";
+    return "none";
+}
+
+bool
+parseFuseOptions(std::string_view text, FuseOptions &out)
+{
+    FuseOptions parsed;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find(',', start);
+        if (end == std::string_view::npos)
+            end = text.size();
+        const std::string_view token = text.substr(start, end - start);
+        if (token == "pairs") {
+            parsed.pairs = true;
+        } else if (token == "traces") {
+            parsed.traces = true;
+        } else if (!token.empty() && token != "none") {
+            return false;
+        }
+        if (end == text.size())
+            break;
+        start = end + 1;
+    }
+    out = parsed;
+    return true;
+}
+
+FuseOptions
+defaultFuseOptions()
+{
+    static const FuseOptions fuse = [] {
+        const char *env = std::getenv("PEP_FUSE");
+        if (!env || !*env)
+            return FuseOptions{};
+        FuseOptions parsed;
+        if (!parseFuseOptions(env, parsed)) {
+            support::fatal(std::string("PEP_FUSE: unknown selection \"") +
+                           env +
+                           "\" (expected none|pairs|traces|pairs,traces)");
+        }
+        return parsed;
+    }();
+    return fuse;
+}
+
 } // namespace pep::vm

@@ -43,6 +43,49 @@ bool parseEngineKind(std::string_view text, EngineKind &out);
  */
 EngineKind defaultEngineKind();
 
+/**
+ * Template-fusion selection for the threaded engine (docs/ENGINE.md).
+ * `pairs` fuses common opcode pairs/triples into superinstruction
+ * templates with burned-in operands; `traces` straightens runs of
+ * predicted-fall-through blocks into hot-trace segments with the
+ * untaken checks hoisted into guarded exits and the segment accounting
+ * batched into one add per trace. Both are translation-time choices:
+ * the switch engine ignores them, and every observable stays
+ * byte-identical across the whole PEP_ENGINE x PEP_FUSE matrix.
+ */
+struct FuseOptions
+{
+    bool pairs = false;
+    bool traces = false;
+};
+
+inline bool
+operator==(const FuseOptions &a, const FuseOptions &b)
+{
+    return a.pairs == b.pairs && a.traces == b.traces;
+}
+
+inline bool
+operator!=(const FuseOptions &a, const FuseOptions &b)
+{
+    return !(a == b);
+}
+
+/** Human-readable fusion selection ("none" / "pairs" / "traces" /
+ *  "pairs,traces"). */
+const char *fuseOptionsName(const FuseOptions &fuse);
+
+/** Parse a comma-separated fusion selection ("none", "pairs",
+ *  "traces", "pairs,traces"); returns false on an unknown token. */
+bool parseFuseOptions(std::string_view text, FuseOptions &out);
+
+/**
+ * Fusion selected by the PEP_FUSE environment variable, read once per
+ * process; none when unset or empty. An unrecognized value is a fatal
+ * error, exactly like PEP_ENGINE.
+ */
+FuseOptions defaultFuseOptions();
+
 } // namespace pep::vm
 
 #endif // PEP_VM_ENGINE_HH

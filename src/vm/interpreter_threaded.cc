@@ -17,6 +17,16 @@
  * is what makes the two engines byte-identical on profiles, samples,
  * and simulated cycles.
  *
+ * Fused superinstruction handlers (PEP_FUSE=pairs) execute two or
+ * three constituent instructions per dispatch with their operands
+ * burned into the template; trace handlers (PEP_FUSE=traces) run
+ * straightened multi-block segments whose whole charge was prepaid on
+ * the trace head — interior guards refund the unexecuted suffix on a
+ * mispredicted exit *before* the edge event can fire a back-edge
+ * yieldpoint, so the clock is byte-exact at every observation point
+ * (see decoded_method.hh for the invariants that make interiors
+ * yieldpoint-free).
+ *
  * Dispatch is computed goto on GCC/Clang; defining
  * PEP_THREADED_FORCE_SWITCH selects the portable switch fallback
  * (same templates, same behaviour).
@@ -33,16 +43,54 @@ namespace pep::vm {
 
 #if PEP_THREADED_COMPUTED_GOTO
 #define PEP_OP(name) L_##name:
-#define PEP_OP_FALLEDGE() L_FallEdge:
+#define PEP_TOP_AT(label, VALUE) L_##label:
 #define PEP_DISPATCH() goto *kLabels[ts[tp].op]
 #else
 #define PEP_OP(name) case static_cast<std::uint8_t>(bytecode::Opcode::name):
-#define PEP_OP_FALLEDGE() case kTopFallEdge:
+#define PEP_TOP_AT(label, VALUE) case (VALUE):
 #define PEP_DISPATCH() goto dispatch_top
 #endif
 
-/** Charge the segment sums carried by template `t` (zero off segment
- *  leaders: a branch-free no-op). */
+/** Offsets of an opcode within its fused-top family. */
+#define PEP_ARITH_OFF(name)                                            \
+    (static_cast<std::uint8_t>(bytecode::Opcode::name) -               \
+     static_cast<std::uint8_t>(bytecode::Opcode::Iadd))
+#define PEP_ZBR_OFF(name)                                              \
+    (static_cast<std::uint8_t>(bytecode::Opcode::name) -               \
+     static_cast<std::uint8_t>(bytecode::Opcode::Ifeq))
+#define PEP_CBR_OFF(name)                                              \
+    (static_cast<std::uint8_t>(bytecode::Opcode::name) -               \
+     static_cast<std::uint8_t>(bytecode::Opcode::IfIcmpeq))
+
+/**
+ * The single source of truth for binary-arithmetic semantics in this
+ * backend: each X(name, EXPR) sees lhs `a` / rhs `b` and their
+ * unsigned views `ua` / `ub`. The plain handlers and all four fused
+ * families expand from this list, so fused results are the switch
+ * engine's results by construction.
+ */
+#define PEP_FOR_EACH_ARITH(X)                                          \
+    X(Iadd, static_cast<std::int32_t>(ua + ub))                        \
+    X(Isub, static_cast<std::int32_t>(ua - ub))                        \
+    X(Imul, static_cast<std::int32_t>(ua * ub))                        \
+    X(Idiv, b == 0 ? 0 : (a == INT32_MIN && b == -1) ? a : a / b)      \
+    X(Irem, b == 0 ? 0 : (a == INT32_MIN && b == -1) ? 0 : a % b)      \
+    X(Iand, static_cast<std::int32_t>(ua & ub))                        \
+    X(Ior, static_cast<std::int32_t>(ua | ub))                         \
+    X(Ixor, static_cast<std::int32_t>(ua ^ ub))                        \
+    X(Ishl, static_cast<std::int32_t>(ua << (ub & 31)))                \
+    X(Ishr, a >> (ub & 31))
+
+/** The conditional-branch comparison operators, per family. */
+#define PEP_FOR_EACH_ZEROBR(X)                                         \
+    X(Ifeq, ==) X(Ifne, !=) X(Iflt, <) X(Ifge, >=) X(Ifgt, >)          \
+    X(Ifle, <=)
+#define PEP_FOR_EACH_CMPBR(X)                                          \
+    X(IfIcmpeq, ==) X(IfIcmpne, !=) X(IfIcmplt, <) X(IfIcmpge, >=)     \
+    X(IfIcmpgt, >) X(IfIcmple, <=)
+
+/** Charge the segment (or trace) sums carried by template `t` (zero
+ *  off segment leaders: a branch-free no-op). */
 #define PEP_CHARGE(t)                                                  \
     vm_.cycles_ += (t).cost;                                           \
     vm_.stats_.instructionsExecuted += (t).ninstr
@@ -76,7 +124,7 @@ namespace pep::vm {
     } while (0);                                                       \
     PEP_DISPATCH()
 
-/** Shared body of the twelve conditional-branch handlers. */
+/** Shared body of the conditional-branch handlers (plain and fused). */
 #define PEP_COND_TAIL(TAKEN_EXPR)                                      \
     const bool taken = (TAKEN_EXPR);                                   \
     ++vm_.stats_.branchesExecuted;                                     \
@@ -97,6 +145,41 @@ namespace pep::vm {
     } else {                                                           \
         PEP_TRANSFER(t.fall, t.fallPc, t.flags & kTplFallHeader,       \
                      t.fallBlock);                                     \
+    }
+
+/**
+ * Shared body of the trace-guard handlers. Guards only exist on
+ * blocks whose layout predicts fall-through (layout != 1), so the
+ * taken exit is always the mispredicted one: refund the trace suffix
+ * prepaid on the head — *before* the edge event, whose back-edge
+ * yieldpoint may read the clock — charge the miss penalty, and leave
+ * through a full transfer. The fall exit stays inside the trace:
+ * the next block is a non-header single-predecessor member, so no
+ * header event, yieldpoint, OSR, or park can occur — a direct jump.
+ */
+#define PEP_GUARD_TAIL(TAKEN_EXPR)                                     \
+    const bool taken = (TAKEN_EXPR);                                   \
+    ++vm_.stats_.branchesExecuted;                                     \
+    if (taken) {                                                       \
+        vm_.cycles_ -= t.swFirst;                                      \
+        vm_.stats_.instructionsExecuted -= t.swCount;                  \
+        vm_.cycles_ += cost.layoutMissPenalty;                         \
+        ++vm_.stats_.layoutMisses;                                     \
+    }                                                                  \
+    const std::uint32_t succ = taken ? 0u : 1u;                        \
+    if (t.flags & kTplBaselineEdge) {                                  \
+        vm_.cycles_ += cost.edgeCounterCost;                           \
+        vm_.oneTime_.perMethod[f->method].addEdge(                     \
+            cfg::EdgeRef{t.block, succ});                              \
+    }                                                                  \
+    edgeTakenFast(*f, cfg::EdgeRef{t.block, succ}, t.flatBase + succ); \
+    if (taken) {                                                       \
+        PEP_TRANSFER(t.taken, t.takenPc, t.flags & kTplTakenHeader,    \
+                     t.takenBlock);                                    \
+    } else {                                                           \
+        f->pc = t.fallPc;                                              \
+        tp = t.fall;                                                   \
+        PEP_DISPATCH();                                                \
     }
 
 /** Zero-compare branch: pop one operand. */
@@ -141,6 +224,136 @@ namespace pep::vm {
         PEP_DISPATCH();                                                \
     }
 
+/** Trace guard, zero-compare / two-operand families. */
+#define PEP_GUARD_ZERO(name, CMP)                                      \
+    PEP_TOP_AT(GuardZero_##name,                                       \
+               kTopGuardZeroBase + PEP_ZBR_OFF(name))                  \
+    {                                                                  \
+        const Template &t = ts[tp];                                    \
+        PEP_CHARGE(t);                                                 \
+        const std::int32_t v = f->stack.back();                        \
+        f->stack.pop_back();                                           \
+        PEP_GUARD_TAIL(v CMP 0)                                        \
+    }
+#define PEP_GUARD_CMP(name, CMP)                                       \
+    PEP_TOP_AT(GuardCmp_##name, kTopGuardCmpBase + PEP_CBR_OFF(name))  \
+    {                                                                  \
+        const Template &t = ts[tp];                                    \
+        PEP_CHARGE(t);                                                 \
+        const std::int32_t b = f->stack.back();                        \
+        f->stack.pop_back();                                           \
+        const std::int32_t a = f->stack.back();                        \
+        f->stack.pop_back();                                           \
+        PEP_GUARD_TAIL(a CMP b)                                        \
+    }
+
+/** [Iconst k, arith]: burned-in rhs, lhs replaced on the stack. */
+#define PEP_CONST_ARITH(name, EXPR)                                    \
+    PEP_TOP_AT(ConstArith_##name,                                      \
+               kTopConstArithBase + PEP_ARITH_OFF(name))               \
+    {                                                                  \
+        const Template &t = ts[tp];                                    \
+        PEP_CHARGE(t);                                                 \
+        const std::int32_t b = t.a;                                    \
+        const std::int32_t a = f->stack.back();                        \
+        const auto ua = static_cast<std::uint32_t>(a);                 \
+        const auto ub = static_cast<std::uint32_t>(b);                 \
+        (void)ua;                                                      \
+        (void)ub;                                                      \
+        f->stack.back() = (EXPR);                                      \
+        ++tp;                                                          \
+        PEP_DISPATCH();                                                \
+    }
+
+/** [Iload x, arith]: burned-in rhs local, lhs replaced on the stack. */
+#define PEP_LOAD_ARITH(name, EXPR)                                     \
+    PEP_TOP_AT(LoadArith_##name,                                       \
+               kTopLoadArithBase + PEP_ARITH_OFF(name))                \
+    {                                                                  \
+        const Template &t = ts[tp];                                    \
+        PEP_CHARGE(t);                                                 \
+        const std::int32_t b = locals[t.a];                            \
+        const std::int32_t a = f->stack.back();                        \
+        const auto ua = static_cast<std::uint32_t>(a);                 \
+        const auto ub = static_cast<std::uint32_t>(b);                 \
+        (void)ua;                                                      \
+        (void)ub;                                                      \
+        f->stack.back() = (EXPR);                                      \
+        ++tp;                                                          \
+        PEP_DISPATCH();                                                \
+    }
+
+/** [Iload x, Iload y, arith]: no stack traffic at all. */
+#define PEP_LOADLOAD_ARITH(name, EXPR)                                 \
+    PEP_TOP_AT(LoadLoadArith_##name,                                   \
+               kTopLoadLoadArithBase + PEP_ARITH_OFF(name))            \
+    {                                                                  \
+        const Template &t = ts[tp];                                    \
+        PEP_CHARGE(t);                                                 \
+        const std::int32_t a = locals[t.a];                            \
+        const std::int32_t b = locals[t.b];                            \
+        const auto ua = static_cast<std::uint32_t>(a);                 \
+        const auto ub = static_cast<std::uint32_t>(b);                 \
+        (void)ua;                                                      \
+        (void)ub;                                                      \
+        f->stack.push_back(EXPR);                                      \
+        ++tp;                                                          \
+        PEP_DISPATCH();                                                \
+    }
+
+/** [Iload x, Iconst k, arith]. */
+#define PEP_LOADCONST_ARITH(name, EXPR)                                \
+    PEP_TOP_AT(LoadConstArith_##name,                                  \
+               kTopLoadConstArithBase + PEP_ARITH_OFF(name))           \
+    {                                                                  \
+        const Template &t = ts[tp];                                    \
+        PEP_CHARGE(t);                                                 \
+        const std::int32_t a = locals[t.a];                            \
+        const std::int32_t b = t.b;                                    \
+        const auto ua = static_cast<std::uint32_t>(a);                 \
+        const auto ub = static_cast<std::uint32_t>(b);                 \
+        (void)ua;                                                      \
+        (void)ub;                                                      \
+        f->stack.push_back(EXPR);                                      \
+        ++tp;                                                          \
+        PEP_DISPATCH();                                                \
+    }
+
+/** [Iload x, ifXX]: operand straight from the local. */
+#define PEP_LOAD_ZEROBR(name, CMP)                                     \
+    PEP_TOP_AT(LoadZeroBr_##name,                                      \
+               kTopLoadZeroBrBase + PEP_ZBR_OFF(name))                 \
+    {                                                                  \
+        const Template &t = ts[tp];                                    \
+        PEP_CHARGE(t);                                                 \
+        const std::int32_t v = locals[t.a];                            \
+        PEP_COND_TAIL(v CMP 0)                                         \
+    }
+
+/** [Iload x, Iload y, if_icmpXX]. */
+#define PEP_LOADLOAD_CMPBR(name, CMP)                                  \
+    PEP_TOP_AT(LoadLoadCmpBr_##name,                                   \
+               kTopLoadLoadCmpBrBase + PEP_CBR_OFF(name))              \
+    {                                                                  \
+        const Template &t = ts[tp];                                    \
+        PEP_CHARGE(t);                                                 \
+        const std::int32_t a = locals[t.a];                            \
+        const std::int32_t b = locals[t.b];                            \
+        PEP_COND_TAIL(a CMP b)                                         \
+    }
+
+/** [Iload x, Iconst k, if_icmpXX]. */
+#define PEP_LOADCONST_CMPBR(name, CMP)                                 \
+    PEP_TOP_AT(LoadConstCmpBr_##name,                                  \
+               kTopLoadConstCmpBrBase + PEP_CBR_OFF(name))             \
+    {                                                                  \
+        const Template &t = ts[tp];                                    \
+        PEP_CHARGE(t);                                                 \
+        const std::int32_t a = locals[t.a];                            \
+        const std::int32_t b = t.b;                                    \
+        PEP_COND_TAIL(a CMP b)                                         \
+    }
+
 /** Method return (shared by Return/Ireturn). */
 #define PEP_RETURN_BODY(HAS_RESULT)                                    \
     const Template &t = ts[tp];                                        \
@@ -175,7 +388,17 @@ Interpreter::loopThreaded()
     std::uint32_t tp = 0;
 
 #if PEP_THREADED_COMPUTED_GOTO
-    // Indexed by TOp: bytecode::Opcode values, then kTopFallEdge.
+    // Indexed by TOp: bytecode::Opcode values, then the synthetic
+    // entries in the order decoded_method.hh lays out the top space.
+#define PEP_LBL_GZ(name, CMP) &&L_GuardZero_##name,
+#define PEP_LBL_GC(name, CMP) &&L_GuardCmp_##name,
+#define PEP_LBL_CA(name, EXPR) &&L_ConstArith_##name,
+#define PEP_LBL_LA(name, EXPR) &&L_LoadArith_##name,
+#define PEP_LBL_LLA(name, EXPR) &&L_LoadLoadArith_##name,
+#define PEP_LBL_LCA(name, EXPR) &&L_LoadConstArith_##name,
+#define PEP_LBL_LZB(name, CMP) &&L_LoadZeroBr_##name,
+#define PEP_LBL_LLC(name, CMP) &&L_LoadLoadCmpBr_##name,
+#define PEP_LBL_LCC(name, CMP) &&L_LoadConstCmpBr_##name,
     static const void *const kLabels[kNumTops] = {
         &&L_Iconst,      &&L_Iload,    &&L_Istore,   &&L_Iinc,
         &&L_Dup,         &&L_Pop,      &&L_Swap,     &&L_Iadd,
@@ -187,14 +410,36 @@ Interpreter::loopThreaded()
         &&L_IfIcmpeq,    &&L_IfIcmpne, &&L_IfIcmplt, &&L_IfIcmpge,
         &&L_IfIcmpgt,    &&L_IfIcmple, &&L_Tableswitch, &&L_Invoke,
         &&L_Return,      &&L_Ireturn,  &&L_FallEdge,
+        &&L_TraceFall,
+        PEP_FOR_EACH_ZEROBR(PEP_LBL_GZ)
+        PEP_FOR_EACH_CMPBR(PEP_LBL_GC)
+        &&L_ConstStore,  &&L_LoadStore, &&L_LoadLoad,
+        PEP_FOR_EACH_ARITH(PEP_LBL_CA)
+        PEP_FOR_EACH_ARITH(PEP_LBL_LA)
+        PEP_FOR_EACH_ARITH(PEP_LBL_LLA)
+        PEP_FOR_EACH_ARITH(PEP_LBL_LCA)
+        PEP_FOR_EACH_ZEROBR(PEP_LBL_LZB)
+        PEP_FOR_EACH_CMPBR(PEP_LBL_LLC)
+        PEP_FOR_EACH_CMPBR(PEP_LBL_LCC)
     };
+#undef PEP_LBL_GZ
+#undef PEP_LBL_GC
+#undef PEP_LBL_CA
+#undef PEP_LBL_LA
+#undef PEP_LBL_LLA
+#undef PEP_LBL_LCA
+#undef PEP_LBL_LZB
+#undef PEP_LBL_LLC
+#undef PEP_LBL_LCC
 #endif
 
 rebind:
     // Boundary state: derive everything from the top frame's
     // (version, pc). Parks land here with the frame stack intact, and
     // every parkable pc is a segment leader, so pcToTemplate resumes
-    // the stream exactly where the switch engine would.
+    // the stream exactly where the switch engine would — under fusion
+    // a segment-leader pc is always the first constituent of its
+    // template, so resumption never lands mid-superinstruction.
     if (frames_.empty())
         return;
     if (switchRequested_) {
@@ -276,20 +521,7 @@ dispatch_top:
         ++tp;
         PEP_DISPATCH();
     }
-    PEP_BINOP(Iadd, static_cast<std::int32_t>(ua + ub))
-    PEP_BINOP(Isub, static_cast<std::int32_t>(ua - ub))
-    PEP_BINOP(Imul, static_cast<std::int32_t>(ua * ub))
-    PEP_BINOP(Idiv, b == 0                          ? 0
-                    : (a == INT32_MIN && b == -1)   ? a
-                                                    : a / b)
-    PEP_BINOP(Irem, b == 0                          ? 0
-                    : (a == INT32_MIN && b == -1)   ? 0
-                                                    : a % b)
-    PEP_BINOP(Iand, static_cast<std::int32_t>(ua & ub))
-    PEP_BINOP(Ior, static_cast<std::int32_t>(ua | ub))
-    PEP_BINOP(Ixor, static_cast<std::int32_t>(ua ^ ub))
-    PEP_BINOP(Ishl, static_cast<std::int32_t>(ua << (ub & 31)))
-    PEP_BINOP(Ishr, a >> (ub & 31))
+    PEP_FOR_EACH_ARITH(PEP_BINOP)
     PEP_OP(Ineg)
     {
         const Template &t = ts[tp];
@@ -344,18 +576,8 @@ dispatch_top:
         PEP_TRANSFER(t.taken, t.takenPc, t.flags & kTplTakenHeader,
                      t.takenBlock);
     }
-    PEP_COND_ZERO(Ifeq, ==)
-    PEP_COND_ZERO(Ifne, !=)
-    PEP_COND_ZERO(Iflt, <)
-    PEP_COND_ZERO(Ifge, >=)
-    PEP_COND_ZERO(Ifgt, >)
-    PEP_COND_ZERO(Ifle, <=)
-    PEP_COND_CMP(IfIcmpeq, ==)
-    PEP_COND_CMP(IfIcmpne, !=)
-    PEP_COND_CMP(IfIcmplt, <)
-    PEP_COND_CMP(IfIcmpge, >=)
-    PEP_COND_CMP(IfIcmpgt, >)
-    PEP_COND_CMP(IfIcmple, <=)
+    PEP_FOR_EACH_ZEROBR(PEP_COND_ZERO)
+    PEP_FOR_EACH_CMPBR(PEP_COND_CMP)
     PEP_OP(Tableswitch)
     {
         const Template &t = ts[tp];
@@ -418,7 +640,7 @@ dispatch_top:
     {
         PEP_RETURN_BODY(true);
     }
-    PEP_OP_FALLEDGE()
+    PEP_TOP_AT(FallEdge, kTopFallEdge)
     {
         // Injected fall-through block end: the block's single CFG edge
         // plus the transfer (cost/ninstr are zero — no instruction).
@@ -427,6 +649,53 @@ dispatch_top:
         PEP_TRANSFER(t.fall, t.fallPc, t.flags & kTplFallHeader,
                      t.fallBlock);
     }
+    PEP_TOP_AT(TraceFall, kTopTraceFall)
+    {
+        // Trace-interior fall-through block end: the edge event plus a
+        // direct jump — the target is a non-header single-predecessor
+        // trace member, so no header event, yieldpoint, or park can
+        // fire here (the edge is never a back edge: back edges target
+        // headers).
+        const Template &t = ts[tp];
+        edgeTakenFast(*f, cfg::EdgeRef{t.block, 0}, t.flatBase);
+        f->pc = t.fallPc;
+        tp = t.fall;
+        PEP_DISPATCH();
+    }
+    PEP_FOR_EACH_ZEROBR(PEP_GUARD_ZERO)
+    PEP_FOR_EACH_CMPBR(PEP_GUARD_CMP)
+    PEP_TOP_AT(ConstStore, kTopConstStore)
+    {
+        const Template &t = ts[tp];
+        PEP_CHARGE(t);
+        locals[t.b] = t.a;
+        ++tp;
+        PEP_DISPATCH();
+    }
+    PEP_TOP_AT(LoadStore, kTopLoadStore)
+    {
+        const Template &t = ts[tp];
+        PEP_CHARGE(t);
+        locals[t.b] = locals[t.a];
+        ++tp;
+        PEP_DISPATCH();
+    }
+    PEP_TOP_AT(LoadLoad, kTopLoadLoad)
+    {
+        const Template &t = ts[tp];
+        PEP_CHARGE(t);
+        f->stack.push_back(locals[t.a]);
+        f->stack.push_back(locals[t.b]);
+        ++tp;
+        PEP_DISPATCH();
+    }
+    PEP_FOR_EACH_ARITH(PEP_CONST_ARITH)
+    PEP_FOR_EACH_ARITH(PEP_LOAD_ARITH)
+    PEP_FOR_EACH_ARITH(PEP_LOADLOAD_ARITH)
+    PEP_FOR_EACH_ARITH(PEP_LOADCONST_ARITH)
+    PEP_FOR_EACH_ZEROBR(PEP_LOAD_ZEROBR)
+    PEP_FOR_EACH_CMPBR(PEP_LOADLOAD_CMPBR)
+    PEP_FOR_EACH_CMPBR(PEP_LOADCONST_CMPBR)
 
 #if !PEP_THREADED_COMPUTED_GOTO
       default:
@@ -436,14 +705,30 @@ dispatch_top:
 }
 
 #undef PEP_OP
-#undef PEP_OP_FALLEDGE
+#undef PEP_TOP_AT
 #undef PEP_DISPATCH
+#undef PEP_ARITH_OFF
+#undef PEP_ZBR_OFF
+#undef PEP_CBR_OFF
+#undef PEP_FOR_EACH_ARITH
+#undef PEP_FOR_EACH_ZEROBR
+#undef PEP_FOR_EACH_CMPBR
 #undef PEP_CHARGE
 #undef PEP_TRANSFER
 #undef PEP_COND_TAIL
+#undef PEP_GUARD_TAIL
 #undef PEP_COND_ZERO
 #undef PEP_COND_CMP
 #undef PEP_BINOP
+#undef PEP_GUARD_ZERO
+#undef PEP_GUARD_CMP
+#undef PEP_CONST_ARITH
+#undef PEP_LOAD_ARITH
+#undef PEP_LOADLOAD_ARITH
+#undef PEP_LOADCONST_ARITH
+#undef PEP_LOAD_ZEROBR
+#undef PEP_LOADLOAD_CMPBR
+#undef PEP_LOADCONST_CMPBR
 #undef PEP_RETURN_BODY
 
 } // namespace pep::vm

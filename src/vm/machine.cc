@@ -317,6 +317,15 @@ Machine::decodedFor(const CompiledMethod &cm)
     if (slots.size() <= cm.version)
         slots.resize(cm.version + 1);
     std::unique_ptr<DecodedMethod> &slot = slots[cm.version];
+    // The cache is keyed on the full translation-option tuple: a stream
+    // translated under a different fusion selection is a miss, not a
+    // hit — otherwise flipping PEP_FUSE mid-process (tests, differ
+    // sweeps, setFuseOptions) would execute templates from the wrong
+    // mode.
+    if (slot && slot->fuse != params_.fuse) {
+        slot.reset();
+        ++stats_.templateInvalidations;
+    }
     if (!slot) {
         const bytecode::Method &code =
             cm.inlinedBody ? cm.inlinedBody->method
@@ -324,7 +333,7 @@ Machine::decodedFor(const CompiledMethod &cm)
         const MethodInfo &info =
             cm.inlinedBody ? cm.inlinedBody->info : infos_[cm.method];
         slot = std::make_unique<DecodedMethod>(
-            translateMethod(code, info, cm));
+            translateMethod(code, info, cm, params_.fuse));
         ++stats_.methodsDecoded;
     }
     return *slot;

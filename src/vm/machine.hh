@@ -50,6 +50,15 @@ struct SimParams
      */
     EngineKind engine = defaultEngineKind();
 
+    /**
+     * Template-fusion selection for the threaded engine
+     * (docs/ENGINE.md). Defaults from PEP_FUSE; purely a translation
+     * choice — observables stay byte-identical across the full
+     * PEP_ENGINE x PEP_FUSE matrix. Cached template streams are keyed
+     * on this tuple (decodedFor), so changing it mid-run is safe.
+     */
+    FuseOptions fuse = defaultFuseOptions();
+
     /** Timer tick period in cycles (the paper's ~20 ms interrupt). */
     std::uint64_t tickCycles = 2'500'000;
 
@@ -365,6 +374,16 @@ class Machine
      * engines must report identical cycle counts.
      */
     const DecodedMethod &decodedFor(const CompiledMethod &cm);
+
+    /**
+     * Switch the fusion selection mid-run. Takes effect at the next
+     * decodedFor(): cached streams carry the tuple they were
+     * translated under, and decodedFor() retranslates any stream whose
+     * tuple no longer matches — so a stale fused stream can never be
+     * executed after the switch (the cross-mode cache-pollution
+     * regression in tests/vm/fusion_test.cc pins this down).
+     */
+    void setFuseOptions(const FuseOptions &fuse) { params_.fuse = fuse; }
 
     /**
      * Drop the cached template stream of one version. REQUIRED after

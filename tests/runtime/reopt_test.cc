@@ -161,6 +161,47 @@ TEST(RuntimeReopt, PhaseShiftRecompilesWithTheNewLayout)
     EXPECT_EQ(diagnostics.errorCount(), 0u);
 }
 
+TEST(RuntimeReopt, RetranslateRelayoutsInPlaceWithoutANewVersion)
+{
+    ReoptRig rig;
+    opt::ReoptOptions options;
+    options.action = opt::ReoptAction::Retranslate;
+    opt::ReoptDriver driver(rig.machine, rig.window, options);
+
+    feedPhase(rig.window, rig.diamond, 90, 10);
+    ASSERT_EQ(driver.poll(), 1u);
+    EXPECT_EQ(driver.stats().retranslations, 1u);
+    EXPECT_EQ(driver.stats().recompiles, 0u)
+        << "retranslate must not go through compileNow";
+    const std::size_t versions_before = rig.machine.numVersions(0);
+    const vm::CompiledMethod *version = rig.machine.currentVersion(0);
+    ASSERT_NE(version, nullptr);
+    EXPECT_EQ(version->branchLayout[rig.diamond], 1);
+
+    // The phase flips: the installed version is relaid in place and
+    // its template stream invalidated — no new version appears, so the
+    // threaded engine's fused traces re-straighten on the next
+    // translation without a recompile.
+    feedPhase(rig.window, rig.diamond, 10, 90);
+    EXPECT_EQ(driver.poll(), 1u);
+    EXPECT_EQ(driver.stats().phaseShifts, 1u);
+    EXPECT_EQ(driver.stats().retranslations, 2u);
+    EXPECT_EQ(rig.machine.numVersions(0), versions_before)
+        << "retranslate mutates the installed version in place";
+    version = rig.machine.currentVersion(0);
+    ASSERT_NE(version, nullptr);
+    EXPECT_EQ(version->branchLayout[rig.diamond], 0)
+        << "fall-through-hot phase flips the diamond layout";
+
+    // The in-place relayout went through the escape/sanitize pair
+    // (versionForUpdate + invalidateDecoded): the machine still runs
+    // and every static audit stays clean.
+    rig.machine.runIteration();
+    analysis::DiagnosticList diagnostics;
+    EXPECT_TRUE(analysis::verifyMachine(rig.machine, diagnostics));
+    EXPECT_EQ(diagnostics.errorCount(), 0u);
+}
+
 TEST(RuntimeReopt, WindowedConsumerMaterializesRoundedCounts)
 {
     ReoptRig rig;

@@ -271,6 +271,51 @@ TEST(Differ, StaleTemplateInjectionDivergesTheEngines)
     EXPECT_TRUE(clean.ok()) << clean.violations.front();
 }
 
+TEST(Differ, StandardConfigMatrixCoversFusion)
+{
+    // The fusion legs (docs/ENGINE.md): superinstruction pairs alone,
+    // and pairs + straightened traces under a k-iteration window with
+    // the layout pass installed so retranslation re-specializes.
+    const fz::DiffOptions *pairs = fz::findConfig("fuse-pairs");
+    ASSERT_NE(pairs, nullptr);
+    EXPECT_TRUE(pairs->fuse.pairs);
+    EXPECT_FALSE(pairs->fuse.traces);
+
+    const fz::DiffOptions *traces =
+        fz::findConfig("fuse-traces-kiter2");
+    ASSERT_NE(traces, nullptr);
+    EXPECT_TRUE(traces->fuse.pairs);
+    EXPECT_TRUE(traces->fuse.traces);
+    EXPECT_EQ(traces->kIterations, 2u);
+    EXPECT_TRUE(traces->optLayout);
+}
+
+TEST(Differ, StaleFusionInjectionIsCaughtAndCleanWithout)
+{
+    // A retranslation skipped after a profile-direction flip: switch
+    // dispatch follows the new layout while the threaded engine keeps
+    // executing traces straightened for the old one. The engine
+    // cross-check must diverge under the trace-fusing config, and the
+    // same programs must run clean without the injection.
+    const fz::DiffOptions *base = fz::findConfig("fuse-traces-kiter2");
+    ASSERT_NE(base, nullptr);
+    fz::DiffOptions opts = *base;
+    opts.inject = fz::InjectKind::StaleFusion;
+
+    const std::uint64_t seed = findCaughtSeed(opts);
+    ASSERT_NE(seed, 0u)
+        << "no seed in 1..20 caught the stale-fusion injection";
+
+    fz::FuzzSpec spec;
+    spec.seed = seed;
+    const bytecode::Program program = fz::generateProgram(spec);
+    const fz::DiffReport caught = fz::runDiff(program, opts);
+    ASSERT_FALSE(caught.ok());
+
+    const fz::DiffReport clean = fz::runDiff(program, *base);
+    EXPECT_TRUE(clean.ok()) << clean.violations.front();
+}
+
 TEST(Differ, StandardConfigMatrixCoversKIterations)
 {
     std::set<std::uint32_t> ks;

@@ -40,6 +40,14 @@
  *
  * Exit status: 0 clean (or caught, with --expect-caught), 1 violations
  * (or nothing caught under --expect-caught), 2 usage errors.
+ *
+ * A generated program that blows the interpreter's per-iteration
+ * cycle budget even with injection and fusion stripped (the two knobs
+ * contracted not to change cycles) is skipped, not reported — deeply
+ * loop-biased generation occasionally outruns the runaway guard, and
+ * such a program proves nothing. Skips are counted and printed, never
+ * silent; a budget blowup that appears only WITH injection or fusion
+ * is still a violation.
  */
 
 #include <cstdint>
@@ -50,6 +58,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "support/panic.hh"
@@ -167,24 +176,75 @@ struct IterOutcome
     std::string firstViolation;
     std::size_t instrumentedVersions = 0;
     std::uint64_t oracleSegments = 0;
+    std::size_t skippedConfigs = 0;
 };
 
-/** Run one config, folding harness crashes into violations. */
-DiffReport
+/** One guarded differ run: the report, or a skip verdict. */
+struct GuardedResult
+{
+    DiffReport report;
+    bool skipped = false;
+};
+
+bool
+isCycleBudgetFatal(const char *what)
+{
+    return std::string_view(what).find("exceeded cycle budget") !=
+           std::string_view::npos;
+}
+
+/**
+ * True when the program blows the interpreter's runaway guard under
+ * this config even with injection and fusion stripped — the only two
+ * knobs contracted not to change simulated cycles. Such a program is
+ * intrinsically too big for the per-iteration budget (deeply nested
+ * loop-biased generation), so a budget fatal under the full options
+ * proves nothing about the harness.
+ */
+bool
+isIntrinsicRunaway(const pep::bytecode::Program &program,
+                   const DiffOptions &opts)
+{
+    DiffOptions probe = opts;
+    probe.inject = pep::testing::InjectKind::None;
+    probe.fuse = {};
+    try {
+        (void)pep::testing::runDiff(program, probe);
+        return false;
+    } catch (const pep::support::FatalError &e) {
+        return isCycleBudgetFatal(e.what());
+    } catch (const pep::support::PanicError &) {
+        return false;
+    }
+}
+
+/**
+ * Run one config, folding harness crashes into violations. A
+ * cycle-budget runaway is reported only when the clean probe stays
+ * inside the budget (then injection or fusion caused it — a genuine
+ * finding); an intrinsically runaway program is skipped instead, and
+ * the skip is counted so coverage loss is never silent.
+ */
+GuardedResult
 runGuarded(const pep::bytecode::Program &program,
            const DiffOptions &opts)
 {
+    GuardedResult result;
     try {
-        return pep::testing::runDiff(program, opts);
+        result.report = pep::testing::runDiff(program, opts);
     } catch (const pep::support::PanicError &e) {
-        DiffReport report;
-        report.violations.push_back(std::string("panic: ") + e.what());
-        return report;
+        result.report.violations.push_back(std::string("panic: ") +
+                                           e.what());
     } catch (const pep::support::FatalError &e) {
-        DiffReport report;
-        report.violations.push_back(std::string("fatal: ") + e.what());
-        return report;
+        if (isCycleBudgetFatal(e.what()) &&
+            isIntrinsicRunaway(program, opts)) {
+            result.skipped = true;
+            return result;
+        }
+        result.report.violations.push_back(std::string("fatal: ") +
+                                           e.what());
     }
+    return result;
 }
 
 bool
@@ -268,7 +328,12 @@ main(int argc, char **argv)
             opts.inject = options.inject;
             if (options.kiter > 0)
                 opts.kIterations = options.kiter;
-            const DiffReport report = runGuarded(program, opts);
+            const GuardedResult guarded = runGuarded(program, opts);
+            if (guarded.skipped) {
+                ++outcome.skippedConfigs;
+                continue;
+            }
+            const DiffReport &report = guarded.report;
             outcome.instrumentedVersions +=
                 report.instrumentedVersions;
             outcome.oracleSegments += report.oracleSegments;
@@ -283,10 +348,12 @@ main(int argc, char **argv)
 
     std::size_t total_instrumented = 0;
     std::uint64_t total_segments = 0;
+    std::size_t total_skipped = 0;
     const IterOutcome *first_failure = nullptr;
     for (const IterOutcome &outcome : outcomes) {
         total_instrumented += outcome.instrumentedVersions;
         total_segments += outcome.oracleSegments;
+        total_skipped += outcome.skippedConfigs;
         if (outcome.violated && !first_failure)
             first_failure = &outcome;
         if (options.verbose) {
@@ -309,6 +376,12 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(options.iters),
                  configs.size(), total_instrumented,
                  static_cast<unsigned long long>(total_segments));
+    if (total_skipped > 0) {
+        std::fprintf(stderr,
+                     "pep-fuzz: %zu config runs skipped "
+                     "(intrinsically over the cycle budget)\n",
+                     total_skipped);
+    }
 
     if (total_instrumented == 0) {
         std::fprintf(stderr,
@@ -368,9 +441,10 @@ main(int argc, char **argv)
                 "pep-fuzz: shrunk to %zu methods in %zu attempts\n",
                 shrunk.program.methods.size(), shrunk.attempts);
             failing = shrunk.program;
-            const DiffReport final_report = runGuarded(failing, opts);
-            if (!final_report.ok())
-                violation = final_report.violations.front();
+            const GuardedResult final_result =
+                runGuarded(failing, opts);
+            if (!final_result.skipped && !final_result.report.ok())
+                violation = final_result.report.violations.front();
         }
         if (!options.corpusDir.empty()) {
             writeCorpusFile(options, failing, first_failure->config,
